@@ -1,0 +1,117 @@
+// Extended evaluation beyond the paper's Table II: the predictability
+// claim (time tracks work, structure-independent) checked on generic
+// workload families the paper never saw — 2D/3D stencils, R-MAT graphs,
+// power-law webs, hypersparse and near-dense random matrices.  If the
+// merge kernels' correlation holds here too, the paper's conclusion
+// generalizes past its own test suite.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "baselines/rowwise.hpp"
+#include "baselines/seq.hpp"
+#include "core/spadd.hpp"
+#include "core/spgemm.hpp"
+#include "core/spmv.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/stats.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+
+using namespace mps;
+
+struct Entry {
+  std::string name;
+  sparse::CsrD matrix;
+};
+
+std::vector<Entry> extended_suite(double scale) {
+  const auto s = [&](index_t v) {
+    return std::max<index_t>(8, static_cast<index_t>(v * scale));
+  };
+  std::vector<Entry> out;
+  out.push_back({"poisson2d", workloads::poisson2d(s(512), s(512))});
+  out.push_back({"poisson3d27", workloads::poisson3d27(s(48))});
+  out.push_back({"rmat", workloads::rmat(
+                             std::max(8, static_cast<int>(17 + std::log2(scale))),
+                             16, 0.57, 0.19, 0.19, 21)});
+  out.push_back({"powerlaw", workloads::powerlaw_web(s(300'000), 0.02, 1.4, 3, 22)});
+  out.push_back({"banded-wide", workloads::fem_banded(s(40'000), 150.0, 40.0, 23)});
+  out.push_back({"banded-thin", workloads::fem_banded(s(400'000), 9.0, 2.0, 24)});
+  {
+    util::Rng rng(25);
+    sparse::CooD hyper(s(1'000'000), s(1'000'000));
+    for (index_t i = 0; i < s(1'500'000); ++i) {
+      hyper.push_back(
+          static_cast<index_t>(rng.uniform(static_cast<std::uint64_t>(hyper.num_rows))),
+          static_cast<index_t>(rng.uniform(static_cast<std::uint64_t>(hyper.num_cols))),
+          rng.uniform_double(-1, 1));
+    }
+    hyper.canonicalize();
+    out.push_back({"hypersparse", sparse::coo_to_csr(hyper)});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto cfg = analysis::bench_config(/*default_scale=*/0.1);
+  analysis::print_system_config(vgpu::gtx_titan(), cfg);
+
+  const auto suite = extended_suite(cfg.scale);
+  util::Table t("Extended suite: merge kernels on out-of-sample families");
+  t.set_header({"Workload", "rows", "nnz", "SpMV ms", "SpAdd ms", "SpGEMM ms",
+                "products"});
+  analysis::CorrelationSeries spmv_series{"spmv", {}, {}};
+  analysis::CorrelationSeries spadd_series{"spadd", {}, {}};
+  analysis::CorrelationSeries spgemm_series{"spgemm", {}, {}};
+  for (const auto& e : suite) {
+    vgpu::Device dev;
+    util::Rng rng(9);
+    const auto& a = e.matrix;
+    std::vector<double> x(static_cast<std::size_t>(a.num_cols));
+    for (auto& v : x) v = rng.uniform_double(-1, 1);
+    std::vector<double> y(static_cast<std::size_t>(a.num_rows));
+    const double spmv_ms = core::merge::spmv(dev, a, x, y).modeled_ms();
+
+    const auto coo = sparse::csr_to_coo(a);
+    sparse::CooD c_add;
+    const double spadd_ms = core::merge::spadd(dev, coo, coo, c_add).modeled_ms;
+
+    // SpGEMM on a capped slice for the heavy entries (work measured, so
+    // the correlation is still over true per-instance work).
+    sparse::CsrD c;
+    double spgemm_ms = 0.0;
+    long long products = baselines::seq::spgemm_num_products(a, a);
+    const long long cap = static_cast<long long>(4e7);
+    if (products <= cap) {
+      spgemm_ms = core::merge::spgemm(dev, a, a, c).modeled_ms();
+      spgemm_series.work.push_back(static_cast<double>(products));
+      spgemm_series.time_ms.push_back(spgemm_ms);
+    }
+    spmv_series.work.push_back(static_cast<double>(a.nnz()));
+    spmv_series.time_ms.push_back(spmv_ms);
+    spadd_series.work.push_back(2.0 * static_cast<double>(a.nnz()));
+    spadd_series.time_ms.push_back(spadd_ms);
+
+    t.add_row({e.name, util::fmt_sep(static_cast<unsigned long long>(a.num_rows)),
+               util::fmt_sep(static_cast<unsigned long long>(a.nnz())),
+               util::fmt(spmv_ms, 3), util::fmt(spadd_ms, 3),
+               products <= cap ? util::fmt(spgemm_ms, 3) : "(skipped)",
+               util::fmt_sep(static_cast<unsigned long long>(products))});
+  }
+  analysis::emit(t, "extended_suite");
+  std::printf("\nwork-correlations on out-of-sample families: rho_spmv = %.3f, "
+              "rho_spadd = %.3f, rho_spgemm = %.3f\n",
+              analysis::correlate(spmv_series).rho,
+              analysis::correlate(spadd_series).rho,
+              analysis::correlate(spgemm_series).rho);
+  std::puts("Expected: all three stay ~1.0 — predictability is not an "
+            "artifact of the Table II selection.");
+  return 0;
+}

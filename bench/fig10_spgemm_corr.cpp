@@ -1,0 +1,33 @@
+// Figure 10: SpGEMM time versus the number of intermediate products
+// (paper: rho_Merge = 0.98, rho_Cusparse = -0.02).
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "suite_runners.hpp"
+
+int main() {
+  using namespace mps;
+  const auto cfg = analysis::bench_config(/*default_scale=*/0.015);
+  analysis::print_system_config(vgpu::gtx_titan(), cfg);
+
+  const auto rows = bench::run_spgemm_suite(workloads::paper_suite(cfg.scale));
+  analysis::CorrelationSeries merge{"Merge", {}, {}};
+  analysis::CorrelationSeries cusparse{"Cusparse", {}, {}};
+  std::vector<std::string> labels;
+  for (const auto& r : rows) {
+    if (r.merge_oom) continue;  // the paper's panels exclude OOM instances
+    labels.push_back(r.name);
+    merge.work.push_back(static_cast<double>(r.products));
+    merge.time_ms.push_back(r.merge_ms);
+    cusparse.work.push_back(static_cast<double>(r.products));
+    cusparse.time_ms.push_back(r.rowwise_ms);
+  }
+  std::fputs(analysis::render_correlation_figure(
+                 "Figure 10: SpGEMM time vs number of products", "products",
+                 labels, {merge, cusparse}, "fig10_spgemm_corr")
+                 .c_str(),
+             stdout);
+  std::puts("\nExpected shape (paper): rho_Merge ~= 0.98 while the row-wise "
+            "scheme is uncorrelated with the product count (rho ~= 0).");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 11: per-phase breakdown of merge SpGEMM (percent of total per
+// matrix plus the total time on the right axis).  Dense is excluded, as
+// in the paper (it does not fit).
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "suite_runners.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mps;
+  const auto cfg = analysis::bench_config(/*default_scale=*/0.015);
+  analysis::print_system_config(vgpu::gtx_titan(), cfg);
+
+  const auto rows = bench::run_spgemm_suite(workloads::paper_suite(cfg.scale));
+  util::Table t("Figure 11: merge SpGEMM phase breakdown (% of modeled time)");
+  t.set_header({"Matrix", "Setup", "Block Sort", "Product Compute",
+                "Global Sort", "Product Reduce", "Other", "Total ms"});
+  for (const auto& r : rows) {
+    if (r.merge_oom) continue;
+    const auto& p = r.merge_phases;
+    const double total = p.total_ms();
+    auto pct = [&](double ms) { return util::fmt(100.0 * ms / total, 1); };
+    t.add_row({r.name, pct(p.setup_ms), pct(p.block_sort_ms),
+               pct(p.product_compute_ms), pct(p.global_sort_ms),
+               pct(p.product_reduce_ms), pct(p.other_ms), util::fmt(total, 2)});
+  }
+  analysis::emit(t, "fig11_breakdown");
+  std::puts("\nExpected shape (paper): the two sorting passes plus product "
+            "compute dominate every matrix's processing time.");
+  return 0;
+}

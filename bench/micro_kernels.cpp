@@ -1,0 +1,86 @@
+// google-benchmark microbenchmarks of the three core kernels' host-side
+// throughput (functional execution speed; modeled time is separate and
+// deterministic).  Useful for tracking the simulator's own performance.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/spadd.hpp"
+#include "core/spgemm.hpp"
+#include "core/spmv.hpp"
+#include "sparse/convert.hpp"
+#include "util/rng.hpp"
+#include "vgpu/device.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+
+using namespace mps;
+
+sparse::CsrD test_matrix(index_t rows, double avg) {
+  return workloads::fem_banded(rows, avg, avg / 5.0, 99);
+}
+
+void BM_MergeSpmv(benchmark::State& state) {
+  const auto a = test_matrix(static_cast<index_t>(state.range(0)), 40);
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(a.num_rows));
+  vgpu::Device dev;
+  for (auto _ : state) {
+    core::merge::spmv(dev, a, x, y);
+    benchmark::DoNotOptimize(y.data());
+    dev.clear_log();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * a.nnz());
+}
+BENCHMARK(BM_MergeSpmv)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_MergeSpadd(benchmark::State& state) {
+  const auto a = test_matrix(static_cast<index_t>(state.range(0)), 30);
+  const auto coo = sparse::csr_to_coo(a);
+  vgpu::Device dev;
+  for (auto _ : state) {
+    sparse::CooD c;
+    core::merge::spadd(dev, coo, coo, c);
+    benchmark::DoNotOptimize(c.val.data());
+    dev.clear_log();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          a.nnz());
+}
+BENCHMARK(BM_MergeSpadd)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_MergeSpgemm(benchmark::State& state) {
+  const auto a = test_matrix(static_cast<index_t>(state.range(0)), 16);
+  vgpu::Device dev;
+  long long products = 0;
+  for (auto _ : state) {
+    sparse::CsrD c;
+    const auto s = core::merge::spgemm(dev, a, a, c);
+    products = s.num_products;
+    benchmark::DoNotOptimize(c.val.data());
+    dev.clear_log();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * products);
+}
+BENCHMARK(BM_MergeSpgemm)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_SpgemmNumericReuse(benchmark::State& state) {
+  const auto a = test_matrix(static_cast<index_t>(state.range(0)), 16);
+  vgpu::Device dev;
+  core::merge::SpgemmPlan plan;
+  core::merge::spgemm_symbolic(dev, a, a, plan);
+  for (auto _ : state) {
+    sparse::CsrD c;
+    core::merge::spgemm_numeric(dev, a, a, plan, c);
+    benchmark::DoNotOptimize(c.val.data());
+    dev.clear_log();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          plan.num_products());
+}
+BENCHMARK(BM_SpgemmNumericReuse)->Arg(1 << 10)->Arg(1 << 13);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+// google-benchmark microbenchmarks for the primitive layer (host wall
+// time; the figure benches use the analytic model instead).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "primitives/balanced_path.hpp"
+#include "primitives/device_merge.hpp"
+#include "primitives/device_radix_sort.hpp"
+#include "primitives/merge_path.hpp"
+#include "primitives/reduce_by_key.hpp"
+#include "primitives/segmented_reduce.hpp"
+#include "primitives/sorted_search.hpp"
+#include "primitives/set_ops.hpp"
+#include "util/rng.hpp"
+#include "vgpu/device.hpp"
+
+namespace {
+
+std::vector<std::uint32_t> sorted_u32(std::size_t n, std::uint64_t seed,
+                                      std::uint64_t range) {
+  mps::util::Rng rng(seed);
+  std::vector<std::uint32_t> v(n);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng.uniform(range));
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+void BM_MergePathSearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = sorted_u32(n, 1, 1u << 30);
+  const auto b = sorted_u32(n, 2, 1u << 30);
+  std::size_t diag = 1;
+  for (auto _ : state) {
+    diag = (diag * 2654435761u) % (2 * n);
+    benchmark::DoNotOptimize(mps::primitives::merge_path<std::uint32_t>(a, b, diag));
+  }
+}
+BENCHMARK(BM_MergePathSearch)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BalancedPathSearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = sorted_u32(n, 3, 64);  // heavy duplication
+  const auto b = sorted_u32(n, 4, 64);
+  std::size_t diag = 1;
+  for (auto _ : state) {
+    diag = (diag * 2654435761u) % (2 * n);
+    benchmark::DoNotOptimize(
+        mps::primitives::balanced_path<std::uint32_t>(a, b, diag));
+  }
+}
+BENCHMARK(BM_BalancedPathSearch)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_DeviceSetUnion(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = sorted_u32(n, 5, n);
+  const auto b = sorted_u32(n, 6, n);
+  mps::vgpu::Device dev;
+  for (auto _ : state) {
+    auto res = mps::primitives::device_set_op_keys<std::uint32_t>(
+        dev, a, b, mps::primitives::SetOp::kUnion);
+    benchmark::DoNotOptimize(res.keys.data());
+    dev.clear_log();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_DeviceSetUnion)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_DeviceRadixSortPairs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mps::util::Rng rng(7);
+  std::vector<std::uint64_t> keys(n);
+  std::vector<std::uint32_t> payload(n);
+  for (auto& k : keys) k = rng.next_u64();
+  std::iota(payload.begin(), payload.end(), 0u);
+  mps::vgpu::Device dev;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto k = keys;
+    auto p = payload;
+    state.ResumeTiming();
+    mps::primitives::device_radix_sort_pairs(dev, "bm", std::span<std::uint64_t>(k),
+                                             std::span<std::uint32_t>(p), 64);
+    benchmark::DoNotOptimize(k.data());
+    dev.clear_log();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DeviceRadixSortPairs)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_ReduceByKey(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto keys64 = sorted_u32(n, 8, n / 8 + 1);
+  std::vector<std::uint64_t> keys(keys64.begin(), keys64.end());
+  std::vector<double> vals(n, 1.0);
+  mps::vgpu::Device dev;
+  for (auto _ : state) {
+    auto res = mps::primitives::device_reduce_by_key<std::uint64_t, double>(
+        dev, "bm", keys, vals);
+    benchmark::DoNotOptimize(res.vals.data());
+    dev.clear_log();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ReduceByKey)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_DeviceMergeSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mps::util::Rng rng(11);
+  std::vector<std::uint32_t> base(n);
+  for (auto& x : base) x = rng.next_u32();
+  mps::vgpu::Device dev;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = base;
+    state.ResumeTiming();
+    mps::primitives::device_merge_sort<std::uint32_t>(dev, v);
+    benchmark::DoNotOptimize(v.data());
+    dev.clear_log();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DeviceMergeSort)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_SegmentedReduce(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t segments = n / 64;
+  std::vector<mps::index_t> offsets(segments + 1);
+  for (std::size_t s = 0; s <= segments; ++s) {
+    offsets[s] = static_cast<mps::index_t>(s * n / segments);
+  }
+  std::vector<double> values(n, 1.0), out(segments);
+  mps::vgpu::Device dev;
+  for (auto _ : state) {
+    mps::primitives::device_segmented_reduce<double>(dev, offsets, values,
+                                                     std::span<double>(out));
+    benchmark::DoNotOptimize(out.data());
+    dev.clear_log();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SegmentedReduce)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_SortedSearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = sorted_u32(n, 12, 1u << 28);
+  const auto b = sorted_u32(n, 13, 1u << 28);
+  std::vector<mps::index_t> idx(n);
+  mps::vgpu::Device dev;
+  for (auto _ : state) {
+    mps::primitives::device_sorted_search<std::uint32_t>(
+        dev, a, b, std::span<mps::index_t>(idx));
+    benchmark::DoNotOptimize(idx.data());
+    dev.clear_log();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SortedSearch)->Arg(1 << 14)->Arg(1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Cost-model sensitivity analysis: the reproduction's conclusions should
+// not hinge on any single calibration constant.  This bench re-runs the
+// SpMV comparison under perturbed device models (gather sector size,
+// bandwidth, launch overhead at 0.5x / 1x / 2x) and reports, for each
+// setting, merge's time-vs-nnz correlation and its ratio to the best
+// comparator on the two irregular matrices — the two headline claims.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "baselines/cusplike.hpp"
+#include "baselines/rowwise.hpp"
+#include "core/spmv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace mps;
+
+struct Claims {
+  double rho_merge = 0.0;
+  double rho_rowwise = 0.0;
+  double webbase_ratio = 0.0;  ///< best comparator / merge (>1 = merge wins)
+  double lp_ratio = 0.0;
+};
+
+Claims evaluate(const vgpu::DeviceProperties& props,
+                const std::vector<workloads::SuiteEntry>& suite) {
+  Claims c;
+  analysis::CorrelationSeries merge{"merge", {}, {}}, rowwise{"rowwise", {}, {}};
+  for (const auto& e : suite) {
+    vgpu::Device dev(props);
+    util::Rng rng(3);
+    std::vector<double> x(static_cast<std::size_t>(e.matrix.num_cols));
+    for (auto& v : x) v = rng.uniform_double(-1, 1);
+    std::vector<double> y(static_cast<std::size_t>(e.matrix.num_rows));
+    const double t_merge = core::merge::spmv(dev, e.matrix, x, y).modeled_ms();
+    const double t_cusp = baselines::cusplike::spmv(dev, e.matrix, x, y).modeled_ms;
+    const double t_row = baselines::rowwise::spmv(dev, e.matrix, x, y).modeled_ms;
+    merge.work.push_back(static_cast<double>(e.matrix.nnz()));
+    merge.time_ms.push_back(t_merge);
+    rowwise.work.push_back(static_cast<double>(e.matrix.nnz()));
+    rowwise.time_ms.push_back(t_row);
+    if (e.name == "Webbase") c.webbase_ratio = std::min(t_cusp, t_row) / t_merge;
+    if (e.name == "LP") c.lp_ratio = std::min(t_cusp, t_row) / t_merge;
+  }
+  c.rho_merge = analysis::correlate(merge).rho;
+  c.rho_rowwise = analysis::correlate(rowwise).rho;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  const auto cfg = analysis::bench_config(/*default_scale=*/0.1);
+  analysis::print_system_config(vgpu::gtx_titan(), cfg);
+  const auto suite = workloads::paper_suite(cfg.scale);
+
+  util::Table t("Sensitivity: SpMV headline claims under perturbed cost models");
+  t.set_header({"perturbation", "rho merge", "rho rowwise", "Webbase best/merge",
+                "LP best/merge"});
+  auto add = [&](const std::string& name, const vgpu::DeviceProperties& p) {
+    const auto c = evaluate(p, suite);
+    t.add_row({name, util::fmt(c.rho_merge, 3), util::fmt(c.rho_rowwise, 3),
+               util::fmt(c.webbase_ratio, 2) + "x", util::fmt(c.lp_ratio, 2) + "x"});
+  };
+
+  add("baseline", vgpu::gtx_titan());
+  for (const double f : {0.5, 2.0}) {
+    auto p = vgpu::gtx_titan();
+    p.gather_sector_bytes = static_cast<std::size_t>(16 * f);
+    add("gather sector x" + util::fmt(f, 1), p);
+    p = vgpu::gtx_titan();
+    p.global_bytes_per_cycle_per_sm *= f;
+    add("bandwidth x" + util::fmt(f, 1), p);
+    p = vgpu::gtx_titan();
+    p.kernel_launch_cycles *= f;
+    add("launch overhead x" + util::fmt(f, 1), p);
+    p = vgpu::gtx_titan();
+    p.alu_warp_iter_cycles *= f;
+    add("warp-iteration cost x" + util::fmt(f, 1), p);
+  }
+  analysis::emit(t, "sensitivity");
+  std::puts("\nExpected: rho_merge stays ~1.0 and merge keeps winning Webbase "
+            "(ratio > 1) under every perturbation — the conclusions are "
+            "properties of the decomposition, not of one constant.");
+  return 0;
+}

@@ -1,0 +1,147 @@
+#include "suite_runners.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/cusplike.hpp"
+#include "baselines/rowwise.hpp"
+#include "baselines/seq.hpp"
+#include "core/spadd.hpp"
+#include "core/spmv.hpp"
+#include "sparse/compare.hpp"
+#include "sparse/convert.hpp"
+#include "util/rng.hpp"
+
+namespace mps::bench {
+
+using sparse::CooD;
+using sparse::CsrD;
+
+namespace {
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform_double(-1.0, 1.0);
+  return x;
+}
+
+void require(bool ok, const std::string& what) {
+  if (!ok) {
+    std::fprintf(stderr, "BENCH VALIDATION FAILED: %s\n", what.c_str());
+    std::exit(2);
+  }
+}
+
+double max_abs_diff(const std::vector<double>& a, const std::vector<double>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace
+
+std::vector<SpmvRow> run_spmv_suite(const std::vector<workloads::SuiteEntry>& suite) {
+  std::vector<SpmvRow> rows;
+  for (const auto& e : suite) {
+    const CsrD& a = e.matrix;
+    const auto x = random_vector(static_cast<std::size_t>(a.num_cols), 99);
+    std::vector<double> y_ref(static_cast<std::size_t>(a.num_rows));
+    std::vector<double> y(static_cast<std::size_t>(a.num_rows));
+    baselines::seq::spmv(a, x, y_ref);
+
+    SpmvRow row;
+    row.name = e.name;
+    row.nnz = a.nnz();
+
+    vgpu::Device dev;
+    row.cusp_ms = baselines::cusplike::spmv(dev, a, x, y).modeled_ms;
+    require(max_abs_diff(y, y_ref) < 1e-8, e.name + " cusp spmv mismatch");
+    row.rowwise_ms = baselines::rowwise::spmv(dev, a, x, y).modeled_ms;
+    require(max_abs_diff(y, y_ref) < 1e-8, e.name + " rowwise spmv mismatch");
+    row.merge_ms = core::merge::spmv(dev, a, x, y).modeled_ms();
+    require(max_abs_diff(y, y_ref) < 1e-8, e.name + " merge spmv mismatch");
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<SpaddRow> run_spadd_suite(const std::vector<workloads::SuiteEntry>& suite) {
+  std::vector<SpaddRow> rows;
+  for (const auto& e : suite) {
+    const CsrD& a = e.matrix;
+    const CooD a_coo = sparse::csr_to_coo(a);
+
+    SpaddRow row;
+    row.name = e.name;
+    row.work = 2LL * a.nnz();
+
+    vgpu::CpuCost cpu;
+    const CsrD ref = baselines::seq::spadd(a, a, &cpu);
+    row.cpu_ms = cpu.modeled_ms();
+
+    vgpu::Device dev;
+    CooD c_coo;
+    row.cusp_ms = baselines::cusplike::spadd(dev, a_coo, a_coo, c_coo).modeled_ms;
+    require(c_coo.nnz() == ref.nnz(), e.name + " cusp spadd nnz mismatch");
+    CsrD c;
+    row.rowwise_ms = baselines::rowwise::spadd(dev, a, a, c).modeled_ms;
+    require(sparse::compare_csr(c, ref).equal, e.name + " rowwise spadd mismatch");
+    row.merge_ms = core::merge::spadd(dev, a_coo, a_coo, c_coo).modeled_ms;
+    require(c_coo.nnz() == ref.nnz(), e.name + " merge spadd nnz mismatch");
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<SpgemmRow> run_spgemm_suite(
+    const std::vector<workloads::SuiteEntry>& suite) {
+  // Native-scale footprint per intermediate product (bytes): the merge
+  // scheme stores a 16-bit permutation, head bits and the block-reduced
+  // tuple subset; batched ESC streams keys+values through the global sort.
+  constexpr double kMergeBytesPerProduct = 4.5;
+  constexpr double kEscBytesPerProduct = 8.0;
+  constexpr double kDeviceBytes = 6.0 * 1024 * 1024 * 1024;
+
+  std::vector<SpgemmRow> rows;
+  for (const auto& e : suite) {
+    const CsrD& a = e.matrix;
+    const CsrD b = e.spgemm_transpose ? sparse::transpose(a) : a;
+
+    SpgemmRow row;
+    row.name = e.name;
+    row.products = baselines::seq::spgemm_num_products(a, b);
+    row.merge_oom =
+        e.native_products_estimate * kMergeBytesPerProduct > kDeviceBytes;
+    row.cusp_oom = e.native_products_estimate * kEscBytesPerProduct > kDeviceBytes;
+
+    vgpu::CpuCost cpu;
+    const CsrD ref = baselines::seq::spgemm(a, b, &cpu);
+    row.cpu_ms = cpu.modeled_ms();
+
+    vgpu::Device dev;
+    CsrD c;
+    if (row.cusp_oom) {
+      row.cusp_ms = -1.0;
+    } else {
+      row.cusp_ms = baselines::cusplike::spgemm(dev, a, b, c).modeled_ms;
+      require(c.nnz() == ref.nnz(), e.name + " cusp spgemm nnz mismatch");
+    }
+    row.rowwise_ms = baselines::rowwise::spgemm(dev, a, b, c).modeled_ms;
+    require(sparse::compare_csr(c, ref, 1e-9, 1e-11).equal,
+            e.name + " rowwise spgemm mismatch");
+    if (row.merge_oom) {
+      row.merge_ms = -1.0;
+    } else {
+      const auto stats = core::merge::spgemm(dev, a, b, c);
+      row.merge_ms = stats.modeled_ms();
+      row.merge_phases = stats.phases;
+      require(sparse::compare_csr(c, ref, 1e-9, 1e-11).equal,
+              e.name + " merge spgemm mismatch");
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace mps::bench

@@ -1,0 +1,55 @@
+#pragma once
+// Shared runners that execute one kernel family (SpMV / SpAdd / SpGEMM)
+// across the Table II suite with all three schemes, returning raw rows
+// for the figure binaries to format.
+
+#include <string>
+#include <vector>
+
+#include "core/spgemm.hpp"
+#include "workloads/suite.hpp"
+
+namespace mps::bench {
+
+struct SpmvRow {
+  std::string name;
+  long long nnz = 0;
+  double cusp_ms = 0.0;
+  double rowwise_ms = 0.0;
+  double merge_ms = 0.0;
+};
+
+/// y = A x per matrix; results are verified against the sequential
+/// reference before timing is reported.
+std::vector<SpmvRow> run_spmv_suite(const std::vector<workloads::SuiteEntry>& suite);
+
+struct SpaddRow {
+  std::string name;
+  long long work = 0;  ///< |A| + |B| (the paper's Fig 8 x-axis)
+  double cpu_ms = 0.0;
+  double cusp_ms = 0.0;
+  double rowwise_ms = 0.0;
+  double merge_ms = 0.0;
+};
+
+/// C = A + A per matrix (the paper's Fig 7 workload).
+std::vector<SpaddRow> run_spadd_suite(const std::vector<workloads::SuiteEntry>& suite);
+
+struct SpgemmRow {
+  std::string name;
+  long long products = 0;  ///< Fig 10's x-axis
+  double cpu_ms = 0.0;
+  double cusp_ms = 0.0;     ///< < 0 when OOM
+  double rowwise_ms = 0.0;
+  double merge_ms = 0.0;    ///< < 0 when OOM
+  bool cusp_oom = false;
+  bool merge_oom = false;
+  core::merge::SpgemmPhases merge_phases;
+};
+
+/// C = A x A per matrix (A x A^T for LP).  Schemes whose *native-scale*
+/// intermediate would exceed the 6 GiB device are reported OOM, matching
+/// the paper's missing Dense bars (see DESIGN.md).
+std::vector<SpgemmRow> run_spgemm_suite(const std::vector<workloads::SuiteEntry>& suite);
+
+}  // namespace mps::bench

@@ -1,0 +1,165 @@
+// A complete algebraic-multigrid V-cycle solver built entirely from the
+// merge-path kernels: SpGEMM constructs the coarse hierarchy (Galerkin
+// triple products), SpMV drives the smoother and residuals, and the
+// symbolic/numeric SpGEMM split would amortize re-setup.  Solves the 2D
+// Poisson problem to 1e-8 and reports the modeled kernel time per cycle.
+//
+//   $ ./examples/amg_vcycle [grid_n]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/spgemm.hpp"
+#include "core/spmv.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
+#include "vgpu/device.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+
+using namespace mps;
+
+struct Level {
+  sparse::CsrD a;
+  sparse::CsrD p;   ///< prolongation to this level's fine neighbour
+  sparse::CsrD r;   ///< restriction (P^T)
+  std::vector<double> diag;
+  index_t nx = 0;
+};
+
+struct Hierarchy {
+  std::vector<Level> levels;  ///< [0] = finest
+  double setup_ms = 0.0;
+};
+
+sparse::CsrD aggregation_p(index_t nx) {
+  const index_t cx = (nx + 1) / 2;
+  sparse::CooD p(nx * nx, cx * cx);
+  for (index_t j = 0; j < nx; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      p.push_back(j * nx + i, (j / 2) * cx + (i / 2), 1.0);
+    }
+  }
+  return sparse::coo_to_csr(p);
+}
+
+Hierarchy build_hierarchy(vgpu::Device& dev, sparse::CsrD fine, index_t nx) {
+  Hierarchy h;
+  while (true) {
+    Level lvl;
+    lvl.a = std::move(fine);
+    lvl.nx = nx;
+    lvl.diag = sparse::extract_diagonal(lvl.a);
+    const bool coarsest = nx <= 8;
+    if (!coarsest) {
+      lvl.p = aggregation_p(nx);
+      lvl.r = sparse::transpose(lvl.p);
+      sparse::CsrD ra;
+      const auto s1 = core::merge::spgemm(dev, lvl.r, lvl.a, ra);
+      sparse::CsrD coarse;
+      const auto s2 = core::merge::spgemm(dev, ra, lvl.p, coarse);
+      h.setup_ms += s1.modeled_ms() + s2.modeled_ms();
+      fine = std::move(coarse);
+      nx = (nx + 1) / 2;
+      h.levels.push_back(std::move(lvl));
+    } else {
+      h.levels.push_back(std::move(lvl));
+      break;
+    }
+  }
+  return h;
+}
+
+/// Weighted-Jacobi smoother: x += w D^{-1} (b - A x).
+double smooth(vgpu::Device& dev, const Level& lvl, const std::vector<double>& b,
+              std::vector<double>& x, int sweeps) {
+  double ms = 0.0;
+  std::vector<double> ax(x.size());
+  const double w = 0.8;
+  for (int s = 0; s < sweeps; ++s) {
+    ms += core::merge::spmv(dev, lvl.a, x, ax).modeled_ms();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (lvl.diag[i] != 0.0) x[i] += w * (b[i] - ax[i]) / lvl.diag[i];
+    }
+  }
+  return ms;
+}
+
+double vcycle(vgpu::Device& dev, const Hierarchy& h, std::size_t level,
+              const std::vector<double>& b, std::vector<double>& x) {
+  const Level& lvl = h.levels[level];
+  double ms = smooth(dev, lvl, b, x, 2);
+  if (level + 1 < h.levels.size()) {
+    // Residual, restrict, recurse, prolong-correct, post-smooth.
+    std::vector<double> ax(x.size()), res(x.size());
+    ms += core::merge::spmv(dev, lvl.a, x, ax).modeled_ms();
+    for (std::size_t i = 0; i < res.size(); ++i) res[i] = b[i] - ax[i];
+    std::vector<double> rb(static_cast<std::size_t>(lvl.r.num_rows));
+    ms += core::merge::spmv(dev, lvl.r, res, rb).modeled_ms();
+    std::vector<double> cx(rb.size(), 0.0);
+    ms += vcycle(dev, h, level + 1, rb, cx);
+    std::vector<double> px(x.size());
+    ms += core::merge::spmv(dev, lvl.p, cx, px).modeled_ms();
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] += px[i];
+    ms += smooth(dev, lvl, b, x, 2);
+  } else {
+    ms += smooth(dev, lvl, b, x, 30);  // coarsest: just relax hard
+  }
+  return ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const index_t n = argc > 1 ? static_cast<index_t>(std::atoi(argv[1])) : 128;
+  vgpu::Device dev;
+  auto h = build_hierarchy(dev, workloads::poisson2d(n, n), n);
+  std::printf("AMG hierarchy: %zu levels (", h.levels.size());
+  for (const auto& lvl : h.levels) std::printf(" %d", lvl.a.num_rows);
+  std::printf(" unknowns); Galerkin setup %.3f ms modeled\n", h.setup_ms);
+
+  // b = A * ones; solve A x = b with AMG-preconditioned CG (plain
+  // aggregation AMG is a weak standalone solver, but an excellent
+  // preconditioner — the standard pairing).
+  const auto& a0 = h.levels[0].a;
+  const std::size_t un = static_cast<std::size_t>(a0.num_rows);
+  std::vector<double> ones(un, 1.0), b(un);
+  core::merge::spmv(dev, a0, ones, b);
+
+  auto dot = [](const std::vector<double>& u, const std::vector<double>& v) {
+    double acc = 0;
+    for (std::size_t i = 0; i < u.size(); ++i) acc += u[i] * v[i];
+    return acc;
+  };
+  std::vector<double> x(un, 0.0), res = b, z(un, 0.0), p(un), ap(un);
+  double cycle_ms = vcycle(dev, h, 0, res, z);  // z = M^{-1} r
+  p = z;
+  double rz = dot(res, z);
+  const double b_norm = std::sqrt(dot(b, b));
+  int iters = 0;
+  double rel = 1.0;
+  for (; iters < 100 && rel > 1e-10; ++iters) {
+    cycle_ms += core::merge::spmv(dev, a0, p, ap).modeled_ms();
+    const double alpha = rz / dot(p, ap);
+    for (std::size_t i = 0; i < un; ++i) {
+      x[i] += alpha * p[i];
+      res[i] -= alpha * ap[i];
+    }
+    rel = std::sqrt(dot(res, res)) / b_norm;
+    std::fill(z.begin(), z.end(), 0.0);
+    cycle_ms += vcycle(dev, h, 0, res, z);
+    const double rz_new = dot(res, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < un; ++i) p[i] = z[i] + beta * p[i];
+  }
+  double err = 0.0;
+  for (const double v : x) err = std::max(err, std::abs(v - 1.0));
+  std::printf("AMG-PCG: %d iterations to ||r||/||b|| = %.2e; max |x - 1| = %.2e\n",
+              iters, rel, err);
+  std::printf("modeled kernel time: %.3f ms per iteration (V-cycle + SpMV)\n",
+              cycle_ms / (iters + 1));
+  return (rel <= 1e-10 && err < 1e-7) ? 0 : 1;
+}

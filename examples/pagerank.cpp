@@ -1,0 +1,87 @@
+// PageRank over a power-law web graph — the Webbase-style irregular
+// workload where the paper's flat decomposition shines.  Compares the
+// modeled iteration cost of merge SpMV against the row-wise scheme on the
+// same graph.
+//
+//   $ ./examples/pagerank [num_pages]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "baselines/rowwise.hpp"
+#include "core/spmv.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/stats.hpp"
+#include "vgpu/device.hpp"
+#include "workloads/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mps;
+  const index_t pages = argc > 1 ? static_cast<index_t>(std::atoi(argv[1])) : 50'000;
+  // Webbase-like link structure: power-law out-degrees and hub columns.
+  auto links = workloads::powerlaw_web(pages, 0.015, 1.5, 2, /*seed=*/2025);
+  const auto stats = sparse::compute_stats(links);
+  std::printf("web graph: %d pages, %lld links, avg out-degree %.2f (std %.2f, max %d)\n",
+              pages, stats.nnz, stats.avg_row, stats.std_row, stats.max_row);
+
+  // Column-normalize: M^T x distributes rank along out-links, so build
+  // the transpose once and row-normalize it by source out-degree.
+  auto m = sparse::transpose(links);
+  {
+    std::vector<double> out_degree(static_cast<std::size_t>(pages), 0.0);
+    for (index_t r = 0; r < links.num_rows; ++r) {
+      out_degree[static_cast<std::size_t>(r)] =
+          static_cast<double>(links.row_length(r));
+    }
+    for (index_t r = 0; r < m.num_rows; ++r) {
+      for (index_t k = m.row_offsets[static_cast<std::size_t>(r)];
+           k < m.row_offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+        const auto src = static_cast<std::size_t>(m.col[static_cast<std::size_t>(k)]);
+        if (out_degree[src] > 0) m.val[static_cast<std::size_t>(k)] = 1.0 / out_degree[src];
+      }
+    }
+  }
+
+  vgpu::Device device;
+  const double damping = 0.85;
+  const std::size_t n = static_cast<std::size_t>(pages);
+  std::vector<double> rank(n, 1.0 / static_cast<double>(pages));
+  std::vector<double> next(n);
+
+  double merge_ms = 0.0, rowwise_ms = 0.0;
+  int iters = 0;
+  for (; iters < 100; ++iters) {
+    merge_ms += core::merge::spmv(device, m, rank, next).modeled_ms();
+    // Also time the row-wise scheme on identical input (result unused —
+    // this is the comparison the figures make, embedded in an app).
+    std::vector<double> scratch(n);
+    rowwise_ms += baselines::rowwise::spmv(device, m, rank, scratch).modeled_ms;
+
+    double delta = 0.0;
+    const double teleport = (1.0 - damping) / static_cast<double>(pages);
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = teleport + damping * next[i];
+      delta += std::abs(next[i] - rank[i]);
+    }
+    rank.swap(next);
+    if (delta < 1e-10) break;
+  }
+
+  // Top pages by rank.
+  std::vector<index_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<index_t>(i);
+  std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                    [&](index_t x, index_t y) {
+                      return rank[static_cast<std::size_t>(x)] >
+                             rank[static_cast<std::size_t>(y)];
+                    });
+  std::printf("converged after %d iterations; top pages:", iters + 1);
+  for (int i = 0; i < 5; ++i) std::printf(" %d", order[static_cast<std::size_t>(i)]);
+  std::printf("\nmodeled SpMV cost per iteration: merge %.4f ms, row-wise %.4f ms "
+              "(x%.2f)\n",
+              merge_ms / (iters + 1), rowwise_ms / (iters + 1), rowwise_ms / merge_ms);
+  std::puts("On power-law graphs the flat nonzero decomposition avoids the "
+            "idle lanes row-wise schemes spend on hub rows.");
+  return 0;
+}

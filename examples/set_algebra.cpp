@@ -1,0 +1,81 @@
+// Balanced-path set algebra beyond union: the paper notes the key-rank
+// decomposition supports intersection, difference and symmetric
+// difference too.  This example runs all four on sorted ID streams — a
+// log-joining / audit-diff style workload — and checks them against the
+// standard library.
+//
+//   $ ./examples/set_algebra [events_per_stream]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "primitives/set_ops.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "vgpu/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mps;
+  const std::size_t n =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 500'000;
+
+  // Two day's worth of event IDs from overlapping ID spaces (sorted, with
+  // duplicates — the case plain merge path cannot partition).
+  util::Rng rng(7);
+  std::vector<std::uint64_t> monday(n), tuesday(n);
+  for (auto& x : monday) x = rng.uniform(n * 2);
+  for (auto& x : tuesday) x = n / 2 + rng.uniform(n * 2);
+  std::sort(monday.begin(), monday.end());
+  std::sort(tuesday.begin(), tuesday.end());
+
+  vgpu::Device device;
+  util::Table t("balanced-path set algebra over " + util::fmt_int(static_cast<long long>(n)) +
+                "-element sorted streams");
+  t.set_header({"operation", "outputs", "modeled ms", "verified"});
+
+  struct Case {
+    const char* name;
+    primitives::SetOp op;
+  };
+  for (const Case c : {Case{"union", primitives::SetOp::kUnion},
+                       Case{"intersection", primitives::SetOp::kIntersection},
+                       Case{"difference", primitives::SetOp::kDifference},
+                       Case{"symmetric difference",
+                            primitives::SetOp::kSymmetricDifference}}) {
+    const auto res =
+        primitives::device_set_op_keys<std::uint64_t>(device, monday, tuesday, c.op);
+    // Reference via the standard library.
+    std::vector<std::uint64_t> expect;
+    switch (c.op) {
+      case primitives::SetOp::kUnion:
+        std::set_union(monday.begin(), monday.end(), tuesday.begin(), tuesday.end(),
+                       std::back_inserter(expect));
+        break;
+      case primitives::SetOp::kIntersection:
+        std::set_intersection(monday.begin(), monday.end(), tuesday.begin(),
+                              tuesday.end(), std::back_inserter(expect));
+        break;
+      case primitives::SetOp::kDifference:
+        std::set_difference(monday.begin(), monday.end(), tuesday.begin(),
+                            tuesday.end(), std::back_inserter(expect));
+        break;
+      case primitives::SetOp::kSymmetricDifference:
+        std::set_symmetric_difference(monday.begin(), monday.end(), tuesday.begin(),
+                                      tuesday.end(), std::back_inserter(expect));
+        break;
+    }
+    const bool ok = res.keys == expect;
+    t.add_row({c.name, util::fmt_int(static_cast<long long>(res.keys.size())),
+               util::fmt(res.modeled_ms, 3), ok ? "yes" : "NO"});
+    if (!ok) {
+      std::fputs(t.render().c_str(), stdout);
+      return 1;
+    }
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::puts("\nEvery operation is partitioned with balanced path, so each CTA "
+            "processes the same number of path elements regardless of how "
+            "duplicates clump.");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Triangle counting via masked SpGEMM: triangles(G) = sum((A*A) .* A) / 6
+// for a symmetric 0/1 adjacency matrix.  The mask is computed with the
+// balanced-path set INTERSECTION over packed (row, col) tuple keys — the
+// same primitive family SpAdd's union uses, applied the other way.
+//
+//   $ ./examples/triangle_count [rmat_scale]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/spgemm.hpp"
+#include "primitives/set_ops.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/packed_key.hpp"
+#include "sparse/stats.hpp"
+#include "vgpu/device.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+
+// Reference: for each edge (u, v), count common neighbours by sorted-list
+// intersection.
+long long triangles_reference(const mps::sparse::CsrD& a) {
+  using namespace mps;
+  long long total = 0;
+  for (index_t u = 0; u < a.num_rows; ++u) {
+    for (index_t k = a.row_offsets[static_cast<std::size_t>(u)];
+         k < a.row_offsets[static_cast<std::size_t>(u) + 1]; ++k) {
+      const index_t v = a.col[static_cast<std::size_t>(k)];
+      // |N(u) ∩ N(v)|
+      index_t i = a.row_offsets[static_cast<std::size_t>(u)];
+      index_t j = a.row_offsets[static_cast<std::size_t>(v)];
+      const index_t ie = a.row_offsets[static_cast<std::size_t>(u) + 1];
+      const index_t je = a.row_offsets[static_cast<std::size_t>(v) + 1];
+      while (i < ie && j < je) {
+        const index_t ci = a.col[static_cast<std::size_t>(i)];
+        const index_t cj = a.col[static_cast<std::size_t>(j)];
+        if (ci == cj) {
+          ++total;
+          ++i;
+          ++j;
+        } else if (ci < cj) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+    }
+  }
+  return total / 6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mps;
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 11;
+
+  // Symmetric, loop-free 0/1 adjacency from an R-MAT graph.
+  auto g = workloads::rmat(scale, 8, 0.57, 0.19, 0.19, /*seed=*/99);
+  {
+    auto coo = sparse::csr_to_coo(g);
+    sparse::CooD sym(g.num_rows, g.num_cols);
+    for (index_t i = 0; i < coo.nnz(); ++i) {
+      const index_t r = coo.row[static_cast<std::size_t>(i)];
+      const index_t c = coo.col[static_cast<std::size_t>(i)];
+      if (r == c) continue;
+      sym.push_back(r, c, 1.0);
+      sym.push_back(c, r, 1.0);
+    }
+    sym.canonicalize();
+    for (auto& v : sym.val) v = 1.0;  // 0/1 adjacency
+    g = sparse::coo_to_csr(sym);
+  }
+  const auto stats = sparse::compute_stats(g);
+  std::printf("graph: %d vertices, %lld edges (avg degree %.1f, max %d)\n",
+              g.num_rows, stats.nnz / 2, stats.avg_row, stats.max_row);
+
+  vgpu::Device device;
+
+  // Step 1: C = A * A counts paths of length two between every pair.
+  sparse::CsrD c;
+  const auto gemm = core::merge::spgemm(device, g, g, c);
+
+  // Step 2: mask C by A's pattern with a balanced-path intersection over
+  // packed tuple keys; the combiner keeps C's path count.
+  const auto c_coo = sparse::csr_to_coo(c);
+  const auto a_coo = sparse::csr_to_coo(g);
+  std::vector<std::uint64_t> kc(static_cast<std::size_t>(c_coo.nnz()));
+  std::vector<std::uint64_t> ka(static_cast<std::size_t>(a_coo.nnz()));
+  for (std::size_t i = 0; i < kc.size(); ++i) {
+    kc[i] = sparse::pack_key(c_coo.row[i], c_coo.col[i]);
+  }
+  for (std::size_t i = 0; i < ka.size(); ++i) {
+    ka[i] = sparse::pack_key(a_coo.row[i], a_coo.col[i]);
+  }
+  const auto masked = primitives::device_set_op<std::uint64_t, double>(
+      device, kc, c_coo.val, ka, a_coo.val, primitives::SetOp::kIntersection,
+      [](double paths, double) { return paths; });
+
+  double sum = 0.0;
+  for (const double v : masked.vals) sum += v;
+  const long long triangles = static_cast<long long>(sum + 0.5) / 6;
+
+  std::printf("A*A: %lld products -> %d pairs; mask kept %zu edges\n",
+              gemm.num_products, c.nnz(), masked.keys.size());
+  std::printf("triangles = %lld  (modeled: %.3f ms spgemm + %.3f ms mask)\n",
+              triangles, gemm.modeled_ms(), masked.modeled_ms);
+
+  const long long expect = triangles_reference(g);
+  if (triangles != expect) {
+    std::printf("MISMATCH: reference counts %lld\n", expect);
+    return 1;
+  }
+  std::puts("verified against the per-edge intersection reference.");
+  return 0;
+}

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Plot the reproduction's figures from the benches' CSV output.
+
+Usage:
+    mkdir -p out && MPS_CSV_DIR=$PWD/out sh -c 'for b in build/bench/*; do $b; done'
+    python3 scripts/plot_figures.py out
+
+Writes one PNG per figure CSV into the same directory.  Degrades to a
+text summary when matplotlib is unavailable (this repository's benches
+already print publication-style tables; the plots are a convenience).
+"""
+import csv
+import sys
+from pathlib import Path
+
+
+def read_csv(path: Path):
+    with path.open() as f:
+        rows = list(csv.reader(f))
+    return rows[0], rows[1:]
+
+
+def parse_float(cell: str):
+    cell = cell.replace(" ", "").replace("x", "").replace("%", "")
+    try:
+        return float(cell)
+    except ValueError:
+        return None
+
+
+def bar_figure(plt, header, rows, out_path, title):
+    labels = [r[0] for r in rows]
+    series = []
+    for col in range(1, len(header)):
+        vals = [parse_float(r[col]) for r in rows]
+        if all(v is not None for v in vals):
+            series.append((header[col], vals))
+    if not series:
+        return False
+    width = 0.8 / len(series)
+    fig, ax = plt.subplots(figsize=(max(8, len(labels)), 4))
+    for i, (name, vals) in enumerate(series):
+        ax.bar([x + i * width for x in range(len(labels))], vals, width, label=name)
+    ax.set_xticks([x + 0.4 for x in range(len(labels))])
+    ax.set_xticklabels(labels, rotation=45, ha="right")
+    ax.set_title(title)
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=120)
+    return True
+
+
+def scatter_figure(plt, header, rows, out_path, title):
+    xs = [parse_float(r[1]) for r in rows]
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for col in range(2, len(header)):
+        ys = [parse_float(r[col]) for r in rows]
+        pts = [(x, y) for x, y in zip(xs, ys) if x is not None and y is not None]
+        if pts:
+            ax.scatter([p[0] for p in pts], [p[1] for p in pts], label=header[col])
+    ax.set_xlabel(header[1])
+    ax.set_ylabel("modeled ms")
+    ax.set_title(title)
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=120)
+    return True
+
+
+def main():
+    csv_dir = Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    files = sorted(csv_dir.glob("*.csv"))
+    if not files:
+        print(f"no CSVs in {csv_dir}; run the benches with MPS_CSV_DIR set")
+        return 1
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib unavailable; text summary only:")
+        for f in files:
+            header, rows = read_csv(f)
+            print(f"  {f.name}: {len(rows)} rows, columns: {', '.join(header)}")
+        return 0
+    for f in files:
+        header, rows = read_csv(f)
+        out = f.with_suffix(".png")
+        ok = (
+            scatter_figure(plt, header, rows, out, f.stem)
+            if "corr" in f.stem
+            else bar_figure(plt, header, rows, out, f.stem)
+        )
+        print(f"  {f.name} -> {out.name}" if ok else f"  {f.name}: skipped (non-numeric)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

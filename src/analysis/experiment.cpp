@@ -1,0 +1,113 @@
+#include "analysis/experiment.hpp"
+
+#include <cstdio>
+
+#include "util/env.hpp"
+
+namespace mps::analysis {
+
+BenchConfig bench_config(double default_scale, int default_iters) {
+  BenchConfig cfg;
+  cfg.scale = util::env_double("MPS_SCALE", default_scale);
+  cfg.iters = static_cast<int>(util::env_int("MPS_ITERS", default_iters));
+  if (cfg.iters < 1) cfg.iters = 1;
+  return cfg;
+}
+
+void print_system_config(const vgpu::DeviceProperties& gpu, const BenchConfig& cfg) {
+  util::Table t("System configuration (paper Table I analogue)");
+  t.set_header({"component", "value"});
+  t.add_row({"Virtual GPU", "GTX Titan model: " + util::fmt_int(gpu.num_sms) +
+                                " SMs x " + util::fmt_int(gpu.ctas_per_sm) +
+                                " resident CTAs @ " + util::fmt(gpu.clock_ghz, 3) +
+                                " GHz"});
+  t.add_row({"GPU bandwidth",
+             util::fmt(gpu.global_bytes_per_cycle_per_sm * gpu.num_sms *
+                           gpu.clock_ghz,
+                       1) +
+                 " GB/s modeled"});
+  t.add_row({"GPU memory", util::fmt(static_cast<double>(gpu.global_mem_bytes) /
+                                         (1024.0 * 1024.0 * 1024.0),
+                                     2) +
+                               " GiB"});
+  const vgpu::CpuProperties cpu;
+  t.add_row({"CPU model", "i7-3820 analogue @ " + util::fmt(cpu.clock_ghz, 1) +
+                              " GHz, " + util::fmt(cpu.bytes_per_cycle * cpu.clock_ghz, 1) +
+                              " GB/s stream"});
+  t.add_row({"Precision", "double (fp64), 32-bit indices"});
+  t.add_row({"Workload scale", util::fmt(cfg.scale, 4) + " x Table II native"});
+  t.add_row({"Timing", "analytic SIMT cost model (see DESIGN.md)"});
+  std::fputs(t.render().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+CorrelationReport correlate(const CorrelationSeries& s) {
+  CorrelationReport r;
+  r.scheme = s.scheme;
+  const auto fit = util::least_squares(s.work, s.time_ms);
+  r.rho = util::pearson(s.work, s.time_ms);
+  r.slope_ms_per_unit = fit.slope;
+  r.intercept_ms = fit.intercept;
+  return r;
+}
+
+std::string render_correlation_figure(const std::string& title,
+                                      const std::string& work_label,
+                                      const std::vector<std::string>& labels,
+                                      const std::vector<CorrelationSeries>& series,
+                                      const std::string& figure_id) {
+  util::Table t(title);
+  std::vector<std::string> header{"matrix", work_label};
+  for (const auto& s : series) header.push_back(s.scheme + " ms");
+  t.set_header(header);
+  if (!series.empty()) {
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      std::vector<std::string> row{labels[i], util::fmt(series[0].work[i], 0)};
+      for (const auto& s : series) {
+        row.push_back(i < s.time_ms.size() ? util::fmt(s.time_ms[i], 3) : "-");
+      }
+      t.add_row(row);
+    }
+  }
+  if (!figure_id.empty() && !util::env_string("MPS_CSV_DIR", "").empty()) {
+    const std::string path =
+        util::env_string("MPS_CSV_DIR", "") + "/" + figure_id + ".csv";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      const std::string csv = t.csv();
+      std::fwrite(csv.data(), 1, csv.size(), f);
+      std::fclose(f);
+    }
+  }
+  std::string out = t.render();
+  for (const auto& s : series) {
+    const auto rep = correlate(s);
+    out += "rho_" + rep.scheme + " = " + util::fmt(rep.rho, 2) +
+           "   (least-squares: " + util::fmt(rep.slope_ms_per_unit * 1e6, 3) +
+           " ms per 1e6 " + work_label + ", intercept " +
+           util::fmt(rep.intercept_ms, 3) + " ms)\n";
+  }
+  return out;
+}
+
+double gflops(double flops, double ms) {
+  if (ms <= 0.0) return 0.0;
+  return flops / (ms * 1e-3) * 1e-9;
+}
+
+void emit(const util::Table& table, const std::string& figure_id) {
+  std::fputs(table.render().c_str(), stdout);
+  const std::string dir = util::env_string("MPS_CSV_DIR", "");
+  if (dir.empty()) return;
+  const std::string path = dir + "/" + figure_id + ".csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string csv = table.csv();
+  std::fwrite(csv.data(), 1, csv.size(), f);
+  std::fclose(f);
+  std::printf("(csv written to %s)\n", path.c_str());
+}
+
+}  // namespace mps::analysis

@@ -1,0 +1,61 @@
+#pragma once
+// Shared evaluation-harness plumbing used by every bench binary:
+// configuration from the environment, the Table I system banner, and the
+// correlation reports behind Figures 6, 8 and 10.
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "vgpu/cpu_model.hpp"
+#include "vgpu/device_properties.hpp"
+
+namespace mps::analysis {
+
+struct BenchConfig {
+  double scale = 1.0;  ///< suite scale factor (MPS_SCALE)
+  int iters = 1;       ///< timing repetitions (MPS_ITERS)
+};
+
+/// Read MPS_SCALE / MPS_ITERS with bench-specific defaults.
+BenchConfig bench_config(double default_scale, int default_iters = 1);
+
+/// Print the reproduction analogue of the paper's Table I: the virtual
+/// device, its cost-model constants, and the CPU model, plus the scale.
+void print_system_config(const vgpu::DeviceProperties& gpu, const BenchConfig& cfg);
+
+/// One scheme's (work, time) samples across the suite.
+struct CorrelationSeries {
+  std::string scheme;
+  std::vector<double> work;     ///< x-axis (nnz or products)
+  std::vector<double> time_ms;  ///< modeled milliseconds
+};
+
+/// The ρ + least-squares summary the paper overlays on Figs 6/8/10.
+struct CorrelationReport {
+  std::string scheme;
+  double rho = 0.0;
+  double slope_ms_per_unit = 0.0;
+  double intercept_ms = 0.0;
+};
+
+CorrelationReport correlate(const CorrelationSeries& s);
+
+/// Render per-point series plus the ρ summary in a fixed format.  When
+/// `figure_id` is non-empty and MPS_CSV_DIR is set, the point table is
+/// also written as CSV.
+std::string render_correlation_figure(const std::string& title,
+                                      const std::string& work_label,
+                                      const std::vector<std::string>& labels,
+                                      const std::vector<CorrelationSeries>& series,
+                                      const std::string& figure_id = "");
+
+/// GFLOPs/s for `flops` useful operations in `ms` milliseconds.
+double gflops(double flops, double ms);
+
+/// Print a finished table to stdout and, when MPS_CSV_DIR is set, also
+/// write it as `<dir>/<figure_id>.csv` for downstream plotting.
+void emit(const util::Table& table, const std::string& figure_id);
+
+}  // namespace mps::analysis

@@ -1,0 +1,313 @@
+#include "baselines/cusplike.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "primitives/device_radix_sort.hpp"
+#include "primitives/reduce_by_key.hpp"
+#include "primitives/scan.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/packed_key.hpp"
+#include "util/timer.hpp"
+
+namespace mps::baselines::cusplike {
+
+using sparse::CooD;
+using sparse::CsrD;
+using sparse::pack_key;
+
+OpStats spmv(vgpu::Device& device, const CsrD& a, std::span<const double> x,
+             std::span<double> y) {
+  MPS_CHECK(x.size() >= static_cast<std::size_t>(a.num_cols));
+  MPS_CHECK(y.size() >= static_cast<std::size_t>(a.num_rows));
+  util::WallTimer wall;
+  constexpr int kBlock = 128;
+  constexpr int kWarp = 32;
+  constexpr int kRowsPerCta = kBlock / kWarp;  // one warp per row
+  const int num_ctas = static_cast<int>(
+      ceil_div(static_cast<std::size_t>(std::max<index_t>(a.num_rows, 1)),
+               static_cast<std::size_t>(kRowsPerCta)));
+  auto stats = device.launch("cusp.spmv_vector", num_ctas, kBlock, [&](vgpu::Cta& cta) {
+    const index_t row_lo = static_cast<index_t>(cta.cta_id()) * kRowsPerCta;
+    const index_t row_hi = std::min<index_t>(a.num_rows, row_lo + kRowsPerCta);
+    std::size_t max_warp_bytes = 0, sum_bytes = 0;
+    for (index_t r = row_lo; r < row_hi; ++r) {
+      const index_t lo = a.row_offsets[static_cast<std::size_t>(r)];
+      const index_t hi = a.row_offsets[static_cast<std::size_t>(r) + 1];
+      double acc = 0.0;
+      for (index_t k = lo; k < hi; ++k) {
+        acc += a.val[static_cast<std::size_t>(k)] *
+               x[static_cast<std::size_t>(a.col[static_cast<std::size_t>(k)])];
+      }
+      y[static_cast<std::size_t>(r)] = acc;
+      const std::size_t len = static_cast<std::size_t>(hi - lo);
+      // Warp strides the row: ceil(len/32) lockstep iterations, short rows
+      // idle 32 - len lanes (the vectorized scheme's weakness), and every
+      // iteration moves full 128 B transactions whether or not all lanes
+      // contribute — short rows pay the transaction floor.
+      cta.charge_warp_iters(ceil_div(len, static_cast<std::size_t>(kWarp)));
+      const std::size_t warp_bytes =
+          round_up<std::size_t>(len * (sizeof(index_t) + sizeof(double)), 128) +
+          len * cta.props().gather_sector_bytes;  // x dereferences
+      max_warp_bytes = std::max(max_warp_bytes, warp_bytes);
+      sum_bytes += warp_bytes;
+      // Warp-level reduction of partial sums (5 shuffle steps).
+      cta.charge_warp_iters(5);
+      cta.charge_global(sizeof(double) + 2 * sizeof(index_t));
+    }
+    // One row per warp: the CTA occupies the SM until its LONGEST row
+    // drains, and a lone warp sustains about a third of the SM's
+    // bandwidth, so the CTA's memory time is max(sum, 3 x max warp).
+    cta.charge_global(std::max(sum_bytes, 3 * max_warp_bytes));
+  });
+  return OpStats{stats.modeled_ms, wall.milliseconds()};
+}
+
+OpStats spmv_coo(vgpu::Device& device, const CooD& a, std::span<const double> x,
+                 std::span<double> y) {
+  MPS_CHECK(x.size() >= static_cast<std::size_t>(a.num_cols));
+  MPS_CHECK(y.size() >= static_cast<std::size_t>(a.num_rows));
+  MPS_CHECK_MSG(a.is_sorted(), "coo spmv requires row-sorted input");
+  util::WallTimer wall;
+  std::fill(y.begin(), y.begin() + a.num_rows, 0.0);
+  const std::size_t nnz = static_cast<std::size_t>(a.nnz());
+  if (nnz == 0) return OpStats{0.0, wall.milliseconds()};
+
+  constexpr int kBlock = 128;
+  constexpr std::size_t kTile = 128 * 7;
+  const int num_ctas = static_cast<int>(ceil_div(nnz, kTile));
+  std::vector<index_t> carry_row(static_cast<std::size_t>(num_ctas), -1);
+  std::vector<double> carry_val(static_cast<std::size_t>(num_ctas), 0.0);
+  auto s1 = device.launch("cusp.spmv_coo", num_ctas, kBlock, [&](vgpu::Cta& cta) {
+    const std::size_t lo = static_cast<std::size_t>(cta.cta_id()) * kTile;
+    const std::size_t hi = std::min(nnz, lo + kTile);
+    double acc = 0.0;
+    index_t cur = a.row[lo];
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (a.row[i] != cur) {
+        y[static_cast<std::size_t>(cur)] += acc;
+        acc = 0.0;
+        cur = a.row[i];
+      }
+      acc += a.val[i] * x[static_cast<std::size_t>(a.col[i])];
+    }
+    // Open trailing segment: if the row continues into the next tile it
+    // must go through the carry; writing directly would race.
+    if (hi < nnz && a.row[hi] == cur) {
+      carry_row[static_cast<std::size_t>(cta.cta_id())] = cur;
+      carry_val[static_cast<std::size_t>(cta.cta_id())] = acc;
+    } else {
+      y[static_cast<std::size_t>(cur)] += acc;
+    }
+    const std::size_t count = hi - lo;
+    // The COO format's defining cost: the explicit row index stream.
+    cta.charge_global(count * (2 * sizeof(index_t) + sizeof(double)));
+    cta.charge_gather(count);  // x dereferences
+    cta.charge_shared_elems(3 * count);
+    cta.charge_alu_uniform(2 * count);
+    cta.charge_sync();
+    cta.charge_sync();
+  });
+  double modeled = s1.modeled_ms;
+
+  auto s2 = device.launch("cusp.spmv_coo_fixup", 1, kBlock, [&](vgpu::Cta& cta) {
+    for (int i = 0; i < num_ctas; ++i) {
+      if (carry_row[static_cast<std::size_t>(i)] >= 0) {
+        y[static_cast<std::size_t>(carry_row[static_cast<std::size_t>(i)])] +=
+            carry_val[static_cast<std::size_t>(i)];
+      }
+    }
+    cta.charge_global(static_cast<std::size_t>(num_ctas) *
+                      (sizeof(index_t) + sizeof(double)));
+    cta.charge_alu_uniform(static_cast<std::size_t>(num_ctas));
+  });
+  modeled += s2.modeled_ms;
+  return OpStats{modeled, wall.milliseconds()};
+}
+
+OpStats spadd(vgpu::Device& device, const CooD& a, const CooD& b, CooD& c) {
+  MPS_CHECK(a.num_rows == b.num_rows && a.num_cols == b.num_cols);
+  util::WallTimer wall;
+  OpStats op;
+  const std::size_t n =
+      static_cast<std::size_t>(a.nnz()) + static_cast<std::size_t>(b.nnz());
+  c = CooD(a.num_rows, a.num_cols);
+  if (n == 0) return op;
+
+  // Concatenate tuples into the intermediate matrix T (device temp).
+  // Keys pack as row << col_bits | col so the radix sort touches the
+  // minimum number of digits.
+  const int col_bits = std::max(1, log2_ceil(static_cast<std::uint64_t>(
+                                     std::max<index_t>(a.num_cols, 1))));
+  const auto pack_tight = [col_bits](index_t row, index_t col) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row)) << col_bits) |
+           static_cast<std::uint32_t>(col);
+  };
+  vgpu::ScopedDeviceAlloc tmp(device.memory(),
+                              n * (sizeof(std::uint64_t) + sizeof(double) +
+                                   sizeof(std::uint32_t)));
+  std::vector<std::uint64_t> keys(n);
+  std::vector<std::uint32_t> perm(n);
+  std::vector<double> vals(n);
+  constexpr int kBlock = 256;
+  const int cat_ctas = static_cast<int>(ceil_div(n, std::size_t{2048}));
+  auto s0 = device.launch("cusp.spadd_concat", cat_ctas, kBlock, [&](vgpu::Cta& cta) {
+    const std::size_t lo = static_cast<std::size_t>(cta.cta_id()) * 2048;
+    const std::size_t hi = std::min(n, lo + 2048);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t an = static_cast<std::size_t>(a.nnz());
+      if (i < an) {
+        keys[i] = pack_tight(a.row[i], a.col[i]);
+        vals[i] = a.val[i];
+      } else {
+        keys[i] = pack_tight(b.row[i - an], b.col[i - an]);
+        vals[i] = b.val[i - an];
+      }
+      perm[i] = static_cast<std::uint32_t>(i);
+    }
+    cta.charge_global((hi - lo) * (3 * sizeof(index_t) + 2 * sizeof(double)));
+  });
+  op.modeled_ms += s0.modeled_ms;
+
+  // Global lexicographic sort of the full intermediate — the O(k (|A|+|B|))
+  // work the paper contrasts balanced path against.
+  const int key_bits = std::min(
+      64, log2_ceil(static_cast<std::uint64_t>(std::max<index_t>(a.num_rows, 1))) +
+              col_bits + 1);
+  auto sort_stats = primitives::device_radix_sort_pairs(
+      device, "cusp.spadd_sort", std::span<std::uint64_t>(keys),
+      std::span<std::uint32_t>(perm), key_bits);
+  op.modeled_ms += sort_stats.modeled_ms;
+
+  // Gather values into sorted order.
+  std::vector<double> sorted_vals(n);
+  auto s1 = device.launch("cusp.spadd_gather", cat_ctas, kBlock, [&](vgpu::Cta& cta) {
+    const std::size_t lo = static_cast<std::size_t>(cta.cta_id()) * 2048;
+    const std::size_t hi = std::min(n, lo + 2048);
+    for (std::size_t i = lo; i < hi; ++i) sorted_vals[i] = vals[perm[i]];
+    cta.charge_gather(hi - lo);
+    cta.charge_global((hi - lo) * sizeof(double));
+  });
+  op.modeled_ms += s1.modeled_ms;
+
+  // Reduce adjacent duplicates.
+  auto red = primitives::device_reduce_by_key<std::uint64_t, double>(
+      device, "cusp.spadd_reduce", keys, sorted_vals);
+  op.modeled_ms += red.modeled_ms;
+
+  c.reserve(red.keys.size());
+  const std::uint64_t col_mask = (std::uint64_t{1} << col_bits) - 1;
+  for (std::size_t i = 0; i < red.keys.size(); ++i) {
+    c.push_back(static_cast<index_t>(red.keys[i] >> col_bits),
+                static_cast<index_t>(red.keys[i] & col_mask), red.vals[i]);
+  }
+  op.wall_ms = wall.milliseconds();
+  return op;
+}
+
+OpStats spgemm(vgpu::Device& device, const CsrD& a, const CsrD& b, CsrD& c) {
+  MPS_CHECK(a.num_cols == b.num_rows);
+  util::WallTimer wall;
+  OpStats op;
+
+  // Per-nonzero product counts and their scan.
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(a.nnz()) + 1, 0);
+  const auto a_rows = sparse::expand_row_indices(a);
+  for (std::size_t k = 0; k < a.col.size(); ++k) {
+    counts[k] = static_cast<std::uint64_t>(b.row_length(a.col[k]));
+  }
+  vgpu::ScopedDeviceAlloc scan_mem(device.memory(), counts.size() * sizeof(index_t));
+  const std::uint64_t num_products = primitives::device_exclusive_scan(
+      device, "cusp.esc_scan", std::span<const std::uint64_t>(counts),
+      std::span<std::uint64_t>(counts));
+  op.modeled_ms += device.log().back().modeled_ms;
+
+  // ESC keeps the *entire* expanded intermediate in global memory:
+  // key + value + permutation per product, plus the sort's ping-pong
+  // buffer accounted inside device_radix_sort_pairs.
+  const std::size_t n = static_cast<std::size_t>(num_products);
+  vgpu::ScopedDeviceAlloc expand_mem(
+      device.memory(),
+      n * (sizeof(std::uint64_t) + sizeof(double) + sizeof(std::uint32_t)));
+  std::vector<std::uint64_t> keys(n);
+  std::vector<double> vals(n);
+  std::vector<std::uint32_t> perm(n);
+
+  const int col_bits = std::max(1, log2_ceil(static_cast<std::uint64_t>(
+                                     std::max<index_t>(b.num_cols, 1))));
+  const auto pack_tight = [col_bits](index_t row, index_t col) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row)) << col_bits) |
+           static_cast<std::uint32_t>(col);
+  };
+  constexpr int kBlock = 256;
+  constexpr std::size_t kTile = 2048;
+  const int exp_ctas =
+      static_cast<int>(ceil_div(static_cast<std::size_t>(a.nnz()), kTile));
+  auto s0 = device.launch("cusp.esc_expand", std::max(exp_ctas, 1), kBlock,
+                          [&](vgpu::Cta& cta) {
+    const std::size_t lo = static_cast<std::size_t>(cta.cta_id()) * kTile;
+    const std::size_t hi = std::min(static_cast<std::size_t>(a.nnz()), lo + kTile);
+    std::vector<std::uint32_t> trips;
+    trips.reserve(hi - lo);
+    for (std::size_t k = lo; k < hi; ++k) {
+      const index_t acol = a.col[k];
+      const double aval = a.val[k];
+      std::size_t out = counts[k];
+      for (index_t kb = b.row_offsets[static_cast<std::size_t>(acol)];
+           kb < b.row_offsets[static_cast<std::size_t>(acol) + 1]; ++kb, ++out) {
+        keys[out] = pack_tight(a_rows[k], b.col[static_cast<std::size_t>(kb)]);
+        vals[out] = aval * b.val[static_cast<std::size_t>(kb)];
+        perm[out] = static_cast<std::uint32_t>(out);
+      }
+      trips.push_back(static_cast<std::uint32_t>(b.row_length(acol)));
+    }
+    // Thread-per-nonzero expansion: divergent over B row lengths.
+    cta.charge_warp_divergent(trips);
+    cta.charge_global((hi - lo) * (2 * sizeof(index_t) + sizeof(double)));
+    std::size_t written = 0;
+    for (std::size_t k = lo; k < hi; ++k)
+      written += static_cast<std::size_t>(b.row_length(a.col[k]));
+    cta.charge_gather(written);  // B row reads land scattered
+    cta.charge_global(written * (sizeof(std::uint64_t) + sizeof(double) +
+                                 sizeof(std::uint32_t)));
+  });
+  op.modeled_ms += s0.modeled_ms;
+
+  // Global two-pass sort of all products (row then column bits).
+  const int key_bits = std::min(
+      64, log2_ceil(static_cast<std::uint64_t>(std::max<index_t>(a.num_rows, 1))) +
+              col_bits + 1);
+  auto sort_stats = primitives::device_radix_sort_pairs(
+      device, "cusp.esc_sort", std::span<std::uint64_t>(keys),
+      std::span<std::uint32_t>(perm), key_bits);
+  op.modeled_ms += sort_stats.modeled_ms;
+
+  std::vector<double> sorted_vals(n);
+  const int g_ctas = static_cast<int>(ceil_div(n, kTile));
+  auto s1 = device.launch("cusp.esc_gather", std::max(g_ctas, 1), kBlock,
+                          [&](vgpu::Cta& cta) {
+    const std::size_t lo = static_cast<std::size_t>(cta.cta_id()) * kTile;
+    const std::size_t hi = std::min(n, lo + kTile);
+    for (std::size_t i = lo; i < hi; ++i) sorted_vals[i] = vals[perm[i]];
+    cta.charge_gather(hi - lo);
+    cta.charge_global((hi - lo) * sizeof(double));
+  });
+  op.modeled_ms += s1.modeled_ms;
+
+  auto red = primitives::device_reduce_by_key<std::uint64_t, double>(
+      device, "cusp.esc_reduce", keys, sorted_vals);
+  op.modeled_ms += red.modeled_ms;
+
+  CooD coo(a.num_rows, b.num_cols);
+  coo.reserve(red.keys.size());
+  const std::uint64_t col_mask = (std::uint64_t{1} << col_bits) - 1;
+  for (std::size_t i = 0; i < red.keys.size(); ++i) {
+    coo.push_back(static_cast<index_t>(red.keys[i] >> col_bits),
+                  static_cast<index_t>(red.keys[i] & col_mask), red.vals[i]);
+  }
+  c = sparse::coo_to_csr(coo);
+  op.wall_ms = wall.milliseconds();
+  return op;
+}
+
+}  // namespace mps::baselines::cusplike

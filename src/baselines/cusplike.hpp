@@ -1,0 +1,51 @@
+#pragma once
+// "Cusp" comparator: the open-source algorithms the paper benchmarks
+// against (see Section IV):
+//
+//   * SpMV   — vectorized CSR: a fixed 32-lane warp per row,
+//   * SpAdd  — global sort: concatenate COO tuples, radix-sort the whole
+//              intermediate lexicographically, reduce duplicates,
+//   * SpGEMM — ESC: expand every product to global memory, two-pass
+//              global radix sort, compress (Bell, Dalton, Olson 2012).
+//
+// All three run on the virtual GPU with the same cost accounting as the
+// merge kernels, so Figures 5/7/9 compare like against like.
+
+#include <span>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps::baselines::cusplike {
+
+struct OpStats {
+  double modeled_ms = 0.0;
+  double wall_ms = 0.0;
+};
+
+/// y = A x, warp-per-row vectorized CSR.
+OpStats spmv(vgpu::Device& device, const sparse::CsrD& a, std::span<const double> x,
+             std::span<double> y);
+
+/// y = A x over COO input (Cusp's flat "coo_flat" kernel): the same
+/// nonzero-granularity decomposition as merge SpMV but with the row index
+/// of every nonzero stored and streamed explicitly — the "one row entry
+/// per nonzero" storage/traffic overhead the paper's Section III-A gives
+/// as the reason to prefer CSR plus partition-time searches.  Input must
+/// be sorted by row.
+OpStats spmv_coo(vgpu::Device& device, const sparse::CooD& a,
+                 std::span<const double> x, std::span<double> y);
+
+/// C = A + B over COO inputs via global lexicographic sort + reduction.
+/// Inputs must be canonical (sorted, unique).
+OpStats spadd(vgpu::Device& device, const sparse::CooD& a, const sparse::CooD& b,
+              sparse::CooD& c);
+
+/// C = A x B via global expansion / sort / compression.  Throws
+/// vgpu::DeviceOomError when the expanded intermediate exceeds device
+/// memory (the paper's Dense case).
+OpStats spgemm(vgpu::Device& device, const sparse::CsrD& a, const sparse::CsrD& b,
+               sparse::CsrD& c);
+
+}  // namespace mps::baselines::cusplike

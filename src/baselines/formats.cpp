@@ -1,0 +1,166 @@
+#include "baselines/formats.hpp"
+
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace mps::baselines::formats {
+
+using sparse::DiaMatrix;
+using sparse::EllMatrix;
+using sparse::HybMatrix;
+
+namespace {
+
+constexpr int kBlock = 128;
+
+/// Shared ELL kernel body; `accumulate` controls += vs = into y.
+double run_ell(vgpu::Device& device, const EllMatrix<double>& a,
+               std::span<const double> x, std::span<double> y, bool accumulate) {
+  if (a.num_rows == 0) return 0.0;
+  const int num_ctas = static_cast<int>(ceil_div(
+      static_cast<std::size_t>(a.num_rows), static_cast<std::size_t>(kBlock)));
+  auto s = device.launch("formats.spmv_ell", num_ctas, kBlock, [&](vgpu::Cta& cta) {
+    const index_t row_lo = static_cast<index_t>(cta.cta_id()) * kBlock;
+    const index_t row_hi = std::min<index_t>(a.num_rows, row_lo + kBlock);
+    std::size_t useful = 0;
+    for (index_t r = row_lo; r < row_hi; ++r) {
+      double acc = 0.0;
+      for (index_t j = 0; j < a.width; ++j) {
+        const std::size_t cell = static_cast<std::size_t>(j) *
+                                     static_cast<std::size_t>(a.num_rows) +
+                                 static_cast<std::size_t>(r);
+        const index_t c = a.col[cell];
+        if (c >= 0) {
+          acc += a.val[cell] * x[static_cast<std::size_t>(c)];
+          ++useful;
+        }
+      }
+      if (accumulate) {
+        y[static_cast<std::size_t>(r)] += acc;
+      } else {
+        y[static_cast<std::size_t>(r)] = acc;
+      }
+    }
+    // Thread-per-row over column-major cells: every warp load of 32
+    // consecutive rows' cell j is one coalesced transaction, padding
+    // included — ELL streams the whole rectangle.
+    const std::size_t cells =
+        static_cast<std::size_t>(row_hi - row_lo) * static_cast<std::size_t>(a.width);
+    cta.charge_global(cells * (sizeof(index_t) + sizeof(double)));
+    cta.charge_gather(useful);  // x dereferences only for real entries
+    cta.charge_warp_iters(static_cast<std::size_t>(a.width) *
+                          ceil_div(static_cast<std::size_t>(row_hi - row_lo),
+                                   std::size_t{32}));
+    cta.charge_global(static_cast<std::size_t>(row_hi - row_lo) * sizeof(double));
+  });
+  return s.modeled_ms;
+}
+
+}  // namespace
+
+OpStats spmv_ell(vgpu::Device& device, const EllMatrix<double>& a,
+                 std::span<const double> x, std::span<double> y) {
+  MPS_CHECK(x.size() >= static_cast<std::size_t>(a.num_cols));
+  MPS_CHECK(y.size() >= static_cast<std::size_t>(a.num_rows));
+  util::WallTimer wall;
+  const double ms = run_ell(device, a, x, y, /*accumulate=*/false);
+  return OpStats{ms, wall.milliseconds()};
+}
+
+OpStats spmv_dia(vgpu::Device& device, const DiaMatrix<double>& a,
+                 std::span<const double> x, std::span<double> y) {
+  MPS_CHECK(x.size() >= static_cast<std::size_t>(a.num_cols));
+  MPS_CHECK(y.size() >= static_cast<std::size_t>(a.num_rows));
+  util::WallTimer wall;
+  if (a.num_rows == 0) return OpStats{0.0, wall.milliseconds()};
+  const int num_ctas = static_cast<int>(ceil_div(
+      static_cast<std::size_t>(a.num_rows), static_cast<std::size_t>(kBlock)));
+  auto s = device.launch("formats.spmv_dia", num_ctas, kBlock, [&](vgpu::Cta& cta) {
+    const index_t row_lo = static_cast<index_t>(cta.cta_id()) * kBlock;
+    const index_t row_hi = std::min<index_t>(a.num_rows, row_lo + kBlock);
+    for (index_t r = row_lo; r < row_hi; ++r) {
+      double acc = 0.0;
+      for (std::size_t d = 0; d < a.offsets.size(); ++d) {
+        const index_t c = r + a.offsets[d];
+        if (c < 0 || c >= a.num_cols) continue;
+        acc += a.val[d * static_cast<std::size_t>(a.num_rows) +
+                     static_cast<std::size_t>(r)] *
+               x[static_cast<std::size_t>(c)];
+      }
+      y[static_cast<std::size_t>(r)] = acc;
+    }
+    // DIA's defining property: no column indices, and x is accessed at a
+    // fixed offset per diagonal — consecutive rows read consecutive x
+    // entries, so even the x loads coalesce.
+    const std::size_t rows = static_cast<std::size_t>(row_hi - row_lo);
+    cta.charge_global(rows * a.offsets.size() * sizeof(double));  // matrix
+    cta.charge_global(rows * a.offsets.size() * sizeof(double));  // x, coalesced
+    cta.charge_warp_iters(a.offsets.size() * ceil_div(rows, std::size_t{32}));
+    cta.charge_global(rows * sizeof(double));
+  });
+  return OpStats{s.modeled_ms, wall.milliseconds()};
+}
+
+OpStats spmv_hyb(vgpu::Device& device, const HybMatrix<double>& a,
+                 std::span<const double> x, std::span<double> y) {
+  MPS_CHECK(y.size() >= static_cast<std::size_t>(a.ell.num_rows));
+  util::WallTimer wall;
+  OpStats op;
+  op.modeled_ms += run_ell(device, a.ell, x, y, /*accumulate=*/false);
+
+  // COO tail: flat segmented pass accumulating into y (the ELL pass wrote
+  // every row, so += is safe and race-free per row segment).
+  const std::size_t nnz = static_cast<std::size_t>(a.coo.nnz());
+  if (nnz > 0) {
+    constexpr std::size_t kTile = 128 * 7;
+    const int num_ctas = static_cast<int>(ceil_div(nnz, kTile));
+    std::vector<index_t> carry_row(static_cast<std::size_t>(num_ctas), -1);
+    std::vector<double> carry_val(static_cast<std::size_t>(num_ctas), 0.0);
+    auto s = device.launch("formats.spmv_hyb_coo", num_ctas, kBlock,
+                           [&](vgpu::Cta& cta) {
+      const std::size_t lo = static_cast<std::size_t>(cta.cta_id()) * kTile;
+      const std::size_t hi = std::min(nnz, lo + kTile);
+      double acc = 0.0;
+      index_t cur = a.coo.row[lo];
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (a.coo.row[i] != cur) {
+          y[static_cast<std::size_t>(cur)] += acc;
+          acc = 0.0;
+          cur = a.coo.row[i];
+        }
+        acc += a.coo.val[i] * x[static_cast<std::size_t>(a.coo.col[i])];
+      }
+      if (hi < nnz && a.coo.row[hi] == cur) {
+        carry_row[static_cast<std::size_t>(cta.cta_id())] = cur;
+        carry_val[static_cast<std::size_t>(cta.cta_id())] = acc;
+      } else {
+        y[static_cast<std::size_t>(cur)] += acc;
+      }
+      const std::size_t count = hi - lo;
+      cta.charge_global(count * (2 * sizeof(index_t) + sizeof(double)));
+      cta.charge_gather(count);
+      cta.charge_shared_elems(3 * count);
+      cta.charge_alu_uniform(2 * count);
+      cta.charge_sync();
+    });
+    op.modeled_ms += s.modeled_ms;
+    auto fix = device.launch("formats.spmv_hyb_fixup", 1, kBlock,
+                             [&](vgpu::Cta& cta) {
+      for (int i = 0; i < num_ctas; ++i) {
+        if (carry_row[static_cast<std::size_t>(i)] >= 0) {
+          y[static_cast<std::size_t>(carry_row[static_cast<std::size_t>(i)])] +=
+              carry_val[static_cast<std::size_t>(i)];
+        }
+      }
+      cta.charge_global(static_cast<std::size_t>(num_ctas) *
+                        (sizeof(index_t) + sizeof(double)));
+      cta.charge_alu_uniform(static_cast<std::size_t>(num_ctas));
+    });
+    op.modeled_ms += fix.modeled_ms;
+  }
+  op.wall_ms = wall.milliseconds();
+  return op;
+}
+
+}  // namespace mps::baselines::formats

@@ -1,0 +1,38 @@
+#pragma once
+// SpMV kernels for the specialized formats (ELL / DIA / HYB) — the
+// format-specialization axis the paper's introduction positions merge
+// path against.  Each is excellent inside its applicability envelope and
+// pays directly for structure outside it:
+//
+//   * ELL  — zero divergence and perfect coalescing, but the whole
+//            padded rectangle is streamed: bandwidth scales with
+//            max-row-width, not nnz;
+//   * DIA  — densest possible access for stencils, no column indices at
+//            all; inapplicable beyond a bounded diagonal count;
+//   * HYB  — ELL head + COO tail, the Bell–Garland compromise.
+
+#include <span>
+
+#include "sparse/ell.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps::baselines::formats {
+
+struct OpStats {
+  double modeled_ms = 0.0;
+  double wall_ms = 0.0;
+};
+
+/// y = A x over ELL storage.
+OpStats spmv_ell(vgpu::Device& device, const sparse::EllMatrix<double>& a,
+                 std::span<const double> x, std::span<double> y);
+
+/// y = A x over DIA storage.
+OpStats spmv_dia(vgpu::Device& device, const sparse::DiaMatrix<double>& a,
+                 std::span<const double> x, std::span<double> y);
+
+/// y = A x over HYB storage (ELL pass + accumulating COO pass).
+OpStats spmv_hyb(vgpu::Device& device, const sparse::HybMatrix<double>& a,
+                 std::span<const double> x, std::span<double> y);
+
+}  // namespace mps::baselines::formats

@@ -1,0 +1,313 @@
+#include "baselines/rowwise.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "primitives/scan.hpp"
+#include "util/timer.hpp"
+
+namespace mps::baselines::rowwise {
+
+using sparse::CsrD;
+
+namespace {
+
+/// Threads cooperating per row: smallest power of two >= half the mean
+/// row length, clamped to [1, 32] — the static heuristic vendor CSR
+/// kernels use.
+int pick_vector_width(const CsrD& a) {
+  const double avg =
+      a.num_rows == 0 ? 0.0
+                      : static_cast<double>(a.nnz()) / static_cast<double>(a.num_rows);
+  int w = 1;
+  while (w < 32 && static_cast<double>(w) * 2.0 < avg) w *= 2;
+  return w;
+}
+
+}  // namespace
+
+OpStats spmv(vgpu::Device& device, const CsrD& a, std::span<const double> x,
+             std::span<double> y) {
+  MPS_CHECK(x.size() >= static_cast<std::size_t>(a.num_cols));
+  MPS_CHECK(y.size() >= static_cast<std::size_t>(a.num_rows));
+  util::WallTimer wall;
+  constexpr int kBlock = 128;
+  const int width = pick_vector_width(a);
+  const int rows_per_cta = kBlock / width;
+  const int num_ctas = static_cast<int>(
+      ceil_div(static_cast<std::size_t>(std::max<index_t>(a.num_rows, 1)),
+               static_cast<std::size_t>(rows_per_cta)));
+  auto stats = device.launch("rowwise.spmv", num_ctas, kBlock, [&](vgpu::Cta& cta) {
+    const index_t row_lo = static_cast<index_t>(cta.cta_id()) * rows_per_cta;
+    const index_t row_hi = std::min<index_t>(a.num_rows, row_lo + rows_per_cta);
+    // Each warp hosts 32/width row-groups executing in lockstep: its trip
+    // count is the max of ceil(len/width) over its rows, and its memory
+    // traffic is the sum over its rows.
+    std::vector<std::uint32_t> lane_trips;
+    lane_trips.reserve(static_cast<std::size_t>(row_hi - row_lo));
+    std::vector<std::size_t> warp_bytes(
+        static_cast<std::size_t>(ceil_div(kBlock, 32)), 0);
+    for (index_t r = row_lo; r < row_hi; ++r) {
+      const index_t lo = a.row_offsets[static_cast<std::size_t>(r)];
+      const index_t hi = a.row_offsets[static_cast<std::size_t>(r) + 1];
+      double acc = 0.0;
+      for (index_t k = lo; k < hi; ++k) {
+        acc += a.val[static_cast<std::size_t>(k)] *
+               x[static_cast<std::size_t>(a.col[static_cast<std::size_t>(k)])];
+      }
+      y[static_cast<std::size_t>(r)] = acc;
+      const std::size_t len = static_cast<std::size_t>(hi - lo);
+      // One entry per *lane group*; expand to lanes for the divergence
+      // model (width lanes share the same trip count).
+      const auto trips = static_cast<std::uint32_t>(
+          ceil_div(len, static_cast<std::size_t>(width)));
+      for (int lane = 0; lane < width; ++lane) lane_trips.push_back(trips);
+      // A width-lane group moves width x 32 B sectors per iteration, so
+      // short rows pay a (smaller) transaction floor than the fixed-warp
+      // kernel — the adaptive width is exactly this mitigation.
+      const std::size_t row_bytes =
+          round_up<std::size_t>(len * (sizeof(index_t) + sizeof(double)),
+                                static_cast<std::size_t>(width) * 32) +
+          len * cta.props().gather_sector_bytes;
+      warp_bytes[static_cast<std::size_t>((r - row_lo) * width / 32) %
+                 warp_bytes.size()] += row_bytes;
+      cta.charge_global(sizeof(double) + 2 * sizeof(index_t));
+    }
+    cta.charge_warp_divergent(lane_trips);
+    // The CTA holds its SM slot until the heaviest warp drains; a lone
+    // warp sustains about a third of the SM's bandwidth.
+    const std::size_t mx = *std::max_element(warp_bytes.begin(), warp_bytes.end());
+    std::size_t sum_bytes = 0;
+    for (std::size_t wb : warp_bytes) sum_bytes += wb;
+    cta.charge_global(std::max(sum_bytes, 3 * mx));
+    // Intra-group reduction.
+    cta.charge_warp_iters(static_cast<std::size_t>(log2_ceil(
+                              static_cast<std::uint64_t>(width)) + 1) *
+                          static_cast<std::size_t>(row_hi - row_lo) / 4);
+  });
+  return OpStats{stats.modeled_ms, wall.milliseconds()};
+}
+
+OpStats spadd(vgpu::Device& device, const CsrD& a, const CsrD& b, CsrD& c) {
+  MPS_CHECK(a.num_rows == b.num_rows && a.num_cols == b.num_cols);
+  util::WallTimer wall;
+  OpStats op;
+  constexpr int kBlock = 128;
+  c = CsrD(a.num_rows, a.num_cols);
+  if (a.num_rows == 0) return op;
+
+  // Pass 1: per-row output sizes.  One WARP cooperates per row (csrgeam
+  // style): the row pair is merged with an intra-warp merge path, the
+  // row streams coalesced (short rows pay the 128 B transaction floor).
+  // Uniform rows — even huge ones, like Dense — run near bandwidth;
+  // heavy-tailed rows leave the CTA pinned behind its slowest warp,
+  // which alone sustains only ~1/3 of the SM's bandwidth.  That is the
+  // LP collapse the paper's Fig 8 shows.
+  constexpr int kWarp = 32;
+  constexpr int kRowsPerCta = kBlock / kWarp;
+  const int num_ctas2 = static_cast<int>(ceil_div(
+      static_cast<std::size_t>(a.num_rows), static_cast<std::size_t>(kRowsPerCta)));
+  std::vector<index_t> sizes(static_cast<std::size_t>(a.num_rows) + 1, 0);
+  auto charge_rows = [&](vgpu::Cta& cta, index_t row_lo, index_t row_hi,
+                         bool write_c) {
+    std::vector<std::uint32_t> lane_trips;
+    lane_trips.reserve(static_cast<std::size_t>(row_hi - row_lo) * kWarp);
+    std::size_t max_warp_bytes = 0, sum_bytes = 0;
+    for (index_t r = row_lo; r < row_hi; ++r) {
+      const std::size_t la = static_cast<std::size_t>(a.row_length(r));
+      const std::size_t lb = static_cast<std::size_t>(b.row_length(r));
+      const auto trips = static_cast<std::uint32_t>(
+          3 * ceil_div(la + lb, static_cast<std::size_t>(kWarp)) + 2);
+      for (int lane = 0; lane < kWarp; ++lane) lane_trips.push_back(trips);
+      std::size_t row_bytes = round_up<std::size_t>(
+          (la + lb) * (sizeof(index_t) + sizeof(double)), 128);
+      if (write_c) {
+        row_bytes += round_up<std::size_t>(
+            static_cast<std::size_t>(c.row_length(r)) *
+                (sizeof(index_t) + sizeof(double)),
+            128);
+      }
+      max_warp_bytes = std::max(max_warp_bytes, row_bytes);
+      sum_bytes += row_bytes;
+    }
+    cta.charge_warp_divergent(lane_trips);
+    cta.charge_global(std::max(sum_bytes, 3 * max_warp_bytes));
+    cta.charge_global(static_cast<std::size_t>(row_hi - row_lo) * 3 * sizeof(index_t));
+  };
+
+  auto s1 = device.launch("rowwise.spadd_count", num_ctas2, kBlock, [&](vgpu::Cta& cta) {
+    const index_t row_lo = static_cast<index_t>(cta.cta_id()) * kRowsPerCta;
+    const index_t row_hi = std::min<index_t>(a.num_rows, row_lo + kRowsPerCta);
+    for (index_t r = row_lo; r < row_hi; ++r) {
+      index_t i = a.row_offsets[static_cast<std::size_t>(r)];
+      index_t j = b.row_offsets[static_cast<std::size_t>(r)];
+      const index_t ie = a.row_offsets[static_cast<std::size_t>(r) + 1];
+      const index_t je = b.row_offsets[static_cast<std::size_t>(r) + 1];
+      index_t n = 0;
+      while (i < ie && j < je) {
+        const index_t ca = a.col[static_cast<std::size_t>(i)];
+        const index_t cb = b.col[static_cast<std::size_t>(j)];
+        i += (ca <= cb);
+        j += (cb <= ca);
+        ++n;
+      }
+      n += (ie - i) + (je - j);
+      sizes[static_cast<std::size_t>(r)] = n;
+    }
+    charge_rows(cta, row_lo, row_hi, false);
+  });
+  op.modeled_ms += s1.modeled_ms;
+
+  const index_t total = static_cast<index_t>(primitives::device_exclusive_scan(
+      device, "rowwise.spadd_scan", std::span<const index_t>(sizes),
+      std::span<index_t>(sizes)));
+  op.modeled_ms += device.log().back().modeled_ms;
+  std::copy(sizes.begin(), sizes.end(), c.row_offsets.begin());
+  c.col.resize(static_cast<std::size_t>(total));
+  c.val.resize(static_cast<std::size_t>(total));
+
+  // Pass 2: fill.
+  auto s2 = device.launch("rowwise.spadd_fill", num_ctas2, kBlock, [&](vgpu::Cta& cta) {
+    const index_t row_lo = static_cast<index_t>(cta.cta_id()) * kRowsPerCta;
+    const index_t row_hi = std::min<index_t>(a.num_rows, row_lo + kRowsPerCta);
+    for (index_t r = row_lo; r < row_hi; ++r) {
+      index_t i = a.row_offsets[static_cast<std::size_t>(r)];
+      index_t j = b.row_offsets[static_cast<std::size_t>(r)];
+      const index_t ie = a.row_offsets[static_cast<std::size_t>(r) + 1];
+      const index_t je = b.row_offsets[static_cast<std::size_t>(r) + 1];
+      std::size_t out = static_cast<std::size_t>(c.row_offsets[static_cast<std::size_t>(r)]);
+      while (i < ie && j < je) {
+        const index_t ca = a.col[static_cast<std::size_t>(i)];
+        const index_t cb = b.col[static_cast<std::size_t>(j)];
+        if (ca < cb) {
+          c.col[out] = ca;
+          c.val[out++] = a.val[static_cast<std::size_t>(i++)];
+        } else if (cb < ca) {
+          c.col[out] = cb;
+          c.val[out++] = b.val[static_cast<std::size_t>(j++)];
+        } else {
+          c.col[out] = ca;
+          c.val[out++] = a.val[static_cast<std::size_t>(i++)] +
+                         b.val[static_cast<std::size_t>(j++)];
+        }
+      }
+      for (; i < ie; ++i) {
+        c.col[out] = a.col[static_cast<std::size_t>(i)];
+        c.val[out++] = a.val[static_cast<std::size_t>(i)];
+      }
+      for (; j < je; ++j) {
+        c.col[out] = b.col[static_cast<std::size_t>(j)];
+        c.val[out++] = b.val[static_cast<std::size_t>(j)];
+      }
+    }
+    charge_rows(cta, row_lo, row_hi, true);
+  });
+  op.modeled_ms += s2.modeled_ms;
+  op.wall_ms = wall.milliseconds();
+  return op;
+}
+
+OpStats spgemm(vgpu::Device& device, const CsrD& a, const CsrD& b, CsrD& c) {
+  MPS_CHECK(a.num_cols == b.num_rows);
+  util::WallTimer wall;
+  OpStats op;
+  constexpr int kBlock = 128;
+  constexpr int kWarp = 32;
+  constexpr int kRowsPerCta = kBlock / kWarp;
+  c = CsrD(a.num_rows, b.num_cols);
+  if (a.num_rows == 0) return op;
+  const int num_ctas = static_cast<int>(ceil_div(
+      static_cast<std::size_t>(a.num_rows), static_cast<std::size_t>(kRowsPerCta)));
+
+  std::vector<index_t> sizes(static_cast<std::size_t>(a.num_rows) + 1, 0);
+
+  // Hash-table accumulation per row; the kernel body is shared between the
+  // count pass and the fill pass (vendor csrgemm's two-phase structure).
+  auto process = [&](vgpu::Cta& cta, bool fill) {
+    const index_t row_lo = static_cast<index_t>(cta.cta_id()) * kRowsPerCta;
+    const index_t row_hi = std::min<index_t>(a.num_rows, row_lo + kRowsPerCta);
+    std::unordered_map<index_t, double> acc;
+    std::vector<std::uint32_t> lane_trips_row;
+    std::size_t max_row_bytes = 0, sum_row_bytes = 0;
+    for (index_t r = row_lo; r < row_hi; ++r) {
+      acc.clear();
+      std::size_t flops = 0;
+      for (index_t k = a.row_offsets[static_cast<std::size_t>(r)];
+           k < a.row_offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+        const index_t acol = a.col[static_cast<std::size_t>(k)];
+        const double aval = a.val[static_cast<std::size_t>(k)];
+        for (index_t kb = b.row_offsets[static_cast<std::size_t>(acol)];
+             kb < b.row_offsets[static_cast<std::size_t>(acol) + 1]; ++kb) {
+          acc[b.col[static_cast<std::size_t>(kb)]] +=
+              aval * b.val[static_cast<std::size_t>(kb)];
+          ++flops;
+        }
+      }
+      if (fill) {
+        std::vector<std::pair<index_t, double>> row(acc.begin(), acc.end());
+        std::sort(row.begin(), row.end());
+        std::size_t out = static_cast<std::size_t>(
+            c.row_offsets[static_cast<std::size_t>(r)]);
+        for (const auto& [col, val] : row) {
+          c.col[out] = col;
+          c.val[out++] = val;
+        }
+      } else {
+        sizes[static_cast<std::size_t>(r)] = static_cast<index_t>(acc.size());
+      }
+      // Warp cost (csrgemm-era): the accumulator hash table lives in
+      // GLOBAL memory, so every product pays an uncoalesced probe plus an
+      // update, and each row pays to initialize/flush its table slots —
+      // a cost that scales with the ROW COUNT and the output density, not
+      // with the useful work.  This is why the scheme's time decorrelates
+      // from the product count (paper Fig 10b).
+      const std::size_t uniques =
+          fill ? static_cast<std::size_t>(c.row_length(r)) : acc.size();
+      std::size_t row_bytes =
+          flops * cta.props().gather_sector_bytes +          // B row gathers
+          flops * 2 * cta.props().gather_sector_bytes +      // probe + update
+          uniques * 2 * cta.props().gather_sector_bytes +    // init + flush
+          round_up<std::size_t>(static_cast<std::size_t>(a.row_length(r)) *
+                                    (sizeof(index_t) + sizeof(double)),
+                                128);
+      if (fill) {
+        row_bytes += round_up<std::size_t>(
+            uniques * (sizeof(index_t) + sizeof(double)), 128);
+      }
+      lane_trips_row.push_back(static_cast<std::uint32_t>(
+          3 * ceil_div(flops, std::size_t{32}) + 24));
+      max_row_bytes = std::max(max_row_bytes, row_bytes);
+      sum_row_bytes += row_bytes;
+      cta.charge_sync();
+    }
+    std::vector<std::uint32_t> lane_trips;
+    lane_trips.reserve(lane_trips_row.size() * kWarp);
+    for (const std::uint32_t tr : lane_trips_row) {
+      for (int lane = 0; lane < kWarp; ++lane) lane_trips.push_back(tr);
+    }
+    cta.charge_warp_divergent(lane_trips);
+    // The CTA is pinned by its heaviest row's warp (1/3 SM bandwidth).
+    cta.charge_global(std::max(sum_row_bytes, 3 * max_row_bytes));
+  };
+
+  auto s1 = device.launch("rowwise.spgemm_count", num_ctas, kBlock,
+                          [&](vgpu::Cta& cta) { process(cta, false); });
+  op.modeled_ms += s1.modeled_ms;
+
+  primitives::device_exclusive_scan(device, "rowwise.spgemm_scan",
+                                    std::span<const index_t>(sizes),
+                                    std::span<index_t>(sizes));
+  op.modeled_ms += device.log().back().modeled_ms;
+  std::copy(sizes.begin(), sizes.end(), c.row_offsets.begin());
+
+  c.col.resize(static_cast<std::size_t>(c.row_offsets.back()));
+  c.val.resize(c.col.size());
+  auto s2 = device.launch("rowwise.spgemm_fill", num_ctas, kBlock,
+                          [&](vgpu::Cta& cta) { process(cta, true); });
+  op.modeled_ms += s2.modeled_ms;
+  op.wall_ms = wall.milliseconds();
+  return op;
+}
+
+}  // namespace mps::baselines::rowwise

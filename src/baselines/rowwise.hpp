@@ -1,0 +1,40 @@
+#pragma once
+// "Cusparse"-family comparator: segmentation-aware, row-granularity
+// processing.  The real library is closed source; these kernels implement
+// the same algorithmic family the paper contrasts with (Section IV):
+//
+//   * SpMV   — CSR kernel with an adaptively chosen vector width
+//              (threads-per-row picked from the average row length),
+//   * SpAdd  — csrgeam-style: one thread per output row runs the
+//              two-pointer merge (count pass + fill pass),
+//   * SpGEMM — csrgemm-style: one warp per output row accumulates
+//              products into a per-row hash table (count + fill).
+//
+// Fast when rows are uniform, but warp-divergent and CTA-imbalanced under
+// skewed row distributions — exactly the behaviour Figures 5-10 probe.
+
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps::baselines::rowwise {
+
+struct OpStats {
+  double modeled_ms = 0.0;
+  double wall_ms = 0.0;
+};
+
+/// y = A x with 2^k threads per row, k chosen from the mean row length.
+OpStats spmv(vgpu::Device& device, const sparse::CsrD& a, std::span<const double> x,
+             std::span<double> y);
+
+/// C = A + B, thread-per-row two-pointer merge.
+OpStats spadd(vgpu::Device& device, const sparse::CsrD& a, const sparse::CsrD& b,
+              sparse::CsrD& c);
+
+/// C = A x B, warp-per-row hash accumulation.
+OpStats spgemm(vgpu::Device& device, const sparse::CsrD& a, const sparse::CsrD& b,
+               sparse::CsrD& c);
+
+}  // namespace mps::baselines::rowwise

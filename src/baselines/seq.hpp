@@ -1,0 +1,35 @@
+#pragma once
+// Sequential CPU reference kernels.
+//
+// These serve two roles: (1) the ground truth every parallel scheme is
+// verified against, and (2) the denominator of the paper's speedup figures
+// (Figs. 7 and 9 report "speedup versus the sequential CPU implementation
+// in CSR format").  Each kernel optionally charges a CpuCost so the
+// speedups are computed model-against-model (see DESIGN.md §2).
+
+#include <span>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "vgpu/cpu_model.hpp"
+
+namespace mps::baselines::seq {
+
+/// y = A x.  `y` must have A.num_rows elements.
+void spmv(const sparse::CsrD& a, std::span<const double> x, std::span<double> y,
+          vgpu::CpuCost* cost = nullptr);
+
+/// C = A + B via per-row two-pointer merge (classic csrgeam).
+sparse::CsrD spadd(const sparse::CsrD& a, const sparse::CsrD& b,
+                   vgpu::CpuCost* cost = nullptr);
+
+/// C = A x B via Gustavson's algorithm with an O(num_cols) dense
+/// accumulator (the paper's Section II description of sequential SpGEMM).
+sparse::CsrD spgemm(const sparse::CsrD& a, const sparse::CsrD& b,
+                    vgpu::CpuCost* cost = nullptr);
+
+/// The paper's work measure for SpGEMM: the number of products in the
+/// expanded intermediate, sum_k |B_row(A.col[k])|.
+long long spgemm_num_products(const sparse::CsrD& a, const sparse::CsrD& b);
+
+}  // namespace mps::baselines::seq

@@ -1,0 +1,43 @@
+#pragma once
+// Balanced-path SpAdd (paper Section III-B).
+//
+// Sparse matrix addition is formulated as a *set union* over (row, col)
+// tuple keys (Algorithm 1's ordering packs into a 64-bit integer key).
+// The two-phase scheme — count unique tuples / allocate / emit — is built
+// on the balanced-path device set operation, so every CTA processes the
+// same number of tuples no matter how the rows are segmented.
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps::core::merge {
+
+struct SpaddStats {
+  double modeled_ms = 0.0;
+  double wall_ms = 0.0;
+};
+
+/// C = A + B.  Inputs must be canonical COO (sorted by (row, col), no
+/// duplicate tuples); the result is canonical.
+SpaddStats spadd(vgpu::Device& device, const sparse::CooD& a, const sparse::CooD& b,
+                 sparse::CooD& c);
+
+/// Single-precision variant.
+SpaddStats spadd(vgpu::Device& device, const sparse::CooMatrix<float>& a,
+                 const sparse::CooMatrix<float>& b, sparse::CooMatrix<float>& c);
+
+/// General linear combination C = alpha A + beta B (csrgeam semantics:
+/// the pattern is the union of the inputs' patterns even when entries
+/// cancel numerically).  Same balanced-path engine; the scaling rides in
+/// the per-side value loads at no extra modeled cost.
+SpaddStats spadd_scaled(vgpu::Device& device, double alpha, const sparse::CooD& a,
+                        double beta, const sparse::CooD& b, sparse::CooD& c);
+
+/// CSR convenience wrapper around spadd (converts at the boundary; the
+/// conversion is not part of the modeled kernel time, matching the
+/// paper's benchmarks which pre-stage COO inputs for Merge and Cusp).
+SpaddStats spadd_csr(vgpu::Device& device, const sparse::CsrD& a,
+                     const sparse::CsrD& b, sparse::CsrD& c);
+
+}  // namespace mps::core::merge

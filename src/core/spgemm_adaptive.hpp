@@ -1,0 +1,49 @@
+#pragma once
+// Adaptive SpGEMM — the paper's Section V future work, implemented.
+//
+// Sort-based SpGEMM pays for its obliviousness when the intermediate is
+// huge relative to the output (Dense: near-zero duplicates per CTA, so
+// the global pass sorts almost everything) or simply does not fit in
+// device memory.  The adaptive driver estimates, from the setup scan
+// alone (no extra passes):
+//
+//   * the intermediate's device footprint, and
+//   * the expansion ratio num_products / |A| together with the mean
+//     products-per-output-row density,
+//
+// and switches to the segmented row-wise scheme when the flat path would
+// overflow memory or the density heuristic marks the instance dense-like.
+
+#include "core/spgemm.hpp"
+#include "sparse/csr.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps::core::merge {
+
+struct AdaptiveConfig {
+  SpgemmConfig flat;
+  /// Use the segmented path when estimated products-per-row exceeds this
+  /// fraction of the output row width (dense-like detection).
+  double density_threshold = 0.5;
+  /// Use the segmented path when the flat path's temporaries would exceed
+  /// this fraction of free device memory.
+  double memory_fraction = 0.9;
+};
+
+struct AdaptiveStats {
+  bool used_segmented = false;
+  const char* reason = "flat";  ///< "flat" | "dense-like" | "memory"
+  long long num_products = 0;
+  double modeled_ms = 0.0;
+  double wall_ms = 0.0;
+  SpgemmStats flat_stats;  ///< populated when the flat path ran
+};
+
+/// C = A x B, choosing between the merge (flat) and segmented row-wise
+/// schemes per instance.  Never throws DeviceOomError for lack of
+/// temporary space — that is the point.
+AdaptiveStats spgemm_adaptive(vgpu::Device& device, const sparse::CsrD& a,
+                              const sparse::CsrD& b, sparse::CsrD& c,
+                              const AdaptiveConfig& cfg = {});
+
+}  // namespace mps::core::merge

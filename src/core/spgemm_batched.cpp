@@ -1,0 +1,104 @@
+#include "core/spgemm_batched.hpp"
+
+#include <vector>
+
+#include "core/spadd.hpp"
+#include "sparse/convert.hpp"
+#include "util/timer.hpp"
+
+namespace mps::core::merge {
+
+using sparse::CooD;
+using sparse::CsrD;
+
+namespace {
+
+/// A restricted to the nonzero range [k_lo, k_hi): same shape, rows
+/// clipped to the slice (a row straddling the cut appears partially in
+/// two slices — the combining union re-assembles it).
+CsrD slice_nonzeros(const CsrD& a, index_t k_lo, index_t k_hi) {
+  CsrD s(a.num_rows, a.num_cols);
+  s.col.assign(a.col.begin() + k_lo, a.col.begin() + k_hi);
+  s.val.assign(a.val.begin() + k_lo, a.val.begin() + k_hi);
+  for (index_t r = 0; r < a.num_rows; ++r) {
+    const index_t hi = a.row_offsets[static_cast<std::size_t>(r) + 1];
+    s.row_offsets[static_cast<std::size_t>(r) + 1] =
+        std::clamp(hi, k_lo, k_hi) - k_lo;
+  }
+  return s;
+}
+
+}  // namespace
+
+BatchedSpgemmStats spgemm_batched(vgpu::Device& device, const CsrD& a,
+                                  const CsrD& b, CsrD& c,
+                                  long long max_products_per_batch,
+                                  const SpgemmConfig& cfg) {
+  MPS_CHECK(a.num_cols == b.num_rows);
+  util::WallTimer wall;
+  BatchedSpgemmStats stats;
+
+  // Per-nonzero product counts (the Setup scan, host-side for slicing).
+  std::vector<long long> prods(static_cast<std::size_t>(a.nnz()));
+  long long max_single = 0;
+  for (std::size_t k = 0; k < prods.size(); ++k) {
+    prods[k] = b.row_length(a.col[k]);
+    stats.num_products += prods[k];
+    max_single = std::max(max_single, prods[k]);
+  }
+
+  long long cap = max_products_per_batch;
+  if (cap <= 0) {
+    // Size batches to ~1/4 of free device memory at the flat pipeline's
+    // ~4.5 bytes per product (perm16 + flags + reduced-tuple share).
+    const auto free_bytes = static_cast<double>(device.memory().capacity() -
+                                                device.memory().in_use());
+    cap = static_cast<long long>(free_bytes * 0.25 / 4.5);
+  }
+  cap = std::max(cap, max_single);  // a single nonzero must always fit
+
+  CooD acc;   // running union of batch outputs
+  bool first = true;
+  index_t k = 0;
+  while (k < a.nnz() || first) {
+    // Greedy: extend the slice while the product budget lasts.
+    index_t k_end = k;
+    long long batch_products = 0;
+    while (k_end < a.nnz() &&
+           batch_products + prods[static_cast<std::size_t>(k_end)] <= cap) {
+      batch_products += prods[static_cast<std::size_t>(k_end)];
+      ++k_end;
+    }
+    if (k_end == k && k < a.nnz()) ++k_end;  // defensive: always progress
+
+    const CsrD a_slice = (k == 0 && k_end == a.nnz())
+                             ? a
+                             : slice_nonzeros(a, k, k_end);
+    CsrD c_batch;
+    const auto s = spgemm(device, a_slice, b, c_batch, cfg);
+    stats.spgemm_ms += s.modeled_ms();
+    ++stats.num_batches;
+
+    if (first) {
+      acc = sparse::csr_to_coo(c_batch);
+      first = false;
+    } else if (c_batch.nnz() > 0) {
+      const CooD part = sparse::csr_to_coo(c_batch);
+      CooD merged;
+      stats.combine_ms += spadd(device, acc, part, merged).modeled_ms;
+      acc = std::move(merged);
+    }
+    k = k_end;
+    if (k >= a.nnz()) break;
+  }
+
+  c = sparse::coo_to_csr(acc);
+  if (c.num_rows != a.num_rows || c.num_cols != b.num_cols) {
+    c.num_rows = a.num_rows;
+    c.num_cols = b.num_cols;
+  }
+  stats.wall_ms = wall.milliseconds();
+  return stats;
+}
+
+}  // namespace mps::core::merge

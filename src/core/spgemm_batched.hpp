@@ -1,0 +1,41 @@
+#pragma once
+// Batched merge SpGEMM — lifting the memory ceiling the paper reports.
+//
+// Section IV-C notes the flat scheme's weakness: "both the Cusp and Merge
+// approaches required more physical memory than the resource constrained
+// GPU could support" (the Dense case).  The fix production ESC pipelines
+// adopted is batching: split the product-granularity intermediate into
+// ranges that fit, run the flat pipeline per range, and combine the
+// partial outputs — which is itself a balanced-path SpAdd, so the whole
+// construction stays segmentation-oblivious.
+//
+// Batching by PRODUCT RANGE (not row range) keeps the decomposition flat:
+// a batch boundary may fall inside a row, which the combining union
+// handles like any other matched tuple.
+
+#include "core/spgemm.hpp"
+#include "sparse/csr.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps::core::merge {
+
+struct BatchedSpgemmStats {
+  int num_batches = 0;
+  long long num_products = 0;
+  double spgemm_ms = 0.0;   ///< flat pipeline time across batches
+  double combine_ms = 0.0;  ///< balanced-path unions of partial outputs
+  double wall_ms = 0.0;
+  double modeled_ms() const { return spgemm_ms + combine_ms; }
+};
+
+/// C = A x B processing at most `max_products_per_batch` intermediate
+/// products at a time (0 = choose from free device memory).  Functionally
+/// identical to merge::spgemm; succeeds on instances whose monolithic
+/// intermediate would overflow device memory, at the cost of the extra
+/// combine passes.
+BatchedSpgemmStats spgemm_batched(vgpu::Device& device, const sparse::CsrD& a,
+                                  const sparse::CsrD& b, sparse::CsrD& c,
+                                  long long max_products_per_batch = 0,
+                                  const SpgemmConfig& cfg = {});
+
+}  // namespace mps::core::merge

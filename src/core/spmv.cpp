@@ -1,0 +1,19 @@
+#include "core/spmv.hpp"
+
+#include "core/spmv_impl.hpp"
+
+namespace mps::core::merge {
+
+SpmvStats spmv(vgpu::Device& device, const sparse::CsrD& a,
+               std::span<const double> x, std::span<double> y,
+               const SpmvConfig& cfg) {
+  return detail::spmv_impl<double>(device, a, x, y, cfg);
+}
+
+SpmvStats spmv(vgpu::Device& device, const sparse::CsrMatrix<float>& a,
+               std::span<const float> x, std::span<float> y,
+               const SpmvConfig& cfg) {
+  return detail::spmv_impl<float>(device, a, x, y, cfg);
+}
+
+}  // namespace mps::core::merge

@@ -1,0 +1,61 @@
+#pragma once
+// Merge-path SpMV (paper Section III-A).
+//
+// Parallelism is exposed at the granularity of individual nonzeros: every
+// CTA is assigned exactly `tile` products regardless of row geometry.
+// Three phases:
+//
+//   partition — one binary search per CTA locates the last row whose
+//               offset precedes the CTA's first nonzero, stored in S;
+//   reduction — each CTA loads its row-offset window into shared memory,
+//               expands row indices, forms products, and runs a CTA-wide
+//               segmented scan; complete rows are stored to y, the open
+//               trailing row's partial sum goes to the carry buffer r;
+//   update    — a segmented scan over r folds each CTA's carry into the
+//               first row of the following CTA.
+//
+// Empty rows: the fast path requires none (carry row ids would collide);
+// when A has empty rows the kernel compacts the row offsets first (the
+// "slightly slower method" the paper describes) and runs the same kernel
+// on the compacted view.
+
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps::core::merge {
+
+struct SpmvConfig {
+  int block_threads = 128;
+  int items_per_thread = 7;  ///< statically tuned, paper Section III-A
+  /// Force the empty-row compaction path even when not needed (testing).
+  bool force_compaction = false;
+  int tile() const { return block_threads * items_per_thread; }
+};
+
+struct SpmvStats {
+  double partition_ms = 0.0;
+  double reduce_ms = 0.0;
+  double update_ms = 0.0;
+  double compact_ms = 0.0;
+  bool used_compaction = false;
+  int num_ctas = 0;
+  double modeled_ms() const {
+    return partition_ms + reduce_ms + update_ms + compact_ms;
+  }
+  double wall_ms = 0.0;
+};
+
+/// y = A x.  `y` must hold A.num_rows elements (fully overwritten).
+SpmvStats spmv(vgpu::Device& device, const sparse::CsrD& a,
+               std::span<const double> x, std::span<double> y,
+               const SpmvConfig& cfg = {});
+
+/// Single-precision variant (the bandwidth-bound kernel runs ~2x faster
+/// in fp32; the evaluation figures use fp64 as in the paper).
+SpmvStats spmv(vgpu::Device& device, const sparse::CsrMatrix<float>& a,
+               std::span<const float> x, std::span<float> y,
+               const SpmvConfig& cfg = {});
+
+}  // namespace mps::core::merge

@@ -1,0 +1,199 @@
+#pragma once
+// Templated implementation of merge-path SpMV (see spmv.hpp for the
+// algorithm description).  Instantiated for double and float in spmv.cpp.
+
+#include <vector>
+
+#include "core/spmv.hpp"
+#include "primitives/search.hpp"
+#include "util/timer.hpp"
+
+namespace mps::core::merge {
+
+namespace detail {
+
+
+
+inline namespace spmv_detail {
+
+/// Row offsets restricted to nonempty rows plus the original row id of
+/// each compacted row.
+struct CompactView {
+  std::vector<index_t> offsets;  ///< strictly increasing, size rows+1
+  std::vector<index_t> row_ids;  ///< original row per compacted row
+};
+
+template <typename V>
+CompactView compact_offsets(const sparse::CsrMatrix<V>& a) {
+  CompactView v;
+  v.offsets.reserve(static_cast<std::size_t>(a.num_rows) + 1);
+  v.row_ids.reserve(static_cast<std::size_t>(a.num_rows));
+  v.offsets.push_back(0);
+  for (index_t r = 0; r < a.num_rows; ++r) {
+    if (a.row_length(r) > 0) {
+      v.offsets.push_back(a.row_offsets[static_cast<std::size_t>(r) + 1]);
+      v.row_ids.push_back(r);
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+template <typename V>
+SpmvStats spmv_impl(vgpu::Device& device, const sparse::CsrMatrix<V>& a,
+                    std::span<const V> x, std::span<V> y, const SpmvConfig& cfg) {
+  MPS_CHECK(x.size() >= static_cast<std::size_t>(a.num_cols));
+  MPS_CHECK(y.size() >= static_cast<std::size_t>(a.num_rows));
+  util::WallTimer wall;
+  SpmvStats stats;
+  std::fill(y.begin(), y.begin() + a.num_rows, 0.0);
+  const std::size_t nnz = static_cast<std::size_t>(a.nnz());
+  if (nnz == 0) {
+    stats.wall_ms = wall.milliseconds();
+    return stats;
+  }
+
+  // --- Empty-row detection / compaction (paper's adaptive switch) -------
+  stats.used_compaction = cfg.force_compaction || a.has_empty_rows();
+  CompactView compact;
+  std::span<const index_t> offsets;
+  std::span<const index_t> row_ids;  // empty => identity
+  if (stats.used_compaction) {
+    compact = compact_offsets(a);
+    offsets = compact.offsets;
+    row_ids = compact.row_ids;
+    // A streaming pass over the offsets array builds the compacted view.
+    const auto s = device.launch(
+        "merge.spmv_compact", std::max(1, a.num_rows / 2048 + 1),
+        cfg.block_threads, [&](vgpu::Cta& cta) {
+          const std::size_t rows_per_cta = 2048;
+          const std::size_t lo = static_cast<std::size_t>(cta.cta_id()) * rows_per_cta;
+          const std::size_t hi =
+              std::min(static_cast<std::size_t>(a.num_rows), lo + rows_per_cta);
+          if (lo >= hi) return;
+          cta.charge_global((hi - lo) * 3 * sizeof(index_t));
+          cta.charge_alu_uniform(hi - lo);
+        });
+    stats.compact_ms = s.modeled_ms;
+  } else {
+    offsets = a.row_offsets;
+  }
+  const index_t num_seg_rows = static_cast<index_t>(offsets.size()) - 1;
+
+  const std::size_t tile = static_cast<std::size_t>(cfg.tile());
+  const int num_ctas = static_cast<int>(ceil_div(nnz, tile));
+  stats.num_ctas = num_ctas;
+
+  // --- Phase 1: partition ----------------------------------------------
+  // S[i] = last row whose offset <= i * tile.
+  vgpu::ScopedDeviceAlloc s_mem(device.memory(),
+                                (static_cast<std::size_t>(num_ctas) + 1) *
+                                    sizeof(index_t));
+  std::vector<index_t> s_bounds(static_cast<std::size_t>(num_ctas) + 1);
+  {
+    const int fences = num_ctas + 1;
+    const int part_ctas = static_cast<int>(
+        ceil_div(static_cast<std::size_t>(fences),
+                 static_cast<std::size_t>(cfg.block_threads)));
+    const auto s = device.launch(
+        "merge.spmv_partition", part_ctas, cfg.block_threads, [&](vgpu::Cta& cta) {
+          const std::size_t lo = static_cast<std::size_t>(cta.cta_id()) *
+                                 static_cast<std::size_t>(cfg.block_threads);
+          const std::size_t hi = std::min(static_cast<std::size_t>(fences),
+                                          lo + static_cast<std::size_t>(cfg.block_threads));
+          for (std::size_t f = lo; f < hi; ++f) {
+            const index_t target = static_cast<index_t>(std::min(f * tile, nnz));
+            s_bounds[f] = static_cast<index_t>(primitives::segment_of(
+                offsets.subspan(0, static_cast<std::size_t>(num_seg_rows)),
+                target));
+            cta.charge_binary_search(static_cast<std::size_t>(num_seg_rows));
+          }
+          cta.charge_global((hi - lo) * sizeof(index_t));
+        });
+    stats.partition_ms = s.modeled_ms;
+  }
+
+  // --- Phase 2: reduction ------------------------------------------------
+  // Carries: the open trailing row of each CTA (compacted row id, partial).
+  vgpu::ScopedDeviceAlloc carry_mem(device.memory(),
+                                    static_cast<std::size_t>(num_ctas) *
+                                        (sizeof(index_t) + sizeof(V)));
+  std::vector<index_t> carry_row(static_cast<std::size_t>(num_ctas), -1);
+  std::vector<V> carry_val(static_cast<std::size_t>(num_ctas), 0.0);
+  {
+    const auto s = device.launch(
+        "merge.spmv_reduce", num_ctas, cfg.block_threads, [&](vgpu::Cta& cta) {
+          const std::size_t p_lo = static_cast<std::size_t>(cta.cta_id()) * tile;
+          const std::size_t p_hi = std::min(nnz, p_lo + tile);
+          const index_t row_lo = s_bounds[static_cast<std::size_t>(cta.cta_id())];
+          const index_t row_hi = s_bounds[static_cast<std::size_t>(cta.cta_id()) + 1];
+
+          // Row-offset window staged through shared memory.
+          auto shm_offsets =
+              cta.shm().alloc<index_t>(static_cast<std::size_t>(row_hi - row_lo) + 2);
+          (void)shm_offsets;
+          cta.charge_global((static_cast<std::size_t>(row_hi - row_lo) + 2) *
+                            sizeof(index_t));
+
+          // Strided loads of column indices and values, x gathers,
+          // blocked transpose, and the CTA-wide segmented scan.
+          cta.charge_global((p_hi - p_lo) * (sizeof(index_t) + sizeof(V)));
+          cta.charge_gather(p_hi - p_lo);
+          cta.charge_shared_elems(3 * (p_hi - p_lo));
+          cta.charge_alu_uniform(2 * (p_hi - p_lo));
+          cta.charge_sync();
+          cta.charge_sync();
+
+          // Functional reduction: walk rows covering [p_lo, p_hi).
+          for (index_t r = row_lo; r <= row_hi && r < num_seg_rows; ++r) {
+            const std::size_t seg_lo =
+                std::max(p_lo, static_cast<std::size_t>(offsets[static_cast<std::size_t>(r)]));
+            const std::size_t seg_hi =
+                std::min(p_hi, static_cast<std::size_t>(offsets[static_cast<std::size_t>(r) + 1]));
+            if (seg_lo >= seg_hi) continue;
+            V acc{};
+            for (std::size_t k = seg_lo; k < seg_hi; ++k) {
+              acc += a.val[k] * x[static_cast<std::size_t>(a.col[k])];
+            }
+            const bool row_ends_here =
+                static_cast<std::size_t>(offsets[static_cast<std::size_t>(r) + 1]) <= p_hi;
+            const index_t out_row = row_ids.empty() ? r : row_ids[static_cast<std::size_t>(r)];
+            if (row_ends_here) {
+              y[static_cast<std::size_t>(out_row)] += acc;
+              cta.charge_global(sizeof(V));
+            } else {
+              carry_row[static_cast<std::size_t>(cta.cta_id())] = out_row;
+              carry_val[static_cast<std::size_t>(cta.cta_id())] = acc;
+              cta.charge_global(sizeof(V) + sizeof(index_t));
+            }
+          }
+        });
+    stats.reduce_ms = s.modeled_ms;
+  }
+
+  // --- Phase 3: update (inter-CTA carry propagation) ---------------------
+  {
+    const auto s = device.launch("merge.spmv_update", 1, cfg.block_threads,
+                                 [&](vgpu::Cta& cta) {
+      for (int i = 0; i < num_ctas; ++i) {
+        if (carry_row[static_cast<std::size_t>(i)] >= 0) {
+          y[static_cast<std::size_t>(carry_row[static_cast<std::size_t>(i)])] +=
+              carry_val[static_cast<std::size_t>(i)];
+        }
+      }
+      cta.charge_global(static_cast<std::size_t>(num_ctas) *
+                        (sizeof(index_t) + sizeof(V)));
+      cta.charge_shared_elems(static_cast<std::size_t>(num_ctas));
+      cta.charge_alu_uniform(static_cast<std::size_t>(num_ctas));
+    });
+    stats.update_ms = s.modeled_ms;
+  }
+  stats.wall_ms = wall.milliseconds();
+  return stats;
+}
+
+
+}  // namespace detail
+
+}  // namespace mps::core::merge

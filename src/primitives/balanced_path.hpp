@@ -1,0 +1,177 @@
+#pragma once
+// Balanced Path partitioning — the paper's extension of Merge Path to
+// duplicate-aware set operations (Section III-B, Figure 1b).
+//
+// Plain merge path may cut between two equal keys, so the worker that sees
+// the copy of key x from A may not see its matching copy from B — fatal
+// for set union/intersection and for SpAdd, where matched (row, col)
+// tuples must be combined by exactly one worker.
+//
+// Balanced path fixes this by ranking duplicates.  For each key x, let its
+// run contain aT copies in A and bT copies in B.  The *canonical
+// interleave* consumes the run as
+//
+//     A(x,0)  B(x,0)  A(x,1)  B(x,1)  ...            (matched pairs)
+//     then the |aT - bT| unmatched leftovers from the longer side.
+//
+// Partition cuts are made along this interleaved order.  When a diagonal
+// would land between A(x,r) and its match B(x,r), the cut is *starred*:
+// extended by one element so the pair stays on the left side.  Partitions
+// therefore contain `chunk` or `chunk + 1` path elements, and a serial
+// two-pointer set operation inside each partition pairs ranks exactly as
+// the global operation would.
+//
+// With this pairing the serial kernels below implement the standard
+// multiset semantics (identical to std::set_union et al.):
+//   union:                max(aT, bT) copies,
+//   intersection:         min(aT, bT) copies,
+//   difference:           max(aT - bT, 0) copies,
+//   symmetric difference: |aT - bT| copies.
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "primitives/merge_path.hpp"
+#include "primitives/search.hpp"
+#include "util/common.hpp"
+
+namespace mps::primitives {
+
+/// A cut of the balanced path.  The prefix before the cut consumes
+/// a_index elements of A and b_index elements of B; `starred` records
+/// that the cut was extended by one B element to keep a matched pair
+/// together (so a_index + b_index == diag + starred).
+struct BalancedCut {
+  std::size_t a_index = 0;
+  std::size_t b_index = 0;
+  bool starred = false;
+};
+
+/// Locate the balanced-path cut for diagonal `diag` (0 <= diag <= |A|+|B|).
+template <typename T, typename Less = std::less<T>>
+BalancedCut balanced_path(std::span<const T> a, std::span<const T> b,
+                          std::size_t diag, Less less = {}) {
+  std::size_t ai = merge_path(a, b, diag, less);
+  std::size_t bi = diag - ai;
+  BalancedCut cut{ai, bi, false};
+  if (bi >= b.size()) return cut;  // B exhausted: no pair can be split
+
+  // The only hazardous run is the one keyed by the next unconsumed B
+  // element (see merge_path's A-first tie convention; a mid-run cut in A
+  // with a different next B key implies B holds no copies of that key).
+  const T& x = b[bi];
+  const std::size_t a_start = lower_bound_index(a.first(ai), x, less);
+  const std::size_t b_start = lower_bound_index(b.first(bi), x, less);
+  const std::size_t consumed = (ai - a_start) + (bi - b_start);
+  if (consumed == 0) return cut;  // cut sits at the start of x's run
+
+  // Total run lengths on each side.
+  const std::size_t a_total =
+      upper_bound_index(a.subspan(a_start), x, less);
+  const std::size_t b_total =
+      upper_bound_index(b.subspan(b_start), x, less);
+  const std::size_t pairs = a_total < b_total ? a_total : b_total;
+
+  // Redistribute the `consumed` run elements along the canonical
+  // interleave: alternate A/B through the paired region, then leftovers
+  // from the longer side only.
+  std::size_t a_adv, b_adv;
+  bool star = false;
+  if (consumed >= 2 * pairs) {
+    const std::size_t extra = consumed - 2 * pairs;
+    a_adv = pairs + (a_total > b_total ? extra : 0);
+    b_adv = consumed - a_adv;
+  } else {
+    a_adv = (consumed + 1) / 2;
+    b_adv = consumed - a_adv;
+    if (consumed % 2 == 1) {
+      // The cut would separate A(x, (consumed-1)/2) from its match; steal
+      // the matching B element (paper: the "starred" diagonal).
+      b_adv += 1;
+      star = true;
+    }
+  }
+  cut.a_index = a_start + a_adv;
+  cut.b_index = b_start + b_adv;
+  cut.starred = star;
+  return cut;
+}
+
+/// Evenly spaced balanced cuts: fence i sits at diagonal min(i*chunk, total)
+/// (adjusted by stars).  Returns num_parts + 1 fences; partition p spans
+/// fences [p, p+1).
+template <typename T, typename Less = std::less<T>>
+std::vector<BalancedCut> balanced_path_partitions(std::span<const T> a,
+                                                  std::span<const T> b,
+                                                  std::size_t chunk,
+                                                  Less less = {}) {
+  MPS_CHECK(chunk > 0);
+  const std::size_t total = a.size() + b.size();
+  const std::size_t num_parts = total == 0 ? 1 : ceil_div(total, chunk);
+  std::vector<BalancedCut> cuts(num_parts + 1);
+  cuts[0] = BalancedCut{0, 0, false};
+  for (std::size_t p = 1; p < num_parts; ++p) {
+    cuts[p] = balanced_path(a, b, p * chunk, less);
+  }
+  cuts[num_parts] = BalancedCut{a.size(), b.size(), false};
+  return cuts;
+}
+
+/// The set operations expressible over balanced-path partitions.
+enum class SetOp { kUnion, kIntersection, kDifference, kSymmetricDifference };
+
+/// Serial multiset operation over one partition.  `emit_a(i)` / `emit_b(j)`
+/// receive source indices for unmatched emissions; `emit_match(i, j)` for a
+/// matched pair.  Returns the number of emissions.
+template <typename T, typename EmitA, typename EmitB, typename EmitMatch,
+          typename Less = std::less<T>>
+std::size_t set_op_serial(std::span<const T> a, std::span<const T> b,
+                          std::size_t a_begin, std::size_t a_end,
+                          std::size_t b_begin, std::size_t b_end, SetOp op,
+                          EmitA&& emit_a, EmitB&& emit_b, EmitMatch&& emit_match,
+                          Less less = {}) {
+  std::size_t i = a_begin, j = b_begin, count = 0;
+  const bool take_a = op == SetOp::kUnion || op == SetOp::kDifference ||
+                      op == SetOp::kSymmetricDifference;
+  const bool take_b = op == SetOp::kUnion || op == SetOp::kSymmetricDifference;
+  const bool take_match = op == SetOp::kUnion || op == SetOp::kIntersection;
+  while (i < a_end && j < b_end) {
+    if (less(a[i], b[j])) {
+      if (take_a) {
+        emit_a(i);
+        ++count;
+      }
+      ++i;
+    } else if (less(b[j], a[i])) {
+      if (take_b) {
+        emit_b(j);
+        ++count;
+      }
+      ++j;
+    } else {
+      if (take_match) {
+        emit_match(i, j);
+        ++count;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a_end; ++i) {
+    if (take_a) {
+      emit_a(i);
+      ++count;
+    }
+  }
+  for (; j < b_end; ++j) {
+    if (take_b) {
+      emit_b(j);
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace mps::primitives

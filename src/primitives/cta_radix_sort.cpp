@@ -1,0 +1,14 @@
+// cta_radix_sort is a header template; this TU anchors the library and
+// provides the common instantiations so dependents link fast.
+#include "primitives/cta_radix_sort.hpp"
+
+namespace mps::primitives {
+
+template void cta_radix_sort<std::uint32_t>(vgpu::Cta&, std::span<std::uint32_t>,
+                                            std::span<std::uint32_t>, int, int,
+                                            const CtaSortConfig&);
+template void cta_radix_sort<std::uint64_t>(vgpu::Cta&, std::span<std::uint64_t>,
+                                            std::span<std::uint64_t>, int, int,
+                                            const CtaSortConfig&);
+
+}  // namespace mps::primitives

@@ -1,0 +1,113 @@
+#pragma once
+// CTA-level radix sort (the "Block Sort" engine of merge SpGEMM).
+//
+// Models CUB's BlockRadixSort: an LSD counting sort over `digit_bits`-wide
+// digits held in shared memory, 128 threads x 11 items per CTA (the
+// configuration benchmarked in the paper's Fig 4).  The paper's two key
+// optimizations are expressed directly in the interface:
+//
+//   * bit-limiting  — sort only ceil(log2(num_cols)) bits, cutting digit
+//     passes (Fig 4: 28 -> 12 bits roughly halves the cycles again);
+//   * keys-only with embedded permutation — when the key's upper bits are
+//     unused, the origin index rides inside the key, halving shared
+//     traffic versus a key-value sort.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+#include "vgpu/cta.hpp"
+
+namespace mps::primitives {
+
+struct CtaSortConfig {
+  int block_threads = 128;
+  int items_per_thread = 11;
+  int digit_bits = 4;  ///< radix digit width per pass (CUB default class)
+  int tile() const { return block_threads * items_per_thread; }
+};
+
+/// Stable LSD radix sort of `keys[0..n)` (n <= cfg.tile()) restricted to
+/// key bits [bit_begin, bit_end).  If `values` is non-empty it is permuted
+/// alongside (a key-value "pairs" sort, costing extra shared traffic).
+/// Charges `cta` for the modeled shared-memory work.
+template <typename K>
+void cta_radix_sort(vgpu::Cta& cta, std::span<K> keys, std::span<K> values,
+                    int bit_begin, int bit_end, const CtaSortConfig& cfg = {}) {
+  MPS_CHECK(keys.size() <= static_cast<std::size_t>(cfg.tile()));
+  MPS_CHECK(values.empty() || values.size() == keys.size());
+  MPS_CHECK(bit_begin >= 0 && bit_end <= static_cast<int>(sizeof(K) * 8) &&
+            bit_begin <= bit_end);
+  const std::size_t n = keys.size();
+  const bool pairs = !values.empty();
+  const int num_passes = ceil_div(bit_end - bit_begin, cfg.digit_bits);
+  const std::size_t radix = std::size_t{1} << cfg.digit_bits;
+
+  std::vector<K> key_buf(n);
+  std::vector<K> val_buf(pairs ? n : 0);
+  std::vector<std::size_t> hist(radix);
+
+  for (int pass = 0; pass < num_passes; ++pass) {
+    const int shift = bit_begin + pass * cfg.digit_bits;
+    // The final pass may cover fewer than digit_bits bits; the mask must
+    // not spill into bits above bit_end (they can hold live payload, e.g.
+    // the embedded permutation rank).
+    const int pass_bits = std::min(cfg.digit_bits, bit_end - shift);
+    const K mask = static_cast<K>((std::size_t{1} << pass_bits) - 1);
+    std::fill(hist.begin(), hist.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++hist[static_cast<std::size_t>((keys[i] >> shift) & mask)];
+    }
+    std::size_t acc = 0;
+    for (std::size_t d = 0; d < radix; ++d) {
+      const std::size_t c = hist[d];
+      hist[d] = acc;
+      acc += c;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t dst = hist[static_cast<std::size_t>((keys[i] >> shift) & mask)]++;
+      key_buf[dst] = keys[i];
+      if (pairs) val_buf[dst] = values[i];
+    }
+    std::copy(key_buf.begin(), key_buf.end(), keys.begin());
+    if (pairs) std::copy(val_buf.begin(), val_buf.end(), values.begin());
+
+    // Cost per pass: read keys + compute ranks (warp scans over digit
+    // histograms) + scatter through shared memory; pairs also permute the
+    // value array through shared memory.
+    cta.charge_shared_elems(3 * n);
+    if (pairs) cta.charge_shared_elems(2 * n);
+    cta.charge_alu_uniform(2 * n);
+    cta.charge_sync();
+    cta.charge_sync();
+  }
+}
+
+/// Keys-only helper.
+template <typename K>
+void cta_radix_sort_keys(vgpu::Cta& cta, std::span<K> keys, int bit_begin,
+                         int bit_end, const CtaSortConfig& cfg = {}) {
+  cta_radix_sort(cta, keys, std::span<K>{}, bit_begin, bit_end, cfg);
+}
+
+/// Pack a local permutation index into the unused upper bits of a key
+/// whose payload occupies the low `key_bits` bits.  Requires
+/// key_bits + log2_ceil(n) <= bits(K) — the caller checks applicability
+/// (the paper falls back to a pairs sort when it does not fit).
+template <typename K>
+K embed_rank(K key, std::size_t rank, int key_bits) {
+  return static_cast<K>(key | (static_cast<K>(rank) << key_bits));
+}
+
+template <typename K>
+K extract_key(K packed, int key_bits) {
+  return static_cast<K>(packed & ((K{1} << key_bits) - 1));
+}
+
+template <typename K>
+std::size_t extract_rank(K packed, int key_bits) {
+  return static_cast<std::size_t>(packed >> key_bits);
+}
+
+}  // namespace mps::primitives

@@ -1,0 +1,163 @@
+#pragma once
+// Device-wide merge and merge sort built on merge-path partitioning — the
+// "highly regular merge-based sorting routines" of the paper's Section II
+// (Green/McColl/Bader ICS'12; Davidson et al. InPar'12).
+//
+// merge: each CTA binary-searches its diagonal, then serially merges its
+// equal-size chunk — zero inter-CTA communication.
+// merge_sort: bottom-up; CTA-local sort of tiles, then log2(num_tiles)
+// device-wide merge rounds ping-ponging between buffers.
+
+#include <algorithm>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "primitives/merge_path.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps::primitives {
+
+struct DeviceMergeStats {
+  double modeled_ms = 0.0;
+  int rounds = 0;  ///< merge rounds (merge_sort only)
+};
+
+namespace detail {
+
+/// One device-wide merge of sorted [a] and [b] into out (charged).
+template <typename K, typename V, typename Less>
+vgpu::KernelStats merge_pass(vgpu::Device& device, const std::string& name,
+                             std::span<const K> a, std::span<const V> va,
+                             std::span<const K> b, std::span<const V> vb,
+                             std::span<K> out, std::span<V> vout, bool pairs,
+                             Less less) {
+  constexpr int kBlock = 128;
+  constexpr std::size_t kTile = 128 * 11;
+  const std::size_t total = a.size() + b.size();
+  const int num_ctas = static_cast<int>(std::max<std::size_t>(ceil_div(total, kTile), 1));
+  return device.launch(name, num_ctas, kBlock, [&, less](vgpu::Cta& cta) {
+    const std::size_t d_lo = std::min<std::size_t>(
+        static_cast<std::size_t>(cta.cta_id()) * kTile, total);
+    const std::size_t d_hi = std::min(total, d_lo + kTile);
+    const std::size_t a_lo = merge_path(a, b, d_lo, less);
+    const std::size_t a_hi = merge_path(a, b, d_hi, less);
+    cta.charge_binary_search(total);
+    std::size_t i = a_lo, j = d_lo - a_lo;
+    const std::size_t j_hi = d_hi - a_hi;
+    std::size_t o = d_lo;
+    while (i < a_hi && j < j_hi) {
+      const bool take_b = less(b[j], a[i]);
+      out[o] = take_b ? b[j] : a[i];
+      if (pairs) vout[o] = take_b ? vb[j] : va[i];
+      ++o;
+      take_b ? ++j : ++i;
+    }
+    for (; i < a_hi; ++i, ++o) {
+      out[o] = a[i];
+      if (pairs) vout[o] = va[i];
+    }
+    for (; j < j_hi; ++j, ++o) {
+      out[o] = b[j];
+      if (pairs) vout[o] = vb[j];
+    }
+    const std::size_t count = d_hi - d_lo;
+    const std::size_t elem = sizeof(K) + (pairs ? sizeof(V) : 0);
+    cta.charge_global(2 * count * elem);  // read both inputs, write out
+    cta.charge_shared_elems(2 * count);
+    cta.charge_alu_uniform(count);
+    cta.charge_sync();
+  });
+}
+
+}  // namespace detail
+
+/// out = merge(a, b); `out` must have a.size() + b.size() elements.
+template <typename K, typename Less = std::less<K>>
+DeviceMergeStats device_merge(vgpu::Device& device, std::span<const K> a,
+                              std::span<const K> b, std::span<K> out,
+                              Less less = {}) {
+  MPS_CHECK(out.size() >= a.size() + b.size());
+  std::span<const K> no_vals;
+  std::span<K> no_out;
+  DeviceMergeStats stats;
+  stats.modeled_ms =
+      detail::merge_pass<K, K, Less>(device, "merge.keys", a, no_vals, b, no_vals,
+                                     out, no_out, /*pairs=*/false, less)
+          .modeled_ms;
+  return stats;
+}
+
+/// Key-value merge.
+template <typename K, typename V, typename Less = std::less<K>>
+DeviceMergeStats device_merge_pairs(vgpu::Device& device, std::span<const K> ka,
+                                    std::span<const V> va, std::span<const K> kb,
+                                    std::span<const V> vb, std::span<K> kout,
+                                    std::span<V> vout, Less less = {}) {
+  MPS_CHECK(va.size() == ka.size() && vb.size() == kb.size());
+  MPS_CHECK(kout.size() >= ka.size() + kb.size() && vout.size() >= kout.size());
+  DeviceMergeStats stats;
+  stats.modeled_ms =
+      detail::merge_pass<K, V, Less>(device, "merge.pairs", ka, va, kb, vb, kout,
+                                     vout, /*pairs=*/true, less)
+          .modeled_ms;
+  return stats;
+}
+
+/// Stable device-wide merge sort of `keys` in place (ping-pong buffer is
+/// accounted against device memory).
+template <typename K, typename Less = std::less<K>>
+DeviceMergeStats device_merge_sort(vgpu::Device& device, std::span<K> keys,
+                                   Less less = {}) {
+  DeviceMergeStats stats;
+  const std::size_t n = keys.size();
+  if (n <= 1) return stats;
+  constexpr int kBlock = 128;
+  constexpr std::size_t kTile = 128 * 11;
+  vgpu::ScopedDeviceAlloc pingpong(device.memory(), n * sizeof(K));
+
+  // Round 0: CTA-local sorts of each tile.
+  const int num_tiles = static_cast<int>(ceil_div(n, kTile));
+  auto s0 = device.launch("mergesort.block", num_tiles, kBlock, [&](vgpu::Cta& cta) {
+    const std::size_t lo = static_cast<std::size_t>(cta.cta_id()) * kTile;
+    const std::size_t hi = std::min(n, lo + kTile);
+    std::stable_sort(keys.begin() + static_cast<long>(lo),
+                     keys.begin() + static_cast<long>(hi), less);
+    const std::size_t count = hi - lo;
+    cta.charge_global(2 * count * sizeof(K));
+    // log2(tile) odd-even merge rounds through shared memory.
+    cta.charge_shared_elems(count * static_cast<std::size_t>(log2_ceil(kTile)));
+    cta.charge_alu_uniform(count * static_cast<std::size_t>(log2_ceil(kTile)));
+    cta.charge_sync();
+  });
+  stats.modeled_ms += s0.modeled_ms;
+
+  // log2 rounds of device-wide merges of runs of width w.
+  std::vector<K> buf(n);
+  std::span<K> src = keys;
+  std::span<K> dst(buf);
+  for (std::size_t w = kTile; w < n; w *= 2) {
+    ++stats.rounds;
+    for (std::size_t lo = 0; lo < n; lo += 2 * w) {
+      const std::size_t mid = std::min(n, lo + w);
+      const std::size_t hi = std::min(n, lo + 2 * w);
+      std::span<const K> a(src.data() + lo, mid - lo);
+      std::span<const K> b(src.data() + mid, hi - mid);
+      std::span<const K> no_vals;
+      std::span<K> no_out;
+      stats.modeled_ms +=
+          detail::merge_pass<K, K, Less>(device, "mergesort.merge", a, no_vals, b,
+                                         no_vals, dst.subspan(lo, hi - lo), no_out,
+                                         /*pairs=*/false, less)
+              .modeled_ms;
+    }
+    std::swap(src, dst);
+  }
+  if (src.data() != keys.data()) {
+    std::copy(src.begin(), src.end(), keys.begin());
+  }
+  return stats;
+}
+
+}  // namespace mps::primitives

@@ -1,0 +1,46 @@
+#pragma once
+// Device-wide LSD radix sort (the "Global Sort" engine).
+//
+// Classic three-kernel-per-pass structure (Merrill & Grimshaw):
+// per-tile digit histograms, a scan of the histogram matrix, and a
+// ranked scatter.  The implementation actually performs those passes
+// (functional counting sorts over 8-bit digits), charging each kernel's
+// global traffic, so the modeled cost scales with passes x bytes exactly
+// the way the paper's global sorting phase does.
+//
+// `sort_pairs` sorts a u32/u64 key array together with a u32 payload
+// (SpGEMM sorts *permutations*, not products — the values are formed
+// later, see paper Section III-C).  `bit_end` defaults to the full key
+// width; pass log2_ceil(num_cols) etc. to exploit bit-limiting.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "vgpu/device.hpp"
+
+namespace mps::primitives {
+
+struct DeviceSortStats {
+  int passes = 0;
+  double modeled_ms = 0.0;
+  double wall_ms = 0.0;
+};
+
+/// Stable LSD sort of `keys` (and `payload` alongside) on bits
+/// [0, bit_end).  Both spans are permuted in place.
+DeviceSortStats device_radix_sort_pairs(vgpu::Device& device, const std::string& name,
+                                        std::span<std::uint32_t> keys,
+                                        std::span<std::uint32_t> payload, int bit_end = 32);
+
+DeviceSortStats device_radix_sort_pairs(vgpu::Device& device, const std::string& name,
+                                        std::span<std::uint64_t> keys,
+                                        std::span<std::uint32_t> payload, int bit_end = 64);
+
+/// Keys-only variants.
+DeviceSortStats device_radix_sort_keys(vgpu::Device& device, const std::string& name,
+                                       std::span<std::uint32_t> keys, int bit_end = 32);
+DeviceSortStats device_radix_sort_keys(vgpu::Device& device, const std::string& name,
+                                       std::span<std::uint64_t> keys, int bit_end = 64);
+
+}  // namespace mps::primitives

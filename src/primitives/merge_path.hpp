@@ -1,0 +1,93 @@
+#pragma once
+// Merge Path partitioning (Green, McColl, Bader — ICS'12; ModernGPU).
+//
+// Merging sorted sequences A (|A| = aN) and B (|B| = bN) traces a
+// monotone staircase through the aN x bN grid.  Cutting the staircase
+// where it crosses the diagonal {(i, d - i)} yields, for any d, a split
+// (ai, bi = d - ai) such that merging A[0..ai) with B[0..bi) produces
+// exactly the first d outputs of the full merge.  Partitioning at evenly
+// spaced diagonals therefore hands every worker exactly the same number
+// of elements to merge, independent of how the data is segmented — the
+// load-balancing primitive the whole paper builds on.
+//
+// Tie-breaking convention: equal keys are consumed from A first (stable
+// merge).  All consumers in this repository assume this convention.
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace mps::primitives {
+
+/// Number of elements taken from A by the first `diag` steps of the merge
+/// of A and B (A-first on ties).  0 <= diag <= aN + bN.
+template <typename T, typename Less = std::less<T>>
+std::size_t merge_path(std::span<const T> a, std::span<const T> b, std::size_t diag,
+                       Less less = {}) {
+  // Search the diagonal: find smallest ai such that the staircase passes
+  // at or left of (ai, diag - ai).  A-first ties: consume a[ai] while
+  // a[ai] <= b[bi-1], i.e. step down when b[bi-1] < a[ai] is false.
+  std::size_t lo = diag > b.size() ? diag - b.size() : 0;
+  std::size_t hi = diag < a.size() ? diag : a.size();
+  while (lo < hi) {
+    const std::size_t ai = lo + (hi - lo) / 2;
+    const std::size_t bi = diag - ai - 1;
+    // If b[bi] < a[ai] is false we can still take more from A.
+    if (!less(b[bi], a[ai]))
+      lo = ai + 1;
+    else
+      hi = ai;
+  }
+  return lo;
+}
+
+/// A contiguous chunk of the merge assigned to one worker.
+struct MergeRange {
+  std::size_t a_begin = 0, a_end = 0;
+  std::size_t b_begin = 0, b_end = 0;
+  std::size_t size() const { return (a_end - a_begin) + (b_end - b_begin); }
+};
+
+/// Split the merge of A and B into `num_parts` ranges of size
+/// ceil((aN+bN)/num_parts) (the last possibly smaller).
+template <typename T, typename Less = std::less<T>>
+std::vector<MergeRange> merge_path_partitions(std::span<const T> a,
+                                              std::span<const T> b,
+                                              std::size_t num_parts, Less less = {}) {
+  MPS_CHECK(num_parts > 0);
+  const std::size_t total = a.size() + b.size();
+  const std::size_t chunk = ceil_div(total, num_parts);
+  std::vector<MergeRange> parts;
+  parts.reserve(num_parts);
+  std::size_t prev_a = 0, prev_b = 0;
+  for (std::size_t p = 1; p <= num_parts; ++p) {
+    const std::size_t diag = std::min(p * chunk, total);
+    const std::size_t ai = merge_path(a, b, diag, less);
+    const std::size_t bi = diag - ai;
+    parts.push_back(MergeRange{prev_a, ai, prev_b, bi});
+    prev_a = ai;
+    prev_b = bi;
+  }
+  return parts;
+}
+
+/// Serial merge of one MergeRange (A-first on ties) appended to `out`.
+template <typename T, typename OutIt, typename Less = std::less<T>>
+OutIt merge_range(std::span<const T> a, std::span<const T> b, const MergeRange& r,
+                  OutIt out, Less less = {}) {
+  std::size_t i = r.a_begin, j = r.b_begin;
+  while (i < r.a_end && j < r.b_end) {
+    if (less(b[j], a[i]))
+      *out++ = b[j++];
+    else
+      *out++ = a[i++];
+  }
+  while (i < r.a_end) *out++ = a[i++];
+  while (j < r.b_end) *out++ = b[j++];
+  return out;
+}
+
+}  // namespace mps::primitives

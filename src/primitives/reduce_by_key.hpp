@@ -1,0 +1,111 @@
+#pragma once
+// Device-wide reduce-by-key over a *sorted* key sequence (the final
+// contraction step of SpGEMM and of the global-sort SpAdd baseline).
+//
+// Three charged kernels: head-flagging + position scan, head scatter,
+// and per-segment accumulation (divergent: a warp's cost is its longest
+// segment, which is exactly the irregularity sort-based schemes pay).
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "primitives/scan.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps::primitives {
+
+template <typename K, typename V>
+struct ReduceByKeyResult {
+  std::vector<K> keys;
+  std::vector<V> vals;
+  double modeled_ms = 0.0;
+};
+
+template <typename K, typename V>
+ReduceByKeyResult<K, V> device_reduce_by_key(vgpu::Device& device,
+                                             const std::string& name,
+                                             std::span<const K> keys,
+                                             std::span<const V> vals) {
+  MPS_CHECK(keys.size() == vals.size());
+  ReduceByKeyResult<K, V> res;
+  const std::size_t n = keys.size();
+  if (n == 0) return res;
+
+  constexpr int kBlock = 256;
+  constexpr int kItems = 8;
+  constexpr std::size_t kTile = static_cast<std::size_t>(kBlock) * kItems;
+  const int num_tiles = static_cast<int>(ceil_div(n, kTile));
+
+  // Kernel 1: flag segment heads, count them per tile.
+  vgpu::ScopedDeviceAlloc flags_mem(device.memory(), n * sizeof(index_t));
+  std::vector<std::size_t> head_count(static_cast<std::size_t>(num_tiles) + 1, 0);
+  auto s1 = device.launch(name + ".flags", num_tiles, kBlock, [&](vgpu::Cta& cta) {
+    const std::size_t lo = static_cast<std::size_t>(cta.cta_id()) * kTile;
+    const std::size_t hi = std::min(n, lo + kTile);
+    std::size_t c = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      c += (i == 0 || keys[i] != keys[i - 1]) ? 1 : 0;
+    }
+    head_count[static_cast<std::size_t>(cta.cta_id())] = c;
+    cta.charge_global((hi - lo) * sizeof(K));
+    cta.charge_alu_uniform(hi - lo);
+  });
+  res.modeled_ms += s1.modeled_ms;
+
+  const std::size_t num_out =
+      device_exclusive_scan(device, name + ".scan",
+                            std::span<const std::size_t>(head_count),
+                            std::span<std::size_t>(head_count));
+  res.modeled_ms += device.log().back().modeled_ms;
+
+  res.keys.resize(num_out);
+  res.vals.resize(num_out);
+  vgpu::ScopedDeviceAlloc out_mem(device.memory(),
+                                  num_out * (sizeof(K) + sizeof(V)));
+  std::vector<std::size_t> seg_start(num_out + 1, n);
+
+  // Kernel 2: scatter unique keys and segment start offsets.
+  auto s2 = device.launch(name + ".heads", num_tiles, kBlock, [&](vgpu::Cta& cta) {
+    const std::size_t lo = static_cast<std::size_t>(cta.cta_id()) * kTile;
+    const std::size_t hi = std::min(n, lo + kTile);
+    std::size_t pos = head_count[static_cast<std::size_t>(cta.cta_id())];
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (i == 0 || keys[i] != keys[i - 1]) {
+        res.keys[pos] = keys[i];
+        seg_start[pos] = i;
+        ++pos;
+      }
+    }
+    cta.charge_global((hi - lo) * sizeof(K));
+    cta.charge_gather(pos - head_count[static_cast<std::size_t>(cta.cta_id())]);
+    cta.charge_alu_uniform(hi - lo);
+  });
+  res.modeled_ms += s2.modeled_ms;
+  seg_start[num_out] = n;
+
+  // Kernel 3: per-segment accumulation (one logical thread per segment).
+  const int acc_tiles = static_cast<int>(ceil_div(num_out, kTile));
+  auto s3 = device.launch(name + ".acc", std::max(acc_tiles, 1), kBlock,
+                          [&](vgpu::Cta& cta) {
+    const std::size_t lo = static_cast<std::size_t>(cta.cta_id()) * kTile;
+    const std::size_t hi = std::min(num_out, lo + kTile);
+    std::vector<std::uint32_t> lens;
+    lens.reserve(hi - lo);
+    for (std::size_t s = lo; s < hi; ++s) {
+      V acc{};
+      for (std::size_t i = seg_start[s]; i < seg_start[s + 1]; ++i) acc += vals[i];
+      res.vals[s] = acc;
+      lens.push_back(static_cast<std::uint32_t>(seg_start[s + 1] - seg_start[s]));
+      cta.charge_gather(seg_start[s + 1] - seg_start[s]);
+    }
+    cta.charge_warp_divergent(lens);
+    cta.charge_global((hi - lo) * (sizeof(V) + 2 * sizeof(index_t)));
+  });
+  res.modeled_ms += s3.modeled_ms;
+  return res;
+}
+
+}  // namespace mps::primitives

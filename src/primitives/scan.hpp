@@ -1,0 +1,57 @@
+#pragma once
+// Prefix sums: host helpers plus device-charged launches.
+
+#include <span>
+#include <vector>
+
+#include "vgpu/device.hpp"
+
+namespace mps::primitives {
+
+/// In-place exclusive scan; returns the total.
+template <typename T>
+T exclusive_scan_inplace(std::span<T> xs) {
+  T acc{};
+  for (auto& x : xs) {
+    const T v = x;
+    x = acc;
+    acc += v;
+  }
+  return acc;
+}
+
+/// Device-charged exclusive scan: out[i] = sum of in[0..i).  `out` may
+/// alias `in`.  Returns the total; kernel stats are appended to the
+/// device log.  The cost model charges the classic three-kernel
+/// (reduce / scan-partials / downsweep) pipeline.
+template <typename T>
+T device_exclusive_scan(vgpu::Device& device, const std::string& name,
+                        std::span<const T> in, std::span<T> out) {
+  MPS_CHECK(out.size() >= in.size());
+  constexpr int kBlock = 256;
+  constexpr int kItems = 8;
+  const int nv = kBlock * kItems;
+  const int num_ctas =
+      static_cast<int>(ceil_div(in.size(), static_cast<std::size_t>(nv)));
+  // Functional result first (serial, exact).
+  T acc{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const T v = in[i];
+    out[i] = acc;
+    acc += v;
+  }
+  // Cost: each CTA streams its tile twice (upsweep + downsweep) and does
+  // O(tile) shared work.
+  device.launch(name, std::max(num_ctas, 1), kBlock, [&](vgpu::Cta& cta) {
+    const std::size_t lo = static_cast<std::size_t>(cta.cta_id()) * nv;
+    const std::size_t hi = std::min(in.size(), lo + nv);
+    const std::size_t tile = hi - lo;
+    cta.charge_global(2 * tile * sizeof(T));   // read in, write out
+    cta.charge_shared_elems(2 * tile);               // up + down sweep
+    cta.charge_alu_uniform(2 * tile);
+    cta.charge_sync();
+  });
+  return acc;
+}
+
+}  // namespace mps::primitives

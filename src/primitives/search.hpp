@@ -1,0 +1,57 @@
+#pragma once
+// Binary-search building blocks.  These mirror the device-side searches the
+// paper's kernels perform (row-offset partitioning, diagonal searches).
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+namespace mps::primitives {
+
+/// First index i in [0, n) with !(a[i] < key), i.e. std::lower_bound.
+template <typename T, typename Less = std::less<T>>
+std::size_t lower_bound_index(std::span<const T> a, const T& key, Less less = {}) {
+  std::size_t lo = 0, hi = a.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (less(a[mid], key))
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+/// First index i in [0, n) with key < a[i], i.e. std::upper_bound.
+template <typename T, typename Less = std::less<T>>
+std::size_t upper_bound_index(std::span<const T> a, const T& key, Less less = {}) {
+  std::size_t lo = 0, hi = a.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (!less(key, a[mid]))
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+/// Index of the segment containing `value` given segment start offsets:
+/// largest i with offsets[i] <= value.  `offsets` must be non-decreasing
+/// and offsets[0] <= value.  This is the "binary search on the row offsets
+/// array" every partitioning phase in the paper performs.
+template <typename T>
+std::size_t segment_of(std::span<const T> offsets, T value) {
+  std::size_t lo = 0, hi = offsets.size();
+  // invariant: offsets[lo-1] <= value < offsets[hi] (virtual sentinels)
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (offsets[mid] <= value)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo == 0 ? 0 : lo - 1;
+}
+
+}  // namespace mps::primitives

@@ -1,0 +1,94 @@
+#pragma once
+// Device-wide segmented reduction over CSR-style offsets — the engine
+// inside merge SpMV, exposed as a reusable primitive.  Work is
+// partitioned at VALUE granularity (fixed values per CTA); segment
+// boundaries are located with one binary search per CTA and inter-CTA
+// carries are fixed up afterwards, exactly the paper's
+// partition/reduce/update structure.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "primitives/search.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps::primitives {
+
+struct SegmentedReduceStats {
+  double modeled_ms = 0.0;
+  int num_ctas = 0;
+};
+
+/// out[s] = sum of values[offsets[s] .. offsets[s+1]) for every segment s.
+/// `offsets` has num_segments + 1 non-decreasing entries with
+/// offsets[0] == 0 and offsets.back() == values.size(); empty segments
+/// yield 0.  `out` must hold num_segments elements (fully overwritten).
+template <typename V>
+SegmentedReduceStats device_segmented_reduce(vgpu::Device& device,
+                                             std::span<const index_t> offsets,
+                                             std::span<const V> values,
+                                             std::span<V> out) {
+  MPS_CHECK(!offsets.empty());
+  MPS_CHECK(offsets.front() == 0);
+  MPS_CHECK(static_cast<std::size_t>(offsets.back()) == values.size());
+  const std::size_t num_segments = offsets.size() - 1;
+  MPS_CHECK(out.size() >= num_segments);
+  SegmentedReduceStats stats;
+  std::fill(out.begin(), out.begin() + static_cast<long>(num_segments), V{});
+  if (values.empty()) return stats;
+
+  constexpr int kBlock = 128;
+  constexpr std::size_t kTile = 128 * 7;
+  const std::size_t n = values.size();
+  const int num_ctas = static_cast<int>(ceil_div(n, kTile));
+  stats.num_ctas = num_ctas;
+
+  std::vector<index_t> carry_seg(static_cast<std::size_t>(num_ctas), -1);
+  std::vector<V> carry_val(static_cast<std::size_t>(num_ctas), V{});
+  auto s = device.launch("segreduce", num_ctas, kBlock, [&](vgpu::Cta& cta) {
+    const std::size_t v_lo = static_cast<std::size_t>(cta.cta_id()) * kTile;
+    const std::size_t v_hi = std::min(n, v_lo + kTile);
+    const std::size_t seg_lo = segment_of(
+        offsets.subspan(0, num_segments), static_cast<index_t>(v_lo));
+    cta.charge_binary_search(num_segments);
+    for (std::size_t seg = seg_lo; seg < num_segments; ++seg) {
+      const std::size_t lo = std::max(v_lo, static_cast<std::size_t>(offsets[seg]));
+      const std::size_t hi = std::min(v_hi, static_cast<std::size_t>(offsets[seg + 1]));
+      if (lo >= hi) {
+        if (static_cast<std::size_t>(offsets[seg]) >= v_hi) break;
+        continue;
+      }
+      V acc{};
+      for (std::size_t i = lo; i < hi; ++i) acc += values[i];
+      if (static_cast<std::size_t>(offsets[seg + 1]) <= v_hi) {
+        out[seg] += acc;
+      } else {
+        carry_seg[static_cast<std::size_t>(cta.cta_id())] = static_cast<index_t>(seg);
+        carry_val[static_cast<std::size_t>(cta.cta_id())] = acc;
+      }
+    }
+    const std::size_t count = v_hi - v_lo;
+    cta.charge_global(count * sizeof(V));
+    cta.charge_shared_elems(2 * count);
+    cta.charge_alu_uniform(count);
+    cta.charge_sync();
+  });
+  stats.modeled_ms += s.modeled_ms;
+
+  auto fix = device.launch("segreduce.fixup", 1, kBlock, [&](vgpu::Cta& cta) {
+    for (int i = 0; i < num_ctas; ++i) {
+      if (carry_seg[static_cast<std::size_t>(i)] >= 0) {
+        out[static_cast<std::size_t>(carry_seg[static_cast<std::size_t>(i)])] +=
+            carry_val[static_cast<std::size_t>(i)];
+      }
+    }
+    cta.charge_global(static_cast<std::size_t>(num_ctas) *
+                      (sizeof(index_t) + sizeof(V)));
+    cta.charge_alu_uniform(static_cast<std::size_t>(num_ctas));
+  });
+  stats.modeled_ms += fix.modeled_ms;
+  return stats;
+}
+
+}  // namespace mps::primitives

@@ -1,0 +1,187 @@
+#pragma once
+// Device-wide, balanced-path set operations (paper Section III-B, Fig 2).
+//
+// Both phases of the classic two-phase output scheme are balanced-path
+// partitioned, so every CTA handles the same number of *path elements*
+// (± the star adjustment) regardless of how duplicates are distributed:
+//
+//   1. partition — one balanced-path search per CTA fence,
+//   2. count     — each CTA runs the serial multiset kernel, counting,
+//   3. scan      — exclusive scan of CTA output counts,
+//   4. emit      — re-run, writing keys (and combined values) at offset.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "primitives/balanced_path.hpp"
+#include "primitives/scan.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps::primitives {
+
+/// Tile geometry used by all balanced-path CTA kernels (ModernGPU-style
+/// 128 threads x 11 values).
+struct SetOpConfig {
+  int block_threads = 128;
+  int items_per_thread = 11;
+  int tile() const { return block_threads * items_per_thread; }
+};
+
+template <typename K, typename V>
+struct SetOpResult {
+  std::vector<K> keys;
+  std::vector<V> vals;
+  double modeled_ms = 0.0;  ///< summed over the op's kernels
+  double wall_ms = 0.0;
+};
+
+namespace detail {
+
+template <typename K, typename Less>
+void charge_fence_search(vgpu::Cta& cta, std::size_t total) {
+  (void)sizeof(K);
+  // merge-path diagonal search + two run searches (biased) per fence.
+  cta.charge_binary_search(total);
+  cta.charge_binary_search(total);
+  cta.charge_binary_search(total);
+  (void)sizeof(Less);
+}
+
+}  // namespace detail
+
+/// Generic key-value multiset operation.  `vals_a` / `vals_b` may be empty
+/// (keys-only: the result's vals stays empty).  `combine(x, y)` merges the
+/// values of a matched pair (union/intersection); unmatched emissions copy
+/// their source value.
+template <typename K, typename V, typename Combine, typename Less = std::less<K>>
+SetOpResult<K, V> device_set_op(vgpu::Device& device, std::span<const K> keys_a,
+                                std::span<const V> vals_a, std::span<const K> keys_b,
+                                std::span<const V> vals_b, SetOp op, Combine combine,
+                                Less less = {}, SetOpConfig cfg = {}) {
+  MPS_CHECK(vals_a.empty() || vals_a.size() == keys_a.size());
+  MPS_CHECK(vals_b.empty() || vals_b.size() == keys_b.size());
+  // Values are in play iff every non-empty key side brought a value array
+  // (an empty side trivially "has" values, so A + empty works).
+  const bool with_vals = vals_a.size() == keys_a.size() &&
+                         vals_b.size() == keys_b.size() &&
+                         !(keys_a.empty() && keys_b.empty());
+  const std::size_t total = keys_a.size() + keys_b.size();
+  const std::size_t tile = static_cast<std::size_t>(cfg.tile());
+  const int num_parts = static_cast<int>(total == 0 ? 1 : ceil_div(total, tile));
+
+  util::WallTimer wall;
+  SetOpResult<K, V> res;
+
+  // Inputs are device-resident; account temporaries only (fences + counts).
+  vgpu::ScopedDeviceAlloc fences_mem(device.memory(),
+                                     (static_cast<std::size_t>(num_parts) + 1) *
+                                         (2 * sizeof(std::uint64_t) + 1));
+  std::vector<BalancedCut> fences(static_cast<std::size_t>(num_parts) + 1);
+
+  // Phase 1: partition.  One logical thread per fence.
+  const int fence_ctas =
+      static_cast<int>(ceil_div(static_cast<std::size_t>(num_parts) + 1,
+                                static_cast<std::size_t>(cfg.block_threads)));
+  auto s1 = device.launch("setop.partition", fence_ctas, cfg.block_threads,
+                          [&](vgpu::Cta& cta) {
+                            const std::size_t lo =
+                                static_cast<std::size_t>(cta.cta_id()) *
+                                static_cast<std::size_t>(cfg.block_threads);
+                            const std::size_t hi =
+                                std::min(fences.size(),
+                                         lo + static_cast<std::size_t>(cfg.block_threads));
+                            for (std::size_t f = lo; f < hi; ++f) {
+                              const std::size_t diag = std::min(f * tile, total);
+                              fences[f] = balanced_path(keys_a, keys_b, diag, less);
+                              detail::charge_fence_search<K, Less>(cta, total);
+                            }
+                            cta.charge_global((hi - lo) * 2 * sizeof(std::uint64_t));
+                          });
+
+  // Phase 2: count outputs per partition.
+  vgpu::ScopedDeviceAlloc counts_mem(device.memory(),
+                                     static_cast<std::size_t>(num_parts) * sizeof(index_t));
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_parts) + 1, 0);
+  auto charge_tile = [&](vgpu::Cta& cta, const BalancedCut& lo, const BalancedCut& hi) {
+    const std::size_t na = hi.a_index - lo.a_index;
+    const std::size_t nb = hi.b_index - lo.b_index;
+    cta.charge_global(na * sizeof(K) + nb * sizeof(K));
+    if (with_vals) cta.charge_global(na * sizeof(V) + nb * sizeof(V));
+    // Thread-level balanced-path split in shared memory + serial merge.
+    cta.charge_shared_elems(static_cast<std::size_t>(cfg.block_threads) *
+                      static_cast<std::size_t>(log2_ceil(tile) + 1));
+    cta.charge_shared_elems(na + nb);
+    cta.charge_alu_uniform(na + nb);
+    cta.charge_sync();
+  };
+  auto s2 = device.launch("setop.count", num_parts, cfg.block_threads,
+                          [&](vgpu::Cta& cta) {
+                            const auto& lo = fences[static_cast<std::size_t>(cta.cta_id())];
+                            const auto& hi = fences[static_cast<std::size_t>(cta.cta_id()) + 1];
+                            charge_tile(cta, lo, hi);
+                            counts[static_cast<std::size_t>(cta.cta_id())] = set_op_serial(
+                                keys_a, keys_b, lo.a_index, hi.a_index, lo.b_index,
+                                hi.b_index, op, [](std::size_t) {}, [](std::size_t) {},
+                                [](std::size_t, std::size_t) {}, less);
+                            cta.charge_global(sizeof(index_t));
+                          });
+
+  // Phase 3: scan counts, size the output.
+  const std::size_t out_n = exclusive_scan_inplace(std::span<std::size_t>(counts));
+  auto s3 = device.launch("setop.scan", 1, cfg.block_threads, [&](vgpu::Cta& cta) {
+    cta.charge_global(2 * static_cast<std::size_t>(num_parts) * sizeof(index_t));
+    cta.charge_shared_elems(static_cast<std::size_t>(num_parts));
+  });
+
+  vgpu::ScopedDeviceAlloc out_mem(
+      device.memory(), out_n * (sizeof(K) + (with_vals ? sizeof(V) : 0)));
+  res.keys.resize(out_n);
+  if (with_vals) res.vals.resize(out_n);
+
+  // Phase 4: emit.
+  auto s4 = device.launch(
+      "setop.emit", num_parts, cfg.block_threads, [&](vgpu::Cta& cta) {
+        const auto& lo = fences[static_cast<std::size_t>(cta.cta_id())];
+        const auto& hi = fences[static_cast<std::size_t>(cta.cta_id()) + 1];
+        charge_tile(cta, lo, hi);
+        std::size_t pos = counts[static_cast<std::size_t>(cta.cta_id())];
+        const std::size_t wrote = set_op_serial(
+            keys_a, keys_b, lo.a_index, hi.a_index, lo.b_index, hi.b_index, op,
+            [&](std::size_t i) {
+              res.keys[pos] = keys_a[i];
+              if (with_vals) res.vals[pos] = vals_a[i];
+              ++pos;
+            },
+            [&](std::size_t j) {
+              res.keys[pos] = keys_b[j];
+              if (with_vals) res.vals[pos] = vals_b[j];
+              ++pos;
+            },
+            [&](std::size_t i, std::size_t j) {
+              res.keys[pos] = keys_a[i];
+              if (with_vals) res.vals[pos] = combine(vals_a[i], vals_b[j]);
+              ++pos;
+            },
+            less);
+        cta.charge_global(wrote * (sizeof(K) + (with_vals ? sizeof(V) : 0)));
+      });
+
+  res.modeled_ms = s1.modeled_ms + s2.modeled_ms + s3.modeled_ms + s4.modeled_ms;
+  res.wall_ms = wall.milliseconds();
+  return res;
+}
+
+/// Keys-only convenience wrapper.
+template <typename K, typename Less = std::less<K>>
+SetOpResult<K, K> device_set_op_keys(vgpu::Device& device, std::span<const K> a,
+                                     std::span<const K> b, SetOp op, Less less = {},
+                                     SetOpConfig cfg = {}) {
+  return device_set_op<K, K>(device, a, std::span<const K>{}, b,
+                             std::span<const K>{}, op,
+                             [](const K& x, const K&) { return x; }, less, cfg);
+}
+
+}  // namespace mps::primitives

@@ -1,0 +1,68 @@
+#pragma once
+// Vectorized sorted search (ModernGPU's "SortedSearch"): compute
+// lower_bound(b, a[i]) for EVERY element of sorted A in a single merge
+// pass, instead of |A| independent binary searches.
+//
+// This is the load-balancing dual of merge path: the answer array is
+// exactly the B-positions at which the merge consumes each A element, so
+// the same diagonal partitioning yields perfectly balanced work.  The
+// paper's SpGEMM setup phase is a specialization of this pattern.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "primitives/merge_path.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps::primitives {
+
+struct SortedSearchStats {
+  double modeled_ms = 0.0;
+};
+
+/// indices[i] = lower_bound index of a[i] within b.  A and B sorted.
+template <typename K, typename Less = std::less<K>>
+SortedSearchStats device_sorted_search(vgpu::Device& device, std::span<const K> a,
+                                       std::span<const K> b,
+                                       std::span<index_t> indices, Less less = {}) {
+  MPS_CHECK(indices.size() >= a.size());
+  SortedSearchStats stats;
+  if (a.empty()) return stats;
+  constexpr int kBlock = 128;
+  constexpr std::size_t kTile = 128 * 11;
+  const std::size_t total = a.size() + b.size();
+  const int num_ctas = static_cast<int>(ceil_div(total, kTile));
+  auto s = device.launch("sorted_search", num_ctas, kBlock, [&, less](vgpu::Cta& cta) {
+    const std::size_t d_lo = std::min<std::size_t>(
+        static_cast<std::size_t>(cta.cta_id()) * kTile, total);
+    const std::size_t d_hi = std::min(total, d_lo + kTile);
+    std::size_t i = merge_path(a, b, d_lo, less);
+    std::size_t j = d_lo - i;
+    const std::size_t i_hi = merge_path(a, b, d_hi, less);
+    const std::size_t j_hi = d_hi - i_hi;
+    cta.charge_binary_search(total);
+    // Walk the merge: when an A element is consumed, the current B cursor
+    // is its lower bound (A-first tie-breaking consumes a[i] while
+    // b[j] >= a[i], i.e. j is the first B index not less than a[i]).
+    while (i < i_hi || j < j_hi) {
+      const bool take_a =
+          i < i_hi && (j >= b.size() || !less(b[j], a[i]));
+      if (take_a) {
+        indices[i] = static_cast<index_t>(j);
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    const std::size_t count = d_hi - d_lo;
+    cta.charge_global(count * sizeof(K));        // stream both inputs
+    cta.charge_global(count * sizeof(index_t));  // write found indices
+    cta.charge_shared_elems(count);
+    cta.charge_alu_uniform(count);
+  });
+  stats.modeled_ms = s.modeled_ms;
+  return stats;
+}
+
+}  // namespace mps::primitives

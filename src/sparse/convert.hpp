@@ -1,0 +1,85 @@
+#pragma once
+// Format conversions and structural transforms.
+
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace mps::sparse {
+
+/// COO -> CSR.  Input need not be sorted; output rows are column-sorted
+/// and duplicates are preserved (use CooMatrix::canonicalize first if you
+/// need uniqueness).
+template <typename V>
+CsrMatrix<V> coo_to_csr(const CooMatrix<V>& a) {
+  MPS_CHECK(a.indices_in_bounds());
+  CooMatrix<V> sorted = a;
+  if (!sorted.is_sorted()) sorted.sort();
+  CsrMatrix<V> out(a.num_rows, a.num_cols);
+  out.col = sorted.col;
+  out.val = sorted.val;
+  for (index_t i = 0; i < sorted.nnz(); ++i) {
+    ++out.row_offsets[static_cast<std::size_t>(sorted.row[static_cast<std::size_t>(i)]) + 1];
+  }
+  for (std::size_t r = 0; r < out.row_offsets.size() - 1; ++r) {
+    out.row_offsets[r + 1] += out.row_offsets[r];
+  }
+  return out;
+}
+
+/// CSR -> COO (expanded row indices).
+template <typename V>
+CooMatrix<V> csr_to_coo(const CsrMatrix<V>& a) {
+  CooMatrix<V> out(a.num_rows, a.num_cols);
+  out.reserve(static_cast<std::size_t>(a.nnz()));
+  for (index_t r = 0; r < a.num_rows; ++r) {
+    for (index_t k = a.row_offsets[static_cast<std::size_t>(r)];
+         k < a.row_offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+      out.push_back(r, a.col[static_cast<std::size_t>(k)], a.val[static_cast<std::size_t>(k)]);
+    }
+  }
+  return out;
+}
+
+/// Transpose in CSR (equivalently CSR<->CSC reinterpretation).
+template <typename V>
+CsrMatrix<V> transpose(const CsrMatrix<V>& a) {
+  CsrMatrix<V> out(a.num_cols, a.num_rows);
+  const std::size_t nnz = static_cast<std::size_t>(a.nnz());
+  out.col.resize(nnz);
+  out.val.resize(nnz);
+  // Counting sort by column.
+  for (std::size_t k = 0; k < nnz; ++k) {
+    ++out.row_offsets[static_cast<std::size_t>(a.col[k]) + 1];
+  }
+  for (std::size_t c = 0; c < out.row_offsets.size() - 1; ++c) {
+    out.row_offsets[c + 1] += out.row_offsets[c];
+  }
+  std::vector<index_t> cursor(out.row_offsets.begin(), out.row_offsets.end() - 1);
+  for (index_t r = 0; r < a.num_rows; ++r) {
+    for (index_t k = a.row_offsets[static_cast<std::size_t>(r)];
+         k < a.row_offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+      const index_t c = a.col[static_cast<std::size_t>(k)];
+      const index_t dst = cursor[static_cast<std::size_t>(c)]++;
+      out.col[static_cast<std::size_t>(dst)] = r;
+      out.val[static_cast<std::size_t>(dst)] = a.val[static_cast<std::size_t>(k)];
+    }
+  }
+  return out;
+}
+
+/// Expanded row-index array for a CSR matrix (one row id per nonzero).
+template <typename V>
+std::vector<index_t> expand_row_indices(const CsrMatrix<V>& a) {
+  std::vector<index_t> rows(static_cast<std::size_t>(a.nnz()));
+  for (index_t r = 0; r < a.num_rows; ++r) {
+    for (index_t k = a.row_offsets[static_cast<std::size_t>(r)];
+         k < a.row_offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+      rows[static_cast<std::size_t>(k)] = r;
+    }
+  }
+  return rows;
+}
+
+}  // namespace mps::sparse

@@ -1,0 +1,119 @@
+#pragma once
+// Coordinate (COO) sparse matrix: one (row, col, value) tuple per nonzero.
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace mps::sparse {
+
+template <typename V>
+struct CooMatrix {
+  using value_type = V;
+
+  index_t num_rows = 0;
+  index_t num_cols = 0;
+  std::vector<index_t> row;
+  std::vector<index_t> col;
+  std::vector<V> val;
+
+  CooMatrix() = default;
+  CooMatrix(index_t rows, index_t cols) : num_rows(rows), num_cols(cols) {}
+
+  index_t nnz() const { return static_cast<index_t>(row.size()); }
+
+  void reserve(std::size_t n) {
+    row.reserve(n);
+    col.reserve(n);
+    val.reserve(n);
+  }
+
+  void push_back(index_t r, index_t c, V v) {
+    row.push_back(r);
+    col.push_back(c);
+    val.push_back(v);
+  }
+
+  /// True if tuples are sorted lexicographically by (row, col).
+  bool is_sorted() const {
+    for (index_t i = 1; i < nnz(); ++i) {
+      if (row[i - 1] > row[i] || (row[i - 1] == row[i] && col[i - 1] > col[i]))
+        return false;
+    }
+    return true;
+  }
+
+  /// True if sorted and no (row, col) appears twice.
+  bool is_canonical() const {
+    for (index_t i = 1; i < nnz(); ++i) {
+      if (row[i - 1] > row[i] ||
+          (row[i - 1] == row[i] && col[i - 1] >= col[i]))
+        return false;
+    }
+    return true;
+  }
+
+  /// All indices within bounds?
+  bool indices_in_bounds() const {
+    for (index_t i = 0; i < nnz(); ++i) {
+      if (row[i] < 0 || row[i] >= num_rows || col[i] < 0 || col[i] >= num_cols)
+        return false;
+    }
+    return true;
+  }
+
+  /// Sort tuples lexicographically by (row, col); stable on equal keys.
+  void sort() {
+    std::vector<index_t> perm(row.size());
+    std::iota(perm.begin(), perm.end(), index_t{0});
+    std::stable_sort(perm.begin(), perm.end(), [&](index_t a, index_t b) {
+      if (row[a] != row[b]) return row[a] < row[b];
+      return col[a] < col[b];
+    });
+    apply_permutation(perm);
+  }
+
+  /// Sort and sum duplicate (row, col) entries.
+  void canonicalize() {
+    sort();
+    index_t out = 0;
+    for (index_t i = 0; i < nnz(); ++i) {
+      if (out > 0 && row[out - 1] == row[i] && col[out - 1] == col[i]) {
+        val[out - 1] += val[i];
+      } else {
+        row[out] = row[i];
+        col[out] = col[i];
+        val[out] = val[i];
+        ++out;
+      }
+    }
+    row.resize(out);
+    col.resize(out);
+    val.resize(out);
+  }
+
+  /// Accounted device footprint in bytes (indices + values).
+  std::size_t device_bytes() const {
+    return row.size() * (2 * sizeof(index_t) + sizeof(V));
+  }
+
+ private:
+  void apply_permutation(const std::vector<index_t>& perm) {
+    std::vector<index_t> r(perm.size()), c(perm.size());
+    std::vector<V> v(perm.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      r[i] = row[static_cast<std::size_t>(perm[i])];
+      c[i] = col[static_cast<std::size_t>(perm[i])];
+      v[i] = val[static_cast<std::size_t>(perm[i])];
+    }
+    row = std::move(r);
+    col = std::move(c);
+    val = std::move(v);
+  }
+};
+
+using CooD = CooMatrix<double>;
+
+}  // namespace mps::sparse

@@ -1,0 +1,155 @@
+#include "sparse/ell.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "sparse/convert.hpp"
+
+namespace mps::sparse {
+
+EllMatrix<double> csr_to_ell(const CsrMatrix<double>& a, index_t width) {
+  EllMatrix<double> e;
+  e.num_rows = a.num_rows;
+  e.num_cols = a.num_cols;
+  index_t max_len = 0;
+  for (index_t r = 0; r < a.num_rows; ++r) max_len = std::max(max_len, a.row_length(r));
+  e.width = width < 0 ? max_len : width;
+  MPS_CHECK_MSG(max_len <= e.width, "ELL width smaller than the longest row");
+  const std::size_t cells =
+      static_cast<std::size_t>(e.num_rows) * static_cast<std::size_t>(e.width);
+  e.col.assign(cells, -1);
+  e.val.assign(cells, 0.0);
+  for (index_t r = 0; r < a.num_rows; ++r) {
+    index_t j = 0;
+    for (index_t k = a.row_offsets[static_cast<std::size_t>(r)];
+         k < a.row_offsets[static_cast<std::size_t>(r) + 1]; ++k, ++j) {
+      const std::size_t cell = static_cast<std::size_t>(j) *
+                                   static_cast<std::size_t>(e.num_rows) +
+                               static_cast<std::size_t>(r);
+      e.col[cell] = a.col[static_cast<std::size_t>(k)];
+      e.val[cell] = a.val[static_cast<std::size_t>(k)];
+    }
+  }
+  return e;
+}
+
+DiaMatrix<double> csr_to_dia(const CsrMatrix<double>& a, index_t max_diagonals) {
+  DiaMatrix<double> d;
+  d.num_rows = a.num_rows;
+  d.num_cols = a.num_cols;
+  std::map<index_t, index_t> diag_index;  // offset -> slot
+  for (index_t r = 0; r < a.num_rows; ++r) {
+    for (index_t k = a.row_offsets[static_cast<std::size_t>(r)];
+         k < a.row_offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+      diag_index.emplace(a.col[static_cast<std::size_t>(k)] - r, 0);
+    }
+  }
+  MPS_CHECK_MSG(static_cast<index_t>(diag_index.size()) <= max_diagonals,
+                "matrix needs too many diagonals for DIA");
+  d.offsets.reserve(diag_index.size());
+  index_t slot = 0;
+  for (auto& [off, idx] : diag_index) {
+    idx = slot++;
+    d.offsets.push_back(off);
+  }
+  d.val.assign(diag_index.size() * static_cast<std::size_t>(a.num_rows), 0.0);
+  for (index_t r = 0; r < a.num_rows; ++r) {
+    for (index_t k = a.row_offsets[static_cast<std::size_t>(r)];
+         k < a.row_offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+      const index_t off = a.col[static_cast<std::size_t>(k)] - r;
+      const std::size_t cell =
+          static_cast<std::size_t>(diag_index[off]) *
+              static_cast<std::size_t>(a.num_rows) +
+          static_cast<std::size_t>(r);
+      d.val[cell] = a.val[static_cast<std::size_t>(k)];
+    }
+  }
+  return d;
+}
+
+HybMatrix<double> csr_to_hyb(const CsrMatrix<double>& a,
+                             double occupancy_threshold) {
+  MPS_CHECK(occupancy_threshold > 0.0 && occupancy_threshold <= 1.0);
+  HybMatrix<double> h;
+  // Width heuristic: histogram of row lengths; K = largest width where the
+  // fraction of rows still occupying column K meets the threshold.
+  index_t max_len = 0;
+  for (index_t r = 0; r < a.num_rows; ++r) max_len = std::max(max_len, a.row_length(r));
+  std::vector<index_t> rows_with_at_least(static_cast<std::size_t>(max_len) + 2, 0);
+  for (index_t r = 0; r < a.num_rows; ++r) {
+    ++rows_with_at_least[static_cast<std::size_t>(a.row_length(r))];
+  }
+  for (index_t len = max_len; len > 0; --len) {
+    rows_with_at_least[static_cast<std::size_t>(len) - 1] +=
+        rows_with_at_least[static_cast<std::size_t>(len)];
+  }
+  index_t width = 0;
+  for (index_t k = 1; k <= max_len; ++k) {
+    if (static_cast<double>(rows_with_at_least[static_cast<std::size_t>(k)]) >=
+        occupancy_threshold * static_cast<double>(std::max<index_t>(a.num_rows, 1))) {
+      width = k;
+    }
+  }
+
+  // Split: first `width` entries of each row to ELL, the rest to COO.
+  CsrMatrix<double> head(a.num_rows, a.num_cols);
+  h.coo = CooMatrix<double>(a.num_rows, a.num_cols);
+  for (index_t r = 0; r < a.num_rows; ++r) {
+    index_t j = 0;
+    for (index_t k = a.row_offsets[static_cast<std::size_t>(r)];
+         k < a.row_offsets[static_cast<std::size_t>(r) + 1]; ++k, ++j) {
+      if (j < width) {
+        head.col.push_back(a.col[static_cast<std::size_t>(k)]);
+        head.val.push_back(a.val[static_cast<std::size_t>(k)]);
+      } else {
+        h.coo.push_back(r, a.col[static_cast<std::size_t>(k)],
+                        a.val[static_cast<std::size_t>(k)]);
+      }
+    }
+    head.row_offsets[static_cast<std::size_t>(r) + 1] =
+        static_cast<index_t>(head.col.size());
+  }
+  h.ell = csr_to_ell(head, width);
+  return h;
+}
+
+CsrMatrix<double> ell_to_csr(const EllMatrix<double>& a) {
+  CooMatrix<double> coo(a.num_rows, a.num_cols);
+  for (index_t r = 0; r < a.num_rows; ++r) {
+    for (index_t j = 0; j < a.width; ++j) {
+      const std::size_t cell = static_cast<std::size_t>(j) *
+                                   static_cast<std::size_t>(a.num_rows) +
+                               static_cast<std::size_t>(r);
+      if (a.col[cell] >= 0) coo.push_back(r, a.col[cell], a.val[cell]);
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+CsrMatrix<double> dia_to_csr(const DiaMatrix<double>& a) {
+  CooMatrix<double> coo(a.num_rows, a.num_cols);
+  for (std::size_t d = 0; d < a.offsets.size(); ++d) {
+    for (index_t r = 0; r < a.num_rows; ++r) {
+      const index_t c = r + a.offsets[d];
+      if (c < 0 || c >= a.num_cols) continue;
+      const double v = a.val[d * static_cast<std::size_t>(a.num_rows) +
+                             static_cast<std::size_t>(r)];
+      if (v != 0.0) coo.push_back(r, c, v);
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+CsrMatrix<double> hyb_to_csr(const HybMatrix<double>& a) {
+  auto csr = ell_to_csr(a.ell);
+  auto coo = csr_to_coo(csr);
+  for (index_t i = 0; i < a.coo.nnz(); ++i) {
+    coo.push_back(a.coo.row[static_cast<std::size_t>(i)],
+                  a.coo.col[static_cast<std::size_t>(i)],
+                  a.coo.val[static_cast<std::size_t>(i)]);
+  }
+  coo.canonicalize();
+  return coo_to_csr(coo);
+}
+
+}  // namespace mps::sparse

@@ -1,0 +1,82 @@
+#pragma once
+// Specialized SpMV storage formats — ELL, DIA and the Bell–Garland HYB
+// hybrid (the paper's reference [8]).  These are the "specialized, and in
+// some cases exotic, storage schemes tuned for a particular class of
+// matrices" the paper's introduction contrasts merge-path's
+// format-generality against: fast when the structure fits, invalid or
+// wasteful when it does not.
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace mps::sparse {
+
+/// ELLPACK: every row padded to a fixed width; column-major storage so a
+/// warp reading entry j of consecutive rows is perfectly coalesced.
+/// Padding entries have col == -1.
+template <typename V>
+struct EllMatrix {
+  index_t num_rows = 0;
+  index_t num_cols = 0;
+  index_t width = 0;  ///< entries per row
+  /// col[j * num_rows + r] / val[...]: entry j of row r (column-major).
+  std::vector<index_t> col;
+  std::vector<V> val;
+
+  std::size_t device_bytes() const {
+    return col.size() * (sizeof(index_t) + sizeof(V));
+  }
+  long long padded_cells() const {
+    return static_cast<long long>(num_rows) * width;
+  }
+};
+
+/// DIA: dense storage of a fixed set of diagonals; ideal for stencils
+/// (QCD, Epidemiology), unusable for unstructured matrices.
+template <typename V>
+struct DiaMatrix {
+  index_t num_rows = 0;
+  index_t num_cols = 0;
+  std::vector<index_t> offsets;  ///< diagonal offsets (col - row), ascending
+  /// val[d * num_rows + r]: entry of diagonal d in row r (0 if absent).
+  std::vector<V> val;
+
+  std::size_t device_bytes() const { return val.size() * sizeof(V); }
+};
+
+/// HYB: ELL part for the typical row prefix + COO part for the tail
+/// (Bell & Garland SC'09).
+template <typename V>
+struct HybMatrix {
+  EllMatrix<V> ell;
+  CooMatrix<V> coo;
+
+  std::size_t device_bytes() const {
+    return ell.device_bytes() + coo.device_bytes();
+  }
+};
+
+/// CSR -> ELL with the given width (default: the maximum row length).
+/// Throws if any row exceeds `width`.
+EllMatrix<double> csr_to_ell(const CsrMatrix<double>& a, index_t width = -1);
+
+/// CSR -> DIA.  Throws when the matrix needs more than `max_diagonals`
+/// distinct diagonals (the format's applicability limit).
+DiaMatrix<double> csr_to_dia(const CsrMatrix<double>& a,
+                             index_t max_diagonals = 64);
+
+/// CSR -> HYB with the Bell–Garland width heuristic: the largest K such
+/// that at least `occupancy_threshold` of rows have >= K entries (i.e.
+/// ELL cells stay mostly full); the remainder spills to COO.
+HybMatrix<double> csr_to_hyb(const CsrMatrix<double>& a,
+                             double occupancy_threshold = 1.0 / 3.0);
+
+/// Round-trips (for validation).
+CsrMatrix<double> ell_to_csr(const EllMatrix<double>& a);
+CsrMatrix<double> dia_to_csr(const DiaMatrix<double>& a);
+CsrMatrix<double> hyb_to_csr(const HybMatrix<double>& a);
+
+}  // namespace mps::sparse

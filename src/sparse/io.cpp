@@ -1,0 +1,83 @@
+#include "sparse/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mps::sparse {
+
+namespace {
+
+[[noreturn]] void parse_error(const std::string& what) {
+  throw std::runtime_error("matrix market parse error: " + what);
+}
+
+}  // namespace
+
+CooMatrix<double> read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) parse_error("empty stream");
+  std::istringstream banner(line);
+  std::string mm, object, format, field, symmetry;
+  banner >> mm >> object >> format >> field >> symmetry;
+  if (mm != "%%MatrixMarket") parse_error("missing %%MatrixMarket banner");
+  if (object != "matrix" || format != "coordinate")
+    parse_error("only 'matrix coordinate' is supported");
+  const bool pattern = field == "pattern";
+  if (!pattern && field != "real" && field != "integer")
+    parse_error("unsupported field type: " + field);
+  const bool symmetric = symmetry == "symmetric";
+  if (!symmetric && symmetry != "general")
+    parse_error("unsupported symmetry: " + symmetry);
+
+  // Skip comments.
+  do {
+    if (!std::getline(in, line)) parse_error("missing size line");
+  } while (!line.empty() && line[0] == '%');
+
+  std::istringstream size_line(line);
+  long long rows = 0, cols = 0, entries = 0;
+  size_line >> rows >> cols >> entries;
+  if (rows < 0 || cols < 0 || entries < 0) parse_error("bad size line");
+
+  CooMatrix<double> a(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  a.reserve(static_cast<std::size_t>(symmetric ? 2 * entries : entries));
+  for (long long i = 0; i < entries; ++i) {
+    long long r = 0, c = 0;
+    double v = 1.0;
+    if (!(in >> r >> c)) parse_error("truncated entry list");
+    if (!pattern && !(in >> v)) parse_error("truncated entry list");
+    if (r < 1 || r > rows || c < 1 || c > cols) parse_error("index out of range");
+    a.push_back(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1), v);
+    if (symmetric && r != c) {
+      a.push_back(static_cast<index_t>(c - 1), static_cast<index_t>(r - 1), v);
+    }
+  }
+  a.sort();
+  return a;
+}
+
+CooMatrix<double> read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CooMatrix<double>& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.num_rows << ' ' << a.num_cols << ' ' << a.nnz() << '\n';
+  out.precision(17);
+  for (index_t i = 0; i < a.nnz(); ++i) {
+    out << (a.row[static_cast<std::size_t>(i)] + 1) << ' '
+        << (a.col[static_cast<std::size_t>(i)] + 1) << ' '
+        << a.val[static_cast<std::size_t>(i)] << '\n';
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CooMatrix<double>& a) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_matrix_market(out, a);
+}
+
+}  // namespace mps::sparse

@@ -1,0 +1,19 @@
+#pragma once
+// Matrix Market (.mtx) I/O — the interchange format of the UFL collection
+// the paper draws its test matrices from.  Supports `matrix coordinate
+// real|integer|pattern general|symmetric`.
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hpp"
+
+namespace mps::sparse {
+
+CooMatrix<double> read_matrix_market(std::istream& in);
+CooMatrix<double> read_matrix_market_file(const std::string& path);
+
+void write_matrix_market(std::ostream& out, const CooMatrix<double>& a);
+void write_matrix_market_file(const std::string& path, const CooMatrix<double>& a);
+
+}  // namespace mps::sparse

@@ -1,0 +1,94 @@
+#pragma once
+// Small structural/numerical utilities on sparse matrices used by the
+// examples and tests (host-side; not performance-modeled).
+
+#include <cmath>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace mps::sparse {
+
+/// Main diagonal as a dense vector (zeros where absent).
+template <typename V>
+std::vector<V> extract_diagonal(const CsrMatrix<V>& a) {
+  std::vector<V> d(static_cast<std::size_t>(std::min(a.num_rows, a.num_cols)), V{});
+  for (index_t r = 0; r < static_cast<index_t>(d.size()); ++r) {
+    for (index_t k = a.row_offsets[static_cast<std::size_t>(r)];
+         k < a.row_offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+      if (a.col[static_cast<std::size_t>(k)] == r) {
+        d[static_cast<std::size_t>(r)] = a.val[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  return d;
+}
+
+/// In-place scalar multiply.
+template <typename V>
+void scale(CsrMatrix<V>& a, V alpha) {
+  for (auto& v : a.val) v *= alpha;
+}
+
+/// Frobenius norm.
+template <typename V>
+double frobenius_norm(const CsrMatrix<V>& a) {
+  double acc = 0.0;
+  for (const V v : a.val) acc += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(acc);
+}
+
+/// Drop entries with |value| <= threshold (structural zeros kept if
+/// threshold < 0).  Returns the number of dropped entries.
+template <typename V>
+index_t drop_small(CsrMatrix<V>& a, double threshold) {
+  index_t out = 0;
+  std::vector<index_t> new_offsets(a.row_offsets.size(), 0);
+  for (index_t r = 0; r < a.num_rows; ++r) {
+    for (index_t k = a.row_offsets[static_cast<std::size_t>(r)];
+         k < a.row_offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+      if (std::abs(static_cast<double>(a.val[static_cast<std::size_t>(k)])) >
+          threshold) {
+        a.col[static_cast<std::size_t>(out)] = a.col[static_cast<std::size_t>(k)];
+        a.val[static_cast<std::size_t>(out)] = a.val[static_cast<std::size_t>(k)];
+        ++out;
+      }
+    }
+    new_offsets[static_cast<std::size_t>(r) + 1] = out;
+  }
+  const index_t dropped = a.nnz() - out;
+  a.row_offsets = std::move(new_offsets);
+  a.col.resize(static_cast<std::size_t>(out));
+  a.val.resize(static_cast<std::size_t>(out));
+  return dropped;
+}
+
+/// Structural + numerical symmetry test (exact match of A and A^T up to
+/// `tol`).  Quadratic in row length; intended for tests/examples.
+template <typename V>
+bool is_symmetric(const CsrMatrix<V>& a, double tol = 0.0) {
+  if (a.num_rows != a.num_cols) return false;
+  for (index_t r = 0; r < a.num_rows; ++r) {
+    for (index_t k = a.row_offsets[static_cast<std::size_t>(r)];
+         k < a.row_offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+      const index_t c = a.col[static_cast<std::size_t>(k)];
+      const V v = a.val[static_cast<std::size_t>(k)];
+      // Find (c, r).
+      bool found = false;
+      for (index_t k2 = a.row_offsets[static_cast<std::size_t>(c)];
+           k2 < a.row_offsets[static_cast<std::size_t>(c) + 1]; ++k2) {
+        if (a.col[static_cast<std::size_t>(k2)] == r) {
+          if (std::abs(static_cast<double>(a.val[static_cast<std::size_t>(k2)] - v)) >
+              tol)
+            return false;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mps::sparse

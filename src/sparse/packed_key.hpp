@@ -1,0 +1,24 @@
+#pragma once
+// (row, col) tuples packed into a single 64-bit key whose natural integer
+// order equals the lexicographic tuple order of Algorithm 1 in the paper.
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace mps::sparse {
+
+constexpr std::uint64_t pack_key(index_t row, index_t col) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row)) << 32) |
+         static_cast<std::uint32_t>(col);
+}
+
+constexpr index_t key_row(std::uint64_t key) {
+  return static_cast<index_t>(key >> 32);
+}
+
+constexpr index_t key_col(std::uint64_t key) {
+  return static_cast<index_t>(key & 0xFFFFFFFFull);
+}
+
+}  // namespace mps::sparse

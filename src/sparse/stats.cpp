@@ -1,0 +1,28 @@
+#include "sparse/stats.hpp"
+
+#include <cmath>
+
+namespace mps::sparse {
+
+MatrixStats compute_stats(const CsrMatrix<double>& a) {
+  MatrixStats s;
+  s.rows = a.num_rows;
+  s.cols = a.num_cols;
+  s.nnz = a.nnz();
+  if (a.num_rows == 0) return s;
+  double sum = 0.0, sum2 = 0.0;
+  for (index_t r = 0; r < a.num_rows; ++r) {
+    const double len = static_cast<double>(a.row_length(r));
+    sum += len;
+    sum2 += len * len;
+    if (a.row_length(r) > s.max_row) s.max_row = a.row_length(r);
+    if (a.row_length(r) == 0) ++s.empty_rows;
+  }
+  const double n = static_cast<double>(a.num_rows);
+  s.avg_row = sum / n;
+  const double var = sum2 / n - s.avg_row * s.avg_row;
+  s.std_row = var > 0.0 ? std::sqrt(var) : 0.0;
+  return s;
+}
+
+}  // namespace mps::sparse

@@ -1,0 +1,22 @@
+#pragma once
+// Structural statistics of a sparse matrix (the columns of Table II).
+
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace mps::sparse {
+
+struct MatrixStats {
+  index_t rows = 0;
+  index_t cols = 0;
+  long long nnz = 0;
+  double avg_row = 0.0;  ///< mean nonzeros per row
+  double std_row = 0.0;  ///< population std of nonzeros per row
+  index_t max_row = 0;
+  index_t empty_rows = 0;
+};
+
+MatrixStats compute_stats(const CsrMatrix<double>& a);
+
+}  // namespace mps::sparse

@@ -1,0 +1,72 @@
+#pragma once
+// Small shared helpers used across every module.
+//
+// Conventions (see DESIGN.md):
+//  * `index_t` is the sparse index type (32-bit, as in the paper's GPU code).
+//  * All divisions that size parallel decompositions go through ceil_div so
+//    tile math is uniform everywhere.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace mps {
+
+using index_t = std::int32_t;
+
+/// Integer ceiling division; requires b > 0.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  return static_cast<T>((a + b - 1) / b);
+}
+
+/// Round `a` up to the next multiple of `b`; requires b > 0.
+template <typename T>
+constexpr T round_up(T a, T b) {
+  return ceil_div(a, b) * b;
+}
+
+/// ceil(log2(x)) for x >= 1; log2_ceil(1) == 0.
+constexpr int log2_ceil(std::uint64_t x) {
+  int bits = 0;
+  std::uint64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr int log2_floor(std::uint64_t x) {
+  int bits = 0;
+  while (x >>= 1) ++bits;
+  return bits;
+}
+
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Runtime invariant check that survives NDEBUG builds.  Used for argument
+/// validation on public API boundaries; internal hot loops use plain assert.
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::string what = std::string("MPS_CHECK failed: ") + expr + " at " + file + ":" +
+                     std::to_string(line);
+  if (!msg.empty()) what += " — " + msg;
+  throw std::logic_error(what);
+}
+
+}  // namespace mps
+
+#define MPS_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::mps::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MPS_CHECK_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) ::mps::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,17 @@
+#pragma once
+// Environment-variable knobs shared by benches and examples.
+//
+//   MPS_SCALE    — workload scale factor (default 1.0 for SpMV/SpAdd suites,
+//                  benches pass their own default for heavier kernels)
+//   MPS_THREADS  — host worker threads for the virtual GPU (default: hw)
+//   MPS_ITERS    — timing repetitions override
+
+#include <string>
+
+namespace mps::util {
+
+double env_double(const char* name, double fallback);
+long long env_int(const char* name, long long fallback);
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace mps::util

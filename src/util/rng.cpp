@@ -1,0 +1,130 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/common.hpp"
+
+namespace mps::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+static inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint32_t Rng::next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+std::uint64_t Rng::uniform(std::uint64_t n) {
+  MPS_CHECK(n > 0);
+  // Lemire's multiply-shift rejection method, 64-bit variant.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    std::uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::uniform_double() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_double(double lo, double hi) {
+  return lo + (hi - lo) * uniform_double();
+}
+
+double Rng::normal(double mu, double sigma) {
+  double acc = 0.0;
+  for (int i = 0; i < 12; ++i) acc += uniform_double();
+  return mu + sigma * (acc - 6.0);
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  MPS_CHECK(n >= 1);
+  // Devroye's rejection method for the Zipf distribution.
+  const double nd = static_cast<double>(n);
+  auto h = [&](double x) {
+    return (s == 1.0) ? std::log(x) : (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto h_inv = [&](double y) {
+    return (s == 1.0) ? std::exp(y) : std::pow(1.0 + (1.0 - s) * y, 1.0 / (1.0 - s));
+  };
+  const double hx0 = h(nd + 0.5);
+  const double hxm = h(0.5);
+  for (;;) {
+    const double u = hxm + uniform_double() * (hx0 - hxm);
+    const double x = h_inv(u);
+    const std::uint64_t k = static_cast<std::uint64_t>(std::llround(x));
+    const std::uint64_t kk = std::min<std::uint64_t>(std::max<std::uint64_t>(k, 1), n);
+    // Accept with probability proportional to the true pmf over the envelope.
+    const double ratio =
+        std::pow(static_cast<double>(kk), -s) /
+        (h(static_cast<double>(kk) + 0.5) - h(static_cast<double>(kk) - 0.5));
+    if (uniform_double() * std::pow(static_cast<double>(kk), -s) <=
+        ratio * std::pow(static_cast<double>(kk), -s)) {
+      return kk;
+    }
+  }
+}
+
+std::vector<std::uint32_t> sample_distinct_sorted(Rng& rng, std::uint32_t n,
+                                                  std::uint32_t k) {
+  MPS_CHECK(k <= n);
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (static_cast<std::uint64_t>(k) * 3 >= n) {
+    // Dense selection sampling (Vitter's method A style).
+    out.resize(k);
+    std::uint32_t chosen = 0;
+    for (std::uint32_t i = 0; i < n && chosen < k; ++i) {
+      const std::uint64_t remaining = n - i;
+      const std::uint64_t needed = k - chosen;
+      if (rng.uniform(remaining) < needed) out[chosen++] = i;
+    }
+    return out;
+  }
+  // Floyd's algorithm for sparse k.
+  std::unordered_set<std::uint32_t> set;
+  set.reserve(k * 2);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const std::uint32_t t = static_cast<std::uint32_t>(rng.uniform(j + 1));
+    if (!set.insert(t).second) set.insert(j);
+  }
+  out.assign(set.begin(), set.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace mps::util

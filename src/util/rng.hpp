@@ -1,0 +1,51 @@
+#pragma once
+// Deterministic random number generation for workload synthesis.
+//
+// We deliberately avoid std::mt19937 + std::*_distribution because their
+// output is not guaranteed identical across standard library versions, and
+// the workload generators must produce byte-identical matrices everywhere
+// (the experiment tables depend on it).
+
+#include <cstdint>
+#include <vector>
+
+namespace mps::util {
+
+/// splitmix64: used to expand a single u64 seed into generator state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** — fast, high-quality, tiny-state PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  std::uint64_t next_u64();
+  std::uint32_t next_u32();
+
+  /// Uniform in [0, n) without modulo bias (Lemire reduction).
+  std::uint64_t uniform(std::uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi);
+
+  /// Approximately normal(mu, sigma) via sum of uniforms (12-term CLT).
+  /// Deterministic and platform-independent, unlike std::normal_distribution.
+  double normal(double mu, double sigma);
+
+  /// Zipf-distributed integer in [1, n] with exponent s, via rejection
+  /// sampling (Devroye).  Used for power-law row-degree generation.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// k distinct values sampled uniformly from [0, n), returned sorted.
+/// Uses Floyd's algorithm for k << n and dense selection otherwise.
+std::vector<std::uint32_t> sample_distinct_sorted(Rng& rng, std::uint32_t n,
+                                                  std::uint32_t k);
+
+}  // namespace mps::util

@@ -1,0 +1,41 @@
+#pragma once
+// Descriptive statistics and linear fits used by the evaluation harness
+// (correlation coefficients in Figs. 6, 8 and 10; row-degree moments in
+// Table II).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mps::util {
+
+double mean(std::span<const double> xs);
+
+/// Population standard deviation (the UFL table reports population std).
+double stddev(std::span<const double> xs);
+
+/// Pearson correlation coefficient.  Returns 0 for degenerate inputs
+/// (fewer than two points or zero variance on either axis).
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r = 0.0;  ///< Pearson correlation of the fitted data.
+};
+
+/// Least-squares line through (x, y) pairs.
+LinearFit least_squares(std::span<const double> xs, std::span<const double> ys);
+
+/// Summary of a sample: n, min, max, mean, population std.
+struct Summary {
+  std::size_t n = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace mps::util

@@ -1,0 +1,40 @@
+#pragma once
+// Fixed-width console table and CSV emission.  Every bench binary prints
+// its figure/table through this so the output format is uniform and easy
+// to diff against EXPERIMENTS.md.
+
+#include <string>
+#include <vector>
+
+namespace mps::util {
+
+/// Column-aligned text table.  Add a header once, then rows; render()
+/// right-aligns numeric-looking cells and left-aligns text.
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Render to a string with aligned columns and a rule under the header.
+  std::string render() const;
+
+  /// Render as CSV (no alignment, RFC-ish quoting of commas/quotes).
+  std::string csv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers used to fill table cells.
+std::string fmt(double v, int precision = 2);
+std::string fmt_int(long long v);
+/// Human-readable count with thousands separators, e.g. 4 344 765.
+std::string fmt_sep(unsigned long long v);
+
+}  // namespace mps::util

@@ -1,0 +1,28 @@
+#pragma once
+// Wall-clock timing helpers.
+
+#include <chrono>
+
+namespace mps::util {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+  double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mps::util

@@ -1,0 +1,3 @@
+// cpu_model is header-only; this TU exists so the library always has at
+// least one object and to keep a home for future out-of-line additions.
+#include "vgpu/cpu_model.hpp"

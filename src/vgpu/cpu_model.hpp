@@ -1,0 +1,59 @@
+#pragma once
+// Analytic cost model for the *sequential CPU* baselines.
+//
+// Figures 7 and 9 report speedup of each GPU scheme over a single-threaded
+// CPU implementation (i7-3820, 3.6 GHz).  Mixing measured host wall time
+// with modeled GPU time would make the ratios depend on whatever machine
+// this repository happens to run on, so the CPU reference is costed through
+// the same style of analytic model: the sequential kernels count the
+// operations and bytes they actually execute and the model converts them to
+// milliseconds.
+
+#include <cstdint>
+
+namespace mps::vgpu {
+
+struct CpuProperties {
+  double clock_ghz = 3.6;       ///< i7-3820 (paper Table I)
+  double ops_per_cycle = 2.0;   ///< sustained scalar uops incl. branches
+  /// Effective streaming bandwidth ~12.8 GB/s => ~3.6 B/cycle; random
+  /// accesses are charged a full cache line.
+  double bytes_per_cycle = 3.6;
+  std::uint64_t cache_line_bytes = 64;
+};
+
+/// Accumulator the sequential kernels charge as they run.
+class CpuCost {
+ public:
+  explicit CpuCost(CpuProperties props = CpuProperties{}) : props_(props) {}
+
+  void charge_ops(std::uint64_t n) { ops_ += n; }
+  /// Sequentially streamed bytes.
+  void charge_stream(std::uint64_t bytes) { stream_bytes_ += bytes; }
+  /// Random accesses; each costs one cache line of bandwidth.
+  void charge_random(std::uint64_t count) {
+    stream_bytes_ += count * props_.cache_line_bytes;
+  }
+
+  std::uint64_t ops() const { return ops_; }
+  std::uint64_t bytes() const { return stream_bytes_; }
+
+  double cycles() const {
+    const double compute = static_cast<double>(ops_) / props_.ops_per_cycle;
+    const double mem = static_cast<double>(stream_bytes_) / props_.bytes_per_cycle;
+    const double hi = compute > mem ? compute : mem;
+    const double lo = compute > mem ? mem : compute;
+    return hi + 0.2 * lo;  // same overlap approximation as the GPU model
+  }
+
+  double modeled_ms() const { return cycles() / (props_.clock_ghz * 1e6); }
+
+  const CpuProperties& props() const { return props_; }
+
+ private:
+  CpuProperties props_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t stream_bytes_ = 0;
+};
+
+}  // namespace mps::vgpu

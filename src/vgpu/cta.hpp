@@ -1,0 +1,132 @@
+#pragma once
+// CTA execution context: identity, shared-memory arena and cost charging.
+//
+// Kernels are written as ordinary C++ that iterates over logical threads
+// ("lanes") serially; the Cta records how much *modeled* time the work
+// would take on SIMT hardware.  The charging helpers encode the three
+// effects the paper's evaluation hinges on: warp lockstep (divergence),
+// coalescing, and barrier cost.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+#include "vgpu/counters.hpp"
+#include "vgpu/device_properties.hpp"
+
+namespace mps::vgpu {
+
+/// Bump allocator standing in for on-chip shared memory.  Capacity checks
+/// catch kernels whose tile configuration would not fit on the real chip.
+class SharedMemory {
+ public:
+  explicit SharedMemory(std::size_t capacity) : capacity_(capacity) {
+    storage_.resize(capacity);
+  }
+
+  template <typename T>
+  std::span<T> alloc(std::size_t count) {
+    const std::size_t bytes = round_up(count * sizeof(T), alignof(std::max_align_t));
+    MPS_CHECK_MSG(used_ + bytes <= capacity_,
+                  "CTA shared memory capacity exceeded");
+    T* p = reinterpret_cast<T*>(storage_.data() + used_);
+    used_ += bytes;
+    return std::span<T>(p, count);
+  }
+
+  void reset() { used_ = 0; }
+  std::size_t used() const { return used_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::vector<std::byte> storage_;
+};
+
+class Cta {
+ public:
+  Cta(int cta_id, int num_ctas, int block_threads, const DeviceProperties& props,
+      SharedMemory& shm, CtaCounters& counters)
+      : cta_id_(cta_id),
+        num_ctas_(num_ctas),
+        block_threads_(block_threads),
+        props_(props),
+        shm_(shm),
+        counters_(counters) {}
+
+  int cta_id() const { return cta_id_; }
+  int num_ctas() const { return num_ctas_; }
+  int block_threads() const { return block_threads_; }
+  int warps() const { return ceil_div(block_threads_, props_.warp_size); }
+  const DeviceProperties& props() const { return props_; }
+  SharedMemory& shm() { return shm_; }
+
+  // --- Cost charging ----------------------------------------------------
+
+  /// Coalesced global traffic (reads or writes) of `bytes` bytes.
+  void charge_global(std::size_t bytes) { counters_.global_bytes += bytes; }
+
+  /// Random-access loads: `count` elements, each costing one memory sector
+  /// regardless of element size (uncoalesced SIMT gather).
+  void charge_gather(std::size_t count) {
+    counters_.gather_bytes += count * props_.gather_sector_bytes;
+  }
+
+  /// Warp-wide shared memory accesses.
+  void charge_shared(std::size_t ops) { counters_.shared_ops += ops; }
+
+  /// `elems` element-granularity shared accesses spread over the CTA's
+  /// lanes: one warp-wide access moves warp_size elements.
+  void charge_shared_elems(std::size_t elems) {
+    counters_.shared_ops +=
+        ceil_div(elems, static_cast<std::size_t>(props_.warp_size));
+  }
+
+  /// `lane_iters` loop iterations spread evenly over the CTA's lanes
+  /// (no divergence): charged as ceil(lane_iters / warp_size) warp-steps.
+  void charge_alu_uniform(std::size_t lane_iters) {
+    counters_.warp_iters += ceil_div(lane_iters, static_cast<std::size_t>(props_.warp_size));
+  }
+
+  /// A full warp executing `iters` lockstep iterations.
+  void charge_warp_iters(std::size_t iters) { counters_.warp_iters += iters; }
+
+  /// Divergent warp: each lane runs its own trip count; lockstep execution
+  /// costs the max over each warp's lanes.  `per_lane` holds one trip count
+  /// per lane of the whole CTA (padded with zeros by the caller if short).
+  void charge_warp_divergent(std::span<const std::uint32_t> per_lane) {
+    const std::size_t w = static_cast<std::size_t>(props_.warp_size);
+    for (std::size_t base = 0; base < per_lane.size(); base += w) {
+      std::uint32_t mx = 0;
+      const std::size_t end = std::min(base + w, per_lane.size());
+      for (std::size_t i = base; i < end; ++i) mx = std::max(mx, per_lane[i]);
+      counters_.warp_iters += mx;
+    }
+  }
+
+  /// CTA-wide barrier.
+  void charge_sync() { counters_.syncs += 1; }
+
+  /// One binary search of `n` elements in global memory: log2 sector
+  /// gathers plus the compare ALU work, executed by a single lane.
+  void charge_binary_search(std::size_t n) {
+    const std::size_t steps = static_cast<std::size_t>(log2_ceil(n ? n : 1)) + 1;
+    charge_gather(steps);
+    charge_warp_iters(steps);
+  }
+
+  const CtaCounters& counters() const { return counters_; }
+
+ private:
+  int cta_id_;
+  int num_ctas_;
+  int block_threads_;
+  const DeviceProperties& props_;
+  SharedMemory& shm_;
+  CtaCounters& counters_;
+};
+
+}  // namespace mps::vgpu

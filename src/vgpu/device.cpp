@@ -1,0 +1,8 @@
+#include "vgpu/device.hpp"
+
+namespace mps::vgpu {
+
+Device::Device(DeviceProperties props)
+    : props_(props), memory_(props.global_mem_bytes) {}
+
+}  // namespace mps::vgpu

@@ -1,0 +1,74 @@
+#pragma once
+// The virtual GPU device: properties + memory accounting + kernel launch.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/timer.hpp"
+#include "vgpu/counters.hpp"
+#include "vgpu/cta.hpp"
+#include "vgpu/device_properties.hpp"
+#include "vgpu/memory_model.hpp"
+#include "vgpu/thread_pool.hpp"
+#include "vgpu/timing.hpp"
+
+namespace mps::vgpu {
+
+class Device {
+ public:
+  explicit Device(DeviceProperties props = gtx_titan());
+
+  const DeviceProperties& props() const { return props_; }
+  MemoryModel& memory() { return memory_; }
+
+  /// Execute `kernel(Cta&)` for every CTA of a grid.  CTAs run in parallel
+  /// on the host pool; modeled time comes from the per-CTA cost counters.
+  ///
+  /// `kernel` must write disjoint outputs per CTA (as real CUDA kernels in
+  /// this codebase do); results and stats are then deterministic.
+  template <typename F>
+  KernelStats launch(const std::string& name, int num_ctas, int block_threads,
+                     F&& kernel) {
+    MPS_CHECK(num_ctas >= 0);
+    MPS_CHECK(block_threads > 0 && block_threads <= props_.max_cta_threads);
+    util::WallTimer wall;
+    std::vector<CtaCounters> counters(static_cast<std::size_t>(num_ctas));
+    auto body = [&](std::size_t i) {
+      thread_local SharedMemory shm(props_.shared_mem_per_cta);
+      if (shm.capacity() != props_.shared_mem_per_cta) {
+        shm = SharedMemory(props_.shared_mem_per_cta);
+      }
+      shm.reset();
+      Cta cta(static_cast<int>(i), num_ctas, block_threads, props_, shm,
+              counters[i]);
+      kernel(cta);
+    };
+    global_pool().parallel_for(static_cast<std::size_t>(num_ctas), body);
+
+    KernelStats stats;
+    stats.name = name;
+    stats.num_ctas = num_ctas;
+    std::vector<double> cycles(counters.size());
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+      cycles[i] = counters[i].cycles(props_);
+      stats.totals += counters[i];
+    }
+    stats.device_cycles = schedule_cycles(props_, cycles);
+    stats.modeled_ms = props_.cycles_to_ms(stats.device_cycles);
+    stats.wall_ms = wall.milliseconds();
+    log_.push_back(stats);
+    return stats;
+  }
+
+  /// Chronological log of every kernel launched on this device.
+  const std::vector<KernelStats>& log() const { return log_; }
+  void clear_log() { log_.clear(); }
+
+ private:
+  DeviceProperties props_;
+  MemoryModel memory_;
+  std::vector<KernelStats> log_;
+};
+
+}  // namespace mps::vgpu

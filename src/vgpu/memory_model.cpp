@@ -1,0 +1,17 @@
+#include "vgpu/memory_model.hpp"
+
+#include <algorithm>
+
+namespace mps::vgpu {
+
+void MemoryModel::reserve(std::size_t bytes) {
+  if (in_use_ + bytes > capacity_) throw DeviceOomError(bytes, in_use_, capacity_);
+  in_use_ += bytes;
+  peak_ = std::max(peak_, in_use_);
+}
+
+void MemoryModel::release(std::size_t bytes) noexcept {
+  in_use_ = bytes > in_use_ ? 0 : in_use_ - bytes;
+}
+
+}  // namespace mps::vgpu

@@ -1,0 +1,81 @@
+#pragma once
+// Device global-memory accounting.
+//
+// Functional data lives in ordinary host vectors, but every device-resident
+// array and temporary is *accounted* against the virtual GPU's capacity so
+// that workloads which exceeded the Titan's 6 GiB in the paper (Dense and
+// LP under sort-based SpGEMM, Fig 9) fail here in the same way.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace mps::vgpu {
+
+/// Thrown when a kernel's working set exceeds device capacity.
+class DeviceOomError : public std::runtime_error {
+ public:
+  DeviceOomError(std::size_t requested, std::size_t in_use, std::size_t capacity)
+      : std::runtime_error("virtual device out of memory: requested " +
+                           std::to_string(requested) + " B with " +
+                           std::to_string(in_use) + " B in use of " +
+                           std::to_string(capacity) + " B"),
+        requested_(requested) {}
+  std::size_t requested() const { return requested_; }
+
+ private:
+  std::size_t requested_;
+};
+
+class MemoryModel {
+ public:
+  explicit MemoryModel(std::size_t capacity) : capacity_(capacity) {}
+
+  void reserve(std::size_t bytes);
+  void release(std::size_t bytes) noexcept;
+
+  std::size_t in_use() const { return in_use_; }
+  std::size_t peak() const { return peak_; }
+  std::size_t capacity() const { return capacity_; }
+  void reset_peak() { peak_ = in_use_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// RAII accounting for one device allocation.
+class ScopedDeviceAlloc {
+ public:
+  ScopedDeviceAlloc(MemoryModel& model, std::size_t bytes)
+      : model_(&model), bytes_(bytes) {
+    model_->reserve(bytes_);
+  }
+  ~ScopedDeviceAlloc() {
+    if (model_) model_->release(bytes_);
+  }
+  ScopedDeviceAlloc(ScopedDeviceAlloc&& o) noexcept
+      : model_(o.model_), bytes_(o.bytes_) {
+    o.model_ = nullptr;
+  }
+  ScopedDeviceAlloc& operator=(ScopedDeviceAlloc&& o) noexcept {
+    if (this != &o) {
+      if (model_) model_->release(bytes_);
+      model_ = o.model_;
+      bytes_ = o.bytes_;
+      o.model_ = nullptr;
+    }
+    return *this;
+  }
+  ScopedDeviceAlloc(const ScopedDeviceAlloc&) = delete;
+  ScopedDeviceAlloc& operator=(const ScopedDeviceAlloc&) = delete;
+
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  MemoryModel* model_;
+  std::size_t bytes_;
+};
+
+}  // namespace mps::vgpu

@@ -1,0 +1,95 @@
+#include "vgpu/thread_pool.hpp"
+
+#include <cstdint>
+
+#include "util/env.hpp"
+
+namespace mps::vgpu {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  unsigned n = num_threads ? num_threads : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  // The calling thread participates, so spawn n-1 workers.
+  for (unsigned i = 1; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_job(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) break;
+    if (!job.failed.load(std::memory_order_relaxed)) {
+      try {
+        (*job.body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.error_mutex);
+        if (!job.failed.exchange(true)) job.error = std::current_exception();
+      }
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || (current_ && generation_ != seen); });
+      if (stop_) return;
+      seen = generation_;
+      job = current_;
+      job->in_flight += 1;
+    }
+    run_job(*job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job->in_flight -= 1;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  Job job;
+  job.n = n;
+  job.body = &body;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = &job;
+    ++generation_;
+  }
+  cv_.notify_all();
+  // The calling thread participates; when its run_job returns every index
+  // has been claimed, but workers may still be finishing theirs.
+  run_job(job);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    current_ = nullptr;  // no new worker may pick the job up
+    done_cv_.wait(lock, [&] { return job.in_flight == 0; });
+  }
+  if (job.failed.load()) std::rethrow_exception(job.error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(static_cast<unsigned>(util::env_int("MPS_THREADS", 0)));
+  return pool;
+}
+
+}  // namespace mps::vgpu

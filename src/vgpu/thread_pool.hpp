@@ -1,0 +1,62 @@
+#pragma once
+// Persistent host thread pool used to execute CTAs in parallel.
+//
+// The pool exists only to make *functional* execution fast on multi-core
+// hosts; all *timing* comes from the analytic model, so results are
+// byte-identical regardless of worker count (every CTA writes disjoint
+// output and counters are indexed by CTA id).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mps::vgpu {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Run body(i) for every i in [0, n), dynamically load-balanced.
+  /// Blocks until all iterations complete.  Exceptions thrown by `body`
+  /// are captured and the first one is rethrown on the calling thread.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Job {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> next{0};
+    /// Workers currently inside run_job for this job; guarded by mutex_.
+    int in_flight = 0;
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void worker_loop();
+  void run_job(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  Job* current_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide pool sized from MPS_THREADS (default hardware concurrency).
+ThreadPool& global_pool();
+
+}  // namespace mps::vgpu

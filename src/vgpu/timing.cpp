@@ -1,0 +1,24 @@
+#include "vgpu/timing.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace mps::vgpu {
+
+double schedule_cycles(const DeviceProperties& props,
+                       std::span<const double> cta_cycles) {
+  if (cta_cycles.empty()) return props.kernel_launch_cycles;
+  const int slots = std::max(1, props.num_sms * props.ctas_per_sm);
+  // Greedy earliest-free-slot schedule.  A plain round-robin misattributes
+  // time when one early CTA is huge; hardware backfills idle SMs, and the
+  // earliest-free heuristic models that.
+  std::vector<double> free_at(static_cast<std::size_t>(slots), 0.0);
+  for (double c : cta_cycles) {
+    auto it = std::min_element(free_at.begin(), free_at.end());
+    *it += c;
+  }
+  const double makespan = *std::max_element(free_at.begin(), free_at.end());
+  return makespan + props.kernel_launch_cycles;
+}
+
+}  // namespace mps::vgpu

@@ -1,0 +1,18 @@
+#pragma once
+// Conversion from per-CTA cycle costs to modeled kernel time.
+
+#include <span>
+
+#include "vgpu/device_properties.hpp"
+
+namespace mps::vgpu {
+
+/// Modeled device time for a kernel whose CTA i costs `cta_cycles[i]`.
+///
+/// CTAs are assigned to SMs in issue order with `ctas_per_sm` concurrent
+/// slots per SM (a greedy list-schedule onto num_sms * ctas_per_sm slots,
+/// which is how hardware work distributors behave to first order).  The
+/// kernel completes when the last slot drains; launch overhead is added.
+double schedule_cycles(const DeviceProperties& props, std::span<const double> cta_cycles);
+
+}  // namespace mps::vgpu

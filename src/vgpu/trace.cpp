@@ -1,0 +1,72 @@
+#include "vgpu/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace mps::vgpu {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const Device& device) {
+  out << "{\"traceEvents\":[";
+  double cursor_us = 0.0;
+  bool first = true;
+  for (const auto& k : device.log()) {
+    const double dur_us = k.modeled_ms * 1e3;
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << json_escape(k.name)
+        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":1"
+        << ",\"ts\":" << cursor_us << ",\"dur\":" << dur_us << ",\"args\":{"
+        << "\"num_ctas\":" << k.num_ctas
+        << ",\"device_cycles\":" << k.device_cycles
+        << ",\"global_bytes\":" << k.totals.global_bytes
+        << ",\"gather_bytes\":" << k.totals.gather_bytes
+        << ",\"shared_ops\":" << k.totals.shared_ops
+        << ",\"warp_iters\":" << k.totals.warp_iters
+        << ",\"wall_ms\":" << k.wall_ms << "}}";
+    cursor_us += dur_us;
+  }
+  out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+      << "\"device\":\"mps virtual GPU\",\"kernels\":" << device.log().size()
+      << "}}";
+}
+
+void write_chrome_trace_file(const std::string& path, const Device& device) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file " + path);
+  write_chrome_trace(out, device);
+  if (!out) throw std::runtime_error("failed writing trace file " + path);
+}
+
+}  // namespace mps::vgpu

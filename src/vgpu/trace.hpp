@@ -1,0 +1,21 @@
+#pragma once
+// Chrome-trace (chrome://tracing / Perfetto) export of a device's kernel
+// log.  Each kernel becomes a complete event on the "Virtual GPU" track,
+// laid out back-to-back on the modeled timeline, so the phase structure
+// of an operation (e.g. the Fig 11 SpGEMM pipeline) can be inspected
+// visually.
+
+#include <iosfwd>
+#include <string>
+
+#include "vgpu/device.hpp"
+
+namespace mps::vgpu {
+
+/// Write the device's kernel log as Chrome trace JSON.
+void write_chrome_trace(std::ostream& out, const Device& device);
+
+/// Convenience file variant; throws std::runtime_error on I/O failure.
+void write_chrome_trace_file(const std::string& path, const Device& device);
+
+}  // namespace mps::vgpu

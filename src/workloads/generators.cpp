@@ -1,0 +1,234 @@
+#include "workloads/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sparse/convert.hpp"
+#include "sparse/coo.hpp"
+
+namespace mps::workloads {
+
+using sparse::CooD;
+using sparse::CsrD;
+
+namespace {
+
+/// Assemble a CSR matrix from per-row degree targets and a column sampler.
+/// `col_of(rng, r, i)` proposes column i of row r; duplicates within a row
+/// are re-drawn a bounded number of times and then dropped, so realized
+/// degrees can fall slightly short in pathological cases.
+template <typename ColFn>
+CsrD assemble(index_t rows, index_t cols, const std::vector<index_t>& degrees,
+              util::Rng& rng, ColFn&& col_of) {
+  CooD coo(rows, cols);
+  std::size_t total = 0;
+  for (index_t d : degrees) total += static_cast<std::size_t>(d);
+  coo.reserve(total);
+  std::vector<index_t> row_cols;
+  for (index_t r = 0; r < rows; ++r) {
+    const index_t deg = std::min<index_t>(degrees[static_cast<std::size_t>(r)], cols);
+    row_cols.clear();
+    row_cols.reserve(static_cast<std::size_t>(deg));
+    for (index_t i = 0; i < deg; ++i) {
+      row_cols.push_back(col_of(rng, r, i));
+    }
+    std::sort(row_cols.begin(), row_cols.end());
+    row_cols.erase(std::unique(row_cols.begin(), row_cols.end()), row_cols.end());
+    // Top up once to compensate collision losses (keeps moments tight).
+    index_t attempts = 4 * (deg - static_cast<index_t>(row_cols.size()));
+    while (static_cast<index_t>(row_cols.size()) < deg && attempts-- > 0) {
+      const index_t c = col_of(rng, r, static_cast<index_t>(row_cols.size()));
+      auto it = std::lower_bound(row_cols.begin(), row_cols.end(), c);
+      if (it == row_cols.end() || *it != c) row_cols.insert(it, c);
+    }
+    for (const index_t c : row_cols) {
+      coo.push_back(r, c, rng.uniform_double(-1.0, 1.0));
+    }
+  }
+  return sparse::coo_to_csr(coo);
+}
+
+index_t clip_degree(double d, index_t cols) {
+  if (d < 1.0) return 1;
+  if (d > static_cast<double>(cols)) return cols;
+  return static_cast<index_t>(std::llround(d));
+}
+
+}  // namespace
+
+CsrD dense_block(index_t rows, index_t cols, std::uint64_t seed) {
+  util::Rng rng(seed);
+  CsrD a(rows, cols);
+  a.col.resize(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+  a.val.resize(a.col.size());
+  for (index_t r = 0; r < rows; ++r) {
+    a.row_offsets[static_cast<std::size_t>(r) + 1] =
+        a.row_offsets[static_cast<std::size_t>(r)] + cols;
+    for (index_t c = 0; c < cols; ++c) {
+      const std::size_t k = static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+                            static_cast<std::size_t>(c);
+      a.col[k] = c;
+      a.val[k] = rng.uniform_double(-1.0, 1.0);
+    }
+  }
+  return a;
+}
+
+CsrD fem_banded(index_t rows, double avg_deg, double std_deg, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<index_t> degrees(static_cast<std::size_t>(rows));
+  for (auto& d : degrees) d = clip_degree(rng.normal(avg_deg, std_deg), rows);
+  // Columns cluster around the diagonal within a band ~ 2x the mean
+  // degree — the tight coupling profile FEM discretizations produce
+  // (neighbouring elements share most of their degrees of freedom, which
+  // is what makes the SpGEMM block-level reduction effective).
+  const double band = std::max(8.0, 2.0 * avg_deg);
+  return assemble(rows, rows, degrees, rng, [&](util::Rng& r2, index_t r, index_t) {
+    const double off = r2.normal(0.0, band / 2.0);
+    long long c = static_cast<long long>(r) + static_cast<long long>(std::llround(off));
+    if (c < 0) c = -c;
+    if (c >= rows) c = 2LL * (rows - 1) - c;
+    return static_cast<index_t>(std::clamp<long long>(c, 0, rows - 1));
+  });
+}
+
+CsrD fixed_stencil(index_t rows, index_t per_row, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<index_t> degrees(static_cast<std::size_t>(rows),
+                               std::min(per_row, rows));
+  // Deterministic regular structure: evenly spaced neighbours (wraps),
+  // like the structured-grid QCD and Epidemiology operators.
+  const index_t stride = std::max<index_t>(1, rows / std::max<index_t>(per_row, 1));
+  return assemble(rows, rows, degrees, rng, [&](util::Rng&, index_t r, index_t i) {
+    return static_cast<index_t>(
+        (static_cast<long long>(r) + static_cast<long long>(i) * stride) % rows);
+  });
+}
+
+CsrD random_sparse(index_t rows, index_t cols, double avg_deg, double std_deg,
+                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<index_t> degrees(static_cast<std::size_t>(rows));
+  for (auto& d : degrees) d = clip_degree(rng.normal(avg_deg, std_deg), cols);
+  return assemble(rows, cols, degrees, rng, [&](util::Rng& r2, index_t, index_t) {
+    return static_cast<index_t>(r2.uniform(static_cast<std::uint64_t>(cols)));
+  });
+}
+
+CsrD powerlaw_web(index_t rows, double tail_fraction, double tail_zipf_s,
+                  index_t base_deg, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<index_t> degrees(static_cast<std::size_t>(rows));
+  for (auto& d : degrees) {
+    if (rng.uniform_double() < tail_fraction) {
+      // Tail range is capped so the degree moments are scale-stable.
+      const std::uint64_t tail_range =
+          std::min<std::uint64_t>(static_cast<std::uint64_t>(rows) / 2 + 1, 5000);
+      d = clip_degree(static_cast<double>(rng.zipf(tail_range, tail_zipf_s)), rows);
+    } else {
+      d = clip_degree(1.0 + static_cast<double>(rng.uniform(
+                                static_cast<std::uint64_t>(2 * base_deg))),
+                      rows);
+    }
+  }
+  // Hub columns: popularity follows a zipf law, scattered by a fixed
+  // multiplicative hash so hubs are spread over the index range.
+  return assemble(rows, rows, degrees, rng, [&](util::Rng& r2, index_t, index_t) {
+    const std::uint64_t popular = r2.zipf(static_cast<std::uint64_t>(rows), 1.1) - 1;
+    return static_cast<index_t>((popular * 0x9E3779B97F4A7C15ull) %
+                                static_cast<std::uint64_t>(rows));
+  });
+}
+
+CsrD lp_rect(index_t rows, index_t cols, double avg_deg, double std_deg,
+             std::uint64_t seed) {
+  util::Rng rng(seed);
+  // Lognormal degrees matching the target mean/std.
+  const double cv = std_deg / avg_deg;
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(avg_deg) - 0.5 * sigma2;
+  const double sigma = std::sqrt(sigma2);
+  std::vector<index_t> degrees(static_cast<std::size_t>(rows));
+  for (auto& d : degrees) d = clip_degree(std::exp(rng.normal(mu, sigma)), cols);
+  return assemble(rows, cols, degrees, rng, [&](util::Rng& r2, index_t, index_t) {
+    return static_cast<index_t>(r2.uniform(static_cast<std::uint64_t>(cols)));
+  });
+}
+
+CsrD rmat(int scale, index_t edge_factor, double a, double b, double c,
+          std::uint64_t seed) {
+  MPS_CHECK(scale >= 1 && scale < 31);
+  MPS_CHECK(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0);
+  util::Rng rng(seed);
+  const index_t n = index_t{1} << scale;
+  const std::size_t edges =
+      static_cast<std::size_t>(edge_factor) * static_cast<std::size_t>(n);
+  CooD coo(n, n);
+  coo.reserve(edges);
+  for (std::size_t e = 0; e < edges; ++e) {
+    index_t row = 0, col = 0;
+    for (int level = 0; level < scale; ++level) {
+      const double u = rng.uniform_double();
+      row <<= 1;
+      col <<= 1;
+      if (u < a) {
+        // top-left
+      } else if (u < a + b) {
+        col |= 1;
+      } else if (u < a + b + c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    coo.push_back(row, col, rng.uniform_double(-1.0, 1.0));
+  }
+  coo.canonicalize();
+  return sparse::coo_to_csr(coo);
+}
+
+CsrD poisson2d(index_t nx, index_t ny) {
+  const index_t n = nx * ny;
+  CooD coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * 5);
+  for (index_t j = 0; j < ny; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      const index_t r = j * nx + i;
+      coo.push_back(r, r, 4.0);
+      if (i > 0) coo.push_back(r, r - 1, -1.0);
+      if (i + 1 < nx) coo.push_back(r, r + 1, -1.0);
+      if (j > 0) coo.push_back(r, r - nx, -1.0);
+      if (j + 1 < ny) coo.push_back(r, r + nx, -1.0);
+    }
+  }
+  return sparse::coo_to_csr(coo);
+}
+
+CsrD poisson3d27(index_t n) {
+  const index_t total = n * n * n;
+  CooD coo(total, total);
+  coo.reserve(static_cast<std::size_t>(total) * 27);
+  for (index_t z = 0; z < n; ++z) {
+    for (index_t y = 0; y < n; ++y) {
+      for (index_t x = 0; x < n; ++x) {
+        const index_t r = (z * n + y) * n + x;
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              const index_t xx = x + dx, yy = y + dy, zz = z + dz;
+              if (xx < 0 || xx >= n || yy < 0 || yy >= n || zz < 0 || zz >= n)
+                continue;
+              const index_t c = (zz * n + yy) * n + xx;
+              coo.push_back(r, c, r == c ? 26.0 : -1.0);
+            }
+          }
+        }
+      }
+    }
+  }
+  return sparse::coo_to_csr(coo);
+}
+
+}  // namespace mps::workloads

@@ -1,0 +1,59 @@
+#pragma once
+// Synthetic sparse matrix generators.
+//
+// The UFL matrices of the paper's Table II are not shipped here; these
+// generators produce structural surrogates that match each matrix's
+// shape, nonzero count, and row-degree moments (mean/std), plus the
+// qualitative layout that drives kernel behaviour: FEM band structure,
+// fixed stencils, uniform random sparsity, power-law web graphs, and the
+// wide LP tableau with heavy-tailed rows.  All are deterministic in the
+// seed.  See DESIGN.md §2 for why this preserves the evaluation.
+
+#include "sparse/csr.hpp"
+#include "util/rng.hpp"
+
+namespace mps::workloads {
+
+/// Fully dense block stored as a sparse matrix (Table II "Dense").
+sparse::CsrD dense_block(index_t rows, index_t cols, std::uint64_t seed = 1);
+
+/// FEM-style banded matrix: row degrees ~ clipped normal(avg, std),
+/// columns clustered in a band around the diagonal (Protein, Spheres,
+/// Cantilever, Wind, Harbor, Ship, Accelerator).
+sparse::CsrD fem_banded(index_t rows, double avg_deg, double std_deg,
+                        std::uint64_t seed);
+
+/// Exactly `per_row` off-band-structured entries per row, zero variance
+/// (QCD's 39/row, Epidemiology's ~4/row).
+sparse::CsrD fixed_stencil(index_t rows, index_t per_row, std::uint64_t seed);
+
+/// Unstructured random sparsity: degrees ~ clipped normal, columns
+/// uniform (Economics, Circuit).
+sparse::CsrD random_sparse(index_t rows, index_t cols, double avg_deg,
+                           double std_deg, std::uint64_t seed);
+
+/// Power-law web graph: most rows tiny, a heavy tail of hub rows, and
+/// hub columns under a zipf popularity law (Webbase: avg 3.1, std 25).
+sparse::CsrD powerlaw_web(index_t rows, double tail_fraction, double tail_zipf_s,
+                          index_t base_deg, std::uint64_t seed);
+
+/// Wide LP tableau: few rows, ~1M columns, lognormal row degrees with
+/// std larger than the mean (LP: avg 2633, std 4209).
+sparse::CsrD lp_rect(index_t rows, index_t cols, double avg_deg, double std_deg,
+                     std::uint64_t seed);
+
+/// R-MAT / Kronecker random graph (Chakrabarti et al.): 2^scale vertices,
+/// ~edge_factor * 2^scale directed edges placed by recursive quadrant
+/// selection with probabilities (a, b, c, 1-a-b-c).  Graph500 defaults
+/// (0.57, 0.19, 0.19) produce the skewed degree distributions that stress
+/// row-wise schemes.  Deduplicated; values uniform in [-1, 1).
+sparse::CsrD rmat(int scale, index_t edge_factor, double a, double b, double c,
+                  std::uint64_t seed);
+
+/// 5-point 2D Poisson stencil on an nx x ny grid (examples/benches).
+sparse::CsrD poisson2d(index_t nx, index_t ny);
+
+/// 27-point 3D stencil on an n^3 grid.
+sparse::CsrD poisson3d27(index_t n);
+
+}  // namespace mps::workloads

@@ -1,0 +1,44 @@
+#pragma once
+// The paper's Table II test suite as synthetic surrogates.
+//
+// `paper_suite(scale)` builds all fourteen matrices at `scale` times
+// their native row count (degree distributions unchanged, so nnz scales
+// linearly).  Native statistics from the paper are carried along for
+// auditing (bench/table2_matrices prints both) and for the native
+// memory-footprint checks in the SpGEMM evaluation.
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/stats.hpp"
+
+namespace mps::workloads {
+
+struct SuiteEntry {
+  std::string name;
+  sparse::CsrD matrix;
+  // Native statistics from Table II of the paper.
+  index_t paper_rows = 0;
+  index_t paper_cols = 0;
+  long long paper_nnz = 0;
+  double paper_avg = 0.0;
+  double paper_std = 0.0;
+  /// Fig 9 multiplies LP as A x A^T (nonsquare); everything else as A x A.
+  bool spgemm_transpose = false;
+  /// Estimated native SpGEMM intermediate size (products) — used for the
+  /// device-capacity check that reproduces the paper's Dense OOM.
+  double native_products_estimate = 0.0;
+};
+
+/// All 14 Table II matrices at the given scale (1.0 = native size).
+/// Entries appear in the paper's order.
+std::vector<SuiteEntry> paper_suite(double scale);
+
+/// A single entry by name (builds only that matrix).
+SuiteEntry suite_entry(const std::string& name, double scale);
+
+/// The names in Table II order.
+std::vector<std::string> suite_names();
+
+}  // namespace mps::workloads

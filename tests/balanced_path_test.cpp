@@ -1,0 +1,225 @@
+// Property tests for balanced-path partitioning and the serial multiset
+// kernels, including the paper's Figure 1 example verbatim.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "primitives/balanced_path.hpp"
+#include "util/rng.hpp"
+
+namespace mps::primitives {
+namespace {
+
+/// Reference set operation via the standard library.
+std::vector<int> std_set_op(const std::vector<int>& a, const std::vector<int>& b,
+                            SetOp op) {
+  std::vector<int> out;
+  switch (op) {
+    case SetOp::kUnion:
+      std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+      break;
+    case SetOp::kIntersection:
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(out));
+      break;
+    case SetOp::kDifference:
+      std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(out));
+      break;
+    case SetOp::kSymmetricDifference:
+      std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                    std::back_inserter(out));
+      break;
+  }
+  return out;
+}
+
+/// Partitioned set operation: apply the serial kernel within each
+/// balanced-path partition and concatenate.
+std::vector<int> partitioned_set_op(const std::vector<int>& a,
+                                    const std::vector<int>& b, std::size_t chunk,
+                                    SetOp op) {
+  const auto cuts = balanced_path_partitions<int>(a, b, chunk);
+  std::vector<int> out;
+  for (std::size_t p = 0; p + 1 < cuts.size(); ++p) {
+    set_op_serial<int>(
+        a, b, cuts[p].a_index, cuts[p + 1].a_index, cuts[p].b_index,
+        cuts[p + 1].b_index, op, [&](std::size_t i) { out.push_back(a[i]); },
+        [&](std::size_t j) { out.push_back(b[j]); },
+        [&](std::size_t i, std::size_t) { out.push_back(a[i]); });
+  }
+  return out;
+}
+
+std::vector<int> sorted_random(util::Rng& rng, std::size_t n, int key_range) {
+  std::vector<int> v(n);
+  for (auto& x : v)
+    x = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(key_range)));
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// ---------------------------------------------------------------------
+// The paper's Figure 1: A = {a b c c c e}, B = {c c c c d f}, 4 threads.
+// ---------------------------------------------------------------------
+TEST(BalancedPath, PaperFigure1Example) {
+  // Encode a..f as 0..5.
+  const std::vector<int> a{0, 1, 2, 2, 2, 4};
+  const std::vector<int> b{2, 2, 2, 2, 3, 5};
+
+  // Fence between t0 and t1 (diagonal 3) is starred: t0's partition is
+  // extended to include the matching c from B (Figure 1b's starred cut).
+  const auto cut1 = balanced_path<int>(a, b, 3);
+  EXPECT_EQ(cut1.a_index, 3u);
+  EXPECT_EQ(cut1.b_index, 1u);
+  EXPECT_TRUE(cut1.starred);
+
+  const auto cut2 = balanced_path<int>(a, b, 6);
+  EXPECT_EQ(cut2.a_index, 4u);
+  EXPECT_EQ(cut2.b_index, 2u);
+  EXPECT_FALSE(cut2.starred);
+
+  const auto cut3 = balanced_path<int>(a, b, 9);
+  EXPECT_EQ(cut3.a_index, 5u);
+  EXPECT_EQ(cut3.b_index, 4u);
+  EXPECT_FALSE(cut3.starred);
+
+  // The union through 4 partitions of chunk 3 equals std::set_union:
+  // {a b c c c c d e f}.
+  const auto got = partitioned_set_op(a, b, 3, SetOp::kUnion);
+  const auto expect = std_set_op(a, b, SetOp::kUnion);
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(expect, (std::vector<int>{0, 1, 2, 2, 2, 2, 3, 4, 5}));
+}
+
+TEST(BalancedPath, CutsAreMonotoneAndSized) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto a = sorted_random(rng, rng.uniform(200), 8);  // heavy duplication
+    const auto b = sorted_random(rng, rng.uniform(200), 8);
+    for (std::size_t chunk : {1u, 2u, 7u, 64u}) {
+      const auto cuts = balanced_path_partitions<int>(a, b, chunk);
+      for (std::size_t p = 0; p + 1 < cuts.size(); ++p) {
+        ASSERT_LE(cuts[p].a_index, cuts[p + 1].a_index);
+        ASSERT_LE(cuts[p].b_index, cuts[p + 1].b_index);
+        const std::size_t size = (cuts[p + 1].a_index - cuts[p].a_index) +
+                                 (cuts[p + 1].b_index - cuts[p].b_index);
+        // chunk +/- 1 from star adjustments (final partition may be short).
+        if (p + 2 < cuts.size()) {
+          ASSERT_GE(size + 1, chunk);
+          ASSERT_LE(size, chunk + 1);
+        } else {
+          ASSERT_LE(size, chunk + 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(BalancedPath, NeverSplitsMatchedPair) {
+  // For every fence, the number of equal keys consumed on each side must
+  // pair up: cutting between A(x,r) and B(x,r) is forbidden.
+  util::Rng rng(37);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto a = sorted_random(rng, 50 + rng.uniform(100), 6);
+    const auto b = sorted_random(rng, 50 + rng.uniform(100), 6);
+    for (std::size_t diag = 0; diag <= a.size() + b.size(); ++diag) {
+      const auto cut = balanced_path<int>(a, b, diag);
+      // Count consumed copies of every key on each side of the cut.
+      std::map<int, long> consumed;
+      for (std::size_t i = 0; i < cut.a_index; ++i) consumed[a[i]] += 1;
+      for (std::size_t j = 0; j < cut.b_index; ++j) consumed[b[j]] -= 1;
+      for (const auto& [key, imbalance] : consumed) {
+        // Imbalance within a run is only allowed once a side's run is
+        // fully consumed (unmatched leftovers); a matched pair must never
+        // straddle the cut.
+        const long a_total = std::count(a.begin(), a.end(), key);
+        const long b_total = std::count(b.begin(), b.end(), key);
+        const long a_used = std::count(a.begin(), a.begin() + static_cast<long>(cut.a_index), key);
+        const long b_used = std::count(b.begin(), b.begin() + static_cast<long>(cut.b_index), key);
+        if (imbalance > 0) {
+          // More taken from A: every unmatched surplus must be beyond B's
+          // total run (B side exhausted), i.e. a_used > b_total is the
+          // only legal source of surplus.
+          EXPECT_TRUE(b_used == b_total || a_used <= b_used + 1)
+              << "key " << key << " diag " << diag;
+          if (b_used < b_total) {
+            // B still has copies: at most the star's one-element slack.
+            EXPECT_LE(a_used - b_used, 1) << "key " << key << " diag " << diag;
+            EXPECT_FALSE(cut.starred && a_used != b_used);
+          }
+        } else if (imbalance < 0) {
+          EXPECT_TRUE(a_used == a_total) << "key " << key << " diag " << diag;
+        }
+        (void)a_total;
+      }
+    }
+  }
+}
+
+class SetOpPropertyTest
+    : public ::testing::TestWithParam<std::tuple<SetOp, int, std::size_t>> {};
+
+TEST_P(SetOpPropertyTest, MatchesStdAlgorithms) {
+  const auto [op, key_range, chunk] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(key_range) * 131 +
+                static_cast<std::uint64_t>(chunk));
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto a = sorted_random(rng, rng.uniform(300), key_range);
+    const auto b = sorted_random(rng, rng.uniform(300), key_range);
+    const auto got = partitioned_set_op(a, b, chunk, op);
+    const auto expect = std_set_op(a, b, op);
+    ASSERT_EQ(got, expect) << "trial " << trial << " |a|=" << a.size()
+                           << " |b|=" << b.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SetOpPropertyTest,
+    ::testing::Combine(::testing::Values(SetOp::kUnion, SetOp::kIntersection,
+                                         SetOp::kDifference,
+                                         SetOp::kSymmetricDifference),
+                       ::testing::Values(2, 5, 50, 100000),
+                       ::testing::Values(std::size_t{1}, std::size_t{3},
+                                         std::size_t{16}, std::size_t{257})));
+
+TEST(BalancedPath, EmptyInputs) {
+  const std::vector<int> empty;
+  const std::vector<int> a{1, 1, 2};
+  EXPECT_EQ(partitioned_set_op(empty, empty, 4, SetOp::kUnion), empty);
+  EXPECT_EQ(partitioned_set_op(a, empty, 2, SetOp::kUnion), a);
+  EXPECT_EQ(partitioned_set_op(empty, a, 2, SetOp::kUnion), a);
+  EXPECT_EQ(partitioned_set_op(a, empty, 2, SetOp::kIntersection), empty);
+}
+
+TEST(BalancedPath, AllEqualKeys) {
+  // Worst case for duplicate handling: one giant run.
+  const std::vector<int> a(100, 7);
+  const std::vector<int> b(63, 7);
+  for (std::size_t chunk : {1u, 5u, 32u, 1000u}) {
+    EXPECT_EQ(partitioned_set_op(a, b, chunk, SetOp::kUnion).size(), 100u);
+    EXPECT_EQ(partitioned_set_op(a, b, chunk, SetOp::kIntersection).size(), 63u);
+    EXPECT_EQ(partitioned_set_op(a, b, chunk, SetOp::kDifference).size(), 37u);
+    EXPECT_EQ(partitioned_set_op(a, b, chunk, SetOp::kSymmetricDifference).size(),
+              37u);
+  }
+}
+
+TEST(SetOpSerial, EmitsSourceIndices) {
+  const std::vector<int> a{1, 3};
+  const std::vector<int> b{3, 4};
+  std::vector<std::pair<char, std::size_t>> log;
+  set_op_serial<int>(
+      a, b, 0, a.size(), 0, b.size(), SetOp::kUnion,
+      [&](std::size_t i) { log.emplace_back('a', i); },
+      [&](std::size_t j) { log.emplace_back('b', j); },
+      [&](std::size_t i, std::size_t j) { log.emplace_back('m', i * 10 + j); });
+  const std::vector<std::pair<char, std::size_t>> expect{
+      {'a', 0}, {'m', 10}, {'b', 1}};
+  EXPECT_EQ(log, expect);
+}
+
+}  // namespace
+}  // namespace mps::primitives

@@ -1,0 +1,93 @@
+// The primitive layer is value-type generic; exercise the float and
+// integer instantiations that the double-based core kernels do not.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "primitives/device_merge.hpp"
+#include "primitives/reduce_by_key.hpp"
+#include "primitives/segmented_reduce.hpp"
+#include "primitives/set_ops.hpp"
+#include "util/rng.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps::primitives {
+namespace {
+
+TEST(FloatPrimitives, SetOpUnionWithFloatValues) {
+  vgpu::Device dev;
+  const std::vector<std::uint32_t> ka{1, 4, 9};
+  const std::vector<float> va{1.5f, 4.5f, 9.5f};
+  const std::vector<std::uint32_t> kb{4, 9, 16};
+  const std::vector<float> vb{0.25f, 0.5f, 1.0f};
+  auto res = device_set_op<std::uint32_t, float>(
+      dev, ka, va, kb, vb, SetOp::kUnion, [](float x, float y) { return x + y; });
+  EXPECT_EQ(res.keys, (std::vector<std::uint32_t>{1, 4, 9, 16}));
+  EXPECT_EQ(res.vals, (std::vector<float>{1.5f, 4.75f, 10.0f, 1.0f}));
+}
+
+TEST(FloatPrimitives, ReduceByKeyFloat) {
+  vgpu::Device dev;
+  std::vector<std::uint64_t> keys(9000);
+  std::vector<float> vals(keys.size(), 0.5f);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = i / 9;
+  auto res = device_reduce_by_key<std::uint64_t, float>(dev, "rbk", keys, vals);
+  ASSERT_EQ(res.keys.size(), 1000u);
+  for (const float v : res.vals) EXPECT_FLOAT_EQ(v, 4.5f);
+}
+
+TEST(FloatPrimitives, SegmentedReduceIntAndFloat) {
+  vgpu::Device dev;
+  const std::vector<index_t> offsets{0, 2, 2, 5};
+  const std::vector<long long> vi{10, 20, 1, 2, 3};
+  std::vector<long long> oi(3);
+  device_segmented_reduce<long long>(dev, offsets, vi, std::span<long long>(oi));
+  EXPECT_EQ(oi, (std::vector<long long>{30, 0, 6}));
+
+  const std::vector<float> vf{0.5f, 0.25f, 1.0f, 2.0f, 4.0f};
+  std::vector<float> of(3);
+  device_segmented_reduce<float>(dev, offsets, vf, std::span<float>(of));
+  EXPECT_EQ(of, (std::vector<float>{0.75f, 0.0f, 7.0f}));
+}
+
+TEST(FloatPrimitives, MergePairsWithDoubleValues) {
+  vgpu::Device dev;
+  util::Rng rng(5);
+  std::vector<std::uint64_t> ka(5000), kb(4000);
+  for (auto& k : ka) k = rng.uniform(10000);
+  for (auto& k : kb) k = rng.uniform(10000);
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  std::vector<double> va(ka.size()), vb(kb.size());
+  for (std::size_t i = 0; i < va.size(); ++i) va[i] = static_cast<double>(ka[i]) + 0.25;
+  for (std::size_t i = 0; i < vb.size(); ++i) vb[i] = static_cast<double>(kb[i]) + 0.75;
+  std::vector<std::uint64_t> kout(ka.size() + kb.size());
+  std::vector<double> vout(kout.size());
+  device_merge_pairs<std::uint64_t, double>(dev, ka, va, kb, vb, kout, vout);
+  for (std::size_t i = 0; i < kout.size(); ++i) {
+    // Value encodes its key plus the source tag.
+    EXPECT_EQ(static_cast<std::uint64_t>(vout[i]), kout[i]);
+    const double frac = vout[i] - static_cast<double>(kout[i]);
+    EXPECT_TRUE(frac == 0.25 || frac == 0.75);
+  }
+  EXPECT_TRUE(std::is_sorted(kout.begin(), kout.end()));
+}
+
+TEST(FloatPrimitives, MergeSortStrings) {
+  // The comparison-based paths are fully generic: sort strings.
+  vgpu::Device dev;
+  util::Rng rng(7);
+  std::vector<std::string> v;
+  for (int i = 0; i < 5000; ++i) {
+    v.push_back("key-" + std::to_string(rng.uniform(100000)));
+  }
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  device_merge_sort<std::string>(dev, v);
+  EXPECT_EQ(v, expect);
+}
+
+}  // namespace
+}  // namespace mps::primitives

@@ -1,0 +1,113 @@
+// Property tests for merge-path partitioning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "primitives/merge_path.hpp"
+#include "util/rng.hpp"
+
+namespace mps::primitives {
+namespace {
+
+std::vector<int> sorted_random(util::Rng& rng, std::size_t n, int key_range) {
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(key_range)));
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(MergePath, TrivialCases) {
+  const std::vector<int> empty;
+  const std::vector<int> a{1, 3, 5};
+  EXPECT_EQ(merge_path<int>(a, empty, 0), 0u);
+  EXPECT_EQ(merge_path<int>(a, empty, 2), 2u);
+  EXPECT_EQ(merge_path<int>(a, empty, 3), 3u);
+  EXPECT_EQ(merge_path<int>(empty, a, 2), 0u);
+}
+
+TEST(MergePath, AFirstTieBreaking) {
+  const std::vector<int> a{5, 5};
+  const std::vector<int> b{5, 5};
+  // With A-first ties, the first two path steps consume all of A.
+  EXPECT_EQ(merge_path<int>(a, b, 1), 1u);
+  EXPECT_EQ(merge_path<int>(a, b, 2), 2u);
+  EXPECT_EQ(merge_path<int>(a, b, 3), 2u);
+}
+
+TEST(MergePath, PrefixProperty) {
+  // Merging the partition prefixes reproduces the prefix of the full merge.
+  util::Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = sorted_random(rng, rng.uniform(40), 10);
+    const auto b = sorted_random(rng, rng.uniform(40), 10);
+    std::vector<int> full;
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(full));
+    for (std::size_t diag = 0; diag <= a.size() + b.size(); ++diag) {
+      const std::size_t ai = merge_path<int>(a, b, diag);
+      const std::size_t bi = diag - ai;
+      ASSERT_LE(ai, a.size());
+      ASSERT_LE(bi, b.size());
+      std::vector<int> prefix;
+      std::merge(a.begin(), a.begin() + static_cast<long>(ai), b.begin(),
+                 b.begin() + static_cast<long>(bi), std::back_inserter(prefix));
+      ASSERT_TRUE(std::equal(prefix.begin(), prefix.end(), full.begin()))
+          << "diag=" << diag;
+    }
+  }
+}
+
+TEST(MergePath, MonotoneInDiagonal) {
+  util::Rng rng(23);
+  const auto a = sorted_random(rng, 500, 50);
+  const auto b = sorted_random(rng, 300, 50);
+  std::size_t prev = 0;
+  for (std::size_t diag = 0; diag <= a.size() + b.size(); ++diag) {
+    const std::size_t ai = merge_path<int>(a, b, diag);
+    EXPECT_GE(ai, prev);
+    EXPECT_LE(ai - prev, 1u);
+    prev = ai;
+  }
+}
+
+class MergePartitionTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MergePartitionTest, PartitionsAreExactAndBalanced) {
+  const auto [na, nb, parts] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(na * 1000 + nb * 10 + parts));
+  const auto a = sorted_random(rng, static_cast<std::size_t>(na), 20);
+  const auto b = sorted_random(rng, static_cast<std::size_t>(nb), 20);
+  const auto ranges =
+      merge_path_partitions<int>(a, b, static_cast<std::size_t>(parts));
+  ASSERT_EQ(ranges.size(), static_cast<std::size_t>(parts));
+
+  const std::size_t total = a.size() + b.size();
+  const std::size_t chunk = total == 0 ? 0 : ceil_div(total, static_cast<std::size_t>(parts));
+  std::size_t covered_a = 0, covered_b = 0;
+  std::vector<int> merged;
+  for (const auto& r : ranges) {
+    EXPECT_EQ(r.a_begin, covered_a);
+    EXPECT_EQ(r.b_begin, covered_b);
+    EXPECT_LE(r.size(), chunk);
+    covered_a = r.a_end;
+    covered_b = r.b_end;
+    merge_range<int>(a, b, r, std::back_inserter(merged));
+  }
+  EXPECT_EQ(covered_a, a.size());
+  EXPECT_EQ(covered_b, b.size());
+
+  std::vector<int> expect;
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(expect));
+  EXPECT_EQ(merged, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MergePartitionTest,
+    ::testing::Values(std::make_tuple(0, 0, 1), std::make_tuple(0, 17, 4),
+                      std::make_tuple(17, 0, 4), std::make_tuple(1, 1, 3),
+                      std::make_tuple(100, 100, 7), std::make_tuple(1000, 10, 16),
+                      std::make_tuple(10, 1000, 16), std::make_tuple(999, 998, 13),
+                      std::make_tuple(4096, 4096, 64)));
+
+}  // namespace
+}  // namespace mps::primitives

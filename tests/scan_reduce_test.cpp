@@ -1,0 +1,127 @@
+// Tests for scans and device reduce-by-key.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "primitives/reduce_by_key.hpp"
+#include "primitives/scan.hpp"
+#include "util/rng.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps::primitives {
+namespace {
+
+TEST(Scan, ExclusiveInPlace) {
+  std::vector<int> xs{3, 1, 4, 1, 5};
+  const int total = exclusive_scan_inplace(std::span<int>(xs));
+  EXPECT_EQ(total, 14);
+  EXPECT_EQ(xs, (std::vector<int>{0, 3, 4, 8, 9}));
+}
+
+TEST(Scan, ExclusiveEmpty) {
+  std::vector<int> xs;
+  EXPECT_EQ(exclusive_scan_inplace(std::span<int>(xs)), 0);
+}
+
+TEST(Scan, DeviceScanMatchesHostAndCharges) {
+  vgpu::Device dev;
+  util::Rng rng(2);
+  std::vector<long long> in(50000);
+  for (auto& x : in) x = static_cast<long long>(rng.uniform(100));
+  std::vector<long long> out(in.size());
+  const long long total = device_exclusive_scan(
+      dev, "scan", std::span<const long long>(in), std::span<long long>(out));
+  long long acc = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ASSERT_EQ(out[i], acc);
+    acc += in[i];
+  }
+  EXPECT_EQ(total, acc);
+  ASSERT_FALSE(dev.log().empty());
+  EXPECT_GT(dev.log().back().totals.global_bytes, 0u);
+}
+
+TEST(Scan, DeviceScanAliasedInOut) {
+  vgpu::Device dev;
+  std::vector<int> xs{5, 5, 5, 5};
+  device_exclusive_scan(dev, "scan", std::span<const int>(xs), std::span<int>(xs));
+  EXPECT_EQ(xs, (std::vector<int>{0, 5, 10, 15}));
+}
+
+TEST(ReduceByKey, Simple) {
+  vgpu::Device dev;
+  const std::vector<std::uint64_t> keys{1, 1, 2, 5, 5, 5};
+  const std::vector<double> vals{1, 2, 3, 4, 5, 6};
+  auto res = device_reduce_by_key<std::uint64_t, double>(dev, "rbk", keys, vals);
+  EXPECT_EQ(res.keys, (std::vector<std::uint64_t>{1, 2, 5}));
+  EXPECT_EQ(res.vals, (std::vector<double>{3, 3, 15}));
+  EXPECT_GT(res.modeled_ms, 0.0);
+}
+
+TEST(ReduceByKey, Empty) {
+  vgpu::Device dev;
+  auto res = device_reduce_by_key<std::uint64_t, double>(dev, "rbk", {}, {});
+  EXPECT_TRUE(res.keys.empty());
+}
+
+TEST(ReduceByKey, AllUniqueAndAllEqual) {
+  vgpu::Device dev;
+  std::vector<std::uint64_t> unique_keys(10000);
+  std::iota(unique_keys.begin(), unique_keys.end(), 0);
+  std::vector<double> ones(unique_keys.size(), 1.0);
+  auto res = device_reduce_by_key<std::uint64_t, double>(dev, "rbk", unique_keys, ones);
+  EXPECT_EQ(res.keys.size(), unique_keys.size());
+
+  std::vector<std::uint64_t> same(10000, 9);
+  auto res2 = device_reduce_by_key<std::uint64_t, double>(dev, "rbk", same, ones);
+  ASSERT_EQ(res2.keys.size(), 1u);
+  EXPECT_DOUBLE_EQ(res2.vals[0], 10000.0);
+}
+
+TEST(ReduceByKey, CrossesTileBoundaries) {
+  // A segment spanning multiple 2048-element tiles must still reduce once.
+  vgpu::Device dev;
+  std::vector<std::uint64_t> keys;
+  std::vector<double> vals;
+  for (int seg = 0; seg < 5; ++seg) {
+    for (int i = 0; i < 3000; ++i) {
+      keys.push_back(static_cast<std::uint64_t>(seg));
+      vals.push_back(1.0);
+    }
+  }
+  auto res = device_reduce_by_key<std::uint64_t, double>(dev, "rbk", keys, vals);
+  ASSERT_EQ(res.keys.size(), 5u);
+  for (double v : res.vals) EXPECT_DOUBLE_EQ(v, 3000.0);
+}
+
+TEST(ReduceByKey, RandomAgainstReference) {
+  vgpu::Device dev;
+  util::Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 1 + rng.uniform(20000);
+    std::vector<std::uint64_t> keys(n);
+    std::vector<double> vals(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys[i] = rng.uniform(200);
+      vals[i] = static_cast<double>(rng.uniform(10));
+    }
+    std::sort(keys.begin(), keys.end());
+    // Reference.
+    std::vector<std::uint64_t> rk;
+    std::vector<double> rv;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rk.empty() || rk.back() != keys[i]) {
+        rk.push_back(keys[i]);
+        rv.push_back(0.0);
+      }
+      rv.back() += vals[i];
+    }
+    auto res = device_reduce_by_key<std::uint64_t, double>(dev, "rbk", keys, vals);
+    ASSERT_EQ(res.keys, rk);
+    for (std::size_t i = 0; i < rv.size(); ++i) ASSERT_DOUBLE_EQ(res.vals[i], rv[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mps::primitives

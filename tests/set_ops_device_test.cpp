@@ -1,0 +1,132 @@
+// Tests for the device-wide balanced-path set operations (paper Fig 2's
+// union and the other multiset ops).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "primitives/set_ops.hpp"
+#include "util/rng.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps::primitives {
+namespace {
+
+template <typename K>
+std::vector<K> sorted_random(util::Rng& rng, std::size_t n, std::uint64_t range) {
+  std::vector<K> v(n);
+  for (auto& x : v) x = static_cast<K>(rng.uniform(range));
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+template <typename K>
+std::vector<K> std_op(const std::vector<K>& a, const std::vector<K>& b, SetOp op) {
+  std::vector<K> out;
+  switch (op) {
+    case SetOp::kUnion:
+      std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+      break;
+    case SetOp::kIntersection:
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(out));
+      break;
+    case SetOp::kDifference:
+      std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(out));
+      break;
+    case SetOp::kSymmetricDifference:
+      std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                    std::back_inserter(out));
+      break;
+  }
+  return out;
+}
+
+class DeviceSetOpTest
+    : public ::testing::TestWithParam<std::tuple<SetOp, std::size_t, std::uint64_t>> {};
+
+TEST_P(DeviceSetOpTest, Keys32MatchesStd) {
+  const auto [op, n, range] = GetParam();
+  vgpu::Device dev;
+  util::Rng rng(n * 3 + range);
+  const auto a = sorted_random<std::uint32_t>(rng, n, range);
+  const auto b = sorted_random<std::uint32_t>(rng, n / 2 + 1, range);
+  auto res = device_set_op_keys<std::uint32_t>(dev, a, b, op);
+  EXPECT_EQ(res.keys, std_op(a, b, op));
+  EXPECT_TRUE(res.vals.empty());
+  EXPECT_GT(res.modeled_ms, 0.0);
+}
+
+TEST_P(DeviceSetOpTest, Keys64MatchesStd) {
+  const auto [op, n, range] = GetParam();
+  vgpu::Device dev;
+  util::Rng rng(n * 7 + range);
+  const auto a = sorted_random<std::uint64_t>(rng, n, range << 20);
+  const auto b = sorted_random<std::uint64_t>(rng, n, range << 20);
+  auto res = device_set_op_keys<std::uint64_t>(dev, a, b, op);
+  EXPECT_EQ(res.keys, std_op(a, b, op));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeviceSetOpTest,
+    ::testing::Combine(::testing::Values(SetOp::kUnion, SetOp::kIntersection,
+                                         SetOp::kDifference,
+                                         SetOp::kSymmetricDifference),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{1000}, std::size_t{20000}),
+                       ::testing::Values(std::uint64_t{4}, std::uint64_t{1000})));
+
+TEST(DeviceSetOp, PairsCombineValues) {
+  vgpu::Device dev;
+  const std::vector<std::uint64_t> ka{1, 3, 5};
+  const std::vector<double> va{10, 30, 50};
+  const std::vector<std::uint64_t> kb{3, 5, 7};
+  const std::vector<double> vb{1, 2, 3};
+  auto res = device_set_op<std::uint64_t, double>(
+      dev, ka, va, kb, vb, SetOp::kUnion,
+      [](double x, double y) { return x + y; });
+  EXPECT_EQ(res.keys, (std::vector<std::uint64_t>{1, 3, 5, 7}));
+  EXPECT_EQ(res.vals, (std::vector<double>{10, 31, 52, 3}));
+}
+
+TEST(DeviceSetOp, PairsIntersectionCombines) {
+  vgpu::Device dev;
+  const std::vector<std::uint64_t> ka{1, 3, 5};
+  const std::vector<double> va{10, 30, 50};
+  const std::vector<std::uint64_t> kb{3, 5, 7};
+  const std::vector<double> vb{1, 2, 3};
+  auto res = device_set_op<std::uint64_t, double>(
+      dev, ka, va, kb, vb, SetOp::kIntersection,
+      [](double x, double y) { return x * y; });
+  EXPECT_EQ(res.keys, (std::vector<std::uint64_t>{3, 5}));
+  EXPECT_EQ(res.vals, (std::vector<double>{30, 100}));
+}
+
+TEST(DeviceSetOp, LargeUnionWithManyDuplicates) {
+  vgpu::Device dev;
+  util::Rng rng(21);
+  const auto a = sorted_random<std::uint32_t>(rng, 100000, 500);  // ~200 dups/key
+  const auto b = sorted_random<std::uint32_t>(rng, 80000, 500);
+  auto res = device_set_op_keys<std::uint32_t>(dev, a, b, SetOp::kUnion);
+  EXPECT_EQ(res.keys, std_op(a, b, SetOp::kUnion));
+}
+
+TEST(DeviceSetOp, BalancedWorkYieldsFlatCost) {
+  // The modeled cost of a union must track |A|+|B|, not duplication
+  // structure: same totals with wildly different key ranges should cost
+  // within a few percent of each other (the paper's predictability claim).
+  vgpu::Device dev;
+  util::Rng rng(22);
+  auto cost = [&](std::uint64_t range) {
+    const auto a = sorted_random<std::uint32_t>(rng, 200000, range);
+    const auto b = sorted_random<std::uint32_t>(rng, 200000, range);
+    return device_set_op_keys<std::uint32_t>(dev, a, b, SetOp::kUnion).modeled_ms;
+  };
+  const double spread_out = cost(1u << 30);  // nearly no duplicates
+  const double clumped = cost(16);           // enormous duplicate runs
+  EXPECT_LT(std::abs(spread_out - clumped) / spread_out, 0.15);
+}
+
+}  // namespace
+}  // namespace mps::primitives

@@ -1,0 +1,127 @@
+// Balanced-path SpAdd: correctness and the work-proportional cost property.
+#include <gtest/gtest.h>
+
+#include "baselines/seq.hpp"
+#include "core/spadd.hpp"
+#include "sparse/compare.hpp"
+#include "sparse/convert.hpp"
+#include "test_matrices.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps {
+namespace {
+
+using core::merge::spadd;
+using sparse::coo_to_csr;
+using sparse::csr_to_coo;
+using testing::random_coo;
+
+void expect_spadd_matches(vgpu::Device& dev, const sparse::CooD& a,
+                          const sparse::CooD& b) {
+  const auto ref = baselines::seq::spadd(coo_to_csr(a), coo_to_csr(b));
+  sparse::CooD c;
+  const auto stats = spadd(dev, a, b, c);
+  EXPECT_GE(stats.modeled_ms, 0.0);
+  EXPECT_TRUE(c.is_canonical());
+  const auto cmp = sparse::compare_csr(coo_to_csr(c), ref);
+  EXPECT_TRUE(cmp.equal) << cmp.detail;
+}
+
+TEST(MergeSpadd, PaperExampleAPlusB) {
+  vgpu::Device dev;
+  expect_spadd_matches(dev, testing::paper_a(), testing::paper_b());
+}
+
+TEST(MergeSpadd, APlusAEqualsTwoA) {
+  // The evaluation's workload (Fig 7 computes A + A).
+  vgpu::Device dev;
+  util::Rng rng(41);
+  const auto a = random_coo(rng, 500, 500, 5000);
+  sparse::CooD c;
+  spadd(dev, a, a, c);
+  ASSERT_EQ(c.nnz(), a.nnz());
+  for (index_t i = 0; i < c.nnz(); ++i) {
+    ASSERT_DOUBLE_EQ(c.val[static_cast<std::size_t>(i)],
+                     2 * a.val[static_cast<std::size_t>(i)]);
+  }
+}
+
+class MergeSpaddShapes : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(MergeSpaddShapes, MatchesSeq) {
+  const auto [rows, cols, nnz_a, nnz_b] = GetParam();
+  vgpu::Device dev;
+  util::Rng rng(static_cast<std::uint64_t>(rows * 3 + nnz_a + nnz_b));
+  expect_spadd_matches(
+      dev, random_coo(rng, static_cast<index_t>(rows), static_cast<index_t>(cols), nnz_a),
+      random_coo(rng, static_cast<index_t>(rows), static_cast<index_t>(cols), nnz_b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MergeSpaddShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1, 1), std::make_tuple(10, 10, 0, 20),
+                      std::make_tuple(10, 10, 20, 0),
+                      std::make_tuple(100, 100, 700, 900),
+                      std::make_tuple(4000, 4000, 30000, 30000),
+                      std::make_tuple(7, 100000, 5000, 5000),
+                      std::make_tuple(100000, 7, 5000, 5000)));
+
+TEST(MergeSpadd, DisjointAndIdenticalPatterns) {
+  vgpu::Device dev;
+  // Disjoint: A on even columns, B on odd — no matched tuples anywhere.
+  sparse::CooD a(100, 100), b(100, 100);
+  for (index_t r = 0; r < 100; ++r) {
+    a.push_back(r, (2 * r) % 100, 1.0);
+    b.push_back(r, (2 * r + 1) % 100, 2.0);
+  }
+  a.canonicalize();
+  b.canonicalize();
+  sparse::CooD c;
+  spadd(dev, a, b, c);
+  EXPECT_EQ(c.nnz(), a.nnz() + b.nnz());
+  expect_spadd_matches(dev, a, b);
+  // Identical pattern: every tuple matched.
+  expect_spadd_matches(dev, a, a);
+}
+
+TEST(MergeSpadd, CancellationKeepsExplicitZeros) {
+  // A + (-A) produces explicit zero entries (standard sparse semantics:
+  // the pattern is the union, numerics may be zero).
+  vgpu::Device dev;
+  util::Rng rng(43);
+  const auto a = random_coo(rng, 50, 50, 300);
+  auto neg = a;
+  for (auto& v : neg.val) v = -v;
+  sparse::CooD c;
+  spadd(dev, a, neg, c);
+  ASSERT_EQ(c.nnz(), a.nnz());
+  for (double v : c.val) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(MergeSpadd, RejectsNonCanonicalInput) {
+  vgpu::Device dev;
+  sparse::CooD bad(4, 4);
+  bad.push_back(1, 1, 1.0);
+  bad.push_back(0, 0, 1.0);  // unsorted
+  sparse::CooD c;
+  EXPECT_THROW(spadd(dev, bad, bad, c), std::logic_error);
+}
+
+TEST(MergeSpadd, CostTracksTotalWorkNotStructure) {
+  // ρ ~ 1 claim (Fig 8): modeled ms per tuple is structure-independent.
+  vgpu::Device dev;
+  util::Rng rng(47);
+  const auto uniform = random_coo(rng, 3000, 3000, 60000);
+  const auto skewed = csr_to_coo(testing::random_powerlaw_csr(rng, 3000, 3000, 15.0));
+  sparse::CooD c;
+  const double t_uniform = spadd(dev, uniform, uniform, c).modeled_ms /
+                           static_cast<double>(2 * uniform.nnz());
+  const double t_skewed = spadd(dev, skewed, skewed, c).modeled_ms /
+                          static_cast<double>(2 * skewed.nnz());
+  const double ratio = t_skewed / t_uniform;
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+}  // namespace
+}  // namespace mps

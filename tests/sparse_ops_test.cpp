@@ -1,0 +1,120 @@
+// Tests for sparse utility operations and the scaled/CSR SpAdd variants.
+#include <gtest/gtest.h>
+
+#include "baselines/seq.hpp"
+#include "core/spadd.hpp"
+#include "sparse/compare.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/ops.hpp"
+#include "test_matrices.hpp"
+#include "vgpu/device.hpp"
+#include "workloads/generators.hpp"
+
+namespace mps {
+namespace {
+
+using sparse::coo_to_csr;
+using testing::paper_a;
+using testing::random_coo;
+
+TEST(SparseOps, ExtractDiagonal) {
+  const auto a = coo_to_csr(paper_a());
+  const auto d = sparse::extract_diagonal(a);
+  EXPECT_EQ(d, (std::vector<double>{10, 20, 0, 0}));
+}
+
+TEST(SparseOps, ExtractDiagonalRectangular) {
+  sparse::CooD r(2, 5);
+  r.push_back(0, 0, 3.0);
+  r.push_back(1, 4, 9.0);
+  const auto d = sparse::extract_diagonal(coo_to_csr(r));
+  EXPECT_EQ(d, (std::vector<double>{3, 0}));
+}
+
+TEST(SparseOps, ScaleAndNorm) {
+  auto a = coo_to_csr(paper_a());
+  const double n0 = sparse::frobenius_norm(a);
+  EXPECT_NEAR(n0 * n0, 100 + 400 + 900 + 1600 + 2500 + 3600, 1e-9);
+  sparse::scale(a, -2.0);
+  EXPECT_NEAR(sparse::frobenius_norm(a), 2 * n0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.val[0], -20.0);
+}
+
+TEST(SparseOps, DropSmall) {
+  auto a = coo_to_csr(paper_a());  // values 10..60
+  const index_t dropped = sparse::drop_small(a, 35.0);
+  EXPECT_EQ(dropped, 3);  // 10, 20, 30 removed
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_TRUE(a.is_valid());
+  for (double v : a.val) EXPECT_GT(v, 35.0);
+  EXPECT_EQ(sparse::drop_small(a, -1.0), 0);  // keeps everything incl. zeros
+}
+
+TEST(SparseOps, IsSymmetric) {
+  const auto p = workloads::poisson2d(8, 8);
+  EXPECT_TRUE(sparse::is_symmetric(p));
+  EXPECT_FALSE(sparse::is_symmetric(coo_to_csr(paper_a())));
+  // Numerically asymmetric within tolerance.
+  auto q = p;
+  q.val[1] += 1e-13;
+  EXPECT_TRUE(sparse::is_symmetric(q, 1e-12));
+  q.val[1] += 1.0;
+  EXPECT_FALSE(sparse::is_symmetric(q, 1e-12));
+}
+
+TEST(SpaddScaled, LinearCombination) {
+  vgpu::Device dev;
+  util::Rng rng(5);
+  const auto a = random_coo(rng, 200, 200, 1500);
+  const auto b = random_coo(rng, 200, 200, 1500);
+  sparse::CooD c;
+  core::merge::spadd_scaled(dev, 2.0, a, -0.5, b, c);
+  // Reference via dense arithmetic.
+  const auto da = testing::dense_of(coo_to_csr(a));
+  const auto db = testing::dense_of(coo_to_csr(b));
+  const auto dc = testing::dense_of(coo_to_csr(c));
+  for (std::size_t i = 0; i < dc.size(); ++i) {
+    ASSERT_NEAR(dc[i], 2.0 * da[i] - 0.5 * db[i], 1e-12);
+  }
+}
+
+TEST(SpaddScaled, UnitScalarsMatchPlainSpadd) {
+  vgpu::Device dev;
+  util::Rng rng(6);
+  const auto a = random_coo(rng, 100, 100, 700);
+  const auto b = random_coo(rng, 100, 100, 600);
+  sparse::CooD c1, c2;
+  core::merge::spadd(dev, a, b, c1);
+  core::merge::spadd_scaled(dev, 1.0, a, 1.0, b, c2);
+  ASSERT_EQ(c1.nnz(), c2.nnz());
+  for (index_t i = 0; i < c1.nnz(); ++i) {
+    ASSERT_DOUBLE_EQ(c1.val[static_cast<std::size_t>(i)],
+                     c2.val[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(SpaddScaled, SubtractionKeepsUnionPattern) {
+  // csrgeam semantics: A - A has A's pattern with zero values.
+  vgpu::Device dev;
+  util::Rng rng(7);
+  const auto a = random_coo(rng, 80, 80, 400);
+  sparse::CooD c;
+  core::merge::spadd_scaled(dev, 1.0, a, -1.0, a, c);
+  ASSERT_EQ(c.nnz(), a.nnz());
+  for (double v : c.val) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(SpaddCsr, RoundTripsThroughCoo) {
+  vgpu::Device dev;
+  util::Rng rng(8);
+  const auto a = coo_to_csr(random_coo(rng, 300, 250, 2000));
+  const auto b = coo_to_csr(random_coo(rng, 300, 250, 1500));
+  sparse::CsrD c;
+  core::merge::spadd_csr(dev, a, b, c);
+  const auto ref = baselines::seq::spadd(a, b);
+  const auto cmp = sparse::compare_csr(c, ref);
+  EXPECT_TRUE(cmp.equal) << cmp.detail;
+}
+
+}  // namespace
+}  // namespace mps

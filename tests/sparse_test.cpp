@@ -1,0 +1,235 @@
+// Unit tests for sparse formats, conversions, stats and Matrix Market I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/compare.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/io.hpp"
+#include "sparse/stats.hpp"
+#include "util/rng.hpp"
+
+namespace mps::sparse {
+namespace {
+
+/// The paper's Section III example matrix A.
+CooMatrix<double> paper_matrix_a() {
+  CooMatrix<double> a(4, 4);
+  a.push_back(0, 0, 10);
+  a.push_back(1, 1, 20);
+  a.push_back(1, 2, 30);
+  a.push_back(1, 3, 40);
+  a.push_back(2, 3, 50);
+  a.push_back(3, 1, 60);
+  return a;
+}
+
+/// The paper's Section III example matrix B.
+CooMatrix<double> paper_matrix_b() {
+  CooMatrix<double> b(4, 4);
+  b.push_back(0, 0, 1);
+  b.push_back(1, 1, 2);
+  b.push_back(1, 3, 3);
+  b.push_back(2, 0, 4);
+  b.push_back(2, 1, 5);
+  b.push_back(3, 1, 6);
+  b.push_back(3, 3, 7);
+  return b;
+}
+
+CooMatrix<double> random_coo(util::Rng& rng, index_t rows, index_t cols, int nnz,
+                             bool with_dups) {
+  CooMatrix<double> a(rows, cols);
+  for (int i = 0; i < nnz; ++i) {
+    a.push_back(static_cast<index_t>(rng.uniform(static_cast<std::uint64_t>(rows))),
+                static_cast<index_t>(rng.uniform(static_cast<std::uint64_t>(cols))),
+                rng.uniform_double(-1, 1));
+  }
+  if (!with_dups) a.canonicalize();
+  return a;
+}
+
+TEST(Coo, SortAndCanonical) {
+  CooMatrix<double> a(3, 3);
+  a.push_back(2, 1, 1.0);
+  a.push_back(0, 2, 2.0);
+  a.push_back(2, 1, 3.0);
+  a.push_back(0, 0, 4.0);
+  EXPECT_FALSE(a.is_sorted());
+  a.sort();
+  EXPECT_TRUE(a.is_sorted());
+  EXPECT_FALSE(a.is_canonical());  // duplicate (2,1)
+  a.canonicalize();
+  EXPECT_TRUE(a.is_canonical());
+  EXPECT_EQ(a.nnz(), 3);
+  // duplicate summed
+  EXPECT_DOUBLE_EQ(a.val.back(), 4.0);
+}
+
+TEST(Coo, BoundsCheck) {
+  CooMatrix<double> a(2, 2);
+  a.push_back(1, 1, 1.0);
+  EXPECT_TRUE(a.indices_in_bounds());
+  a.push_back(2, 0, 1.0);
+  EXPECT_FALSE(a.indices_in_bounds());
+}
+
+TEST(Coo, PaperExampleTupleForm) {
+  auto a = paper_matrix_a();
+  EXPECT_EQ(a.nnz(), 6);
+  EXPECT_TRUE(a.is_canonical());
+  auto b = paper_matrix_b();
+  EXPECT_EQ(b.nnz(), 7);
+  EXPECT_TRUE(b.is_canonical());
+}
+
+TEST(Convert, CooCsrRoundTrip) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto a = random_coo(rng, 50, 70, 300, /*with_dups=*/false);
+    auto csr = coo_to_csr(a);
+    EXPECT_TRUE(csr.is_valid());
+    auto back = csr_to_coo(csr);
+    ASSERT_EQ(back.nnz(), a.nnz());
+    for (index_t i = 0; i < a.nnz(); ++i) {
+      EXPECT_EQ(back.row[static_cast<std::size_t>(i)], a.row[static_cast<std::size_t>(i)]);
+      EXPECT_EQ(back.col[static_cast<std::size_t>(i)], a.col[static_cast<std::size_t>(i)]);
+      EXPECT_DOUBLE_EQ(back.val[static_cast<std::size_t>(i)], a.val[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(Convert, CsrFromUnsortedCoo) {
+  CooMatrix<double> a(3, 3);
+  a.push_back(2, 0, 1.0);
+  a.push_back(0, 1, 2.0);
+  a.push_back(1, 2, 3.0);
+  a.push_back(0, 0, 4.0);
+  auto csr = coo_to_csr(a);
+  EXPECT_TRUE(csr.is_valid());
+  EXPECT_EQ(csr.row_length(0), 2);
+  EXPECT_EQ(csr.row_length(1), 1);
+  EXPECT_EQ(csr.row_length(2), 1);
+  EXPECT_DOUBLE_EQ(csr.val[0], 4.0);  // (0,0) sorted before (0,1)
+}
+
+TEST(Convert, EmptyRowsPreserved) {
+  CooMatrix<double> a(5, 5);
+  a.push_back(0, 0, 1.0);
+  a.push_back(4, 4, 2.0);
+  auto csr = coo_to_csr(a);
+  EXPECT_TRUE(csr.is_valid());
+  EXPECT_TRUE(csr.has_empty_rows());
+  EXPECT_EQ(csr.row_length(2), 0);
+}
+
+TEST(Convert, TransposeTwiceIsIdentity) {
+  util::Rng rng(7);
+  auto a = coo_to_csr(random_coo(rng, 40, 60, 500, false));
+  auto att = transpose(transpose(a));
+  const auto cmp = compare_csr(a, att);
+  EXPECT_TRUE(cmp.equal) << cmp.detail;
+}
+
+TEST(Convert, TransposeMovesEntries) {
+  auto a = coo_to_csr(paper_matrix_a());
+  auto at = transpose(a);
+  EXPECT_TRUE(at.is_valid());
+  EXPECT_EQ(at.num_rows, 4);
+  // A(1,3)=40 must appear as AT(3,1)=40.
+  bool found = false;
+  for (index_t k = at.row_offsets[3]; k < at.row_offsets[4]; ++k) {
+    if (at.col[static_cast<std::size_t>(k)] == 1 &&
+        at.val[static_cast<std::size_t>(k)] == 40.0)
+      found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Convert, ExpandRowIndices) {
+  auto a = coo_to_csr(paper_matrix_a());
+  auto rows = expand_row_indices(a);
+  const std::vector<index_t> expect{0, 1, 1, 1, 2, 3};
+  EXPECT_EQ(rows, expect);
+}
+
+TEST(Compare, DetectsValueMismatch) {
+  auto a = coo_to_csr(paper_matrix_a());
+  auto b = a;
+  b.val[2] += 1e-3;
+  EXPECT_FALSE(compare_csr(a, b).equal);
+  b.val[2] = a.val[2] * (1 + 1e-13);
+  EXPECT_TRUE(compare_csr(a, b).equal);
+}
+
+TEST(Compare, DetectsStructureMismatch) {
+  auto a = coo_to_csr(paper_matrix_a());
+  auto b = coo_to_csr(paper_matrix_b());
+  EXPECT_FALSE(compare_csr(a, b).equal);
+}
+
+TEST(Stats, PaperExample) {
+  auto a = coo_to_csr(paper_matrix_a());
+  const auto s = compute_stats(a);
+  EXPECT_EQ(s.rows, 4);
+  EXPECT_EQ(s.nnz, 6);
+  EXPECT_DOUBLE_EQ(s.avg_row, 1.5);
+  EXPECT_EQ(s.max_row, 3);
+  EXPECT_EQ(s.empty_rows, 0);
+}
+
+TEST(Stats, DenseMatrixHasZeroStd) {
+  CooMatrix<double> d(10, 10);
+  for (index_t r = 0; r < 10; ++r)
+    for (index_t c = 0; c < 10; ++c) d.push_back(r, c, 1.0);
+  const auto s = compute_stats(coo_to_csr(d));
+  EXPECT_DOUBLE_EQ(s.avg_row, 10.0);
+  EXPECT_DOUBLE_EQ(s.std_row, 0.0);
+}
+
+TEST(Io, RoundTrip) {
+  auto a = paper_matrix_a();
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  auto b = read_matrix_market(ss);
+  ASSERT_EQ(b.nnz(), a.nnz());
+  EXPECT_EQ(b.num_rows, a.num_rows);
+  for (index_t i = 0; i < a.nnz(); ++i) {
+    EXPECT_EQ(b.row[static_cast<std::size_t>(i)], a.row[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(b.col[static_cast<std::size_t>(i)], a.col[static_cast<std::size_t>(i)]);
+    EXPECT_DOUBLE_EQ(b.val[static_cast<std::size_t>(i)], a.val[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Io, SymmetricExpansion) {
+  std::stringstream ss("%%MatrixMarket matrix coordinate real symmetric\n"
+                       "3 3 2\n"
+                       "2 1 5.0\n"
+                       "3 3 1.0\n");
+  auto a = read_matrix_market(ss);
+  EXPECT_EQ(a.nnz(), 3);  // off-diagonal mirrored, diagonal not
+}
+
+TEST(Io, PatternField) {
+  std::stringstream ss("%%MatrixMarket matrix coordinate pattern general\n"
+                       "2 2 2\n"
+                       "1 1\n"
+                       "2 2\n");
+  auto a = read_matrix_market(ss);
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.val[0], 1.0);
+}
+
+TEST(Io, RejectsGarbage) {
+  std::stringstream ss("not a matrix\n");
+  EXPECT_THROW(read_matrix_market(ss), std::runtime_error);
+  std::stringstream oob("%%MatrixMarket matrix coordinate real general\n"
+                        "2 2 1\n"
+                        "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(oob), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mps::sparse

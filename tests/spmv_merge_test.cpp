@@ -1,0 +1,150 @@
+// Merge-path SpMV: correctness against the sequential reference across
+// structural extremes, plus the flat-decomposition cost property.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/seq.hpp"
+#include "core/spmv.hpp"
+#include "sparse/convert.hpp"
+#include "test_matrices.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps {
+namespace {
+
+using core::merge::spmv;
+using core::merge::SpmvConfig;
+using sparse::coo_to_csr;
+using testing::random_coo;
+
+void expect_spmv_matches(vgpu::Device& dev, const sparse::CsrD& a,
+                         const SpmvConfig& cfg = {}) {
+  util::Rng rng(static_cast<std::uint64_t>(a.nnz()) + 7);
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols));
+  for (auto& v : x) v = rng.uniform_double(-1, 1);
+  std::vector<double> y_ref(static_cast<std::size_t>(a.num_rows), -999.0);
+  std::vector<double> y(static_cast<std::size_t>(a.num_rows), -999.0);
+  baselines::seq::spmv(a, x, y_ref);
+  const auto stats = spmv(dev, a, x, y, cfg);
+  EXPECT_GE(stats.modeled_ms(), 0.0);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ASSERT_NEAR(y[i], y_ref[i], 1e-11) << "row " << i;
+  }
+}
+
+TEST(MergeSpmv, PaperExample) {
+  vgpu::Device dev;
+  const auto a = coo_to_csr(testing::paper_a());
+  std::vector<double> x{1, 2, 3, 4}, y(4);
+  spmv(dev, a, x, y);
+  EXPECT_EQ(y, (std::vector<double>{10, 290, 200, 120}));
+}
+
+TEST(MergeSpmv, RandomShapes) {
+  vgpu::Device dev;
+  util::Rng rng(11);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto rows = static_cast<index_t>(1 + rng.uniform(3000));
+    const auto cols = static_cast<index_t>(1 + rng.uniform(3000));
+    const int nnz = static_cast<int>(rng.uniform(20000));
+    expect_spmv_matches(dev, coo_to_csr(random_coo(rng, rows, cols, nnz)));
+  }
+}
+
+TEST(MergeSpmv, SingleGiantRow) {
+  // One row spanning many CTAs exercises the carry chain.
+  vgpu::Device dev;
+  sparse::CooD a(3, 50000);
+  util::Rng rng(13);
+  for (index_t c = 0; c < 50000; c += 2) a.push_back(1, c, rng.uniform_double(-1, 1));
+  a.canonicalize();
+  expect_spmv_matches(dev, coo_to_csr(a));
+}
+
+TEST(MergeSpmv, EmptyRowsUseCompaction) {
+  vgpu::Device dev;
+  sparse::CooD a(1000, 100);
+  util::Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    // Only even rows populated: 50% empty rows.
+    a.push_back(static_cast<index_t>(rng.uniform(500) * 2),
+                static_cast<index_t>(rng.uniform(100)), rng.uniform_double(-1, 1));
+  }
+  a.canonicalize();
+  const auto csr = coo_to_csr(a);
+  ASSERT_TRUE(csr.has_empty_rows());
+  util::Rng xr(1);
+  std::vector<double> x(100), y_ref(1000), y(1000);
+  for (auto& v : x) v = xr.uniform_double(-1, 1);
+  baselines::seq::spmv(csr, x, y_ref);
+  const auto stats = spmv(dev, csr, x, y);
+  EXPECT_TRUE(stats.used_compaction);
+  EXPECT_GT(stats.compact_ms, 0.0);
+  for (std::size_t i = 0; i < y.size(); ++i) ASSERT_NEAR(y[i], y_ref[i], 1e-12);
+}
+
+TEST(MergeSpmv, ForcedCompactionOnDenseRows) {
+  vgpu::Device dev;
+  util::Rng rng(19);
+  SpmvConfig cfg;
+  cfg.force_compaction = true;
+  expect_spmv_matches(dev, coo_to_csr(random_coo(rng, 300, 300, 5000)), cfg);
+}
+
+TEST(MergeSpmv, AllRowsEmptyAndEmptyMatrix) {
+  vgpu::Device dev;
+  sparse::CsrD zero(100, 50);
+  std::vector<double> x(50, 1.0), y(100, 7.0);
+  spmv(dev, zero, x, y);
+  for (double v : y) EXPECT_EQ(v, 0.0);
+  sparse::CsrD none(0, 0);
+  std::vector<double> e;
+  EXPECT_NO_THROW(spmv(dev, none, e, e));
+}
+
+TEST(MergeSpmv, TileSizeSweep) {
+  vgpu::Device dev;
+  util::Rng rng(23);
+  const auto a = coo_to_csr(random_coo(rng, 500, 500, 8000));
+  for (int items : {1, 3, 7, 16}) {
+    SpmvConfig cfg;
+    cfg.items_per_thread = items;
+    expect_spmv_matches(dev, a, cfg);
+  }
+}
+
+TEST(MergeSpmv, PartitionCountsMatchTile) {
+  vgpu::Device dev;
+  util::Rng rng(29);
+  const auto a = coo_to_csr(random_coo(rng, 2000, 2000, 50000));
+  std::vector<double> x(2000, 1.0), y(2000);
+  SpmvConfig cfg;
+  const auto stats = spmv(dev, a, x, y, cfg);
+  EXPECT_EQ(stats.num_ctas,
+            static_cast<int>(ceil_div<std::size_t>(
+                static_cast<std::size_t>(a.nnz()),
+                static_cast<std::size_t>(cfg.tile()))));
+}
+
+TEST(MergeSpmv, FlatCostTracksWorkNotStructure) {
+  // The headline property: cost per nonzero is (nearly) independent of the
+  // row-length distribution.
+  vgpu::Device dev;
+  util::Rng rng(31);
+  const index_t rows = 4000;
+  const auto uniform = coo_to_csr(random_coo(rng, rows, rows, 60000));
+  const auto skewed = testing::random_powerlaw_csr(rng, rows, rows, 15.0);
+  std::vector<double> x(static_cast<std::size_t>(rows), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(rows));
+  const double per_nnz_uniform =
+      spmv(dev, uniform, x, y).modeled_ms() / static_cast<double>(uniform.nnz());
+  const double per_nnz_skewed =
+      spmv(dev, skewed, x, y).modeled_ms() / static_cast<double>(skewed.nnz());
+  const double ratio = per_nnz_skewed / per_nnz_uniform;
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.4);
+}
+
+}  // namespace
+}  // namespace mps

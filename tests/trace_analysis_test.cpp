@@ -1,0 +1,114 @@
+// Tests for the Chrome-trace exporter and the analysis harness helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/experiment.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/trace.hpp"
+
+namespace mps {
+namespace {
+
+TEST(Trace, EmptyLogIsValidJson) {
+  vgpu::Device dev;
+  std::ostringstream os;
+  vgpu::write_chrome_trace(os, dev);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"traceEvents\":[]"), std::string::npos);
+  EXPECT_EQ(s.front(), '{');
+  EXPECT_EQ(s.back(), '}');
+}
+
+TEST(Trace, EventsCarryKernelData) {
+  vgpu::Device dev;
+  dev.launch("kernel.alpha", 4, 128, [](vgpu::Cta& cta) { cta.charge_global(256); });
+  dev.launch("kernel.beta", 2, 64, [](vgpu::Cta& cta) { cta.charge_sync(); });
+  std::ostringstream os;
+  vgpu::write_chrome_trace(os, dev);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("kernel.alpha"), std::string::npos);
+  EXPECT_NE(s.find("kernel.beta"), std::string::npos);
+  EXPECT_NE(s.find("\"num_ctas\":4"), std::string::npos);
+  EXPECT_NE(s.find("\"global_bytes\":1024"), std::string::npos);
+  EXPECT_NE(s.find("\"kernels\":2"), std::string::npos);
+  // Events are laid back-to-back: second ts == first dur.
+  EXPECT_NE(s.find("\"ts\":0"), std::string::npos);
+}
+
+TEST(Trace, EscapesSpecialCharacters) {
+  vgpu::Device dev;
+  dev.launch("weird\"name\\with\nstuff", 1, 32, [](vgpu::Cta&) {});
+  std::ostringstream os;
+  vgpu::write_chrome_trace(os, dev);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("weird\\\"name\\\\with\\nstuff"), std::string::npos);
+}
+
+TEST(Trace, FileVariantWritesAndThrows) {
+  vgpu::Device dev;
+  dev.launch("k", 1, 32, [](vgpu::Cta&) {});
+  const std::string path = ::testing::TempDir() + "/mps_trace_test.json";
+  vgpu::write_chrome_trace_file(path, dev);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("traceEvents"), std::string::npos);
+  std::remove(path.c_str());
+  EXPECT_THROW(vgpu::write_chrome_trace_file("/nonexistent/dir/x.json", dev),
+               std::runtime_error);
+}
+
+TEST(Analysis, BenchConfigDefaultsAndEnv) {
+  ::unsetenv("MPS_SCALE");
+  ::unsetenv("MPS_ITERS");
+  auto cfg = analysis::bench_config(0.25, 3);
+  EXPECT_DOUBLE_EQ(cfg.scale, 0.25);
+  EXPECT_EQ(cfg.iters, 3);
+  ::setenv("MPS_SCALE", "0.5", 1);
+  ::setenv("MPS_ITERS", "0", 1);  // clamped to >= 1
+  cfg = analysis::bench_config(0.25, 3);
+  EXPECT_DOUBLE_EQ(cfg.scale, 0.5);
+  EXPECT_EQ(cfg.iters, 1);
+  ::unsetenv("MPS_SCALE");
+  ::unsetenv("MPS_ITERS");
+}
+
+TEST(Analysis, Gflops) {
+  EXPECT_DOUBLE_EQ(analysis::gflops(2e9, 1000.0), 2.0);
+  EXPECT_EQ(analysis::gflops(1e9, 0.0), 0.0);
+}
+
+TEST(Analysis, CorrelationReportAndFigure) {
+  analysis::CorrelationSeries s{"Test", {1e6, 2e6, 3e6}, {1.0, 2.0, 3.0}};
+  const auto rep = analysis::correlate(s);
+  EXPECT_EQ(rep.scheme, "Test");
+  EXPECT_NEAR(rep.rho, 1.0, 1e-12);
+  EXPECT_NEAR(rep.slope_ms_per_unit * 1e6, 1.0, 1e-9);
+  const auto fig = analysis::render_correlation_figure(
+      "demo", "nnz", {"a", "b", "c"}, {s});
+  EXPECT_NE(fig.find("rho_Test = 1.00"), std::string::npos);
+  EXPECT_NE(fig.find("demo"), std::string::npos);
+}
+
+TEST(Analysis, EmitWritesCsvWhenConfigured) {
+  util::Table t("demo");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string dir = ::testing::TempDir();
+  ::setenv("MPS_CSV_DIR", dir.c_str(), 1);
+  analysis::emit(t, "emit_test");
+  ::unsetenv("MPS_CSV_DIR");
+  std::ifstream in(dir + "/emit_test.csv");
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::remove((dir + "/emit_test.csv").c_str());
+}
+
+}  // namespace
+}  // namespace mps

@@ -1,0 +1,197 @@
+// Unit tests for the virtual-GPU substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "vgpu/cpu_model.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/memory_model.hpp"
+#include "vgpu/thread_pool.hpp"
+#include "vgpu/timing.hpp"
+
+namespace mps::vgpu {
+namespace {
+
+TEST(ThreadPool, CoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroAndOneIterations) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::atomic<long long> sum{0};
+    pool.parallel_for(257, [&](std::size_t i) { sum += static_cast<long long>(i); });
+    EXPECT_EQ(sum.load(), 257LL * 256 / 2);
+  }
+}
+
+TEST(Counters, CycleModelMonotone) {
+  DeviceProperties p;
+  CtaCounters a;
+  a.global_bytes = 1000;
+  CtaCounters b = a;
+  b.warp_iters = 500;
+  EXPECT_GT(b.cycles(p), a.cycles(p));
+  CtaCounters c = b;
+  c.syncs = 10;
+  EXPECT_GT(c.cycles(p), b.cycles(p));
+}
+
+TEST(Counters, Accumulate) {
+  CtaCounters a, b;
+  a.global_bytes = 10;
+  a.shared_ops = 2;
+  b.global_bytes = 5;
+  b.syncs = 1;
+  a += b;
+  EXPECT_EQ(a.global_bytes, 15u);
+  EXPECT_EQ(a.shared_ops, 2u);
+  EXPECT_EQ(a.syncs, 1u);
+}
+
+TEST(Timing, EmptyGridIsLaunchOverheadOnly) {
+  DeviceProperties p;
+  EXPECT_DOUBLE_EQ(schedule_cycles(p, {}), p.kernel_launch_cycles);
+}
+
+TEST(Timing, BalancedGridScalesWithWork) {
+  DeviceProperties p;
+  const int slots = p.num_sms * p.ctas_per_sm;
+  std::vector<double> one_wave(static_cast<std::size_t>(slots), 100.0);
+  std::vector<double> two_waves(static_cast<std::size_t>(2 * slots), 100.0);
+  const double t1 = schedule_cycles(p, one_wave) - p.kernel_launch_cycles;
+  const double t2 = schedule_cycles(p, two_waves) - p.kernel_launch_cycles;
+  EXPECT_DOUBLE_EQ(t1, 100.0);
+  EXPECT_DOUBLE_EQ(t2, 200.0);
+}
+
+TEST(Timing, ImbalancedCtaDominates) {
+  DeviceProperties p;
+  // One huge CTA among many small: makespan ~ the huge one.
+  std::vector<double> cycles(200, 10.0);
+  cycles[0] = 5000.0;
+  const double t = schedule_cycles(p, cycles) - p.kernel_launch_cycles;
+  EXPECT_GE(t, 5000.0);
+  EXPECT_LT(t, 5100.0);  // backfilling keeps the rest off the critical path
+}
+
+TEST(Device, LaunchAggregatesCounters) {
+  Device dev;
+  auto stats = dev.launch("k", 10, 128, [&](Cta& cta) {
+    cta.charge_global(100);
+    cta.charge_sync();
+  });
+  EXPECT_EQ(stats.num_ctas, 10);
+  EXPECT_EQ(stats.totals.global_bytes, 1000u);
+  EXPECT_EQ(stats.totals.syncs, 10u);
+  EXPECT_GT(stats.modeled_ms, 0.0);
+  EXPECT_EQ(dev.log().size(), 1u);
+  EXPECT_EQ(dev.log()[0].name, "k");
+}
+
+TEST(Device, LaunchRunsEveryCta) {
+  Device dev;
+  std::vector<int> touched(333, 0);
+  dev.launch("touch", 333, 64, [&](Cta& cta) { touched[static_cast<std::size_t>(cta.cta_id())] = 1; });
+  EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), 0), 333);
+}
+
+TEST(Device, ModeledTimeIsDeterministic) {
+  auto run = [] {
+    Device dev;
+    auto s = dev.launch("k", 100, 128, [&](Cta& cta) {
+      cta.charge_global(static_cast<std::size_t>(cta.cta_id()) * 64);
+      cta.charge_alu_uniform(1000);
+    });
+    return s.modeled_ms;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(Device, RejectsBadBlockSize) {
+  Device dev;
+  EXPECT_THROW(dev.launch("k", 1, 0, [](Cta&) {}), std::logic_error);
+  EXPECT_THROW(dev.launch("k", 1, 4096, [](Cta&) {}), std::logic_error);
+}
+
+TEST(Cta, WarpDivergentChargesMax) {
+  Device dev;
+  auto s = dev.launch("k", 1, 64, [&](Cta& cta) {
+    // Two warps: lanes with trips 1..32 (max 32) and all-5 (max 5).
+    std::vector<std::uint32_t> lanes(64, 5);
+    for (int i = 0; i < 32; ++i) lanes[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(i + 1);
+    cta.charge_warp_divergent(lanes);
+  });
+  EXPECT_EQ(s.totals.warp_iters, 32u + 5u);
+}
+
+TEST(Cta, UniformChargePacksWarps) {
+  Device dev;
+  auto s = dev.launch("k", 1, 128, [&](Cta& cta) { cta.charge_alu_uniform(100); });
+  EXPECT_EQ(s.totals.warp_iters, 4u);  // ceil(100/32)
+}
+
+TEST(SharedMemory, AllocAndOverflow) {
+  SharedMemory shm(1024);
+  auto a = shm.alloc<double>(64);
+  EXPECT_EQ(a.size(), 64u);
+  EXPECT_THROW(shm.alloc<double>(128), std::logic_error);
+  shm.reset();
+  EXPECT_NO_THROW(shm.alloc<double>(128));
+}
+
+TEST(MemoryModel, TracksAndThrows) {
+  MemoryModel m(1000);
+  m.reserve(600);
+  EXPECT_EQ(m.in_use(), 600u);
+  EXPECT_THROW(m.reserve(500), DeviceOomError);
+  m.release(600);
+  EXPECT_EQ(m.in_use(), 0u);
+  EXPECT_EQ(m.peak(), 600u);
+}
+
+TEST(MemoryModel, ScopedAllocReleases) {
+  MemoryModel m(1000);
+  {
+    ScopedDeviceAlloc a(m, 400);
+    EXPECT_EQ(m.in_use(), 400u);
+  }
+  EXPECT_EQ(m.in_use(), 0u);
+}
+
+TEST(CpuModel, RooflineBehaviour) {
+  CpuCost cost;
+  cost.charge_ops(1000);
+  const double t_compute = cost.modeled_ms();
+  cost.charge_stream(1 << 20);
+  EXPECT_GT(cost.modeled_ms(), t_compute);
+  CpuCost rnd;
+  rnd.charge_random(100);
+  EXPECT_EQ(rnd.bytes(), 100u * rnd.props().cache_line_bytes);
+}
+
+}  // namespace
+}  // namespace mps::vgpu

@@ -1,0 +1,140 @@
+// Statistical fidelity of the Table II surrogate generators.
+#include <gtest/gtest.h>
+
+#include "sparse/stats.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/suite.hpp"
+
+namespace mps::workloads {
+namespace {
+
+TEST(Generators, DenseBlock) {
+  const auto a = dense_block(50, 40);
+  EXPECT_TRUE(a.is_valid());
+  EXPECT_EQ(a.nnz(), 2000);
+  const auto s = sparse::compute_stats(a);
+  EXPECT_DOUBLE_EQ(s.avg_row, 40.0);
+  EXPECT_DOUBLE_EQ(s.std_row, 0.0);
+}
+
+TEST(Generators, FemBandedMomentsAndBand) {
+  const auto a = fem_banded(20000, 60.0, 12.0, 7);
+  EXPECT_TRUE(a.is_valid());
+  const auto s = sparse::compute_stats(a);
+  EXPECT_NEAR(s.avg_row, 60.0, 3.0);
+  EXPECT_NEAR(s.std_row, 12.0, 4.0);
+  // Band structure: columns stay near the diagonal.
+  long long far = 0;
+  for (index_t r = 0; r < a.num_rows; ++r) {
+    for (index_t k = a.row_offsets[static_cast<std::size_t>(r)];
+         k < a.row_offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+      if (std::abs(a.col[static_cast<std::size_t>(k)] - r) > 2000) ++far;
+    }
+  }
+  EXPECT_LT(static_cast<double>(far) / static_cast<double>(a.nnz()), 0.01);
+}
+
+TEST(Generators, FixedStencilZeroVariance) {
+  const auto a = fixed_stencil(5000, 39, 3);
+  const auto s = sparse::compute_stats(a);
+  EXPECT_DOUBLE_EQ(s.avg_row, 39.0);
+  EXPECT_DOUBLE_EQ(s.std_row, 0.0);
+  EXPECT_TRUE(a.is_valid());
+}
+
+TEST(Generators, PowerlawHasHeavyTail) {
+  const auto a = powerlaw_web(30000, 0.015, 1.5, 2, 11);
+  EXPECT_TRUE(a.is_valid());
+  const auto s = sparse::compute_stats(a);
+  EXPECT_GT(s.std_row, 2.0 * s.avg_row);  // Webbase: std 25 vs avg 3
+  EXPECT_LT(s.avg_row, 8.0);
+  EXPECT_GT(s.max_row, 50);
+}
+
+TEST(Generators, LpRectHeavyRows) {
+  const auto a = lp_rect(400, 100000, 2633.0, 4209.0, 13);
+  EXPECT_TRUE(a.is_valid());
+  const auto s = sparse::compute_stats(a);
+  EXPECT_NEAR(s.avg_row, 2633.0, 800.0);
+  EXPECT_GT(s.std_row, s.avg_row * 0.8);  // std exceeds the mean
+}
+
+TEST(Generators, Poisson2d) {
+  const auto a = poisson2d(10, 10);
+  EXPECT_TRUE(a.is_valid());
+  EXPECT_EQ(a.num_rows, 100);
+  EXPECT_EQ(a.nnz(), 5 * 100 - 4 * 10);  // 460: boundary rows lose neighbours
+  // Diagonally dominant M-matrix structure.
+  for (index_t r = 0; r < a.num_rows; ++r) {
+    double diag = 0, off = 0;
+    for (index_t k = a.row_offsets[static_cast<std::size_t>(r)];
+         k < a.row_offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+      if (a.col[static_cast<std::size_t>(k)] == r)
+        diag = a.val[static_cast<std::size_t>(k)];
+      else
+        off += std::abs(a.val[static_cast<std::size_t>(k)]);
+    }
+    EXPECT_GE(diag, off);
+  }
+}
+
+TEST(Generators, Poisson3d27) {
+  const auto a = poisson3d27(6);
+  EXPECT_TRUE(a.is_valid());
+  EXPECT_EQ(a.num_rows, 216);
+  const auto s = sparse::compute_stats(a);
+  EXPECT_EQ(s.max_row, 27);
+}
+
+TEST(Generators, Deterministic) {
+  const auto a = fem_banded(2000, 40, 10, 42);
+  const auto b = fem_banded(2000, 40, 10, 42);
+  EXPECT_EQ(a.col, b.col);
+  EXPECT_EQ(a.val, b.val);
+  const auto c = fem_banded(2000, 40, 10, 43);
+  EXPECT_NE(a.val, c.val);
+}
+
+TEST(Suite, FourteenEntriesInPaperOrder) {
+  const auto names = suite_names();
+  ASSERT_EQ(names.size(), 14u);
+  EXPECT_EQ(names.front(), "Dense");
+  EXPECT_EQ(names[6], "QCD");
+  EXPECT_EQ(names.back(), "LP");
+}
+
+TEST(Suite, ScaledEntriesMatchTargets) {
+  const double scale = 0.02;
+  for (const auto& name : {"Protein", "Economics", "QCD"}) {
+    const auto e = suite_entry(name, scale);
+    EXPECT_TRUE(e.matrix.is_valid()) << name;
+    const auto s = sparse::compute_stats(e.matrix);
+    EXPECT_NEAR(static_cast<double>(s.rows),
+                static_cast<double>(e.paper_rows) * scale,
+                static_cast<double>(e.paper_rows) * scale * 0.01 + 9.0)
+        << name;
+    EXPECT_NEAR(s.avg_row, e.paper_avg, e.paper_avg * 0.12 + 0.5) << name;
+  }
+}
+
+TEST(Suite, LpIsTransposedForSpgemm) {
+  const auto e = suite_entry("LP", 0.01);
+  EXPECT_TRUE(e.spgemm_transpose);
+  EXPECT_GT(e.matrix.num_cols, e.matrix.num_rows);
+  const auto d = suite_entry("Dense", 0.01);
+  EXPECT_FALSE(d.spgemm_transpose);
+}
+
+TEST(Suite, NativeProductEstimates) {
+  const auto e = suite_entry("Dense", 0.01);
+  EXPECT_DOUBLE_EQ(e.native_products_estimate, 8e9);  // 2000 * 2000^2
+  const auto p = suite_entry("Protein", 0.01);
+  EXPECT_NEAR(p.native_products_estimate, 4'344'765.0 * 119.31, 1e6);
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(suite_entry("NotAMatrix", 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mps::workloads

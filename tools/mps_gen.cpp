@@ -1,0 +1,87 @@
+// mps_gen — generate synthetic matrices (the Table II surrogates or the
+// generic families) and write them as Matrix Market files, so external
+// tools can consume the exact workloads the benches run.
+//
+//   mps_gen --suite Protein --scale 0.05 --out protein.mtx
+//   mps_gen --kind poisson2d --n 256 --out poisson.mtx
+//   mps_gen --kind rmat --n 14 --out graph.mtx
+//   mps_gen --list
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sparse/convert.hpp"
+#include "sparse/io.hpp"
+#include "sparse/stats.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --suite NAME [--scale S] --out F.mtx\n"
+               "       %s --kind poisson2d|poisson3d|rmat|powerlaw --n N --out F.mtx\n"
+               "       %s --list\n",
+               argv0, argv0, argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mps;
+  std::string suite, kind, out;
+  double scale = 0.05;
+  long long n = 64;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--suite") {
+      suite = value();
+    } else if (arg == "--kind") {
+      kind = value();
+    } else if (arg == "--scale") {
+      scale = std::stod(value());
+    } else if (arg == "--n") {
+      n = std::stoll(value());
+    } else if (arg == "--out") {
+      out = value();
+    } else if (arg == "--list") {
+      std::puts("suite entries (Table II surrogates):");
+      for (const auto& name : workloads::suite_names()) {
+        std::printf("  %s\n", name.c_str());
+      }
+      std::puts("generic kinds: poisson2d poisson3d rmat powerlaw");
+      return 0;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (out.empty() || (suite.empty() == kind.empty())) usage(argv[0]);
+
+  sparse::CsrD a;
+  if (!suite.empty()) {
+    a = workloads::suite_entry(suite, scale).matrix;
+  } else if (kind == "poisson2d") {
+    a = workloads::poisson2d(static_cast<index_t>(n), static_cast<index_t>(n));
+  } else if (kind == "poisson3d") {
+    a = workloads::poisson3d27(static_cast<index_t>(n));
+  } else if (kind == "rmat") {
+    a = workloads::rmat(static_cast<int>(n), 8, 0.57, 0.19, 0.19, 42);
+  } else if (kind == "powerlaw") {
+    a = workloads::powerlaw_web(static_cast<index_t>(n), 0.015, 1.5, 2, 42);
+  } else {
+    usage(argv[0]);
+  }
+
+  const auto stats = sparse::compute_stats(a);
+  sparse::write_matrix_market_file(out, sparse::csr_to_coo(a));
+  std::printf("wrote %s: %d x %d, %lld nnz (avg/row %.2f, std %.2f)\n",
+              out.c_str(), stats.rows, stats.cols, stats.nnz, stats.avg_row,
+              stats.std_row);
+  return 0;
+}
