@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_formats.dir/bench/ablation_formats.cpp.o"
+  "CMakeFiles/ablation_formats.dir/bench/ablation_formats.cpp.o.d"
+  "bench/ablation_formats"
+  "bench/ablation_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spgemm.dir/bench/ablation_spgemm.cpp.o"
+  "CMakeFiles/ablation_spgemm.dir/bench/ablation_spgemm.cpp.o.d"
+  "bench/ablation_spgemm"
+  "bench/ablation_spgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spmv.dir/bench/ablation_spmv.cpp.o"
+  "CMakeFiles/ablation_spmv.dir/bench/ablation_spmv.cpp.o.d"
+  "bench/ablation_spmv"
+  "bench/ablation_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

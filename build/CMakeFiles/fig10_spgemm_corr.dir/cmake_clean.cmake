@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_spgemm_corr.dir/bench/fig10_spgemm_corr.cpp.o"
+  "CMakeFiles/fig10_spgemm_corr.dir/bench/fig10_spgemm_corr.cpp.o.d"
+  "bench/fig10_spgemm_corr"
+  "bench/fig10_spgemm_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_spgemm_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

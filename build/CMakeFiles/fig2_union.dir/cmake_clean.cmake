@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_union.dir/bench/fig2_union.cpp.o"
+  "CMakeFiles/fig2_union.dir/bench/fig2_union.cpp.o.d"
+  "bench/fig2_union"
+  "bench/fig2_union.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_union.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_blocksort.dir/bench/fig4_blocksort.cpp.o"
+  "CMakeFiles/fig4_blocksort.dir/bench/fig4_blocksort.cpp.o.d"
+  "bench/fig4_blocksort"
+  "bench/fig4_blocksort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_blocksort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

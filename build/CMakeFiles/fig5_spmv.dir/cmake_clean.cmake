@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_spmv.dir/bench/fig5_spmv.cpp.o"
+  "CMakeFiles/fig5_spmv.dir/bench/fig5_spmv.cpp.o.d"
+  "bench/fig5_spmv"
+  "bench/fig5_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

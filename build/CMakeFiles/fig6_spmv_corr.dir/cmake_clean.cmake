@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_spmv_corr.dir/bench/fig6_spmv_corr.cpp.o"
+  "CMakeFiles/fig6_spmv_corr.dir/bench/fig6_spmv_corr.cpp.o.d"
+  "bench/fig6_spmv_corr"
+  "bench/fig6_spmv_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_spmv_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

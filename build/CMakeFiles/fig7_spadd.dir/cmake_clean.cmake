@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_spadd.dir/bench/fig7_spadd.cpp.o"
+  "CMakeFiles/fig7_spadd.dir/bench/fig7_spadd.cpp.o.d"
+  "bench/fig7_spadd"
+  "bench/fig7_spadd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_spadd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_spadd_corr.dir/bench/fig8_spadd_corr.cpp.o"
+  "CMakeFiles/fig8_spadd_corr.dir/bench/fig8_spadd_corr.cpp.o.d"
+  "bench/fig8_spadd_corr"
+  "bench/fig8_spadd_corr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_spadd_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

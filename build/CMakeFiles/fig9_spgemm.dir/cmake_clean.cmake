@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_spgemm.dir/bench/fig9_spgemm.cpp.o"
+  "CMakeFiles/fig9_spgemm.dir/bench/fig9_spgemm.cpp.o.d"
+  "bench/fig9_spgemm"
+  "bench/fig9_spgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_spgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

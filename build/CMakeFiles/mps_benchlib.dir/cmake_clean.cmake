@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_benchlib.dir/bench/suite_runners.cpp.o"
+  "CMakeFiles/mps_benchlib.dir/bench/suite_runners.cpp.o.d"
+  "lib/libmps_benchlib.a"
+  "lib/libmps_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "lib/libmps_benchlib.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity.dir/bench/sensitivity.cpp.o"
+  "CMakeFiles/sensitivity.dir/bench/sensitivity.cpp.o.d"
+  "bench/sensitivity"
+  "bench/sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

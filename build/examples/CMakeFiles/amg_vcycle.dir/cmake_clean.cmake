@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_vcycle.dir/amg_vcycle.cpp.o"
+  "CMakeFiles/amg_vcycle.dir/amg_vcycle.cpp.o.d"
+  "amg_vcycle"
+  "amg_vcycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_vcycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_ensemble.dir/markov_ensemble.cpp.o"
+  "CMakeFiles/markov_ensemble.dir/markov_ensemble.cpp.o.d"
+  "markov_ensemble"
+  "markov_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

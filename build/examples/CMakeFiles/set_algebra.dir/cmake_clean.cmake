@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_algebra.dir/set_algebra.cpp.o"
+  "CMakeFiles/set_algebra.dir/set_algebra.cpp.o.d"
+  "set_algebra"
+  "set_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

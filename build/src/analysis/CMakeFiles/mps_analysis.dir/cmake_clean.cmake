@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_analysis.dir/experiment.cpp.o"
+  "CMakeFiles/mps_analysis.dir/experiment.cpp.o.d"
+  "libmps_analysis.a"
+  "libmps_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cusplike.cpp" "src/baselines/CMakeFiles/mps_baselines.dir/cusplike.cpp.o" "gcc" "src/baselines/CMakeFiles/mps_baselines.dir/cusplike.cpp.o.d"
+  "/root/repo/src/baselines/formats.cpp" "src/baselines/CMakeFiles/mps_baselines.dir/formats.cpp.o" "gcc" "src/baselines/CMakeFiles/mps_baselines.dir/formats.cpp.o.d"
+  "/root/repo/src/baselines/rowwise.cpp" "src/baselines/CMakeFiles/mps_baselines.dir/rowwise.cpp.o" "gcc" "src/baselines/CMakeFiles/mps_baselines.dir/rowwise.cpp.o.d"
+  "/root/repo/src/baselines/seq.cpp" "src/baselines/CMakeFiles/mps_baselines.dir/seq.cpp.o" "gcc" "src/baselines/CMakeFiles/mps_baselines.dir/seq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/mps_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/mps_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/primitives/CMakeFiles/mps_primitives.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

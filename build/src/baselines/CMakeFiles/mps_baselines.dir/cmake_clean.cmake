@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_baselines.dir/cusplike.cpp.o"
+  "CMakeFiles/mps_baselines.dir/cusplike.cpp.o.d"
+  "CMakeFiles/mps_baselines.dir/formats.cpp.o"
+  "CMakeFiles/mps_baselines.dir/formats.cpp.o.d"
+  "CMakeFiles/mps_baselines.dir/rowwise.cpp.o"
+  "CMakeFiles/mps_baselines.dir/rowwise.cpp.o.d"
+  "CMakeFiles/mps_baselines.dir/seq.cpp.o"
+  "CMakeFiles/mps_baselines.dir/seq.cpp.o.d"
+  "libmps_baselines.a"
+  "libmps_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/spadd.cpp" "src/core/CMakeFiles/mps_core.dir/spadd.cpp.o" "gcc" "src/core/CMakeFiles/mps_core.dir/spadd.cpp.o.d"
+  "/root/repo/src/core/spgemm.cpp" "src/core/CMakeFiles/mps_core.dir/spgemm.cpp.o" "gcc" "src/core/CMakeFiles/mps_core.dir/spgemm.cpp.o.d"
+  "/root/repo/src/core/spgemm_adaptive.cpp" "src/core/CMakeFiles/mps_core.dir/spgemm_adaptive.cpp.o" "gcc" "src/core/CMakeFiles/mps_core.dir/spgemm_adaptive.cpp.o.d"
+  "/root/repo/src/core/spgemm_batched.cpp" "src/core/CMakeFiles/mps_core.dir/spgemm_batched.cpp.o" "gcc" "src/core/CMakeFiles/mps_core.dir/spgemm_batched.cpp.o.d"
+  "/root/repo/src/core/spmm.cpp" "src/core/CMakeFiles/mps_core.dir/spmm.cpp.o" "gcc" "src/core/CMakeFiles/mps_core.dir/spmm.cpp.o.d"
+  "/root/repo/src/core/spmv.cpp" "src/core/CMakeFiles/mps_core.dir/spmv.cpp.o" "gcc" "src/core/CMakeFiles/mps_core.dir/spmv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/mps_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/mps_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/primitives/CMakeFiles/mps_primitives.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mps_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

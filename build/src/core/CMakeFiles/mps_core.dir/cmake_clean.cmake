@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_core.dir/spadd.cpp.o"
+  "CMakeFiles/mps_core.dir/spadd.cpp.o.d"
+  "CMakeFiles/mps_core.dir/spgemm.cpp.o"
+  "CMakeFiles/mps_core.dir/spgemm.cpp.o.d"
+  "CMakeFiles/mps_core.dir/spgemm_adaptive.cpp.o"
+  "CMakeFiles/mps_core.dir/spgemm_adaptive.cpp.o.d"
+  "CMakeFiles/mps_core.dir/spgemm_batched.cpp.o"
+  "CMakeFiles/mps_core.dir/spgemm_batched.cpp.o.d"
+  "CMakeFiles/mps_core.dir/spmm.cpp.o"
+  "CMakeFiles/mps_core.dir/spmm.cpp.o.d"
+  "CMakeFiles/mps_core.dir/spmv.cpp.o"
+  "CMakeFiles/mps_core.dir/spmv.cpp.o.d"
+  "libmps_core.a"
+  "libmps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/primitives/cta_radix_sort.cpp" "src/primitives/CMakeFiles/mps_primitives.dir/cta_radix_sort.cpp.o" "gcc" "src/primitives/CMakeFiles/mps_primitives.dir/cta_radix_sort.cpp.o.d"
+  "/root/repo/src/primitives/device_radix_sort.cpp" "src/primitives/CMakeFiles/mps_primitives.dir/device_radix_sort.cpp.o" "gcc" "src/primitives/CMakeFiles/mps_primitives.dir/device_radix_sort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/mps_vgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

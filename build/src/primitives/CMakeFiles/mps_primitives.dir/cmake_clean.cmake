@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_primitives.dir/cta_radix_sort.cpp.o"
+  "CMakeFiles/mps_primitives.dir/cta_radix_sort.cpp.o.d"
+  "CMakeFiles/mps_primitives.dir/device_radix_sort.cpp.o"
+  "CMakeFiles/mps_primitives.dir/device_radix_sort.cpp.o.d"
+  "libmps_primitives.a"
+  "libmps_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

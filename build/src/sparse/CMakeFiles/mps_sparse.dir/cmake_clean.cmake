@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_sparse.dir/ell.cpp.o"
+  "CMakeFiles/mps_sparse.dir/ell.cpp.o.d"
+  "CMakeFiles/mps_sparse.dir/io.cpp.o"
+  "CMakeFiles/mps_sparse.dir/io.cpp.o.d"
+  "CMakeFiles/mps_sparse.dir/stats.cpp.o"
+  "CMakeFiles/mps_sparse.dir/stats.cpp.o.d"
+  "libmps_sparse.a"
+  "libmps_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_util.dir/env.cpp.o"
+  "CMakeFiles/mps_util.dir/env.cpp.o.d"
+  "CMakeFiles/mps_util.dir/rng.cpp.o"
+  "CMakeFiles/mps_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mps_util.dir/stats.cpp.o"
+  "CMakeFiles/mps_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mps_util.dir/table.cpp.o"
+  "CMakeFiles/mps_util.dir/table.cpp.o.d"
+  "libmps_util.a"
+  "libmps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vgpu/cpu_model.cpp" "src/vgpu/CMakeFiles/mps_vgpu.dir/cpu_model.cpp.o" "gcc" "src/vgpu/CMakeFiles/mps_vgpu.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/vgpu/device.cpp" "src/vgpu/CMakeFiles/mps_vgpu.dir/device.cpp.o" "gcc" "src/vgpu/CMakeFiles/mps_vgpu.dir/device.cpp.o.d"
+  "/root/repo/src/vgpu/memory_model.cpp" "src/vgpu/CMakeFiles/mps_vgpu.dir/memory_model.cpp.o" "gcc" "src/vgpu/CMakeFiles/mps_vgpu.dir/memory_model.cpp.o.d"
+  "/root/repo/src/vgpu/thread_pool.cpp" "src/vgpu/CMakeFiles/mps_vgpu.dir/thread_pool.cpp.o" "gcc" "src/vgpu/CMakeFiles/mps_vgpu.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/vgpu/timing.cpp" "src/vgpu/CMakeFiles/mps_vgpu.dir/timing.cpp.o" "gcc" "src/vgpu/CMakeFiles/mps_vgpu.dir/timing.cpp.o.d"
+  "/root/repo/src/vgpu/trace.cpp" "src/vgpu/CMakeFiles/mps_vgpu.dir/trace.cpp.o" "gcc" "src/vgpu/CMakeFiles/mps_vgpu.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_vgpu.dir/cpu_model.cpp.o"
+  "CMakeFiles/mps_vgpu.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/mps_vgpu.dir/device.cpp.o"
+  "CMakeFiles/mps_vgpu.dir/device.cpp.o.d"
+  "CMakeFiles/mps_vgpu.dir/memory_model.cpp.o"
+  "CMakeFiles/mps_vgpu.dir/memory_model.cpp.o.d"
+  "CMakeFiles/mps_vgpu.dir/thread_pool.cpp.o"
+  "CMakeFiles/mps_vgpu.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/mps_vgpu.dir/timing.cpp.o"
+  "CMakeFiles/mps_vgpu.dir/timing.cpp.o.d"
+  "CMakeFiles/mps_vgpu.dir/trace.cpp.o"
+  "CMakeFiles/mps_vgpu.dir/trace.cpp.o.d"
+  "libmps_vgpu.a"
+  "libmps_vgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_vgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_workloads.dir/generators.cpp.o"
+  "CMakeFiles/mps_workloads.dir/generators.cpp.o.d"
+  "CMakeFiles/mps_workloads.dir/suite.cpp.o"
+  "CMakeFiles/mps_workloads.dir/suite.cpp.o.d"
+  "libmps_workloads.a"
+  "libmps_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balanced_path_test.dir/balanced_path_test.cpp.o"
+  "CMakeFiles/balanced_path_test.dir/balanced_path_test.cpp.o.d"
+  "balanced_path_test"
+  "balanced_path_test.pdb"
+  "balanced_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balanced_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

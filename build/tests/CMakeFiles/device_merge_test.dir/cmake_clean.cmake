@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_merge_test.dir/device_merge_test.cpp.o"
+  "CMakeFiles/device_merge_test.dir/device_merge_test.cpp.o.d"
+  "device_merge_test"
+  "device_merge_test.pdb"
+  "device_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

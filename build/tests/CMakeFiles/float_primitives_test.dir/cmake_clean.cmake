@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/float_primitives_test.dir/float_primitives_test.cpp.o"
+  "CMakeFiles/float_primitives_test.dir/float_primitives_test.cpp.o.d"
+  "float_primitives_test"
+  "float_primitives_test.pdb"
+  "float_primitives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/float_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

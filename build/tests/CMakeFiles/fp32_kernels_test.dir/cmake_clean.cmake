@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp32_kernels_test.dir/fp32_kernels_test.cpp.o"
+  "CMakeFiles/fp32_kernels_test.dir/fp32_kernels_test.cpp.o.d"
+  "fp32_kernels_test"
+  "fp32_kernels_test.pdb"
+  "fp32_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp32_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

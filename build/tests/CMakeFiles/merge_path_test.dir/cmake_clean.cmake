@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_path_test.dir/merge_path_test.cpp.o"
+  "CMakeFiles/merge_path_test.dir/merge_path_test.cpp.o.d"
+  "merge_path_test"
+  "merge_path_test.pdb"
+  "merge_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

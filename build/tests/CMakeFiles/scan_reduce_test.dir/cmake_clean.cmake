@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_reduce_test.dir/scan_reduce_test.cpp.o"
+  "CMakeFiles/scan_reduce_test.dir/scan_reduce_test.cpp.o.d"
+  "scan_reduce_test"
+  "scan_reduce_test.pdb"
+  "scan_reduce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_reduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

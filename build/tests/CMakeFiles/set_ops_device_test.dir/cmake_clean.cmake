@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_ops_device_test.dir/set_ops_device_test.cpp.o"
+  "CMakeFiles/set_ops_device_test.dir/set_ops_device_test.cpp.o.d"
+  "set_ops_device_test"
+  "set_ops_device_test.pdb"
+  "set_ops_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_ops_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spadd_merge_test.dir/spadd_merge_test.cpp.o"
+  "CMakeFiles/spadd_merge_test.dir/spadd_merge_test.cpp.o.d"
+  "spadd_merge_test"
+  "spadd_merge_test.pdb"
+  "spadd_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spadd_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spgemm_batched_test.cpp" "tests/CMakeFiles/spgemm_batched_test.dir/spgemm_batched_test.cpp.o" "gcc" "tests/CMakeFiles/spgemm_batched_test.dir/spgemm_batched_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgpu/CMakeFiles/mps_vgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/mps_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/primitives/CMakeFiles/mps_primitives.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mps_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mps_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mps_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

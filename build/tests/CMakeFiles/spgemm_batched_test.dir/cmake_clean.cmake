@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spgemm_batched_test.dir/spgemm_batched_test.cpp.o"
+  "CMakeFiles/spgemm_batched_test.dir/spgemm_batched_test.cpp.o.d"
+  "spgemm_batched_test"
+  "spgemm_batched_test.pdb"
+  "spgemm_batched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spgemm_batched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spgemm_merge_test.dir/spgemm_merge_test.cpp.o"
+  "CMakeFiles/spgemm_merge_test.dir/spgemm_merge_test.cpp.o.d"
+  "spgemm_merge_test"
+  "spgemm_merge_test.pdb"
+  "spgemm_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spgemm_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spgemm_plan_test.dir/spgemm_plan_test.cpp.o"
+  "CMakeFiles/spgemm_plan_test.dir/spgemm_plan_test.cpp.o.d"
+  "spgemm_plan_test"
+  "spgemm_plan_test.pdb"
+  "spgemm_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spgemm_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_merge_test.dir/spmv_merge_test.cpp.o"
+  "CMakeFiles/spmv_merge_test.dir/spmv_merge_test.cpp.o.d"
+  "spmv_merge_test"
+  "spmv_merge_test.pdb"
+  "spmv_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

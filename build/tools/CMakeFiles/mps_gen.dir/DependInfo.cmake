@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/mps_gen.cpp" "tools/CMakeFiles/mps_gen.dir/mps_gen.cpp.o" "gcc" "tools/CMakeFiles/mps_gen.dir/mps_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/mps_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/mps_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_gen.dir/mps_gen.cpp.o"
+  "CMakeFiles/mps_gen.dir/mps_gen.cpp.o.d"
+  "mps_gen"
+  "mps_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_run.dir/mps_run.cpp.o"
+  "CMakeFiles/mps_run.dir/mps_run.cpp.o.d"
+  "mps_run"
+  "mps_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
