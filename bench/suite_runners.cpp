@@ -61,6 +61,15 @@ std::vector<SpmvRow> run_spmv_suite(const std::vector<workloads::SuiteEntry>& su
     require(max_abs_diff(y, y_ref) < 1e-8, e.name + " rowwise spmv mismatch");
     row.merge_ms = core::merge::spmv(dev, a, x, y).modeled_ms();
     require(max_abs_diff(y, y_ref) < 1e-8, e.name + " merge spmv mismatch");
+
+    // Repeated-apply path: plan once, execute once, and require the
+    // result to be bit-identical to the one-shot merge kernel.
+    const auto plan = core::merge::spmv_plan(dev, a);
+    std::vector<double> y_exec(y.size());
+    const auto exec = core::merge::spmv_execute(dev, a, x, y_exec, plan);
+    require(y_exec == y, e.name + " planned spmv not bit-identical");
+    row.merge_plan_ms = plan.plan_ms();
+    row.merge_exec_ms = exec.modeled_ms();
     rows.push_back(row);
   }
   return rows;

@@ -17,10 +17,16 @@ struct SpmvRow {
   double cusp_ms = 0.0;
   double rowwise_ms = 0.0;
   double merge_ms = 0.0;
+  /// Plan-reuse split of merge_ms: one-time partition/compaction cost and
+  /// the steady-state per-apply cost (merge_plan_ms + merge_exec_ms ==
+  /// merge_ms up to rounding).
+  double merge_plan_ms = 0.0;
+  double merge_exec_ms = 0.0;
 };
 
 /// y = A x per matrix; results are verified against the sequential
-/// reference before timing is reported.
+/// reference before timing is reported.  The merge scheme additionally
+/// runs through the SpmvPlan path, which must be bit-identical.
 std::vector<SpmvRow> run_spmv_suite(const std::vector<workloads::SuiteEntry>& suite);
 
 struct SpaddRow {

@@ -25,6 +25,11 @@ struct Level {
   sparse::CsrD a;
   sparse::CsrD p;   ///< prolongation to this level's fine neighbour
   sparse::CsrD r;   ///< restriction (P^T)
+  // Merge-path partitions built once per operator at setup: every V-cycle
+  // re-applies the same patterns, so the plans amortize across the solve.
+  core::merge::SpmvPlan a_plan;
+  core::merge::SpmvPlan p_plan;
+  core::merge::SpmvPlan r_plan;
   std::vector<double> diag;
   index_t nx = 0;
 };
@@ -52,10 +57,15 @@ Hierarchy build_hierarchy(vgpu::Device& dev, sparse::CsrD fine, index_t nx) {
     lvl.a = std::move(fine);
     lvl.nx = nx;
     lvl.diag = sparse::extract_diagonal(lvl.a);
+    lvl.a_plan = core::merge::spmv_plan(dev, lvl.a);
+    h.setup_ms += lvl.a_plan.plan_ms();
     const bool coarsest = nx <= 8;
     if (!coarsest) {
       lvl.p = aggregation_p(nx);
       lvl.r = sparse::transpose(lvl.p);
+      lvl.p_plan = core::merge::spmv_plan(dev, lvl.p);
+      lvl.r_plan = core::merge::spmv_plan(dev, lvl.r);
+      h.setup_ms += lvl.p_plan.plan_ms() + lvl.r_plan.plan_ms();
       sparse::CsrD ra;
       const auto s1 = core::merge::spgemm(dev, lvl.r, lvl.a, ra);
       sparse::CsrD coarse;
@@ -79,7 +89,7 @@ double smooth(vgpu::Device& dev, const Level& lvl, const std::vector<double>& b,
   std::vector<double> ax(x.size());
   const double w = 0.8;
   for (int s = 0; s < sweeps; ++s) {
-    ms += core::merge::spmv(dev, lvl.a, x, ax).modeled_ms();
+    ms += core::merge::spmv_execute(dev, lvl.a, x, ax, lvl.a_plan).modeled_ms();
     for (std::size_t i = 0; i < x.size(); ++i) {
       if (lvl.diag[i] != 0.0) x[i] += w * (b[i] - ax[i]) / lvl.diag[i];
     }
@@ -94,14 +104,14 @@ double vcycle(vgpu::Device& dev, const Hierarchy& h, std::size_t level,
   if (level + 1 < h.levels.size()) {
     // Residual, restrict, recurse, prolong-correct, post-smooth.
     std::vector<double> ax(x.size()), res(x.size());
-    ms += core::merge::spmv(dev, lvl.a, x, ax).modeled_ms();
+    ms += core::merge::spmv_execute(dev, lvl.a, x, ax, lvl.a_plan).modeled_ms();
     for (std::size_t i = 0; i < res.size(); ++i) res[i] = b[i] - ax[i];
     std::vector<double> rb(static_cast<std::size_t>(lvl.r.num_rows));
-    ms += core::merge::spmv(dev, lvl.r, res, rb).modeled_ms();
+    ms += core::merge::spmv_execute(dev, lvl.r, res, rb, lvl.r_plan).modeled_ms();
     std::vector<double> cx(rb.size(), 0.0);
     ms += vcycle(dev, h, level + 1, rb, cx);
     std::vector<double> px(x.size());
-    ms += core::merge::spmv(dev, lvl.p, cx, px).modeled_ms();
+    ms += core::merge::spmv_execute(dev, lvl.p, cx, px, lvl.p_plan).modeled_ms();
     for (std::size_t i = 0; i < x.size(); ++i) x[i] += px[i];
     ms += smooth(dev, lvl, b, x, 2);
   } else {
@@ -126,7 +136,7 @@ int main(int argc, char** argv) {
   const auto& a0 = h.levels[0].a;
   const std::size_t un = static_cast<std::size_t>(a0.num_rows);
   std::vector<double> ones(un, 1.0), b(un);
-  core::merge::spmv(dev, a0, ones, b);
+  core::merge::spmv_execute(dev, a0, ones, b, h.levels[0].a_plan);
 
   auto dot = [](const std::vector<double>& u, const std::vector<double>& v) {
     double acc = 0;
@@ -141,7 +151,8 @@ int main(int argc, char** argv) {
   int iters = 0;
   double rel = 1.0;
   for (; iters < 100 && rel > 1e-10; ++iters) {
-    cycle_ms += core::merge::spmv(dev, a0, p, ap).modeled_ms();
+    cycle_ms += core::merge::spmv_execute(dev, a0, p, ap, h.levels[0].a_plan)
+                    .modeled_ms();
     const double alpha = rz / dot(p, ap);
     for (std::size_t i = 0; i < un; ++i) {
       x[i] += alpha * p[i];

@@ -49,10 +49,14 @@ int main(int argc, char** argv) {
   std::vector<double> rank(n, 1.0 / static_cast<double>(pages));
   std::vector<double> next(n);
 
-  double merge_ms = 0.0, rowwise_ms = 0.0;
+  // The link structure never changes between power iterations: partition
+  // the merge path once and reuse it.
+  const auto plan = core::merge::spmv_plan(device, m);
+  double merge_ms = plan.plan_ms();
+  double rowwise_ms = 0.0;
   int iters = 0;
   for (; iters < 100; ++iters) {
-    merge_ms += core::merge::spmv(device, m, rank, next).modeled_ms();
+    merge_ms += core::merge::spmv_execute(device, m, rank, next, plan).modeled_ms();
     // Also time the row-wise scheme on identical input (result unused —
     // this is the comparison the figures make, embedded in an app).
     std::vector<double> scratch(n);
@@ -78,9 +82,10 @@ int main(int argc, char** argv) {
                     });
   std::printf("converged after %d iterations; top pages:", iters + 1);
   for (int i = 0; i < 5; ++i) std::printf(" %d", order[static_cast<std::size_t>(i)]);
-  std::printf("\nmodeled SpMV cost per iteration: merge %.4f ms, row-wise %.4f ms "
-              "(x%.2f)\n",
-              merge_ms / (iters + 1), rowwise_ms / (iters + 1), rowwise_ms / merge_ms);
+  std::printf("\nmodeled SpMV cost per iteration: merge %.4f ms (plan %.4f ms "
+              "amortized), row-wise %.4f ms (x%.2f)\n",
+              merge_ms / (iters + 1), plan.plan_ms(), rowwise_ms / (iters + 1),
+              rowwise_ms / merge_ms);
   std::puts("On power-law graphs the flat nonzero decomposition avoids the "
             "idle lanes row-wise schemes spend on hub rows.");
   return 0;

@@ -16,4 +16,26 @@ SpmvStats spmv(vgpu::Device& device, const sparse::CsrMatrix<float>& a,
   return detail::spmv_impl<float>(device, a, x, y, cfg);
 }
 
+SpmvPlan spmv_plan(vgpu::Device& device, const sparse::CsrD& a,
+                   const SpmvConfig& cfg) {
+  return detail::SpmvPlanAccess::build<double>(device, a, cfg);
+}
+
+SpmvPlan spmv_plan(vgpu::Device& device, const sparse::CsrMatrix<float>& a,
+                   const SpmvConfig& cfg) {
+  return detail::SpmvPlanAccess::build<float>(device, a, cfg);
+}
+
+SpmvStats spmv_execute(vgpu::Device& device, const sparse::CsrD& a,
+                       std::span<const double> x, std::span<double> y,
+                       const SpmvPlan& plan) {
+  return detail::SpmvPlanAccess::execute<double>(device, a, x, y, plan);
+}
+
+SpmvStats spmv_execute(vgpu::Device& device, const sparse::CsrMatrix<float>& a,
+                       std::span<const float> x, std::span<float> y,
+                       const SpmvPlan& plan) {
+  return detail::SpmvPlanAccess::execute<float>(device, a, x, y, plan);
+}
+
 }  // namespace mps::core::merge

@@ -1,6 +1,12 @@
 #pragma once
 // Templated implementation of merge-path SpMV (see spmv.hpp for the
 // algorithm description).  Instantiated for double and float in spmv.cpp.
+//
+// The implementation is split along the plan/execute seam: plan building
+// runs the pattern-only phases (empty-row compaction, CTA partition) and
+// execution runs the value phases (reduction, carry update).  One-shot
+// spmv builds a transient plan and executes it, so the plan path is
+// bit-identical to one-shot by construction.
 
 #include <vector>
 
@@ -11,8 +17,6 @@
 namespace mps::core::merge {
 
 namespace detail {
-
-
 
 inline namespace spmv_detail {
 
@@ -38,161 +42,249 @@ CompactView compact_offsets(const sparse::CsrMatrix<V>& a) {
   return v;
 }
 
+/// FNV-1a over the raw row offsets: the cheap O(num_rows) pattern
+/// checksum spmv_execute re-evaluates to reject a drifted matrix.
+inline std::uint64_t offsets_fingerprint(std::span<const index_t> offsets) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const index_t v : offsets) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace
 
+/// Friend gateway into SpmvPlan's private state for the templated
+/// build/execute implementations.
+struct SpmvPlanAccess {
+  template <typename V>
+  static SpmvPlan build(vgpu::Device& device, const sparse::CsrMatrix<V>& a,
+                        const SpmvConfig& cfg) {
+    SpmvPlan plan;
+    plan.cfg_ = cfg;
+    plan.value_bytes_ = sizeof(V);
+    plan.num_rows_ = a.num_rows;
+    plan.num_cols_ = a.num_cols;
+    plan.nnz_ = a.nnz();
+    plan.offsets_fingerprint_ = offsets_fingerprint(a.row_offsets);
+    const std::size_t nnz = static_cast<std::size_t>(a.nnz());
+    if (nnz == 0) {
+      plan.num_ctas_ = 0;  // valid; execute only clears y
+      return plan;
+    }
+
+    // --- Empty-row detection / compaction (paper's adaptive switch) -----
+    plan.used_compaction_ = cfg.force_compaction || a.has_empty_rows();
+    if (plan.used_compaction_) {
+      auto compact = compact_offsets(a);
+      plan.compact_offsets_ = std::move(compact.offsets);
+      plan.compact_row_ids_ = std::move(compact.row_ids);
+      // A streaming pass over the offsets array builds the compacted view.
+      const auto s = device.launch(
+          "merge.spmv_compact", std::max(1, a.num_rows / 2048 + 1),
+          cfg.block_threads, [&](vgpu::Cta& cta) {
+            const std::size_t rows_per_cta = 2048;
+            const std::size_t lo =
+                static_cast<std::size_t>(cta.cta_id()) * rows_per_cta;
+            const std::size_t hi =
+                std::min(static_cast<std::size_t>(a.num_rows), lo + rows_per_cta);
+            if (lo >= hi) return;
+            cta.charge_global((hi - lo) * 3 * sizeof(index_t));
+            cta.charge_alu_uniform(hi - lo);
+          });
+      plan.compact_ms_ = s.modeled_ms;
+    }
+    const std::span<const index_t> offsets =
+        plan.used_compaction_ ? std::span<const index_t>(plan.compact_offsets_)
+                              : std::span<const index_t>(a.row_offsets);
+    const index_t num_seg_rows = static_cast<index_t>(offsets.size()) - 1;
+
+    const std::size_t tile = static_cast<std::size_t>(cfg.tile());
+    const int num_ctas = static_cast<int>(ceil_div(nnz, tile));
+    plan.num_ctas_ = num_ctas;
+
+    // --- Partition ------------------------------------------------------
+    // S[i] = last row whose offset <= i * tile.
+    plan.s_bounds_.assign(static_cast<std::size_t>(num_ctas) + 1, 0);
+    auto& s_bounds = plan.s_bounds_;
+    {
+      const int fences = num_ctas + 1;
+      const int part_ctas = static_cast<int>(
+          ceil_div(static_cast<std::size_t>(fences),
+                   static_cast<std::size_t>(cfg.block_threads)));
+      const auto s = device.launch(
+          "merge.spmv_partition", part_ctas, cfg.block_threads,
+          [&](vgpu::Cta& cta) {
+            const std::size_t lo = static_cast<std::size_t>(cta.cta_id()) *
+                                   static_cast<std::size_t>(cfg.block_threads);
+            const std::size_t hi =
+                std::min(static_cast<std::size_t>(fences),
+                         lo + static_cast<std::size_t>(cfg.block_threads));
+            for (std::size_t f = lo; f < hi; ++f) {
+              const index_t target = static_cast<index_t>(std::min(f * tile, nnz));
+              s_bounds[f] = static_cast<index_t>(primitives::segment_of(
+                  offsets.subspan(0, static_cast<std::size_t>(num_seg_rows)),
+                  target));
+              cta.charge_binary_search(static_cast<std::size_t>(num_seg_rows));
+            }
+            cta.charge_global((hi - lo) * sizeof(index_t));
+          });
+      plan.partition_ms_ = s.modeled_ms;
+    }
+
+    // Pin the plan's arrays for its lifetime: partition fences, the
+    // compacted view, and the carry buffer every execute reuses.
+    const std::size_t pinned_bytes =
+        (plan.s_bounds_.size() + plan.compact_offsets_.size() +
+         plan.compact_row_ids_.size()) *
+            sizeof(index_t) +
+        static_cast<std::size_t>(num_ctas) * (sizeof(index_t) + sizeof(V));
+    plan.device_mem_.emplace(device.memory(), pinned_bytes);
+    return plan;
+  }
+
+  template <typename V>
+  static SpmvStats execute(vgpu::Device& device, const sparse::CsrMatrix<V>& a,
+                           std::span<const V> x, std::span<V> y,
+                           const SpmvPlan& plan) {
+    MPS_CHECK_MSG(plan.valid(), "spmv_execute requires a built plan");
+    MPS_CHECK_MSG(plan.value_bytes_ == sizeof(V),
+                  "plan was built for a different value precision");
+    MPS_CHECK(x.size() >= static_cast<std::size_t>(a.num_cols));
+    MPS_CHECK(y.size() >= static_cast<std::size_t>(a.num_rows));
+    // Pattern-fingerprint guard: values may change between executes, the
+    // structure may not.
+    MPS_CHECK_MSG(plan.num_rows_ == a.num_rows && plan.num_cols_ == a.num_cols &&
+                      plan.nnz_ == a.nnz() &&
+                      plan.offsets_fingerprint_ ==
+                          offsets_fingerprint(a.row_offsets),
+                  "matrix pattern does not match the plan");
+    util::WallTimer wall;
+    SpmvStats stats;
+    stats.setup_amortized = true;
+    stats.plan_ms = plan.plan_ms();
+    stats.used_compaction = plan.used_compaction_;
+    stats.num_ctas = plan.num_ctas_;
+    std::fill(y.begin(), y.begin() + a.num_rows, V{});
+    const std::size_t nnz = static_cast<std::size_t>(a.nnz());
+    if (nnz == 0) {
+      stats.wall_ms = wall.milliseconds();
+      return stats;
+    }
+
+    const SpmvConfig& cfg = plan.cfg_;
+    const std::span<const index_t> offsets =
+        plan.used_compaction_ ? std::span<const index_t>(plan.compact_offsets_)
+                              : std::span<const index_t>(a.row_offsets);
+    const std::span<const index_t> row_ids =
+        plan.compact_row_ids_;  // empty => identity
+    const index_t num_seg_rows = static_cast<index_t>(offsets.size()) - 1;
+    const std::size_t tile = static_cast<std::size_t>(cfg.tile());
+    const int num_ctas = plan.num_ctas_;
+    const std::vector<index_t>& s_bounds = plan.s_bounds_;
+
+    // --- Reduction ------------------------------------------------------
+    // Carries: the open trailing row of each CTA (original row id,
+    // partial sum).  The device-side buffer is pinned by the plan.
+    std::vector<index_t> carry_row(static_cast<std::size_t>(num_ctas), -1);
+    std::vector<V> carry_val(static_cast<std::size_t>(num_ctas), V{});
+    {
+      const auto s = device.launch(
+          "merge.spmv_reduce", num_ctas, cfg.block_threads, [&](vgpu::Cta& cta) {
+            const std::size_t p_lo = static_cast<std::size_t>(cta.cta_id()) * tile;
+            const std::size_t p_hi = std::min(nnz, p_lo + tile);
+            const index_t row_lo = s_bounds[static_cast<std::size_t>(cta.cta_id())];
+            const index_t row_hi =
+                s_bounds[static_cast<std::size_t>(cta.cta_id()) + 1];
+
+            // Row-offset window staged through shared memory.
+            auto shm_offsets = cta.shm().alloc<index_t>(
+                static_cast<std::size_t>(row_hi - row_lo) + 2);
+            (void)shm_offsets;
+            cta.charge_global((static_cast<std::size_t>(row_hi - row_lo) + 2) *
+                              sizeof(index_t));
+
+            // Strided loads of column indices and values, x gathers,
+            // blocked transpose, and the CTA-wide segmented scan.
+            cta.charge_global((p_hi - p_lo) * (sizeof(index_t) + sizeof(V)));
+            cta.charge_gather(p_hi - p_lo);
+            cta.charge_shared_elems(3 * (p_hi - p_lo));
+            cta.charge_alu_uniform(2 * (p_hi - p_lo));
+            cta.charge_sync();
+            cta.charge_sync();
+
+            // Functional reduction: walk rows covering [p_lo, p_hi).
+            for (index_t r = row_lo; r <= row_hi && r < num_seg_rows; ++r) {
+              const std::size_t seg_lo = std::max(
+                  p_lo,
+                  static_cast<std::size_t>(offsets[static_cast<std::size_t>(r)]));
+              const std::size_t seg_hi = std::min(
+                  p_hi, static_cast<std::size_t>(
+                            offsets[static_cast<std::size_t>(r) + 1]));
+              if (seg_lo >= seg_hi) continue;
+              V acc{};
+              for (std::size_t k = seg_lo; k < seg_hi; ++k) {
+                acc += a.val[k] * x[static_cast<std::size_t>(a.col[k])];
+              }
+              const bool row_ends_here =
+                  static_cast<std::size_t>(
+                      offsets[static_cast<std::size_t>(r) + 1]) <= p_hi;
+              const index_t out_row =
+                  row_ids.empty() ? r : row_ids[static_cast<std::size_t>(r)];
+              if (row_ends_here) {
+                y[static_cast<std::size_t>(out_row)] += acc;
+                cta.charge_global(sizeof(V));
+              } else {
+                carry_row[static_cast<std::size_t>(cta.cta_id())] = out_row;
+                carry_val[static_cast<std::size_t>(cta.cta_id())] = acc;
+                cta.charge_global(sizeof(V) + sizeof(index_t));
+              }
+            }
+          });
+      stats.reduce_ms = s.modeled_ms;
+    }
+
+    // --- Update (inter-CTA carry propagation) ---------------------------
+    {
+      const auto s = device.launch(
+          "merge.spmv_update", 1, cfg.block_threads, [&](vgpu::Cta& cta) {
+            for (int i = 0; i < num_ctas; ++i) {
+              if (carry_row[static_cast<std::size_t>(i)] >= 0) {
+                y[static_cast<std::size_t>(
+                    carry_row[static_cast<std::size_t>(i)])] +=
+                    carry_val[static_cast<std::size_t>(i)];
+              }
+            }
+            cta.charge_global(static_cast<std::size_t>(num_ctas) *
+                              (sizeof(index_t) + sizeof(V)));
+            cta.charge_shared_elems(static_cast<std::size_t>(num_ctas));
+            cta.charge_alu_uniform(static_cast<std::size_t>(num_ctas));
+          });
+      stats.update_ms = s.modeled_ms;
+    }
+    stats.wall_ms = wall.milliseconds();
+    return stats;
+  }
+};
+
+/// One-shot SpMV: a transient plan built and executed in place, with the
+/// setup phases folded back into the per-call stats.
 template <typename V>
 SpmvStats spmv_impl(vgpu::Device& device, const sparse::CsrMatrix<V>& a,
                     std::span<const V> x, std::span<V> y, const SpmvConfig& cfg) {
   MPS_CHECK(x.size() >= static_cast<std::size_t>(a.num_cols));
   MPS_CHECK(y.size() >= static_cast<std::size_t>(a.num_rows));
   util::WallTimer wall;
-  SpmvStats stats;
-  std::fill(y.begin(), y.begin() + a.num_rows, 0.0);
-  const std::size_t nnz = static_cast<std::size_t>(a.nnz());
-  if (nnz == 0) {
-    stats.wall_ms = wall.milliseconds();
-    return stats;
-  }
-
-  // --- Empty-row detection / compaction (paper's adaptive switch) -------
-  stats.used_compaction = cfg.force_compaction || a.has_empty_rows();
-  CompactView compact;
-  std::span<const index_t> offsets;
-  std::span<const index_t> row_ids;  // empty => identity
-  if (stats.used_compaction) {
-    compact = compact_offsets(a);
-    offsets = compact.offsets;
-    row_ids = compact.row_ids;
-    // A streaming pass over the offsets array builds the compacted view.
-    const auto s = device.launch(
-        "merge.spmv_compact", std::max(1, a.num_rows / 2048 + 1),
-        cfg.block_threads, [&](vgpu::Cta& cta) {
-          const std::size_t rows_per_cta = 2048;
-          const std::size_t lo = static_cast<std::size_t>(cta.cta_id()) * rows_per_cta;
-          const std::size_t hi =
-              std::min(static_cast<std::size_t>(a.num_rows), lo + rows_per_cta);
-          if (lo >= hi) return;
-          cta.charge_global((hi - lo) * 3 * sizeof(index_t));
-          cta.charge_alu_uniform(hi - lo);
-        });
-    stats.compact_ms = s.modeled_ms;
-  } else {
-    offsets = a.row_offsets;
-  }
-  const index_t num_seg_rows = static_cast<index_t>(offsets.size()) - 1;
-
-  const std::size_t tile = static_cast<std::size_t>(cfg.tile());
-  const int num_ctas = static_cast<int>(ceil_div(nnz, tile));
-  stats.num_ctas = num_ctas;
-
-  // --- Phase 1: partition ----------------------------------------------
-  // S[i] = last row whose offset <= i * tile.
-  vgpu::ScopedDeviceAlloc s_mem(device.memory(),
-                                (static_cast<std::size_t>(num_ctas) + 1) *
-                                    sizeof(index_t));
-  std::vector<index_t> s_bounds(static_cast<std::size_t>(num_ctas) + 1);
-  {
-    const int fences = num_ctas + 1;
-    const int part_ctas = static_cast<int>(
-        ceil_div(static_cast<std::size_t>(fences),
-                 static_cast<std::size_t>(cfg.block_threads)));
-    const auto s = device.launch(
-        "merge.spmv_partition", part_ctas, cfg.block_threads, [&](vgpu::Cta& cta) {
-          const std::size_t lo = static_cast<std::size_t>(cta.cta_id()) *
-                                 static_cast<std::size_t>(cfg.block_threads);
-          const std::size_t hi = std::min(static_cast<std::size_t>(fences),
-                                          lo + static_cast<std::size_t>(cfg.block_threads));
-          for (std::size_t f = lo; f < hi; ++f) {
-            const index_t target = static_cast<index_t>(std::min(f * tile, nnz));
-            s_bounds[f] = static_cast<index_t>(primitives::segment_of(
-                offsets.subspan(0, static_cast<std::size_t>(num_seg_rows)),
-                target));
-            cta.charge_binary_search(static_cast<std::size_t>(num_seg_rows));
-          }
-          cta.charge_global((hi - lo) * sizeof(index_t));
-        });
-    stats.partition_ms = s.modeled_ms;
-  }
-
-  // --- Phase 2: reduction ------------------------------------------------
-  // Carries: the open trailing row of each CTA (compacted row id, partial).
-  vgpu::ScopedDeviceAlloc carry_mem(device.memory(),
-                                    static_cast<std::size_t>(num_ctas) *
-                                        (sizeof(index_t) + sizeof(V)));
-  std::vector<index_t> carry_row(static_cast<std::size_t>(num_ctas), -1);
-  std::vector<V> carry_val(static_cast<std::size_t>(num_ctas), 0.0);
-  {
-    const auto s = device.launch(
-        "merge.spmv_reduce", num_ctas, cfg.block_threads, [&](vgpu::Cta& cta) {
-          const std::size_t p_lo = static_cast<std::size_t>(cta.cta_id()) * tile;
-          const std::size_t p_hi = std::min(nnz, p_lo + tile);
-          const index_t row_lo = s_bounds[static_cast<std::size_t>(cta.cta_id())];
-          const index_t row_hi = s_bounds[static_cast<std::size_t>(cta.cta_id()) + 1];
-
-          // Row-offset window staged through shared memory.
-          auto shm_offsets =
-              cta.shm().alloc<index_t>(static_cast<std::size_t>(row_hi - row_lo) + 2);
-          (void)shm_offsets;
-          cta.charge_global((static_cast<std::size_t>(row_hi - row_lo) + 2) *
-                            sizeof(index_t));
-
-          // Strided loads of column indices and values, x gathers,
-          // blocked transpose, and the CTA-wide segmented scan.
-          cta.charge_global((p_hi - p_lo) * (sizeof(index_t) + sizeof(V)));
-          cta.charge_gather(p_hi - p_lo);
-          cta.charge_shared_elems(3 * (p_hi - p_lo));
-          cta.charge_alu_uniform(2 * (p_hi - p_lo));
-          cta.charge_sync();
-          cta.charge_sync();
-
-          // Functional reduction: walk rows covering [p_lo, p_hi).
-          for (index_t r = row_lo; r <= row_hi && r < num_seg_rows; ++r) {
-            const std::size_t seg_lo =
-                std::max(p_lo, static_cast<std::size_t>(offsets[static_cast<std::size_t>(r)]));
-            const std::size_t seg_hi =
-                std::min(p_hi, static_cast<std::size_t>(offsets[static_cast<std::size_t>(r) + 1]));
-            if (seg_lo >= seg_hi) continue;
-            V acc{};
-            for (std::size_t k = seg_lo; k < seg_hi; ++k) {
-              acc += a.val[k] * x[static_cast<std::size_t>(a.col[k])];
-            }
-            const bool row_ends_here =
-                static_cast<std::size_t>(offsets[static_cast<std::size_t>(r) + 1]) <= p_hi;
-            const index_t out_row = row_ids.empty() ? r : row_ids[static_cast<std::size_t>(r)];
-            if (row_ends_here) {
-              y[static_cast<std::size_t>(out_row)] += acc;
-              cta.charge_global(sizeof(V));
-            } else {
-              carry_row[static_cast<std::size_t>(cta.cta_id())] = out_row;
-              carry_val[static_cast<std::size_t>(cta.cta_id())] = acc;
-              cta.charge_global(sizeof(V) + sizeof(index_t));
-            }
-          }
-        });
-    stats.reduce_ms = s.modeled_ms;
-  }
-
-  // --- Phase 3: update (inter-CTA carry propagation) ---------------------
-  {
-    const auto s = device.launch("merge.spmv_update", 1, cfg.block_threads,
-                                 [&](vgpu::Cta& cta) {
-      for (int i = 0; i < num_ctas; ++i) {
-        if (carry_row[static_cast<std::size_t>(i)] >= 0) {
-          y[static_cast<std::size_t>(carry_row[static_cast<std::size_t>(i)])] +=
-              carry_val[static_cast<std::size_t>(i)];
-        }
-      }
-      cta.charge_global(static_cast<std::size_t>(num_ctas) *
-                        (sizeof(index_t) + sizeof(V)));
-      cta.charge_shared_elems(static_cast<std::size_t>(num_ctas));
-      cta.charge_alu_uniform(static_cast<std::size_t>(num_ctas));
-    });
-    stats.update_ms = s.modeled_ms;
-  }
+  const SpmvPlan plan = SpmvPlanAccess::build(device, a, cfg);
+  SpmvStats stats = SpmvPlanAccess::execute(device, a, x, y, plan);
+  stats.partition_ms = plan.partition_ms();
+  stats.compact_ms = plan.compact_ms();
+  stats.plan_ms = plan.plan_ms();
+  stats.setup_amortized = false;
   stats.wall_ms = wall.milliseconds();
   return stats;
 }
-
 
 }  // namespace detail
 

@@ -124,4 +124,29 @@ std::vector<std::string> suite_names() {
   return names;
 }
 
+std::vector<IterativeEntry> iterative_suite(double scale) {
+  // Apply counts mirror the examples/ drivers at default sizes: CG on a
+  // FEM mesh converges in a few hundred iterations, PageRank power
+  // iteration runs ~100 sweeps, an AMG solve issues a few hundred
+  // smoother applications across its cycles, and the Markov ensemble
+  // advances 30 steps for each of 8 chains.
+  struct IterSpec {
+    const char* name;
+    int applies;
+    const char* driver;
+  };
+  constexpr IterSpec kIterSpecs[] = {
+      {"Wind Tunnel", 500, "cg_poisson"},
+      {"Webbase", 100, "pagerank"},
+      {"Epidemiology", 300, "amg_vcycle"},
+      {"Circuit", 240, "markov_ensemble"},
+  };
+  std::vector<IterativeEntry> out;
+  out.reserve(std::size(kIterSpecs));
+  for (const auto& s : kIterSpecs) {
+    out.push_back({suite_entry(s.name, scale), s.applies, s.driver});
+  }
+  return out;
+}
+
 }  // namespace mps::workloads

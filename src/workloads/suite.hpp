@@ -41,4 +41,17 @@ SuiteEntry suite_entry(const std::string& name, double scale);
 /// The names in Table II order.
 std::vector<std::string> suite_names();
 
+/// A Table II entry paired with the apply count of the iterative driver
+/// it stands in for — the repeated-apply regime where a reused SpmvPlan
+/// amortizes the merge-path partition (see docs/spmv_plan.md).
+struct IterativeEntry {
+  SuiteEntry entry;
+  int applies = 0;          ///< representative SpMV applications per solve
+  const char* driver = "";  ///< the examples/ workload it models
+};
+
+/// The iterative-workload subset of Table II: one matrix per iterative
+/// driver in examples/ (CG, PageRank, AMG smoothing, Markov ensemble).
+std::vector<IterativeEntry> iterative_suite(double scale);
+
 }  // namespace mps::workloads

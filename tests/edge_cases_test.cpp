@@ -96,6 +96,102 @@ TEST(EdgeCases, SpgemmTinyBlockGeometry) {
   EXPECT_TRUE(sparse::compare_csr(c, ref, 1e-9, 1e-11).equal);
 }
 
+TEST(EdgeCases, SpmvPlanOnEmptyMatrix) {
+  // Zero rows, zero nonzeros: the plan is valid and reusable, execute
+  // just clears (the empty) y.
+  vgpu::Device dev;
+  const sparse::CsrD a(0, 5);
+  const auto plan = core::merge::spmv_plan(dev, a);
+  EXPECT_TRUE(plan.valid());
+  EXPECT_EQ(plan.num_ctas(), 0);
+  std::vector<double> x(5, 1.0), y;
+  for (int i = 0; i < 3; ++i) core::merge::spmv_execute(dev, a, x, y, plan);
+}
+
+TEST(EdgeCases, SpmvPlanOnAllEmptyRows) {
+  // nnz == 0 but rows > 0: every execute must fully overwrite y with 0.
+  vgpu::Device dev;
+  const sparse::CsrD a(7, 7);
+  const auto plan = core::merge::spmv_plan(dev, a);
+  EXPECT_TRUE(plan.valid());
+  std::vector<double> x(7, 2.0), y(7, -1.0);
+  for (int i = 0; i < 3; ++i) {
+    std::fill(y.begin(), y.end(), -1.0);
+    const auto stats = core::merge::spmv_execute(dev, a, x, y, plan);
+    EXPECT_EQ(y, std::vector<double>(7, 0.0));
+    EXPECT_TRUE(stats.setup_amortized);
+  }
+}
+
+TEST(EdgeCases, SpmvPlanSingleRowAndSingleColumn) {
+  vgpu::Device dev;
+  util::Rng rng(809);
+  // 1 x N row matrix: one long carry chain across every CTA.
+  {
+    sparse::CooD coo(1, 3000);
+    for (index_t c = 0; c < 3000; c += 2) coo.push_back(0, c, rng.uniform_double(-1, 1));
+    const auto a = coo_to_csr(coo);
+    std::vector<double> x(3000, 1.0), y(1), y_oneshot(1), ref(1);
+    baselines::seq::spmv(a, x, ref);
+    core::merge::spmv(dev, a, x, y_oneshot);
+    const auto plan = core::merge::spmv_plan(dev, a);
+    core::merge::spmv_execute(dev, a, x, y, plan);
+    EXPECT_EQ(y, y_oneshot);
+    EXPECT_NEAR(y[0], ref[0], 1e-10);
+  }
+  // N x 1 column matrix: one nonzero (or none) per row.
+  {
+    sparse::CooD coo(3000, 1);
+    for (index_t r = 0; r < 3000; r += 3) coo.push_back(r, 0, rng.uniform_double(-1, 1));
+    const auto a = coo_to_csr(coo);
+    ASSERT_TRUE(a.has_empty_rows());
+    std::vector<double> x(1, 2.5), y(3000), y_oneshot(3000), ref(3000);
+    baselines::seq::spmv(a, x, ref);
+    core::merge::spmv(dev, a, x, y_oneshot);
+    const auto plan = core::merge::spmv_plan(dev, a);
+    EXPECT_TRUE(plan.used_compaction());
+    core::merge::spmv_execute(dev, a, x, y, plan);
+    EXPECT_EQ(y, y_oneshot);
+    for (std::size_t i = 0; i < ref.size(); ++i) ASSERT_NEAR(y[i], ref[i], 1e-12);
+  }
+}
+
+TEST(EdgeCases, SpmvPlanFingerprintRejectsMismatchedPattern) {
+  vgpu::Device dev;
+  util::Rng rng(811);
+  const auto a = coo_to_csr(random_coo(rng, 100, 100, 700));
+  const auto plan = core::merge::spmv_plan(dev, a);
+  std::vector<double> x(100, 1.0), y(100);
+
+  // Different dimensions.
+  const auto wider = coo_to_csr(random_coo(rng, 100, 120, 700));
+  std::vector<double> xw(120, 1.0);
+  EXPECT_THROW(core::merge::spmv_execute(dev, wider, xw, y, plan),
+               std::logic_error);
+  // Different nnz.
+  const auto denser = coo_to_csr(random_coo(rng, 100, 100, 900));
+  EXPECT_THROW(core::merge::spmv_execute(dev, denser, x, y, plan),
+               std::logic_error);
+  // Same dims and nnz, different row structure: caught by the row-offset
+  // checksum, reported as an error instead of producing garbage.
+  auto shifted = a;
+  index_t moved = -1;
+  for (index_t r = 0; r + 1 < shifted.num_rows; ++r) {
+    const auto o = static_cast<std::size_t>(r) + 1;
+    if (shifted.row_offsets[o] > shifted.row_offsets[o - 1] &&
+        shifted.row_offsets[o] < shifted.nnz()) {
+      shifted.row_offsets[o] -= 1;  // move one nonzero to the next row
+      moved = r;
+      break;
+    }
+  }
+  ASSERT_GE(moved, 0);
+  EXPECT_THROW(core::merge::spmv_execute(dev, shifted, x, y, plan),
+               std::logic_error);
+  // The original still executes fine after the rejected attempts.
+  core::merge::spmv_execute(dev, a, x, y, plan);
+}
+
 TEST(EdgeCases, MatrixMarketPrecisionRoundTrip) {
   // write -> read preserves doubles exactly (precision 17).
   sparse::CooD a(2, 2);

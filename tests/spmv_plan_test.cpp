@@ -1,0 +1,265 @@
+// Differential tests for the SpMV plan/execute split: spmv_plan +
+// spmv_execute must produce BIT-identical output to one-shot spmv on
+// every structural regime the fuzz suite covers, in both precisions,
+// with and without the forced empty-row compaction path.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "baselines/seq.hpp"
+#include "core/spmv.hpp"
+#include "sparse/convert.hpp"
+#include "test_matrices.hpp"
+#include "vgpu/device.hpp"
+#include "workloads/generators.hpp"
+
+namespace mps {
+namespace {
+
+using core::merge::SpmvConfig;
+using core::merge::SpmvPlan;
+using core::merge::spmv;
+using core::merge::spmv_execute;
+using core::merge::spmv_plan;
+using sparse::coo_to_csr;
+using sparse::CsrD;
+
+// The structural regimes of tests/fuzz_ops_test.cpp.
+enum class Regime {
+  kUniform,
+  kBanded,
+  kPowerLaw,
+  kHypersparse,
+  kNearDense,
+  kRectWide,
+  kRectTall,
+};
+
+std::string regime_name(Regime r) {
+  switch (r) {
+    case Regime::kUniform: return "uniform";
+    case Regime::kBanded: return "banded";
+    case Regime::kPowerLaw: return "powerlaw";
+    case Regime::kHypersparse: return "hypersparse";
+    case Regime::kNearDense: return "neardense";
+    case Regime::kRectWide: return "rectwide";
+    case Regime::kRectTall: return "recttall";
+  }
+  return "?";
+}
+
+CsrD make_matrix(Regime r, std::uint64_t seed) {
+  util::Rng rng(seed);
+  switch (r) {
+    case Regime::kUniform:
+      return coo_to_csr(testing::random_coo(rng, 400, 400, 4800));
+    case Regime::kBanded:
+      return workloads::fem_banded(500, 18.0, 4.0, seed);
+    case Regime::kPowerLaw:
+      return testing::random_powerlaw_csr(rng, 500, 500, 6.0);
+    case Regime::kHypersparse:
+      return coo_to_csr(testing::random_coo(rng, 2000, 2000, 300));
+    case Regime::kNearDense:
+      return coo_to_csr(testing::random_coo(rng, 60, 60, 2800));
+    case Regime::kRectWide:
+      return coo_to_csr(testing::random_coo(rng, 64, 3000, 2500));
+    case Regime::kRectTall:
+      return coo_to_csr(testing::random_coo(rng, 3000, 64, 2500));
+  }
+  return {};
+}
+
+sparse::CsrMatrix<float> to_float(const CsrD& a) {
+  sparse::CsrMatrix<float> f(a.num_rows, a.num_cols);
+  f.row_offsets = a.row_offsets;
+  f.col = a.col;
+  f.val.reserve(a.val.size());
+  for (const double v : a.val) f.val.push_back(static_cast<float>(v));
+  return f;
+}
+
+class SpmvPlanDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<Regime, bool>> {
+ protected:
+  vgpu::Device dev_;
+};
+
+TEST_P(SpmvPlanDifferentialTest, ExecuteBitIdenticalToOneShotFp64) {
+  const auto [regime, force_compaction] = GetParam();
+  SpmvConfig cfg;
+  cfg.force_compaction = force_compaction;
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    const auto a = make_matrix(regime, seed);
+    util::Rng rng(seed * 7 + 1);
+    std::vector<double> x(static_cast<std::size_t>(a.num_cols));
+    for (auto& v : x) v = rng.uniform_double(-1, 1);
+    std::vector<double> y_oneshot(static_cast<std::size_t>(a.num_rows));
+    const auto oneshot = spmv(dev_, a, x, y_oneshot, cfg);
+
+    const auto plan = spmv_plan(dev_, a, cfg);
+    ASSERT_TRUE(plan.valid());
+    EXPECT_EQ(plan.used_compaction(), oneshot.used_compaction);
+    std::vector<double> y_exec(y_oneshot.size(), -1.0);
+    const auto exec = spmv_execute(dev_, a, x, y_exec, plan);
+
+    // Bit-identical: EXPECT_EQ on doubles, not NEAR.
+    ASSERT_EQ(y_exec, y_oneshot) << regime_name(regime) << " seed " << seed;
+
+    // And anchored to the sequential reference, so both paths being
+    // wrong the same way is ruled out.
+    std::vector<double> ref(y_oneshot.size());
+    baselines::seq::spmv(a, x, ref);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      ASSERT_NEAR(y_exec[i], ref[i], 1e-10)
+          << regime_name(regime) << " row " << i;
+
+    EXPECT_TRUE(exec.setup_amortized);
+    EXPECT_FALSE(oneshot.setup_amortized);
+    EXPECT_EQ(exec.num_ctas, oneshot.num_ctas);
+  }
+}
+
+TEST_P(SpmvPlanDifferentialTest, ExecuteBitIdenticalToOneShotFp32) {
+  const auto [regime, force_compaction] = GetParam();
+  SpmvConfig cfg;
+  cfg.force_compaction = force_compaction;
+  const auto a = to_float(make_matrix(regime, 11));
+  util::Rng rng(23);
+  std::vector<float> x(static_cast<std::size_t>(a.num_cols));
+  for (auto& v : x) v = static_cast<float>(rng.uniform_double(-1, 1));
+  std::vector<float> y_oneshot(static_cast<std::size_t>(a.num_rows));
+  spmv(dev_, a, x, y_oneshot, cfg);
+
+  const auto plan = spmv_plan(dev_, a, cfg);
+  EXPECT_EQ(plan.value_bytes(), sizeof(float));
+  std::vector<float> y_exec(y_oneshot.size(), -1.0f);
+  spmv_execute(dev_, a, x, y_exec, plan);
+  ASSERT_EQ(y_exec, y_oneshot) << regime_name(regime);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SpmvPlanDifferentialTest,
+    ::testing::Combine(::testing::Values(Regime::kUniform, Regime::kBanded,
+                                         Regime::kPowerLaw, Regime::kHypersparse,
+                                         Regime::kNearDense, Regime::kRectWide,
+                                         Regime::kRectTall),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<Regime, bool>>& pinfo) {
+      return regime_name(std::get<0>(pinfo.param)) +
+             (std::get<1>(pinfo.param) ? "Compacted" : "Fast");
+    });
+
+TEST(SpmvPlan, ReusesAcrossValueChanges) {
+  // The whole point of the plan: the pattern is fixed, the values are
+  // not.  Re-executing after perturbing A's values must track the
+  // sequential reference on the NEW values.
+  vgpu::Device dev;
+  util::Rng rng(301);
+  auto a = coo_to_csr(testing::random_coo(rng, 300, 300, 3600));
+  const auto plan = spmv_plan(dev, a);
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols));
+  for (auto& v : x) v = rng.uniform_double(-1, 1);
+  std::vector<double> y(static_cast<std::size_t>(a.num_rows));
+  std::vector<double> ref(y.size());
+  for (int iter = 0; iter < 3; ++iter) {
+    for (auto& v : a.val) v = rng.uniform_double(-3, 3);
+    spmv_execute(dev, a, x, y, plan);
+    baselines::seq::spmv(a, x, ref);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      ASSERT_NEAR(y[i], ref[i], 1e-10) << "iter " << iter << " row " << i;
+  }
+}
+
+TEST(SpmvPlan, ExecuteIsCheaperThanOneShotAndAmortizes) {
+  vgpu::Device dev;
+  util::Rng rng(307);
+  const auto a = coo_to_csr(testing::random_coo(rng, 2000, 2000, 30000));
+  std::vector<double> x(2000, 1.0), y(2000);
+  const double oneshot_ms = spmv(dev, a, x, y).modeled_ms();
+  const auto plan = spmv_plan(dev, a);
+  const auto exec = spmv_execute(dev, a, x, y, plan);
+  // The steady-state per-iteration cost excludes partition entirely.
+  EXPECT_LT(exec.modeled_ms(), oneshot_ms);
+  EXPECT_DOUBLE_EQ(exec.partition_ms, 0.0);
+  EXPECT_DOUBLE_EQ(exec.compact_ms, 0.0);
+  // plan + execute recovers the one-shot total.
+  EXPECT_NEAR(plan.plan_ms() + exec.modeled_ms(), oneshot_ms,
+              0.01 * oneshot_ms);
+  // Acceptance shape: amortized per-iteration cost strictly below
+  // one-shot from 10 iterations on.
+  for (const double n : {10.0, 100.0, 1000.0}) {
+    EXPECT_LT((plan.plan_ms() + n * exec.modeled_ms()) / n, oneshot_ms)
+        << "n=" << n;
+  }
+}
+
+TEST(SpmvPlan, StatsBreakdown) {
+  vgpu::Device dev;
+  util::Rng rng(311);
+  const auto a = coo_to_csr(testing::random_coo(rng, 500, 500, 6000));
+  std::vector<double> x(500, 1.0), y(500);
+  const auto oneshot = spmv(dev, a, x, y);
+  EXPECT_DOUBLE_EQ(oneshot.plan_ms, oneshot.partition_ms + oneshot.compact_ms);
+  EXPECT_GT(oneshot.partition_ms, 0.0);
+
+  const auto plan = spmv_plan(dev, a);
+  EXPECT_DOUBLE_EQ(plan.plan_ms(), plan.partition_ms() + plan.compact_ms());
+  EXPECT_DOUBLE_EQ(plan.plan_ms(), oneshot.plan_ms);
+  const auto exec = spmv_execute(dev, a, x, y, plan);
+  EXPECT_DOUBLE_EQ(exec.plan_ms, plan.plan_ms());
+  EXPECT_DOUBLE_EQ(exec.modeled_ms(), exec.reduce_ms + exec.update_ms);
+  EXPECT_DOUBLE_EQ(exec.reduce_ms + exec.update_ms,
+                   oneshot.reduce_ms + oneshot.update_ms);
+}
+
+TEST(SpmvPlan, RejectsUnbuiltPlan) {
+  vgpu::Device dev;
+  const auto a = coo_to_csr(testing::paper_a());
+  SpmvPlan plan;
+  EXPECT_FALSE(plan.valid());
+  std::vector<double> x(4, 1.0), y(4);
+  EXPECT_THROW(spmv_execute(dev, a, x, y, plan), std::logic_error);
+}
+
+TEST(SpmvPlan, RejectsPrecisionMismatch) {
+  vgpu::Device dev;
+  const auto a = coo_to_csr(testing::paper_a());
+  const auto plan = spmv_plan(dev, a);  // fp64 plan...
+  const auto af = to_float(a);
+  std::vector<float> xf(4, 1.0f), yf(4);  // ...applied to fp32 data
+  EXPECT_THROW(spmv_execute(dev, af, xf, yf, plan), std::logic_error);
+}
+
+TEST(SpmvPlan, PlanHoldsDeviceMemoryUntilDestroyed) {
+  vgpu::Device dev;
+  util::Rng rng(313);
+  const auto a = coo_to_csr(testing::random_coo(rng, 500, 500, 6000));
+  const std::size_t before = dev.memory().in_use();
+  {
+    const auto plan = spmv_plan(dev, a);
+    EXPECT_GT(plan.device_bytes(), 0u);
+    EXPECT_EQ(dev.memory().in_use(), before + plan.device_bytes());
+  }
+  EXPECT_EQ(dev.memory().in_use(), before);
+}
+
+TEST(SpmvPlan, CompactionPathCarriesCompactedView) {
+  // A matrix with empty rows takes the compaction path automatically and
+  // the plan pins the compacted view (larger footprint than the fast path).
+  vgpu::Device dev;
+  sparse::CooD coo(100, 100);
+  for (index_t r = 0; r < 100; r += 2) coo.push_back(r, r, 1.0 + r);
+  const auto a = coo_to_csr(coo);
+  ASSERT_TRUE(a.has_empty_rows());
+  const auto plan = spmv_plan(dev, a);
+  EXPECT_TRUE(plan.used_compaction());
+  EXPECT_GT(plan.compact_ms(), 0.0);
+  std::vector<double> x(100, 1.0), y(100), y_oneshot(100);
+  spmv(dev, a, x, y_oneshot);
+  spmv_execute(dev, a, x, y, plan);
+  EXPECT_EQ(y, y_oneshot);
+}
+
+}  // namespace
+}  // namespace mps

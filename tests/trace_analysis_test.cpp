@@ -6,6 +6,9 @@
 #include <sstream>
 
 #include "analysis/experiment.hpp"
+#include "core/spmv.hpp"
+#include "sparse/convert.hpp"
+#include "test_matrices.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/trace.hpp"
 
@@ -60,6 +63,46 @@ TEST(Trace, FileVariantWritesAndThrows) {
   std::remove(path.c_str());
   EXPECT_THROW(vgpu::write_chrome_trace_file("/nonexistent/dir/x.json", dev),
                std::runtime_error);
+}
+
+TEST(Trace, SpmvPlanChargesPartitionOnceAcrossIterations) {
+  // 100 spmv_execute calls on one plan: the output is bitwise-stable
+  // across iterations and the kernel log shows partition (and zero
+  // compaction) work charged exactly once, at plan build.
+  vgpu::Device dev;
+  util::Rng rng(401);
+  const auto a = sparse::coo_to_csr(testing::random_coo(rng, 600, 600, 7200));
+  std::vector<double> x(600);
+  for (auto& v : x) v = rng.uniform_double(-1, 1);
+  std::vector<double> y(600), y0(600);
+
+  const auto plan = core::merge::spmv_plan(dev, a);
+  constexpr int kIters = 100;
+  double exec_ms_first = 0.0;
+  for (int i = 0; i < kIters; ++i) {
+    const auto stats = core::merge::spmv_execute(dev, a, x, y, plan);
+    EXPECT_TRUE(stats.setup_amortized);
+    EXPECT_DOUBLE_EQ(stats.partition_ms, 0.0);
+    if (i == 0) {
+      y0 = y;
+      exec_ms_first = stats.modeled_ms();
+    } else {
+      ASSERT_EQ(y, y0) << "iteration " << i << " not bitwise-stable";
+      EXPECT_DOUBLE_EQ(stats.modeled_ms(), exec_ms_first);
+    }
+  }
+
+  int partitions = 0, compacts = 0, reduces = 0, updates = 0;
+  for (const auto& k : dev.log()) {
+    if (k.name == "merge.spmv_partition") ++partitions;
+    if (k.name == "merge.spmv_compact") ++compacts;
+    if (k.name == "merge.spmv_reduce") ++reduces;
+    if (k.name == "merge.spmv_update") ++updates;
+  }
+  EXPECT_EQ(partitions, 1);
+  EXPECT_EQ(compacts, 0);  // no empty rows, fast path
+  EXPECT_EQ(reduces, kIters);
+  EXPECT_EQ(updates, kIters);
 }
 
 TEST(Analysis, BenchConfigDefaultsAndEnv) {
