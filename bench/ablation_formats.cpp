@@ -63,7 +63,7 @@ int main() {
           analysis::gflops(flops,
                            baselines::formats::spmv_dia(dev, dia, x, y).modeled_ms),
           2);
-    } catch (const std::logic_error&) {
+    } catch (const mps::InvalidInputError&) {
       // too many diagonals: the format does not apply
     }
     t.add_row({e.name, util::fmt(merge_gf, 2), ell_cell, pad_cell, hyb_cell,

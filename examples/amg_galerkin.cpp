@@ -13,6 +13,7 @@
 #include "sparse/convert.hpp"
 #include "vgpu/device.hpp"
 #include "workloads/generators.hpp"
+#include "util/main_guard.hpp"
 
 namespace {
 
@@ -32,7 +33,9 @@ mps::sparse::CsrD aggregation_prolongator(mps::index_t nx, mps::index_t ny) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   using namespace mps;
   const index_t n = argc > 1 ? static_cast<index_t>(std::atoi(argv[1])) : 96;
   const auto a = workloads::poisson2d(n, n);
@@ -104,4 +107,11 @@ int main(int argc, char** argv) {
               sym1.phases.total_ms() + sym2.phases.total_ms(), numeric_ms / 3,
               s1.modeled_ms() + s2.modeled_ms());
   return interior_max < 1e-9 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mps::util::guarded_main("amg_galerkin",
+                                 [&] { return run_main(argc, argv); });
 }

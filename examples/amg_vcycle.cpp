@@ -16,6 +16,7 @@
 #include "sparse/ops.hpp"
 #include "vgpu/device.hpp"
 #include "workloads/generators.hpp"
+#include "util/main_guard.hpp"
 
 namespace {
 
@@ -122,7 +123,9 @@ double vcycle(vgpu::Device& dev, const Hierarchy& h, std::size_t level,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   const index_t n = argc > 1 ? static_cast<index_t>(std::atoi(argv[1])) : 128;
   vgpu::Device dev;
   auto h = build_hierarchy(dev, workloads::poisson2d(n, n), n);
@@ -173,4 +176,11 @@ int main(int argc, char** argv) {
   std::printf("modeled kernel time: %.3f ms per iteration (V-cycle + SpMV)\n",
               cycle_ms / (iters + 1));
   return (rel <= 1e-10 && err < 1e-7) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mps::util::guarded_main("amg_vcycle",
+                                 [&] { return run_main(argc, argv); });
 }

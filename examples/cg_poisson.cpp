@@ -12,6 +12,7 @@
 #include "util/timer.hpp"
 #include "vgpu/device.hpp"
 #include "workloads/generators.hpp"
+#include "util/main_guard.hpp"
 
 namespace {
 
@@ -27,7 +28,9 @@ void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   using namespace mps;
   const index_t n = argc > 1 ? static_cast<index_t>(std::atoi(argv[1])) : 128;
   const auto a = workloads::poisson2d(n, n);
@@ -75,4 +78,11 @@ int main(int argc, char** argv) {
               plan.plan_ms(), iters + 1);
   std::printf("host wall time:    %.1f ms\n", wall.milliseconds());
   return max_err < 1e-6 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mps::util::guarded_main("cg_poisson",
+                                 [&] { return run_main(argc, argv); });
 }

@@ -15,8 +15,11 @@
 #include "util/rng.hpp"
 #include "vgpu/device.hpp"
 #include "workloads/generators.hpp"
+#include "util/main_guard.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   using namespace mps;
   const index_t states = argc > 1 ? static_cast<index_t>(std::atoi(argv[1])) : 20'000;
   const index_t chains = argc > 2 ? static_cast<index_t>(std::atoi(argv[2])) : 8;
@@ -82,4 +85,11 @@ int main(int argc, char** argv) {
               "chains %.3f ms (%.2fx saved)\n",
               spmm_ms, chains, spmv_ms, spmv_ms / spmm_ms);
   return max_mass_err < 1e-9 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mps::util::guarded_main("markov_ensemble",
+                                 [&] { return run_main(argc, argv); });
 }

@@ -15,8 +15,11 @@
 #include "sparse/stats.hpp"
 #include "vgpu/device.hpp"
 #include "workloads/generators.hpp"
+#include "util/main_guard.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   using namespace mps;
   const index_t pages = argc > 1 ? static_cast<index_t>(std::atoi(argv[1])) : 50'000;
   // Webbase-like link structure: power-law out-degrees and hub columns.
@@ -89,4 +92,11 @@ int main(int argc, char** argv) {
   std::puts("On power-law graphs the flat nonzero decomposition avoids the "
             "idle lanes row-wise schemes spend on hub rows.");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mps::util::guarded_main("pagerank",
+                                 [&] { return run_main(argc, argv); });
 }

@@ -13,8 +13,11 @@
 #include "sparse/coo.hpp"
 #include "util/table.hpp"
 #include "vgpu/device.hpp"
+#include "util/main_guard.hpp"
 
-int main() {
+namespace {
+
+int run_main() {
   using namespace mps;
 
   // The paper's example matrices (Section III).
@@ -78,4 +81,10 @@ int main() {
   std::printf("\n%zu kernels were launched in total; first: %s\n",
               device.log().size(), device.log().front().name.c_str());
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  return mps::util::guarded_main("quickstart", [] { return run_main(); });
 }

@@ -14,8 +14,11 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "vgpu/device.hpp"
+#include "util/main_guard.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   using namespace mps;
   const std::size_t n =
       argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 500'000;
@@ -78,4 +81,11 @@ int main(int argc, char** argv) {
             "processes the same number of path elements regardless of how "
             "duplicates clump.");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mps::util::guarded_main("set_algebra",
+                                 [&] { return run_main(argc, argv); });
 }

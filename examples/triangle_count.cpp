@@ -15,6 +15,7 @@
 #include "sparse/stats.hpp"
 #include "vgpu/device.hpp"
 #include "workloads/generators.hpp"
+#include "util/main_guard.hpp"
 
 namespace {
 
@@ -52,7 +53,9 @@ long long triangles_reference(const mps::sparse::CsrD& a) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   using namespace mps;
   const int scale = argc > 1 ? std::atoi(argv[1]) : 11;
 
@@ -114,4 +117,11 @@ int main(int argc, char** argv) {
   }
   std::puts("verified against the per-edge intersection reference.");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mps::util::guarded_main("triangle_count",
+                                 [&] { return run_main(argc, argv); });
 }

@@ -131,8 +131,13 @@ OpStats spadd(vgpu::Device& device, const CooD& a, const CooD& b, CooD& c) {
   OpStats op;
   const std::size_t n =
       static_cast<std::size_t>(a.nnz()) + static_cast<std::size_t>(b.nnz());
-  c = CooD(a.num_rows, a.num_cols);
-  if (n == 0) return op;
+  // Built locally and assigned to `c` only on success so an allocation
+  // failure below leaves the caller's output untouched.
+  CooD out(a.num_rows, a.num_cols);
+  if (n == 0) {
+    c = std::move(out);
+    return op;
+  }
 
   // Concatenate tuples into the intermediate matrix T (device temp).
   // Keys pack as row << col_bits | col so the radix sort touches the
@@ -195,12 +200,13 @@ OpStats spadd(vgpu::Device& device, const CooD& a, const CooD& b, CooD& c) {
       device, "cusp.spadd_reduce", keys, sorted_vals);
   op.modeled_ms += red.modeled_ms;
 
-  c.reserve(red.keys.size());
+  out.reserve(red.keys.size());
   const std::uint64_t col_mask = (std::uint64_t{1} << col_bits) - 1;
   for (std::size_t i = 0; i < red.keys.size(); ++i) {
-    c.push_back(static_cast<index_t>(red.keys[i] >> col_bits),
-                static_cast<index_t>(red.keys[i] & col_mask), red.vals[i]);
+    out.push_back(static_cast<index_t>(red.keys[i] >> col_bits),
+                  static_cast<index_t>(red.keys[i] & col_mask), red.vals[i]);
   }
+  c = std::move(out);
   op.wall_ms = wall.milliseconds();
   return op;
 }

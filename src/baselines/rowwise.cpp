@@ -94,8 +94,13 @@ OpStats spadd(vgpu::Device& device, const CsrD& a, const CsrD& b, CsrD& c) {
   util::WallTimer wall;
   OpStats op;
   constexpr int kBlock = 128;
-  c = CsrD(a.num_rows, a.num_cols);
-  if (a.num_rows == 0) return op;
+  // Built locally and assigned to `c` only on success so a mid-pass
+  // failure leaves the caller's output untouched.
+  CsrD out(a.num_rows, a.num_cols);
+  if (a.num_rows == 0) {
+    c = std::move(out);
+    return op;
+  }
 
   // Pass 1: per-row output sizes.  One WARP cooperates per row (csrgeam
   // style): the row pair is merged with an intra-warp merge path, the
@@ -124,7 +129,7 @@ OpStats spadd(vgpu::Device& device, const CsrD& a, const CsrD& b, CsrD& c) {
           (la + lb) * (sizeof(index_t) + sizeof(double)), 128);
       if (write_c) {
         row_bytes += round_up<std::size_t>(
-            static_cast<std::size_t>(c.row_length(r)) *
+            static_cast<std::size_t>(out.row_length(r)) *
                 (sizeof(index_t) + sizeof(double)),
             128);
       }
@@ -163,9 +168,9 @@ OpStats spadd(vgpu::Device& device, const CsrD& a, const CsrD& b, CsrD& c) {
       device, "rowwise.spadd_scan", std::span<const index_t>(sizes),
       std::span<index_t>(sizes)));
   op.modeled_ms += device.log().back().modeled_ms;
-  std::copy(sizes.begin(), sizes.end(), c.row_offsets.begin());
-  c.col.resize(static_cast<std::size_t>(total));
-  c.val.resize(static_cast<std::size_t>(total));
+  std::copy(sizes.begin(), sizes.end(), out.row_offsets.begin());
+  out.col.resize(static_cast<std::size_t>(total));
+  out.val.resize(static_cast<std::size_t>(total));
 
   // Pass 2: fill.
   auto s2 = device.launch("rowwise.spadd_fill", num_ctas2, kBlock, [&](vgpu::Cta& cta) {
@@ -176,34 +181,35 @@ OpStats spadd(vgpu::Device& device, const CsrD& a, const CsrD& b, CsrD& c) {
       index_t j = b.row_offsets[static_cast<std::size_t>(r)];
       const index_t ie = a.row_offsets[static_cast<std::size_t>(r) + 1];
       const index_t je = b.row_offsets[static_cast<std::size_t>(r) + 1];
-      std::size_t out = static_cast<std::size_t>(c.row_offsets[static_cast<std::size_t>(r)]);
+      std::size_t w = static_cast<std::size_t>(out.row_offsets[static_cast<std::size_t>(r)]);
       while (i < ie && j < je) {
         const index_t ca = a.col[static_cast<std::size_t>(i)];
         const index_t cb = b.col[static_cast<std::size_t>(j)];
         if (ca < cb) {
-          c.col[out] = ca;
-          c.val[out++] = a.val[static_cast<std::size_t>(i++)];
+          out.col[w] = ca;
+          out.val[w++] = a.val[static_cast<std::size_t>(i++)];
         } else if (cb < ca) {
-          c.col[out] = cb;
-          c.val[out++] = b.val[static_cast<std::size_t>(j++)];
+          out.col[w] = cb;
+          out.val[w++] = b.val[static_cast<std::size_t>(j++)];
         } else {
-          c.col[out] = ca;
-          c.val[out++] = a.val[static_cast<std::size_t>(i++)] +
+          out.col[w] = ca;
+          out.val[w++] = a.val[static_cast<std::size_t>(i++)] +
                          b.val[static_cast<std::size_t>(j++)];
         }
       }
       for (; i < ie; ++i) {
-        c.col[out] = a.col[static_cast<std::size_t>(i)];
-        c.val[out++] = a.val[static_cast<std::size_t>(i)];
+        out.col[w] = a.col[static_cast<std::size_t>(i)];
+        out.val[w++] = a.val[static_cast<std::size_t>(i)];
       }
       for (; j < je; ++j) {
-        c.col[out] = b.col[static_cast<std::size_t>(j)];
-        c.val[out++] = b.val[static_cast<std::size_t>(j)];
+        out.col[w] = b.col[static_cast<std::size_t>(j)];
+        out.val[w++] = b.val[static_cast<std::size_t>(j)];
       }
     }
     charge_rows(cta, row_lo, row_hi, true);
   });
   op.modeled_ms += s2.modeled_ms;
+  c = std::move(out);
   op.wall_ms = wall.milliseconds();
   return op;
 }
@@ -215,8 +221,13 @@ OpStats spgemm(vgpu::Device& device, const CsrD& a, const CsrD& b, CsrD& c) {
   constexpr int kBlock = 128;
   constexpr int kWarp = 32;
   constexpr int kRowsPerCta = kBlock / kWarp;
-  c = CsrD(a.num_rows, b.num_cols);
-  if (a.num_rows == 0) return op;
+  // Built locally and assigned to `c` only on success so a mid-pass
+  // failure leaves the caller's output untouched.
+  CsrD out(a.num_rows, b.num_cols);
+  if (a.num_rows == 0) {
+    c = std::move(out);
+    return op;
+  }
   const int num_ctas = static_cast<int>(ceil_div(
       static_cast<std::size_t>(a.num_rows), static_cast<std::size_t>(kRowsPerCta)));
 
@@ -247,11 +258,11 @@ OpStats spgemm(vgpu::Device& device, const CsrD& a, const CsrD& b, CsrD& c) {
       if (fill) {
         std::vector<std::pair<index_t, double>> row(acc.begin(), acc.end());
         std::sort(row.begin(), row.end());
-        std::size_t out = static_cast<std::size_t>(
-            c.row_offsets[static_cast<std::size_t>(r)]);
+        std::size_t w = static_cast<std::size_t>(
+            out.row_offsets[static_cast<std::size_t>(r)]);
         for (const auto& [col, val] : row) {
-          c.col[out] = col;
-          c.val[out++] = val;
+          out.col[w] = col;
+          out.val[w++] = val;
         }
       } else {
         sizes[static_cast<std::size_t>(r)] = static_cast<index_t>(acc.size());
@@ -263,7 +274,7 @@ OpStats spgemm(vgpu::Device& device, const CsrD& a, const CsrD& b, CsrD& c) {
       // with the useful work.  This is why the scheme's time decorrelates
       // from the product count (paper Fig 10b).
       const std::size_t uniques =
-          fill ? static_cast<std::size_t>(c.row_length(r)) : acc.size();
+          fill ? static_cast<std::size_t>(out.row_length(r)) : acc.size();
       std::size_t row_bytes =
           flops * cta.props().gather_sector_bytes +          // B row gathers
           flops * 2 * cta.props().gather_sector_bytes +      // probe + update
@@ -299,13 +310,14 @@ OpStats spgemm(vgpu::Device& device, const CsrD& a, const CsrD& b, CsrD& c) {
                                     std::span<const index_t>(sizes),
                                     std::span<index_t>(sizes));
   op.modeled_ms += device.log().back().modeled_ms;
-  std::copy(sizes.begin(), sizes.end(), c.row_offsets.begin());
+  std::copy(sizes.begin(), sizes.end(), out.row_offsets.begin());
 
-  c.col.resize(static_cast<std::size_t>(c.row_offsets.back()));
-  c.val.resize(c.col.size());
+  out.col.resize(static_cast<std::size_t>(out.row_offsets.back()));
+  out.val.resize(out.col.size());
   auto s2 = device.launch("rowwise.spgemm_fill", num_ctas, kBlock,
                           [&](vgpu::Cta& cta) { process(cta, true); });
   op.modeled_ms += s2.modeled_ms;
+  c = std::move(out);
   op.wall_ms = wall.milliseconds();
   return op;
 }

@@ -5,6 +5,7 @@
 #include "primitives/set_ops.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/packed_key.hpp"
+#include "sparse/validate.hpp"
 #include "util/timer.hpp"
 
 namespace mps::core::merge {
@@ -53,6 +54,10 @@ SpaddStats spadd_impl(vgpu::Device& device, V alpha,
   MPS_CHECK(a.num_rows == b.num_rows && a.num_cols == b.num_cols);
   MPS_CHECK_MSG(a.is_canonical() && b.is_canonical(),
                 "merge::spadd requires canonical COO inputs");
+  if (sparse::strict_validation()) {
+    sparse::validate_coo(a, "spadd: A");
+    sparse::validate_coo(b, "spadd: B");
+  }
   util::WallTimer wall;
   SpaddStats stats;
 

@@ -7,6 +7,7 @@
 #include "primitives/scan.hpp"
 #include "primitives/search.hpp"
 #include "sparse/convert.hpp"
+#include "sparse/validate.hpp"
 #include "util/timer.hpp"
 
 namespace mps::core::merge {
@@ -21,6 +22,26 @@ std::uint64_t pack_tuple(index_t row, index_t col, int col_bits) {
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row)) << col_bits) |
          static_cast<std::uint32_t>(col);
 }
+
+/// CTA tiling aligned to the *global* product stream: boundaries sit at
+/// multiples of tile in global coordinates, so the first CTA of a chunk
+/// whose stream starts mid-tile (phase > 0) is short by `phase` products.
+/// For phase == 0 this is the plain [cta * tile, (cta+1) * tile) tiling.
+struct ProductTiling {
+  std::size_t tile;
+  std::size_t phase;   ///< product_origin % tile
+  std::size_t n_prod;  ///< local product count
+  int num_ctas() const {
+    return static_cast<int>(ceil_div(n_prod + phase, tile));
+  }
+  std::size_t lo(int cta) const {
+    const std::size_t bound = static_cast<std::size_t>(cta) * tile;
+    return bound < phase ? 0 : std::min(n_prod, bound - phase);
+  }
+  std::size_t hi(int cta) const {
+    return std::min(n_prod, (static_cast<std::size_t>(cta) + 1) * tile - phase);
+  }
+};
 
 /// Walks the product range [p_lo, p_hi) of the expansion described by the
 /// scan S, invoking fn(p, k, bk) with k the source nonzero of A and bk
@@ -65,11 +86,18 @@ void charge_expansion(vgpu::Cta& cta, std::size_t a_nnz, std::size_t count,
 }  // namespace
 
 SpgemmStats spgemm_symbolic(vgpu::Device& device, const CsrD& a, const CsrD& b,
-                            SpgemmPlan& plan, const SpgemmConfig& cfg) {
+                            SpgemmPlan& out_plan, const SpgemmConfig& cfg) {
   MPS_CHECK(a.num_cols == b.num_rows);
+  if (sparse::strict_validation()) {
+    sparse::validate_csr(a, "spgemm: A");
+    sparse::validate_csr(b, "spgemm: B");
+  }
   util::WallTimer wall;
   SpgemmStats stats;
-  plan = SpgemmPlan{};
+  // Built locally and moved into `out_plan` only on success: a throw at
+  // any allocation site leaves the caller's plan untouched and releases
+  // all device accounting via RAII (strong exception-safety guarantee).
+  SpgemmPlan plan;
   plan.cfg_ = cfg;
   plan.pattern_ = CsrD(a.num_rows, b.num_cols);
 
@@ -81,6 +109,7 @@ SpgemmStats spgemm_symbolic(vgpu::Device& device, const CsrD& a, const CsrD& b,
                                     std::max<index_t>(a.num_rows, 1))));
   const int rank_bits = log2_ceil(tile);
   plan.col_bits_ = col_bits;
+  plan.phase_ = static_cast<std::size_t>(cfg.product_origin % tile);
 
   // ======================= Setup =======================================
   // Row ids of A's nonzeros and the segmented product-offset scan S.
@@ -113,11 +142,13 @@ SpgemmStats spgemm_symbolic(vgpu::Device& device, const CsrD& a, const CsrD& b,
   if (num_products == 0) {
     plan.seg_offsets_.assign(1, 0);
     stats.wall_ms = wall.milliseconds();
+    out_plan = std::move(plan);
     return stats;
   }
 
   const std::size_t n_prod = static_cast<std::size_t>(num_products);
-  const int num_ctas = static_cast<int>(ceil_div(n_prod, tile));
+  const ProductTiling tiling{tile, plan.phase_, n_prod};
+  const int num_ctas = tiling.num_ctas();
   plan.num_ctas_ = num_ctas;
 
   // Intermediate state carried between the two expansion passes — this is
@@ -151,8 +182,8 @@ SpgemmStats spgemm_symbolic(vgpu::Device& device, const CsrD& a, const CsrD& b,
     const bool pair_sort = stats.used_pair_sort;
     auto s = device.launch("merge.spgemm_blocksort", num_ctas, cfg.block_threads,
                            [&](vgpu::Cta& cta) {
-      const std::size_t p_lo = static_cast<std::size_t>(cta.cta_id()) * tile;
-      const std::size_t p_hi = std::min(n_prod, p_lo + tile);
+      const std::size_t p_lo = tiling.lo(cta.cta_id());
+      const std::size_t p_hi = tiling.hi(cta.cta_id());
       const std::size_t count = p_hi - p_lo;
       std::vector<index_t> rows(count), cols(count);
       const std::size_t sources = expand_products(
@@ -306,31 +337,49 @@ SpgemmStats spgemm_symbolic(vgpu::Device& device, const CsrD& a, const CsrD& b,
   }
 
   stats.wall_ms = wall.milliseconds();
+  out_plan = std::move(plan);
   return stats;
 }
 
 double spgemm_numeric(vgpu::Device& device, const CsrD& a, const CsrD& b,
                       const SpgemmPlan& plan, CsrD& c) {
-  MPS_CHECK_MSG(plan.valid(), "spgemm_numeric requires a built plan");
+  if (!plan.valid()) {
+    throw PlanMismatchError("spgemm_numeric requires a built plan");
+  }
   MPS_CHECK(a.num_cols == b.num_rows);
-  MPS_CHECK(a.nnz() + 1 == static_cast<index_t>(plan.prod_offsets_.size()));
+  if (a.nnz() + 1 != static_cast<index_t>(plan.prod_offsets_.size())) {
+    throw PlanMismatchError("matrix pattern does not match the plan: " +
+                            std::to_string(a.nnz()) + " nonzeros vs " +
+                            std::to_string(plan.prod_offsets_.size() - 1) +
+                            " planned");
+  }
   // The plan encodes the patterns: every source nonzero must still expand
   // to the same number of products (an O(nnz) check, negligible next to
   // the O(products) numeric work, and it catches same-size pattern drift).
   for (std::size_t k = 0; k < static_cast<std::size_t>(a.nnz()); ++k) {
-    MPS_CHECK_MSG(static_cast<std::uint64_t>(b.row_length(a.col[k])) ==
-                      plan.prod_offsets_[k + 1] - plan.prod_offsets_[k],
-                  "matrix pattern does not match the plan");
+    if (static_cast<std::uint64_t>(b.row_length(a.col[k])) !=
+        plan.prod_offsets_[k + 1] - plan.prod_offsets_[k]) {
+      throw PlanMismatchError(
+          "matrix pattern does not match the plan: nonzero " +
+          std::to_string(k) + " expands to a different product count");
+    }
   }
   double modeled_ms = 0.0;
-  c = plan.pattern_;
-  if (plan.num_products_ == 0) return modeled_ms;
+  // Built locally and assigned to `c` only on success so a mid-pipeline
+  // throw (an injected allocation failure, say) leaves the caller's
+  // output untouched.
+  CsrD out = plan.pattern_;
+  if (plan.num_products_ == 0) {
+    c = std::move(out);
+    return modeled_ms;
+  }
 
   const auto& cfg = plan.cfg_;
   const std::size_t tile = static_cast<std::size_t>(cfg.tile());
   const std::size_t n_prod = static_cast<std::size_t>(plan.num_products_);
   const std::size_t a_nnz = static_cast<std::size_t>(a.nnz());
   const std::size_t num_unique = plan.rank_.size();
+  const ProductTiling tiling{tile, plan.phase_, n_prod};
 
   // ======================= Product Compute ==============================
   // Replay the expansion forming values, reduce within the CTA using the
@@ -339,8 +388,8 @@ double spgemm_numeric(vgpu::Device& device, const CsrD& a, const CsrD& b,
   vgpu::ScopedDeviceAlloc vals_mem(device.memory(), num_unique * sizeof(double));
   auto s = device.launch("merge.spgemm_products", plan.num_ctas_,
                          cfg.block_threads, [&](vgpu::Cta& cta) {
-    const std::size_t p_lo = static_cast<std::size_t>(cta.cta_id()) * tile;
-    const std::size_t p_hi = std::min(n_prod, p_lo + tile);
+    const std::size_t p_lo = tiling.lo(cta.cta_id());
+    const std::size_t p_hi = tiling.hi(cta.cta_id());
     const std::size_t count = p_hi - p_lo;
     std::vector<double> vals(count);
     const std::size_t sources = expand_products(
@@ -380,7 +429,7 @@ double spgemm_numeric(vgpu::Device& device, const CsrD& a, const CsrD& b,
   // Cross-CTA duplicates are adjacent in sorted order; the plan's segment
   // offsets turn the reduction into a plain segmented sum into C.
   constexpr std::size_t kRedTile = 2048;
-  const std::size_t out_n = c.col.size();
+  const std::size_t out_n = out.col.size();
   const int red_ctas = static_cast<int>(ceil_div(out_n, kRedTile)) + 1;
   auto red = device.launch("merge.spgemm_reduce", red_ctas, cfg.block_threads,
                            [&](vgpu::Cta& cta) {
@@ -395,7 +444,7 @@ double spgemm_numeric(vgpu::Device& device, const CsrD& a, const CsrD& b,
       for (index_t k = plan.seg_offsets_[i]; k < plan.seg_offsets_[i + 1]; ++k) {
         acc += sorted_vals[static_cast<std::size_t>(k)];
       }
-      c.val[i] = acc;
+      out.val[i] = acc;
       const auto len = static_cast<std::uint32_t>(plan.seg_offsets_[i + 1] -
                                                   plan.seg_offsets_[i]);
       lens.push_back(len);
@@ -406,6 +455,7 @@ double spgemm_numeric(vgpu::Device& device, const CsrD& a, const CsrD& b,
                       (hi - lo) * (sizeof(double) + 2 * sizeof(index_t)));
   });
   modeled_ms += red.modeled_ms;
+  c = std::move(out);
   return modeled_ms;
 }
 

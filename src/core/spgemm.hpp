@@ -40,6 +40,13 @@ struct SpgemmConfig {
   bool force_pair_sort = false;
   /// Disable bit-limiting: always sort full 32-bit columns (ablation).
   bool force_full_bits = false;
+  /// Global product index of this instance's first product.  The CTA
+  /// tiling is aligned so boundaries fall at multiples of tile() in the
+  /// *global* product stream; spgemm_chunked passes each chunk's product
+  /// prefix here so per-tuple partial-sum grouping — and therefore every
+  /// floating-point sum — matches the flat path bit for bit.  Leave 0
+  /// for standalone use.
+  std::uint64_t product_origin = 0;
   int tile() const { return block_threads * items_per_thread; }
 };
 
@@ -67,7 +74,9 @@ struct SpgemmStats {
 };
 
 /// C = A x B.  Throws vgpu::DeviceOomError when the intermediate exceeds
-/// device memory (the paper's Dense case in Fig 9).
+/// device memory (the paper's Dense case in Fig 9); on any throw, device
+/// accounting is restored and `c` is untouched (strong guarantee) — see
+/// spgemm_chunked.hpp for the bounded-footprint fallback.
 SpgemmStats spgemm(vgpu::Device& device, const sparse::CsrD& a,
                    const sparse::CsrD& b, sparse::CsrD& c,
                    const SpgemmConfig& cfg = {});
@@ -102,6 +111,7 @@ class SpgemmPlan {
   long long num_products_ = -1;
   int col_bits_ = 0;
   int num_ctas_ = 0;
+  std::size_t phase_ = 0;  ///< product_origin % tile: first CTA's shortfall
   std::vector<std::uint64_t> prod_offsets_;   ///< S: per-A-nonzero scan
   std::vector<index_t> a_rows_;               ///< row id per A nonzero
   std::vector<std::uint16_t> perm16_;         ///< per-product local permutation
@@ -122,7 +132,8 @@ SpgemmStats spgemm_symbolic(vgpu::Device& device, const sparse::CsrD& a,
 
 /// Numeric phase: recompute C's values for (possibly new) values of A and
 /// B whose sparsity patterns match the plan's.  Returns modeled ms (the
-/// product-compute + product-reduce cost only).
+/// product-compute + product-reduce cost only).  Throws PlanMismatchError
+/// when the matrices' patterns drifted from the plan's.
 double spgemm_numeric(vgpu::Device& device, const sparse::CsrD& a,
                       const sparse::CsrD& b, const SpgemmPlan& plan,
                       sparse::CsrD& c);

@@ -3,6 +3,7 @@
 #include "baselines/rowwise.hpp"
 #include "baselines/seq.hpp"
 #include "util/timer.hpp"
+#include "vgpu/memory_model.hpp"
 
 namespace mps::core::merge {
 
@@ -43,8 +44,21 @@ AdaptiveStats spgemm_adaptive(vgpu::Device& device, const CsrD& a, const CsrD& b
     const auto op = baselines::rowwise::spgemm(device, a, b, c);
     stats.modeled_ms = op.modeled_ms;
   } else {
-    stats.flat_stats = spgemm(device, a, b, c, cfg.flat);
-    stats.modeled_ms = stats.flat_stats.modeled_ms();
+    try {
+      stats.flat_stats = spgemm(device, a, b, c, cfg.flat);
+      stats.modeled_ms = stats.flat_stats.modeled_ms();
+    } catch (const vgpu::DeviceOomError&) {
+      // The prediction was optimistic; flat unwound cleanly (accounting
+      // restored, c untouched), so retry with the bounded-footprint
+      // chunked pipeline — bitwise identical to what flat would have
+      // produced.
+      ChunkedConfig chunk_cfg = cfg.chunked;
+      chunk_cfg.flat = cfg.flat;
+      stats.used_chunked = true;
+      stats.reason = "oom-retry";
+      stats.chunked_stats = spgemm_chunked(device, a, b, c, chunk_cfg);
+      stats.modeled_ms = stats.chunked_stats.modeled_ms();
+    }
   }
   stats.wall_ms = wall.milliseconds();
   return stats;

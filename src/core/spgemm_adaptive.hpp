@@ -13,8 +13,13 @@
 //
 // and switches to the segmented row-wise scheme when the flat path would
 // overflow memory or the density heuristic marks the instance dense-like.
+// When the estimate is wrong in the optimistic direction — the flat path
+// runs and still hits DeviceOomError — the driver retries with the
+// bounded-footprint chunked pipeline (reason "oom-retry"), which is
+// bitwise identical to flat.
 
 #include "core/spgemm.hpp"
+#include "core/spgemm_chunked.hpp"
 #include "sparse/csr.hpp"
 #include "vgpu/device.hpp"
 
@@ -28,20 +33,26 @@ struct AdaptiveConfig {
   /// Use the segmented path when the flat path's temporaries would exceed
   /// this fraction of free device memory.
   double memory_fraction = 0.9;
+  /// Chunk sizing for the oom-retry tier (its `flat` member is ignored;
+  /// the adaptive `flat` config is forwarded).
+  ChunkedConfig chunked;
 };
 
 struct AdaptiveStats {
   bool used_segmented = false;
-  const char* reason = "flat";  ///< "flat" | "dense-like" | "memory"
+  bool used_chunked = false;
+  /// "flat" | "dense-like" | "memory" | "oom-retry"
+  const char* reason = "flat";
   long long num_products = 0;
   double modeled_ms = 0.0;
   double wall_ms = 0.0;
-  SpgemmStats flat_stats;  ///< populated when the flat path ran
+  SpgemmStats flat_stats;            ///< populated when the flat path ran
+  ChunkedSpgemmStats chunked_stats;  ///< populated on the oom-retry tier
 };
 
-/// C = A x B, choosing between the merge (flat) and segmented row-wise
-/// schemes per instance.  Never throws DeviceOomError for lack of
-/// temporary space — that is the point.
+/// C = A x B, choosing between the merge (flat), segmented row-wise, and
+/// chunked merge schemes per instance.  Never throws DeviceOomError for
+/// lack of temporary space — that is the point.
 AdaptiveStats spgemm_adaptive(vgpu::Device& device, const sparse::CsrD& a,
                               const sparse::CsrD& b, sparse::CsrD& c,
                               const AdaptiveConfig& cfg = {});

@@ -22,11 +22,12 @@ SpmmStats spmm_impl(vgpu::Device& device, const sparse::CsrMatrix<V>& a,
   util::WallTimer wall;
   SpmmStats stats;
   const std::size_t nv = static_cast<std::size_t>(num_vectors);
-  std::fill(y.begin(),
-            y.begin() + static_cast<long>(static_cast<std::size_t>(a.num_rows) * nv),
-            V{});
   const std::size_t nnz = static_cast<std::size_t>(a.nnz());
   if (nnz == 0) {
+    std::fill(
+        y.begin(),
+        y.begin() + static_cast<long>(static_cast<std::size_t>(a.num_rows) * nv),
+        V{});
     stats.wall_ms = wall.milliseconds();
     return stats;
   }
@@ -36,12 +37,17 @@ SpmmStats spmm_impl(vgpu::Device& device, const sparse::CsrMatrix<V>& a,
   const int num_ctas = static_cast<int>(ceil_div(nnz, kTile));
   stats.num_ctas = num_ctas;
 
-  // Carries hold one partial row of width num_vectors per CTA.
+  // Carries hold one partial row of width num_vectors per CTA.  Allocated
+  // (and accounted) before y is touched so an allocation failure leaves
+  // the caller's output unmodified.
   std::vector<index_t> carry_row(static_cast<std::size_t>(num_ctas), -1);
   std::vector<V> carry_val(static_cast<std::size_t>(num_ctas) * nv, 0.0);
   vgpu::ScopedDeviceAlloc carry_mem(
       device.memory(),
       static_cast<std::size_t>(num_ctas) * (sizeof(index_t) + nv * sizeof(V)));
+  std::fill(y.begin(),
+            y.begin() + static_cast<long>(static_cast<std::size_t>(a.num_rows) * nv),
+            V{});
 
   const std::span<const index_t> offsets = a.row_offsets;
   const std::size_t num_rows = static_cast<std::size_t>(a.num_rows);

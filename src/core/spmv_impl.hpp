@@ -12,6 +12,8 @@
 
 #include "core/spmv.hpp"
 #include "primitives/search.hpp"
+#include "sparse/validate.hpp"
+#include "util/error.hpp"
 #include "util/timer.hpp"
 
 namespace mps::core::merge {
@@ -61,6 +63,7 @@ struct SpmvPlanAccess {
   template <typename V>
   static SpmvPlan build(vgpu::Device& device, const sparse::CsrMatrix<V>& a,
                         const SpmvConfig& cfg) {
+    if (sparse::strict_validation()) sparse::validate_csr(a, "spmv: A");
     SpmvPlan plan;
     plan.cfg_ = cfg;
     plan.value_bytes_ = sizeof(V);
@@ -148,18 +151,21 @@ struct SpmvPlanAccess {
   static SpmvStats execute(vgpu::Device& device, const sparse::CsrMatrix<V>& a,
                            std::span<const V> x, std::span<V> y,
                            const SpmvPlan& plan) {
-    MPS_CHECK_MSG(plan.valid(), "spmv_execute requires a built plan");
-    MPS_CHECK_MSG(plan.value_bytes_ == sizeof(V),
-                  "plan was built for a different value precision");
+    if (!plan.valid()) {
+      throw PlanMismatchError("spmv_execute requires a built plan");
+    }
+    if (plan.value_bytes_ != sizeof(V)) {
+      throw PlanMismatchError("plan was built for a different value precision");
+    }
     MPS_CHECK(x.size() >= static_cast<std::size_t>(a.num_cols));
     MPS_CHECK(y.size() >= static_cast<std::size_t>(a.num_rows));
     // Pattern-fingerprint guard: values may change between executes, the
     // structure may not.
-    MPS_CHECK_MSG(plan.num_rows_ == a.num_rows && plan.num_cols_ == a.num_cols &&
-                      plan.nnz_ == a.nnz() &&
-                      plan.offsets_fingerprint_ ==
-                          offsets_fingerprint(a.row_offsets),
-                  "matrix pattern does not match the plan");
+    if (plan.num_rows_ != a.num_rows || plan.num_cols_ != a.num_cols ||
+        plan.nnz_ != a.nnz() ||
+        plan.offsets_fingerprint_ != offsets_fingerprint(a.row_offsets)) {
+      throw PlanMismatchError("matrix pattern does not match the plan");
+    }
     util::WallTimer wall;
     SpmvStats stats;
     stats.setup_amortized = true;

@@ -6,16 +6,18 @@
 // Utilities.
 #include "util/common.hpp"     // IWYU pragma: export
 #include "util/env.hpp"        // IWYU pragma: export
+#include "util/error.hpp"      // IWYU pragma: export
 #include "util/rng.hpp"        // IWYU pragma: export
 #include "util/stats.hpp"      // IWYU pragma: export
 #include "util/table.hpp"      // IWYU pragma: export
 #include "util/timer.hpp"      // IWYU pragma: export
 
 // Virtual GPU substrate.
-#include "vgpu/cpu_model.hpp"     // IWYU pragma: export
-#include "vgpu/device.hpp"        // IWYU pragma: export
-#include "vgpu/memory_model.hpp"  // IWYU pragma: export
-#include "vgpu/trace.hpp"         // IWYU pragma: export
+#include "vgpu/cpu_model.hpp"       // IWYU pragma: export
+#include "vgpu/device.hpp"          // IWYU pragma: export
+#include "vgpu/fault_injector.hpp"  // IWYU pragma: export
+#include "vgpu/memory_model.hpp"    // IWYU pragma: export
+#include "vgpu/trace.hpp"           // IWYU pragma: export
 
 // Sparse formats.
 #include "sparse/compare.hpp"     // IWYU pragma: export
@@ -27,6 +29,7 @@
 #include "sparse/ops.hpp"         // IWYU pragma: export
 #include "sparse/packed_key.hpp"  // IWYU pragma: export
 #include "sparse/stats.hpp"       // IWYU pragma: export
+#include "sparse/validate.hpp"    // IWYU pragma: export
 
 // Parallel primitives.
 #include "primitives/balanced_path.hpp"     // IWYU pragma: export
@@ -46,6 +49,7 @@
 #include "core/spgemm.hpp"           // IWYU pragma: export
 #include "core/spgemm_adaptive.hpp"  // IWYU pragma: export
 #include "core/spgemm_batched.hpp"   // IWYU pragma: export
+#include "core/spgemm_chunked.hpp"   // IWYU pragma: export
 #include "core/spmm.hpp"             // IWYU pragma: export
 #include "core/spmv.hpp"             // IWYU pragma: export
 

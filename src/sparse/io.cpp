@@ -1,53 +1,106 @@
 #include "sparse/io.hpp"
 
+#include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
+#include <string>
+
+#include "util/error.hpp"
 
 namespace mps::sparse {
 
 namespace {
 
-[[noreturn]] void parse_error(const std::string& what) {
-  throw std::runtime_error("matrix market parse error: " + what);
+[[noreturn]] void parse_error(const std::string& what, long long line = -1) {
+  throw ParseError("matrix market parse error: " + what, line);
+}
+
+bool blank_or_comment(const std::string& line) {
+  for (const char ch : line) {
+    if (ch == '%') return true;
+    if (!std::isspace(static_cast<unsigned char>(ch))) return false;
+  }
+  return true;  // all whitespace
+}
+
+/// Reads one token stream line; rejects trailing garbage after `fields`
+/// successfully extracted values.
+void check_line_consumed(std::istringstream& iss, long long line_no) {
+  std::string rest;
+  if (iss >> rest) parse_error("trailing characters '" + rest + "'", line_no);
 }
 
 }  // namespace
 
 CooMatrix<double> read_matrix_market(std::istream& in) {
+  constexpr long long kMaxIndex = std::numeric_limits<index_t>::max();
+  long long line_no = 0;
   std::string line;
+
+  // Banner.
   if (!std::getline(in, line)) parse_error("empty stream");
+  ++line_no;
   std::istringstream banner(line);
   std::string mm, object, format, field, symmetry;
   banner >> mm >> object >> format >> field >> symmetry;
-  if (mm != "%%MatrixMarket") parse_error("missing %%MatrixMarket banner");
+  if (mm != "%%MatrixMarket") parse_error("missing %%MatrixMarket banner", line_no);
   if (object != "matrix" || format != "coordinate")
-    parse_error("only 'matrix coordinate' is supported");
+    parse_error("only 'matrix coordinate' is supported", line_no);
   const bool pattern = field == "pattern";
   if (!pattern && field != "real" && field != "integer")
-    parse_error("unsupported field type: " + field);
+    parse_error("unsupported field type: " + field, line_no);
   const bool symmetric = symmetry == "symmetric";
   if (!symmetric && symmetry != "general")
-    parse_error("unsupported symmetry: " + symmetry);
+    parse_error("unsupported symmetry: " + symmetry, line_no);
 
-  // Skip comments.
+  // Comments, then the size line.
   do {
-    if (!std::getline(in, line)) parse_error("missing size line");
-  } while (!line.empty() && line[0] == '%');
+    if (!std::getline(in, line)) parse_error("missing size line", line_no);
+    ++line_no;
+  } while (blank_or_comment(line));
 
   std::istringstream size_line(line);
   long long rows = 0, cols = 0, entries = 0;
-  size_line >> rows >> cols >> entries;
-  if (rows < 0 || cols < 0 || entries < 0) parse_error("bad size line");
+  if (!(size_line >> rows >> cols >> entries))
+    parse_error("malformed size line '" + line + "'", line_no);
+  check_line_consumed(size_line, line_no);
+  if (rows < 0 || cols < 0 || entries < 0) parse_error("bad size line", line_no);
+  if (rows > kMaxIndex || cols > kMaxIndex)
+    parse_error("dimension overflow: " + std::to_string(rows) + " x " +
+                    std::to_string(cols) + " exceeds 32-bit indices",
+                line_no);
+  // Symmetric entries may expand 2x; the total must stay indexable.
+  const long long max_nnz = symmetric ? 2 * entries : entries;
+  if (entries > kMaxIndex || max_nnz > kMaxIndex)
+    parse_error("nnz overflow: " + std::to_string(entries) +
+                    " entries exceed 32-bit indices",
+                line_no);
 
   CooMatrix<double> a(static_cast<index_t>(rows), static_cast<index_t>(cols));
-  a.reserve(static_cast<std::size_t>(symmetric ? 2 * entries : entries));
+  a.reserve(static_cast<std::size_t>(max_nnz));
   for (long long i = 0; i < entries; ++i) {
+    do {
+      if (!std::getline(in, line))
+        parse_error("truncated entry list: got " + std::to_string(i) + " of " +
+                        std::to_string(entries) + " entries",
+                    line_no);
+      ++line_no;
+    } while (blank_or_comment(line));
+
+    std::istringstream entry(line);
     long long r = 0, c = 0;
     double v = 1.0;
-    if (!(in >> r >> c)) parse_error("truncated entry list");
-    if (!pattern && !(in >> v)) parse_error("truncated entry list");
-    if (r < 1 || r > rows || c < 1 || c > cols) parse_error("index out of range");
+    if (!(entry >> r >> c))
+      parse_error("malformed entry '" + line + "'", line_no);
+    if (!pattern && !(entry >> v))
+      parse_error("malformed value in entry '" + line + "'", line_no);
+    check_line_consumed(entry, line_no);
+    if (r < 1 || r > rows || c < 1 || c > cols)
+      parse_error("index (" + std::to_string(r) + ", " + std::to_string(c) +
+                      ") out of range for " + std::to_string(rows) + " x " +
+                      std::to_string(cols),
+                  line_no);
     a.push_back(static_cast<index_t>(r - 1), static_cast<index_t>(c - 1), v);
     if (symmetric && r != c) {
       a.push_back(static_cast<index_t>(c - 1), static_cast<index_t>(r - 1), v);
@@ -59,7 +112,7 @@ CooMatrix<double> read_matrix_market(std::istream& in) {
 
 CooMatrix<double> read_matrix_market_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) throw IoError("cannot open " + path);
   return read_matrix_market(in);
 }
 
@@ -76,8 +129,10 @@ void write_matrix_market(std::ostream& out, const CooMatrix<double>& a) {
 
 void write_matrix_market_file(const std::string& path, const CooMatrix<double>& a) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open " + path);
+  if (!out) throw IoError("cannot open " + path);
   write_matrix_market(out, a);
+  out.flush();
+  if (!out) throw IoError("failed writing " + path);
 }
 
 }  // namespace mps::sparse

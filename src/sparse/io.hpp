@@ -2,6 +2,11 @@
 // Matrix Market (.mtx) I/O — the interchange format of the UFL collection
 // the paper draws its test matrices from.  Supports `matrix coordinate
 // real|integer|pattern general|symmetric`.
+//
+// Malformed input (truncated files, non-numeric tokens, dimension/nnz
+// overflow past 32-bit indices, out-of-range 1-based indices, trailing
+// garbage) raises mps::ParseError carrying the offending 1-based line;
+// unopenable paths raise mps::IoError.
 
 #include <iosfwd>
 #include <string>

@@ -1,0 +1,11 @@
+#include "sparse/validate.hpp"
+
+#include "util/env.hpp"
+
+namespace mps::sparse {
+
+bool strict_validation() {
+  return util::env_int("MPS_STRICT_VALIDATE", 0) != 0;
+}
+
+}  // namespace mps::sparse

@@ -1,0 +1,135 @@
+#pragma once
+// Structural validation for sparse inputs (opt-in strict mode).
+//
+// CsrMatrix::is_valid() and friends answer yes/no; these helpers throw
+// InvalidInputError naming the first violated invariant and where, so a
+// serving layer can log something actionable instead of "false".
+//
+// Kernels call validate-at-entry only under strict mode
+// (MPS_STRICT_VALIDATE=1): validation is O(nnz), which is the same order
+// as SpMV itself, so it must stay opt-in for production hot paths.
+
+#include <string>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "util/error.hpp"
+
+namespace mps::sparse {
+
+/// True when MPS_STRICT_VALIDATE is set to a nonzero value.  Read per
+/// call (kernel launches dwarf a getenv), so tests can toggle it.
+bool strict_validation();
+
+namespace detail {
+
+[[noreturn]] inline void validation_failed(const char* what,
+                                           const std::string& detail) {
+  throw InvalidInputError(std::string(what) + ": " + detail);
+}
+
+}  // namespace detail
+
+/// Throws InvalidInputError unless `a` is a structurally valid CSR
+/// matrix: offsets of size rows+1 starting at 0, monotone, matching
+/// col/val sizes, and in-bounds strictly ascending columns per row.
+/// `what` names the argument in the error ("spgemm: A").
+template <typename V>
+void validate_csr(const CsrMatrix<V>& a, const char* what) {
+  using detail::validation_failed;
+  if (a.num_rows < 0 || a.num_cols < 0) {
+    validation_failed(what, "negative dimensions " + std::to_string(a.num_rows) +
+                                " x " + std::to_string(a.num_cols));
+  }
+  if (a.row_offsets.size() != static_cast<std::size_t>(a.num_rows) + 1) {
+    validation_failed(what, "row_offsets has " +
+                                std::to_string(a.row_offsets.size()) +
+                                " entries for " + std::to_string(a.num_rows) +
+                                " rows (want rows + 1)");
+  }
+  if (a.row_offsets.front() != 0) {
+    validation_failed(what, "row_offsets[0] = " +
+                                std::to_string(a.row_offsets.front()) +
+                                " (want 0)");
+  }
+  for (std::size_t i = 1; i < a.row_offsets.size(); ++i) {
+    if (a.row_offsets[i] < a.row_offsets[i - 1]) {
+      validation_failed(what, "row_offsets[" + std::to_string(i) + "] = " +
+                                  std::to_string(a.row_offsets[i]) +
+                                  " decreases from " +
+                                  std::to_string(a.row_offsets[i - 1]));
+    }
+  }
+  if (a.col.size() != static_cast<std::size_t>(a.nnz())) {
+    validation_failed(what, "col has " + std::to_string(a.col.size()) +
+                                " entries for nnz " + std::to_string(a.nnz()));
+  }
+  if (a.val.size() != a.col.size()) {
+    validation_failed(what, "val has " + std::to_string(a.val.size()) +
+                                " entries for nnz " + std::to_string(a.nnz()));
+  }
+  for (index_t r = 0; r < a.num_rows; ++r) {
+    for (index_t k = a.row_offsets[static_cast<std::size_t>(r)];
+         k < a.row_offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+      const index_t c = a.col[static_cast<std::size_t>(k)];
+      if (c < 0 || c >= a.num_cols) {
+        validation_failed(what, "col[" + std::to_string(k) + "] = " +
+                                    std::to_string(c) + " out of range [0, " +
+                                    std::to_string(a.num_cols) + ") in row " +
+                                    std::to_string(r));
+      }
+      if (k > a.row_offsets[static_cast<std::size_t>(r)] &&
+          a.col[static_cast<std::size_t>(k - 1)] >= c) {
+        validation_failed(what, "columns not strictly ascending in row " +
+                                    std::to_string(r) + " at nonzero " +
+                                    std::to_string(k));
+      }
+    }
+  }
+}
+
+/// Throws InvalidInputError unless `a` is a valid COO matrix: matching
+/// array sizes and in-bounds indices; with `require_canonical`, tuples
+/// must also be sorted by (row, col) with no duplicates.
+template <typename V>
+void validate_coo(const CooMatrix<V>& a, const char* what,
+                  bool require_canonical = true) {
+  using detail::validation_failed;
+  if (a.num_rows < 0 || a.num_cols < 0) {
+    validation_failed(what, "negative dimensions " + std::to_string(a.num_rows) +
+                                " x " + std::to_string(a.num_cols));
+  }
+  if (a.col.size() != a.row.size() || a.val.size() != a.row.size()) {
+    validation_failed(what, "tuple arrays disagree: " +
+                                std::to_string(a.row.size()) + " rows, " +
+                                std::to_string(a.col.size()) + " cols, " +
+                                std::to_string(a.val.size()) + " vals");
+  }
+  for (index_t i = 0; i < a.nnz(); ++i) {
+    const index_t r = a.row[static_cast<std::size_t>(i)];
+    const index_t c = a.col[static_cast<std::size_t>(i)];
+    if (r < 0 || r >= a.num_rows || c < 0 || c >= a.num_cols) {
+      validation_failed(what, "tuple " + std::to_string(i) + " = (" +
+                                  std::to_string(r) + ", " + std::to_string(c) +
+                                  ") out of range for " +
+                                  std::to_string(a.num_rows) + " x " +
+                                  std::to_string(a.num_cols));
+    }
+    if (require_canonical && i > 0) {
+      const index_t pr = a.row[static_cast<std::size_t>(i) - 1];
+      const index_t pc = a.col[static_cast<std::size_t>(i) - 1];
+      if (pr > r || (pr == r && pc >= c)) {
+        validation_failed(what, std::string(pr == r && pc == c
+                                                ? "duplicate tuple"
+                                                : "tuples out of order") +
+                                    " at index " + std::to_string(i) + ": (" +
+                                    std::to_string(pr) + ", " +
+                                    std::to_string(pc) + ") then (" +
+                                    std::to_string(r) + ", " +
+                                    std::to_string(c) + ")");
+      }
+    }
+  }
+}
+
+}  // namespace mps::sparse

@@ -13,6 +13,8 @@
 #include <string>
 #include <type_traits>
 
+#include "util/error.hpp"
+
 namespace mps {
 
 using index_t = std::int32_t;
@@ -51,12 +53,13 @@ constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
 
 /// Runtime invariant check that survives NDEBUG builds.  Used for argument
 /// validation on public API boundaries; internal hot loops use plain assert.
+/// Throws InvalidInputError (part of the mps::Error taxonomy, error.hpp).
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const std::string& msg) {
   std::string what = std::string("MPS_CHECK failed: ") + expr + " at " + file + ":" +
                      std::to_string(line);
   if (!msg.empty()) what += " — " + msg;
-  throw std::logic_error(what);
+  throw InvalidInputError(what);
 }
 
 }  // namespace mps

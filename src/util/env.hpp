@@ -5,6 +5,13 @@
 //                  benches pass their own default for heavier kernels)
 //   MPS_THREADS  — host worker threads for the virtual GPU (default: hw)
 //   MPS_ITERS    — timing repetitions override
+//
+// Robustness knobs (docs/robustness.md):
+//   MPS_FAULT_ALLOC_N     — fail the Nth device allocation per Device
+//   MPS_FAULT_BYTE_LIMIT  — fail the allocation crossing this byte count
+//   MPS_FAULT_CAPACITY    — cap device capacity in bytes
+//   MPS_STRICT_VALIDATE   — 1: structurally validate matrices at kernel
+//                           entry (InvalidInputError on violation)
 
 #include <string>
 

@@ -1,0 +1,67 @@
+#pragma once
+// Unified error taxonomy (see docs/robustness.md).
+//
+// Every exception the library throws derives from mps::Error, so callers
+// can catch one type at the top level and still dispatch on the concrete
+// failure when they need to:
+//
+//   Error                 — root; derives std::runtime_error
+//   ├─ InvalidInputError  — malformed arguments or matrices (contract
+//   │                       violations, MPS_CHECK failures, strict-mode
+//   │                       structural validation)
+//   ├─ ParseError         — malformed input text (Matrix Market reader);
+//   │                       carries the 1-based source line when known
+//   ├─ PlanMismatchError  — a plan executed against a matrix whose
+//   │                       pattern/precision drifted from the one it was
+//   │                       built for
+//   ├─ IoError            — file open/write failures
+//   └─ vgpu::DeviceOomError (memory_model.hpp) — device capacity
+//                           exhausted, real or fault-injected
+//
+// Exception-safety contract: any kernel that throws one of these leaves
+// device accounting back where it started (MemoryModel::in_use()
+// unchanged) and caller-visible outputs untouched.  The fault-injection
+// sweep in tests/fault_injection_test.cpp enforces this.
+
+#include <stdexcept>
+#include <string>
+
+namespace mps {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed caller arguments or structurally invalid matrices.
+class InvalidInputError : public Error {
+ public:
+  explicit InvalidInputError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed input text; `line()` is 1-based, or -1 when unknown.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what, long long line = -1)
+      : Error(line >= 0 ? what + " (line " + std::to_string(line) + ")" : what),
+        line_(line) {}
+  long long line() const { return line_; }
+
+ private:
+  long long line_;
+};
+
+/// A plan executed against inputs it was not built for.
+class PlanMismatchError : public Error {
+ public:
+  explicit PlanMismatchError(const std::string& what) : Error(what) {}
+};
+
+/// File open/write failure.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace mps

@@ -1,0 +1,38 @@
+#pragma once
+// Top-level exception guard shared by every binary in tools/ and
+// examples/: typed mps errors (and anything else) print to stderr with
+// the program name and exit non-zero instead of calling std::terminate.
+
+#include <cstdio>
+#include <exception>
+
+#include "util/error.hpp"
+
+namespace mps::util {
+
+/// Runs `body` (any callable returning int) under a catch-all.  Typed
+/// mps::Error subclasses report their taxonomy name; the process exits 1
+/// on any escaped exception.
+template <typename Body>
+int guarded_main(const char* program, Body&& body) {
+  try {
+    return body();
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "%s: parse error: %s\n", program, e.what());
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "%s: io error: %s\n", program, e.what());
+  } catch (const PlanMismatchError& e) {
+    std::fprintf(stderr, "%s: plan mismatch: %s\n", program, e.what());
+  } catch (const InvalidInputError& e) {
+    std::fprintf(stderr, "%s: invalid input: %s\n", program, e.what());
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s: error: %s\n", program, e.what());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: error: %s\n", program, e.what());
+  } catch (...) {
+    std::fprintf(stderr, "%s: unknown error\n", program);
+  }
+  return 1;
+}
+
+}  // namespace mps::util

@@ -1,8 +1,29 @@
 #include "vgpu/device.hpp"
 
+#include <algorithm>
+
+#include "util/env.hpp"
+
 namespace mps::vgpu {
 
+namespace {
+
+DeviceProperties apply_env_caps(DeviceProperties props) {
+  const long long cap = util::env_int("MPS_FAULT_CAPACITY", 0);
+  if (cap > 0) {
+    props.global_mem_bytes =
+        std::min(props.global_mem_bytes, static_cast<std::size_t>(cap));
+  }
+  return props;
+}
+
+}  // namespace
+
 Device::Device(DeviceProperties props)
-    : props_(props), memory_(props.global_mem_bytes) {}
+    : props_(apply_env_caps(props)),
+      memory_(props_.global_mem_bytes),
+      fault_(std::make_unique<FaultInjector>(FaultInjector::config_from_env())) {
+  memory_.attach_fault_injector(fault_.get());
+}
 
 }  // namespace mps::vgpu

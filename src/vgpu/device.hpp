@@ -1,7 +1,15 @@
 #pragma once
 // The virtual GPU device: properties + memory accounting + kernel launch.
+//
+// Fault injection: the constructor honors the MPS_FAULT_* environment
+// knobs (fault_injector.hpp) — MPS_FAULT_CAPACITY caps device capacity,
+// MPS_FAULT_ALLOC_N / MPS_FAULT_BYTE_LIMIT arm the attached injector —
+// so a whole test run can be swept for exception safety without code
+// changes.  Explicitly constructed DeviceProperties with a smaller
+// capacity keep their capacity (the cap is a min, not an override).
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +17,7 @@
 #include "vgpu/counters.hpp"
 #include "vgpu/cta.hpp"
 #include "vgpu/device_properties.hpp"
+#include "vgpu/fault_injector.hpp"
 #include "vgpu/memory_model.hpp"
 #include "vgpu/thread_pool.hpp"
 #include "vgpu/timing.hpp"
@@ -21,6 +30,10 @@ class Device {
 
   const DeviceProperties& props() const { return props_; }
   MemoryModel& memory() { return memory_; }
+
+  /// The device's fault injector (always present; disarmed by default
+  /// unless MPS_FAULT_* armed it at construction).
+  FaultInjector& fault_injector() { return *fault_; }
 
   /// Execute `kernel(Cta&)` for every CTA of a grid.  CTAs run in parallel
   /// on the host pool; modeled time comes from the per-CTA cost counters.
@@ -68,6 +81,7 @@ class Device {
  private:
   DeviceProperties props_;
   MemoryModel memory_;
+  std::unique_ptr<FaultInjector> fault_;  ///< stable address for memory_
   std::vector<KernelStats> log_;
 };
 

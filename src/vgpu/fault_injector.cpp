@@ -1,0 +1,16 @@
+#include "vgpu/fault_injector.hpp"
+
+#include "util/env.hpp"
+
+namespace mps::vgpu {
+
+FaultInjectorConfig FaultInjector::config_from_env() {
+  FaultInjectorConfig cfg;
+  const long long n = util::env_int("MPS_FAULT_ALLOC_N", 0);
+  if (n > 0) cfg.fail_alloc_n = n;
+  const long long bytes = util::env_int("MPS_FAULT_BYTE_LIMIT", 0);
+  if (bytes > 0) cfg.byte_limit = static_cast<std::size_t>(bytes);
+  return cfg;
+}
+
+}  // namespace mps::vgpu

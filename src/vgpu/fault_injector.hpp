@@ -1,0 +1,98 @@
+#pragma once
+// Deterministic fault injection for the device memory model.
+//
+// A FaultInjector attached to a MemoryModel observes every device
+// allocation (reserve) and can force one to fail with DeviceOomError:
+//
+//   * fail-the-Nth-allocation — the Nth reserve() on the model throws,
+//     all others succeed.  Sweeping N = 1..total exercises every
+//     allocation site of a kernel (the exception-safety sweep in
+//     tests/fault_injection_test.cpp);
+//   * fail-at-byte-threshold — the first reserve() that pushes the
+//     cumulative reserved-byte counter past the threshold throws.
+//
+// Each trigger fires exactly once and then disarms, so a caller that
+// catches the error and retries (spgemm_adaptive's oom-retry tier) runs
+// clean afterwards.  Counters are per-injector and deterministic: the
+// functional layer performs the same allocations in the same order
+// regardless of host thread count.
+//
+// Environment configuration (read by Device's constructor, util/env):
+//   MPS_FAULT_ALLOC_N     — fail the Nth device allocation (1-based)
+//   MPS_FAULT_BYTE_LIMIT  — fail the allocation that crosses this many
+//                           cumulative reserved bytes
+//   MPS_FAULT_CAPACITY    — cap device capacity at this many bytes
+//                           (applied to DeviceProperties, not here)
+
+#include <cstddef>
+
+namespace mps::vgpu {
+
+struct FaultInjectorConfig {
+  long long fail_alloc_n = 0;   ///< 1-based allocation ordinal; 0 = disabled
+  std::size_t byte_limit = 0;   ///< cumulative-bytes threshold; 0 = disabled
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultInjectorConfig& cfg) : cfg_(cfg) {}
+
+  /// MPS_FAULT_ALLOC_N / MPS_FAULT_BYTE_LIMIT, zero (disabled) if unset.
+  static FaultInjectorConfig config_from_env();
+
+  /// Arm: the `n`th observed reserve() (1-based) fails.
+  void fail_at_allocation(long long n) {
+    cfg_.fail_alloc_n = n;
+    fired_ = false;
+  }
+
+  /// Arm: the reserve() that pushes cumulative bytes past `bytes` fails.
+  void fail_at_byte_threshold(std::size_t bytes) {
+    cfg_.byte_limit = bytes;
+    fired_ = false;
+  }
+
+  /// Disable triggers; observation counters keep running.
+  void disarm() { cfg_ = FaultInjectorConfig{}; }
+
+  /// Zero the observation counters (a fresh sweep iteration).
+  void reset_counters() {
+    allocations_ = 0;
+    bytes_reserved_ = 0;
+    faults_injected_ = 0;
+    fired_ = false;
+  }
+
+  bool armed() const {
+    return !fired_ && (cfg_.fail_alloc_n > 0 || cfg_.byte_limit > 0);
+  }
+  long long allocations_observed() const { return allocations_; }
+  std::size_t bytes_observed() const { return bytes_reserved_; }
+  long long faults_injected() const { return faults_injected_; }
+
+  /// Called by MemoryModel::reserve for every allocation; returns true
+  /// when this allocation must fail.  Fires at most once per arming.
+  bool on_reserve(std::size_t bytes) {
+    ++allocations_;
+    bytes_reserved_ += bytes;
+    if (fired_) return false;
+    const bool hit_n = cfg_.fail_alloc_n > 0 && allocations_ == cfg_.fail_alloc_n;
+    const bool hit_bytes = cfg_.byte_limit > 0 && bytes_reserved_ > cfg_.byte_limit;
+    if (hit_n || hit_bytes) {
+      fired_ = true;
+      ++faults_injected_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  FaultInjectorConfig cfg_;
+  long long allocations_ = 0;
+  std::size_t bytes_reserved_ = 0;  ///< cumulative; never decremented
+  long long faults_injected_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace mps::vgpu

@@ -5,6 +5,9 @@
 namespace mps::vgpu {
 
 void MemoryModel::reserve(std::size_t bytes) {
+  if (fault_ && fault_->on_reserve(bytes)) {
+    throw DeviceOomError(bytes, in_use_, capacity_, /*injected=*/true);
+  }
   if (in_use_ + bytes > capacity_) throw DeviceOomError(bytes, in_use_, capacity_);
   in_use_ += bytes;
   peak_ = std::max(peak_, in_use_);

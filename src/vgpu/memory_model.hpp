@@ -5,26 +5,38 @@
 // array and temporary is *accounted* against the virtual GPU's capacity so
 // that workloads which exceeded the Titan's 6 GiB in the paper (Dense and
 // LP under sort-based SpGEMM, Fig 9) fail here in the same way.
+//
+// An optional FaultInjector (fault_injector.hpp) observes every reserve()
+// and can deterministically force one to fail — the substrate for the
+// exception-safety sweep and the MPS_FAULT_* environment knobs.
 
 #include <cstddef>
-#include <stdexcept>
 #include <string>
+
+#include "util/error.hpp"
+#include "vgpu/fault_injector.hpp"
 
 namespace mps::vgpu {
 
-/// Thrown when a kernel's working set exceeds device capacity.
-class DeviceOomError : public std::runtime_error {
+/// Thrown when a kernel's working set exceeds device capacity, or when an
+/// attached FaultInjector forces an allocation to fail (`injected()`).
+class DeviceOomError : public mps::Error {
  public:
-  DeviceOomError(std::size_t requested, std::size_t in_use, std::size_t capacity)
-      : std::runtime_error("virtual device out of memory: requested " +
-                           std::to_string(requested) + " B with " +
-                           std::to_string(in_use) + " B in use of " +
-                           std::to_string(capacity) + " B"),
-        requested_(requested) {}
+  DeviceOomError(std::size_t requested, std::size_t in_use, std::size_t capacity,
+                 bool injected = false)
+      : mps::Error(std::string(injected ? "injected device allocation failure"
+                                        : "virtual device out of memory") +
+                   ": requested " + std::to_string(requested) + " B with " +
+                   std::to_string(in_use) + " B in use of " +
+                   std::to_string(capacity) + " B"),
+        requested_(requested),
+        injected_(injected) {}
   std::size_t requested() const { return requested_; }
+  bool injected() const { return injected_; }
 
  private:
   std::size_t requested_;
+  bool injected_;
 };
 
 class MemoryModel {
@@ -39,10 +51,16 @@ class MemoryModel {
   std::size_t capacity() const { return capacity_; }
   void reset_peak() { peak_ = in_use_; }
 
+  /// Attach a fault injector (non-owning; nullptr detaches).  Every
+  /// subsequent reserve() is reported to it and may be forced to fail.
+  void attach_fault_injector(FaultInjector* injector) { fault_ = injector; }
+  FaultInjector* fault_injector() const { return fault_; }
+
  private:
   std::size_t capacity_;
   std::size_t in_use_ = 0;
   std::size_t peak_ = 0;
+  FaultInjector* fault_ = nullptr;
 };
 
 /// RAII accounting for one device allocation.

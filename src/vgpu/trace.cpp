@@ -4,6 +4,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace mps::vgpu {
 
 namespace {
@@ -64,9 +66,9 @@ void write_chrome_trace(std::ostream& out, const Device& device) {
 
 void write_chrome_trace_file(const std::string& path, const Device& device) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open trace file " + path);
+  if (!out) throw IoError("cannot open trace file " + path);
   write_chrome_trace(out, device);
-  if (!out) throw std::runtime_error("failed writing trace file " + path);
+  if (!out) throw IoError("failed writing trace file " + path);
 }
 
 }  // namespace mps::vgpu

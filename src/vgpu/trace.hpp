@@ -15,7 +15,7 @@ namespace mps::vgpu {
 /// Write the device's kernel log as Chrome trace JSON.
 void write_chrome_trace(std::ostream& out, const Device& device);
 
-/// Convenience file variant; throws std::runtime_error on I/O failure.
+/// Convenience file variant; throws mps::IoError on I/O failure.
 void write_chrome_trace_file(const std::string& path, const Device& device);
 
 }  // namespace mps::vgpu

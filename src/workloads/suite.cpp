@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 #include "workloads/generators.hpp"
 
 namespace mps::workloads {
@@ -115,7 +117,7 @@ SuiteEntry suite_entry(const std::string& name, double scale) {
   for (const auto& s : kSpecs) {
     if (name == s.name) return make_entry(s, scale);
   }
-  throw std::invalid_argument("unknown suite entry: " + name);
+  throw InvalidInputError("unknown suite entry: " + name);
 }
 
 std::vector<std::string> suite_names() {

@@ -167,11 +167,11 @@ TEST(EdgeCases, SpmvPlanFingerprintRejectsMismatchedPattern) {
   const auto wider = coo_to_csr(random_coo(rng, 100, 120, 700));
   std::vector<double> xw(120, 1.0);
   EXPECT_THROW(core::merge::spmv_execute(dev, wider, xw, y, plan),
-               std::logic_error);
+               mps::PlanMismatchError);
   // Different nnz.
   const auto denser = coo_to_csr(random_coo(rng, 100, 100, 900));
   EXPECT_THROW(core::merge::spmv_execute(dev, denser, x, y, plan),
-               std::logic_error);
+               mps::PlanMismatchError);
   // Same dims and nnz, different row structure: caught by the row-offset
   // checksum, reported as an error instead of producing garbage.
   auto shifted = a;
@@ -187,7 +187,7 @@ TEST(EdgeCases, SpmvPlanFingerprintRejectsMismatchedPattern) {
   }
   ASSERT_GE(moved, 0);
   EXPECT_THROW(core::merge::spmv_execute(dev, shifted, x, y, plan),
-               std::logic_error);
+               mps::PlanMismatchError);
   // The original still executes fine after the rejected attempts.
   core::merge::spmv_execute(dev, a, x, y, plan);
 }

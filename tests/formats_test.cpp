@@ -54,7 +54,7 @@ TEST(Formats, EllRoundTrip) {
 TEST(Formats, EllRejectsTooNarrowWidth) {
   const auto a = coo_to_csr(testing::paper_a());  // longest row: 3
   EXPECT_NO_THROW(csr_to_ell(a, 3));
-  EXPECT_THROW(csr_to_ell(a, 2), std::logic_error);
+  EXPECT_THROW(csr_to_ell(a, 2), mps::InvalidInputError);
 }
 
 TEST(Formats, DiaRoundTripOnStencil) {
@@ -68,7 +68,7 @@ TEST(Formats, DiaRoundTripOnStencil) {
 TEST(Formats, DiaRejectsUnstructured) {
   util::Rng rng(303);
   const auto a = coo_to_csr(random_coo(rng, 300, 300, 3000));
-  EXPECT_THROW(csr_to_dia(a, 64), std::logic_error);
+  EXPECT_THROW(csr_to_dia(a, 64), mps::InvalidInputError);
 }
 
 TEST(Formats, HybSplitsHeavyTail) {

@@ -158,7 +158,7 @@ TEST(CtaRadixSort, RejectsOversizedTile) {
   dev.launch("sort", 1, 128, [&](vgpu::Cta& cta) {
     std::vector<std::uint32_t> keys(2000);  // > 128*11
     EXPECT_THROW(cta_radix_sort_keys<std::uint32_t>(cta, keys, 0, 32),
-                 std::logic_error);
+                 mps::InvalidInputError);
   });
 }
 

@@ -104,7 +104,7 @@ TEST(MergeSpadd, RejectsNonCanonicalInput) {
   bad.push_back(1, 1, 1.0);
   bad.push_back(0, 0, 1.0);  // unsorted
   sparse::CooD c;
-  EXPECT_THROW(spadd(dev, bad, bad, c), std::logic_error);
+  EXPECT_THROW(spadd(dev, bad, bad, c), mps::InvalidInputError);
 }
 
 TEST(MergeSpadd, CostTracksTotalWorkNotStructure) {

@@ -93,7 +93,7 @@ TEST(SpgemmPlan, RejectsUnbuiltPlan) {
   const auto a = coo_to_csr(testing::paper_a());
   SpgemmPlan plan;
   sparse::CsrD c;
-  EXPECT_THROW(spgemm_numeric(dev, a, a, plan, c), std::logic_error);
+  EXPECT_THROW(spgemm_numeric(dev, a, a, plan, c), mps::PlanMismatchError);
 }
 
 TEST(SpgemmPlan, RejectsMismatchedStructure) {
@@ -104,7 +104,7 @@ TEST(SpgemmPlan, RejectsMismatchedStructure) {
   SpgemmPlan plan;
   spgemm_symbolic(dev, a, a, plan);
   sparse::CsrD c;
-  EXPECT_THROW(spgemm_numeric(dev, other, other, plan, c), std::logic_error);
+  EXPECT_THROW(spgemm_numeric(dev, other, other, plan, c), mps::PlanMismatchError);
 }
 
 TEST(SpgemmPlan, PlanHoldsDeviceMemoryUntilDestroyed) {

@@ -129,8 +129,8 @@ TEST(Workloads, RmatGraph) {
 }
 
 TEST(Workloads, RmatRejectsBadParams) {
-  EXPECT_THROW(workloads::rmat(0, 8, 0.5, 0.2, 0.2, 1), std::logic_error);
-  EXPECT_THROW(workloads::rmat(10, 8, 0.5, 0.3, 0.3, 1), std::logic_error);
+  EXPECT_THROW(workloads::rmat(0, 8, 0.5, 0.2, 0.2, 1), mps::InvalidInputError);
+  EXPECT_THROW(workloads::rmat(10, 8, 0.5, 0.3, 0.3, 1), mps::InvalidInputError);
 }
 
 }  // namespace

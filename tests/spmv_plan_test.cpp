@@ -219,7 +219,7 @@ TEST(SpmvPlan, RejectsUnbuiltPlan) {
   SpmvPlan plan;
   EXPECT_FALSE(plan.valid());
   std::vector<double> x(4, 1.0), y(4);
-  EXPECT_THROW(spmv_execute(dev, a, x, y, plan), std::logic_error);
+  EXPECT_THROW(spmv_execute(dev, a, x, y, plan), mps::PlanMismatchError);
 }
 
 TEST(SpmvPlan, RejectsPrecisionMismatch) {
@@ -228,7 +228,7 @@ TEST(SpmvPlan, RejectsPrecisionMismatch) {
   const auto plan = spmv_plan(dev, a);  // fp64 plan...
   const auto af = to_float(a);
   std::vector<float> xf(4, 1.0f), yf(4);  // ...applied to fp32 data
-  EXPECT_THROW(spmv_execute(dev, af, xf, yf, plan), std::logic_error);
+  EXPECT_THROW(spmv_execute(dev, af, xf, yf, plan), mps::PlanMismatchError);
 }
 
 TEST(SpmvPlan, PlanHoldsDeviceMemoryUntilDestroyed) {

@@ -52,9 +52,9 @@ TEST(Common, IsPow2) {
 }
 
 TEST(Common, CheckThrows) {
-  EXPECT_THROW(MPS_CHECK(false), std::logic_error);
+  EXPECT_THROW(MPS_CHECK(false), mps::InvalidInputError);
   EXPECT_NO_THROW(MPS_CHECK(true));
-  EXPECT_THROW(MPS_CHECK_MSG(1 == 2, "context"), std::logic_error);
+  EXPECT_THROW(MPS_CHECK_MSG(1 == 2, "context"), mps::InvalidInputError);
 }
 
 TEST(Rng, Deterministic) {

@@ -133,8 +133,8 @@ TEST(Device, ModeledTimeIsDeterministic) {
 
 TEST(Device, RejectsBadBlockSize) {
   Device dev;
-  EXPECT_THROW(dev.launch("k", 1, 0, [](Cta&) {}), std::logic_error);
-  EXPECT_THROW(dev.launch("k", 1, 4096, [](Cta&) {}), std::logic_error);
+  EXPECT_THROW(dev.launch("k", 1, 0, [](Cta&) {}), mps::InvalidInputError);
+  EXPECT_THROW(dev.launch("k", 1, 4096, [](Cta&) {}), mps::InvalidInputError);
 }
 
 TEST(Cta, WarpDivergentChargesMax) {
@@ -158,7 +158,7 @@ TEST(SharedMemory, AllocAndOverflow) {
   SharedMemory shm(1024);
   auto a = shm.alloc<double>(64);
   EXPECT_EQ(a.size(), 64u);
-  EXPECT_THROW(shm.alloc<double>(128), std::logic_error);
+  EXPECT_THROW(shm.alloc<double>(128), mps::InvalidInputError);
   shm.reset();
   EXPECT_NO_THROW(shm.alloc<double>(128));
 }

@@ -133,7 +133,7 @@ TEST(Suite, NativeProductEstimates) {
 }
 
 TEST(Suite, UnknownNameThrows) {
-  EXPECT_THROW(suite_entry("NotAMatrix", 1.0), std::invalid_argument);
+  EXPECT_THROW(suite_entry("NotAMatrix", 1.0), mps::InvalidInputError);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "sparse/stats.hpp"
 #include "workloads/generators.hpp"
 #include "workloads/suite.hpp"
+#include "util/main_guard.hpp"
 
 namespace {
 
@@ -29,7 +30,9 @@ namespace {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   using namespace mps;
   std::string suite, kind, out;
   double scale = 0.05;
@@ -84,4 +87,11 @@ int main(int argc, char** argv) {
               out.c_str(), stats.rows, stats.cols, stats.nnz, stats.avg_row,
               stats.std_row);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mps::util::guarded_main("mps_gen",
+                                 [&] { return run_main(argc, argv); });
 }

@@ -34,6 +34,7 @@
 #include "util/table.hpp"
 #include "vgpu/trace.hpp"
 #include "workloads/suite.hpp"
+#include "util/main_guard.hpp"
 
 namespace {
 
@@ -110,7 +111,9 @@ struct Run {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   const auto a = load_matrix(opt);
   const auto stats = sparse::compute_stats(a);
@@ -237,4 +240,11 @@ int main(int argc, char** argv) {
     if (r.verified && !r.verify_ok) return 1;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mps::util::guarded_main("mps_run",
+                                 [&] { return run_main(argc, argv); });
 }
