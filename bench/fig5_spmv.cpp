@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "analysis/experiment.hpp"
+#include "resilience/integrity.hpp"
 #include "suite_runners.hpp"
 #include "util/table.hpp"
 
@@ -28,5 +29,21 @@ int main() {
   analysis::emit(t, "fig5_spmv");
   std::puts("\nExpected shape (paper): Merge competitive everywhere except "
             "Dense; markedly better on the irregular Webbase and LP.");
+
+  // Resilience accounting: with guards off this is the zero-overhead
+  // baseline (all columns 0); with MPS_INTEGRITY_CHECK=1 it shows what the
+  // guard scans cost on the hot path.
+  double guard_ms = 0.0;
+  long long failures = 0, restores = 0;
+  for (const auto& r : rows) {
+    guard_ms += r.integrity_ms;
+    failures += r.integrity_failures;
+    restores += r.restores;
+  }
+  if (resilience::integrity_checks_enabled() || failures > 0 || restores > 0) {
+    std::printf("integrity guards: %.4f ms modeled across the suite; "
+                "%lld failure(s), %lld restore(s)\n",
+                guard_ms, failures, restores);
+  }
   return 0;
 }

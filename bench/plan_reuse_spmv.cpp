@@ -10,6 +10,7 @@
 #include "analysis/experiment.hpp"
 #include "baselines/seq.hpp"
 #include "core/spmv.hpp"
+#include "resilience/integrity.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "workloads/suite.hpp"
@@ -51,9 +52,16 @@ int main() {
 
     const auto plan = core::merge::spmv_plan(dev, a);
     std::vector<double> y_exec(y.size());
-    const double exec_ms =
-        core::merge::spmv_execute(dev, a, x, y_exec, plan).modeled_ms();
+    const auto exec_stats = core::merge::spmv_execute(dev, a, x, y_exec, plan);
+    const double exec_ms = exec_stats.modeled_ms();
     require(y_exec == y, "planned spmv not bit-identical to one-shot");
+    // The zero-overhead contract: with guards disabled the integrity
+    // machinery must not charge a single modeled microsecond to the
+    // steady-state hot path.
+    if (!resilience::integrity_checks_enabled()) {
+      require(exec_stats.integrity_ms == 0.0,
+              "integrity guards charged modeled time while disabled");
+    }
 
     // Modeled time is deterministic, so the amortization curve is exact
     // arithmetic — no need to actually run n applications.

@@ -8,6 +8,7 @@
 #include "baselines/seq.hpp"
 #include "core/spadd.hpp"
 #include "core/spmv.hpp"
+#include "resilience/integrity.hpp"
 #include "sparse/compare.hpp"
 #include "sparse/convert.hpp"
 #include "util/rng.hpp"
@@ -64,12 +65,19 @@ std::vector<SpmvRow> run_spmv_suite(const std::vector<workloads::SuiteEntry>& su
 
     // Repeated-apply path: plan once, execute once, and require the
     // result to be bit-identical to the one-shot merge kernel.
+    const auto counters_before = resilience::counters();
     const auto plan = core::merge::spmv_plan(dev, a);
     std::vector<double> y_exec(y.size());
     const auto exec = core::merge::spmv_execute(dev, a, x, y_exec, plan);
     require(y_exec == y, e.name + " planned spmv not bit-identical");
     row.merge_plan_ms = plan.plan_ms();
     row.merge_exec_ms = exec.modeled_ms();
+    row.integrity_ms = exec.integrity_ms;
+    const auto& counters_after = resilience::counters();
+    row.integrity_failures =
+        counters_after.integrity_failures - counters_before.integrity_failures;
+    row.restores =
+        counters_after.checkpoint_restores - counters_before.checkpoint_restores;
     rows.push_back(row);
   }
   return rows;

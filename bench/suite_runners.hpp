@@ -22,6 +22,12 @@ struct SpmvRow {
   /// merge_ms up to rounding).
   double merge_plan_ms = 0.0;
   double merge_exec_ms = 0.0;
+  /// Resilience accounting for the merge exec run: modeled guard time
+  /// (exactly 0.0 unless MPS_INTEGRITY_CHECK is set) and the process-wide
+  /// recovery-counter deltas observed while this row ran.
+  double integrity_ms = 0.0;
+  long long integrity_failures = 0;
+  long long restores = 0;
 };
 
 /// y = A x per matrix; results are verified against the sequential

@@ -12,6 +12,7 @@
 
 #include "core/spgemm.hpp"
 #include "core/spmv.hpp"
+#include "solver/resilient.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/ops.hpp"
 #include "vgpu/device.hpp"
@@ -151,30 +152,63 @@ int run_main(int argc, char** argv) {
   p = z;
   double rz = dot(res, z);
   const double b_norm = std::sqrt(dot(b, b));
-  int iters = 0;
   double rel = 1.0;
-  for (; iters < 100 && rel > 1e-10; ++iters) {
-    cycle_ms += core::merge::spmv_execute(dev, a0, p, ap, h.levels[0].a_plan)
-                    .modeled_ms();
-    const double alpha = rz / dot(p, ap);
-    for (std::size_t i = 0; i < un; ++i) {
-      x[i] += alpha * p[i];
-      res[i] -= alpha * ap[i];
-    }
-    rel = std::sqrt(dot(res, res)) / b_norm;
-    std::fill(z.begin(), z.end(), 0.0);
-    cycle_ms += vcycle(dev, h, 0, res, z);
-    const double rz_new = dot(res, z);
-    const double beta = rz_new / rz;
-    rz = rz_new;
-    for (std::size_t i = 0; i < un; ++i) p[i] = z[i] + beta * p[i];
-  }
+
+  // The PCG outer loop runs under the self-healing driver: its state is
+  // scrubbed + verified on a cadence, and a detected bit flip rolls back
+  // to the last clean checkpoint and rebuilds every level's SpMV plans.
+  solver::ResilientConfig rcfg;
+  rcfg.max_iterations = 100;
+  rcfg.tolerance = 1e-10;
+  solver::ResilientSolver driver(dev, rcfg);
+  driver.track("x", x);
+  driver.track("r", res);
+  driver.track("z", z);
+  driver.track("p", p);
+  driver.track("Ap", ap);
+  driver.track_scalar("r.z", rz);
+  driver.track_scalar("rel", rel);
+  const auto report = driver.run(
+      [&](int) {
+        double step_ms =
+            core::merge::spmv_execute(dev, a0, p, ap, h.levels[0].a_plan)
+                .modeled_ms();
+        const double alpha = rz / dot(p, ap);
+        for (std::size_t i = 0; i < un; ++i) {
+          x[i] += alpha * p[i];
+          res[i] -= alpha * ap[i];
+        }
+        rel = std::sqrt(dot(res, res)) / b_norm;
+        std::fill(z.begin(), z.end(), 0.0);
+        step_ms += vcycle(dev, h, 0, res, z);
+        const double rz_new = dot(res, z);
+        const double beta = rz_new / rz;
+        rz = rz_new;
+        for (std::size_t i = 0; i < un; ++i) p[i] = z[i] + beta * p[i];
+        cycle_ms += step_ms;
+        return solver::StepResult{rel, step_ms};
+      },
+      [&] {
+        for (auto& lvl : h.levels) {
+          lvl.a_plan = core::merge::spmv_plan(dev, lvl.a);
+          if (lvl.p.num_rows > 0) {
+            lvl.p_plan = core::merge::spmv_plan(dev, lvl.p);
+            lvl.r_plan = core::merge::spmv_plan(dev, lvl.r);
+          }
+        }
+      });
+  const int iters = report.iterations;
   double err = 0.0;
   for (const double v : x) err = std::max(err, std::abs(v - 1.0));
   std::printf("AMG-PCG: %d iterations to ||r||/||b|| = %.2e; max |x - 1| = %.2e\n",
               iters, rel, err);
   std::printf("modeled kernel time: %.3f ms per iteration (V-cycle + SpMV)\n",
               cycle_ms / (iters + 1));
+  if (report.detections > 0) {
+    std::printf("resilience: %d corruption(s) detected, %d rollback(s), "
+                "%d plan rebuild(s)\n",
+                report.detections, report.restores, report.plan_rebuilds);
+  }
   return (rel <= 1e-10 && err < 1e-7) ? 0 : 1;
 }
 

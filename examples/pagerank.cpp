@@ -11,6 +11,7 @@
 
 #include "baselines/rowwise.hpp"
 #include "core/spmv.hpp"
+#include "solver/resilient.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/stats.hpp"
 #include "vgpu/device.hpp"
@@ -53,27 +54,40 @@ int run_main(int argc, char** argv) {
   std::vector<double> next(n);
 
   // The link structure never changes between power iterations: partition
-  // the merge path once and reuse it.
-  const auto plan = core::merge::spmv_plan(device, m);
+  // the merge path once and reuse it.  The power iteration runs under the
+  // self-healing driver: rank state is scrubbed + verified on a cadence,
+  // and a detected bit flip rolls back to the last clean checkpoint and
+  // rebuilds the plan.
+  auto plan = core::merge::spmv_plan(device, m);
   double merge_ms = plan.plan_ms();
   double rowwise_ms = 0.0;
-  int iters = 0;
-  for (; iters < 100; ++iters) {
-    merge_ms += core::merge::spmv_execute(device, m, rank, next, plan).modeled_ms();
-    // Also time the row-wise scheme on identical input (result unused —
-    // this is the comparison the figures make, embedded in an app).
-    std::vector<double> scratch(n);
-    rowwise_ms += baselines::rowwise::spmv(device, m, rank, scratch).modeled_ms;
 
-    double delta = 0.0;
-    const double teleport = (1.0 - damping) / static_cast<double>(pages);
-    for (std::size_t i = 0; i < n; ++i) {
-      next[i] = teleport + damping * next[i];
-      delta += std::abs(next[i] - rank[i]);
-    }
-    rank.swap(next);
-    if (delta < 1e-10) break;
-  }
+  solver::ResilientConfig rcfg;
+  rcfg.max_iterations = 100;
+  rcfg.tolerance = 1e-10;
+  solver::ResilientSolver driver(device, rcfg);
+  driver.track("rank", rank);
+  driver.track("next", next);
+  const auto report = driver.run(
+      [&](int) {
+        const auto s = core::merge::spmv_execute(device, m, rank, next, plan);
+        merge_ms += s.modeled_ms();
+        // Also time the row-wise scheme on identical input (result unused —
+        // this is the comparison the figures make, embedded in an app).
+        std::vector<double> scratch(n);
+        rowwise_ms += baselines::rowwise::spmv(device, m, rank, scratch).modeled_ms;
+
+        double delta = 0.0;
+        const double teleport = (1.0 - damping) / static_cast<double>(pages);
+        for (std::size_t i = 0; i < n; ++i) {
+          next[i] = teleport + damping * next[i];
+          delta += std::abs(next[i] - rank[i]);
+        }
+        rank.swap(next);
+        return solver::StepResult{delta, s.modeled_ms()};
+      },
+      [&] { plan = core::merge::spmv_plan(device, m); });
+  const int iters = report.iterations - 1;
 
   // Top pages by rank.
   std::vector<index_t> order(n);
@@ -85,6 +99,11 @@ int run_main(int argc, char** argv) {
                     });
   std::printf("converged after %d iterations; top pages:", iters + 1);
   for (int i = 0; i < 5; ++i) std::printf(" %d", order[static_cast<std::size_t>(i)]);
+  if (report.detections > 0) {
+    std::printf("\nresilience: %d corruption(s) detected, %d rollback(s), "
+                "%d plan rebuild(s)",
+                report.detections, report.restores, report.plan_rebuilds);
+  }
   std::printf("\nmodeled SpMV cost per iteration: merge %.4f ms (plan %.4f ms "
               "amortized), row-wise %.4f ms (x%.2f)\n",
               merge_ms / (iters + 1), plan.plan_ms(), rowwise_ms / (iters + 1),

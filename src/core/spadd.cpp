@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "primitives/set_ops.hpp"
+#include "resilience/integrity.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/packed_key.hpp"
 #include "sparse/validate.hpp"
@@ -115,6 +116,11 @@ SpaddStats spadd_impl(vgpu::Device& device, V alpha,
   for (std::size_t i = 0; i < res.keys.size(); ++i) {
     c.push_back(sparse::key_row(res.keys[i]), sparse::key_col(res.keys[i]),
                 res.vals[i]);
+  }
+  // Output postcondition under MPS_INTEGRITY_CHECK: indices in range,
+  // values finite.
+  if (resilience::integrity_checks_enabled()) {
+    stats.modeled_ms += resilience::check_coo(device, c, "merge.spadd: C");
   }
   stats.wall_ms = wall.milliseconds();
   return stats;

@@ -6,6 +6,7 @@
 #include "primitives/device_radix_sort.hpp"
 #include "primitives/scan.hpp"
 #include "primitives/search.hpp"
+#include "resilience/integrity.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/validate.hpp"
 #include "util/timer.hpp"
@@ -456,6 +457,11 @@ double spgemm_numeric(vgpu::Device& device, const CsrD& a, const CsrD& b,
   });
   modeled_ms += red.modeled_ms;
   c = std::move(out);
+  // Output postcondition under MPS_INTEGRITY_CHECK: offsets monotone,
+  // columns in range, values finite.
+  if (resilience::integrity_checks_enabled()) {
+    modeled_ms += resilience::check_csr(device, c, "merge.spgemm: C");
+  }
   return modeled_ms;
 }
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/spadd.hpp"
+#include "resilience/integrity.hpp"
 #include "sparse/convert.hpp"
 #include "util/timer.hpp"
 
@@ -96,6 +97,14 @@ BatchedSpgemmStats spgemm_batched(vgpu::Device& device, const CsrD& a,
   if (c.num_rows != a.num_rows || c.num_cols != b.num_cols) {
     c.num_rows = a.num_rows;
     c.num_cols = b.num_cols;
+  }
+  // Per-batch outputs were checked inside spgemm/spadd; this covers the
+  // final combine + conversion under MPS_INTEGRITY_CHECK.  A single batch
+  // delegates straight to spgemm, whose own postcondition already covered
+  // the identical output — so the batched path keeps its cost-equality
+  // contract with the monolithic kernel (combine_ms stays 0).
+  if (stats.num_batches > 1 && resilience::integrity_checks_enabled()) {
+    stats.combine_ms += resilience::check_csr(device, c, "merge.spgemm_batched: C");
   }
   stats.wall_ms = wall.milliseconds();
   return stats;

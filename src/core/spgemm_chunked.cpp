@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "resilience/integrity.hpp"
 #include "sparse/validate.hpp"
 #include "util/timer.hpp"
 
@@ -111,6 +112,12 @@ ChunkedSpgemmStats spgemm_chunked(vgpu::Device& device, const CsrD& a,
   }
 
   c = std::move(out);
+  // Chunk outputs were checked inside spgemm; this covers the stitched
+  // result under MPS_INTEGRITY_CHECK.
+  if (resilience::integrity_checks_enabled()) {
+    stats.phases.other_ms +=
+        resilience::check_csr(device, c, "merge.spgemm_chunked: C");
+  }
   stats.wall_ms = wall.milliseconds();
   return stats;
 }

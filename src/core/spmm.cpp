@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "primitives/search.hpp"
+#include "resilience/integrity.hpp"
 #include "util/timer.hpp"
 
 namespace mps::core::merge {
@@ -111,6 +112,11 @@ SpmmStats spmm_impl(vgpu::Device& device, const sparse::CsrMatrix<V>& a,
     cta.charge_alu_uniform(static_cast<std::size_t>(num_ctas) * nv);
   });
   stats.modeled_ms += fix.modeled_ms;
+  // Output postcondition under MPS_INTEGRITY_CHECK: all of Y finite.
+  if (resilience::integrity_checks_enabled()) {
+    stats.modeled_ms += resilience::check_finite(
+        device, std::span<const V>(y.data(), num_rows * nv), "merge.spmm: y");
+  }
   stats.wall_ms = wall.milliseconds();
   return stats;
 }

@@ -57,13 +57,18 @@ struct SpmvStats {
   /// plan's build cost, which modeled_ms() deliberately excludes — the
   /// steady-state per-iteration cost is reduce_ms + update_ms.
   double plan_ms = 0.0;
+  /// Modeled cost of integrity guards (resilience/integrity.hpp): plan
+  /// state verification and output postcondition scans.  Exactly 0.0
+  /// unless MPS_INTEGRITY_CHECK is set — the guarded path must cost
+  /// nothing when guards are off (bench/plan_reuse_spmv.cpp asserts it).
+  double integrity_ms = 0.0;
   bool used_compaction = false;
   /// True when the run reused an SpmvPlan: partition and compaction were
   /// not re-executed (their per-call stats above are zero).
   bool setup_amortized = false;
   int num_ctas = 0;
   double modeled_ms() const {
-    return partition_ms + reduce_ms + update_ms + compact_ms;
+    return partition_ms + reduce_ms + update_ms + compact_ms + integrity_ms;
   }
   double wall_ms = 0.0;
 };
@@ -125,6 +130,13 @@ class SpmvPlan {
   index_t num_cols_ = 0;
   index_t nnz_ = 0;
   std::uint64_t offsets_fingerprint_ = 0;
+  /// Checksum over the plan's own arrays (s_bounds_ + compacted view),
+  /// taken at build time *before* the pin registration exposes them to
+  /// the fault layer.  spmv_execute re-verifies it under
+  /// MPS_INTEGRITY_CHECK and raises IntegrityError on drift, so a bit
+  /// flip landing in pinned plan state is detected instead of silently
+  /// misrouting rows.
+  std::uint64_t state_checksum_ = 0;
   double partition_ms_ = 0.0;
   double compact_ms_ = 0.0;
   std::vector<index_t> s_bounds_;         ///< per-CTA row fences, num_ctas + 1

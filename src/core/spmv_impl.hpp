@@ -12,6 +12,7 @@
 
 #include "core/spmv.hpp"
 #include "primitives/search.hpp"
+#include "resilience/integrity.hpp"
 #include "sparse/validate.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
@@ -60,6 +61,17 @@ inline std::uint64_t offsets_fingerprint(std::span<const index_t> offsets) {
 /// Friend gateway into SpmvPlan's private state for the templated
 /// build/execute implementations.
 struct SpmvPlanAccess {
+  /// Checksum over every array the plan owns; chained so a flip in any of
+  /// them changes the result.
+  static std::uint64_t state_checksum(const SpmvPlan& plan) {
+    std::uint64_t h = resilience::checksum_span(
+        std::span<const index_t>(plan.s_bounds_));
+    h = resilience::checksum_span(
+        std::span<const index_t>(plan.compact_offsets_), h);
+    return resilience::checksum_span(
+        std::span<const index_t>(plan.compact_row_ids_), h);
+  }
+
   template <typename V>
   static SpmvPlan build(vgpu::Device& device, const sparse::CsrMatrix<V>& a,
                         const SpmvConfig& cfg) {
@@ -74,6 +86,7 @@ struct SpmvPlanAccess {
     const std::size_t nnz = static_cast<std::size_t>(a.nnz());
     if (nnz == 0) {
       plan.num_ctas_ = 0;  // valid; execute only clears y
+      plan.state_checksum_ = state_checksum(plan);
       return plan;
     }
 
@@ -136,14 +149,24 @@ struct SpmvPlanAccess {
       plan.partition_ms_ = s.modeled_ms;
     }
 
+    // Checksum the plan's state *before* the pin below registers it with
+    // the fault layer: a bit flip landing at pin time is then caught by
+    // the execute-side verification instead of being baked in.
+    plan.state_checksum_ = state_checksum(plan);
+
     // Pin the plan's arrays for its lifetime: partition fences, the
-    // compacted view, and the carry buffer every execute reuses.
+    // compacted view, and the carry buffer every execute reuses.  The
+    // partition-fence storage is passed as the live window so armed
+    // bit-flip faults land in real plan state (and only there — the rest
+    // of the pinned byte total has no single contiguous backing array).
     const std::size_t pinned_bytes =
         (plan.s_bounds_.size() + plan.compact_offsets_.size() +
          plan.compact_row_ids_.size()) *
             sizeof(index_t) +
         static_cast<std::size_t>(num_ctas) * (sizeof(index_t) + sizeof(V));
-    plan.device_mem_.emplace(device.memory(), pinned_bytes);
+    plan.device_mem_.emplace(device.memory(), pinned_bytes,
+                             plan.s_bounds_.data(),
+                             plan.s_bounds_.size() * sizeof(index_t));
     return plan;
   }
 
@@ -172,6 +195,22 @@ struct SpmvPlanAccess {
     stats.plan_ms = plan.plan_ms();
     stats.used_compaction = plan.used_compaction_;
     stats.num_ctas = plan.num_ctas_;
+    // Integrity guard (resilience/integrity.hpp): re-verify the plan's own
+    // arrays against the build-time checksum before touching y, so a bit
+    // flip in pinned plan state raises IntegrityError with the output
+    // untouched.  Guards off ⇒ one getenv and a branch; no launches.
+    const bool guards = resilience::integrity_checks_enabled();
+    if (guards) {
+      stats.integrity_ms += resilience::charge_guard_scan(
+          device, (plan.s_bounds_.size() + plan.compact_offsets_.size() +
+                   plan.compact_row_ids_.size()) *
+                      sizeof(index_t));
+      if (state_checksum(plan) != plan.state_checksum_) {
+        resilience::integrity_failed(
+            "spmv plan state drifted from its build-time checksum "
+            "(rebuild the plan)");
+      }
+    }
     std::fill(y.begin(), y.begin() + a.num_rows, V{});
     const std::size_t nnz = static_cast<std::size_t>(a.nnz());
     if (nnz == 0) {
@@ -268,6 +307,15 @@ struct SpmvPlanAccess {
             cta.charge_alu_uniform(static_cast<std::size_t>(num_ctas));
           });
       stats.update_ms = s.modeled_ms;
+    }
+    // Output postcondition: y finite.  By this point y is written, so a
+    // failure reports corrupted output rather than preserving it — that
+    // is the guard's job (never return silently wrong data).
+    if (guards) {
+      stats.integrity_ms += resilience::check_finite(
+          device,
+          std::span<const V>(y.data(), static_cast<std::size_t>(a.num_rows)),
+          "merge.spmv: y");
     }
     stats.wall_ms = wall.milliseconds();
     return stats;

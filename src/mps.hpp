@@ -31,6 +31,10 @@
 #include "sparse/stats.hpp"       // IWYU pragma: export
 #include "sparse/validate.hpp"    // IWYU pragma: export
 
+// Resilience: integrity guards and the self-healing solver driver.
+#include "resilience/integrity.hpp"  // IWYU pragma: export
+#include "solver/resilient.hpp"      // IWYU pragma: export
+
 // Parallel primitives.
 #include "primitives/balanced_path.hpp"     // IWYU pragma: export
 #include "primitives/cta_radix_sort.hpp"    // IWYU pragma: export

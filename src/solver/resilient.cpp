@@ -1,0 +1,162 @@
+#include "solver/resilient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+
+#include "resilience/integrity.hpp"
+#include "util/error.hpp"
+
+namespace mps::solver {
+
+void ResilientSolver::scan(ResilientReport& rep) {
+  for (const Tracked& t : tracked_) {
+    std::vector<double>& v = *t.vec;
+    const std::size_t bytes = v.size() * sizeof(double);
+    const std::uint64_t before = resilience::checksum_bytes(v.data(), bytes);
+    // The scrub registers the live storage with the fault layer — this is
+    // where an armed bit flip lands — so the readback comparison below
+    // deterministically catches whatever the scrub let in.
+    rep.guard_ms += resilience::scrub(*device_, std::span<double>(v));
+    if (resilience::checksum_bytes(v.data(), bytes) != before) {
+      resilience::integrity_failed("solver state '" + t.name +
+                                   "' changed under scrub (bit flip)");
+    }
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (!std::isfinite(v[i])) {
+        resilience::integrity_failed("solver state '" + t.name +
+                                     "' non-finite at index " +
+                                     std::to_string(i));
+      }
+    }
+  }
+  for (const TrackedScalar& s : scalars_) {
+    if (!std::isfinite(*s.value)) {
+      resilience::integrity_failed("solver scalar '" + s.name +
+                                   "' is non-finite");
+    }
+  }
+}
+
+void ResilientSolver::take_checkpoint(int iter, double best_residual) {
+  checkpoint_.iter = iter;
+  checkpoint_.best_residual = best_residual;
+  checkpoint_.vecs.resize(tracked_.size());
+  for (std::size_t i = 0; i < tracked_.size(); ++i) {
+    checkpoint_.vecs[i] = *tracked_[i].vec;
+  }
+  checkpoint_.scalars.resize(scalars_.size());
+  for (std::size_t i = 0; i < scalars_.size(); ++i) {
+    checkpoint_.scalars[i] = *scalars_[i].value;
+  }
+  ++resilience::counters().checkpoints;
+}
+
+void ResilientSolver::restore_checkpoint() {
+  for (std::size_t i = 0; i < tracked_.size(); ++i) {
+    *tracked_[i].vec = checkpoint_.vecs[i];
+  }
+  for (std::size_t i = 0; i < scalars_.size(); ++i) {
+    *scalars_[i].value = checkpoint_.scalars[i];
+  }
+  ++resilience::counters().checkpoint_restores;
+}
+
+ResilientReport ResilientSolver::run(const StepFn& step,
+                                     const RebuildFn& rebuild) {
+  MPS_CHECK_MSG(static_cast<bool>(step), "resilient solver needs a step");
+  ResilientReport rep;
+  int scan_every = std::max(1, cfg_.scan_interval);
+  const int checkpoint_every = std::max(1, cfg_.checkpoint_interval);
+  double best_residual = std::numeric_limits<double>::infinity();
+
+  // Verified initial state: there is nothing to roll back to yet, so an
+  // initial-scan failure (corrupt starting state) propagates.
+  scan(rep);
+  take_checkpoint(0, best_residual);
+
+  auto recover = [&](const char* why) {
+    ++rep.detections;
+    if (rep.restores >= cfg_.max_restores) {
+      ++resilience::counters().integrity_failures;
+      throw IntegrityError(std::string("resilient solver: restore budget (") +
+                           std::to_string(cfg_.max_restores) +
+                           ") exhausted; last detection: " + why);
+    }
+    ++rep.restores;
+    restore_checkpoint();
+    if (rebuild) {
+      rebuild();
+      ++rep.plan_rebuilds;
+      ++resilience::counters().plan_rebuilds;
+    }
+    // Paranoid mode: corruption was observed, verify more often.
+    scan_every = std::max(1, scan_every / 2);
+    best_residual = checkpoint_.best_residual;
+  };
+
+  int iter = 0;
+  while (iter < cfg_.max_iterations) {
+    bool detected = false;
+    const char* why = "";
+    try {
+      const StepResult s = step(iter);
+      rep.solver_ms += s.modeled_ms;
+      rep.residual = s.residual;
+      if (!std::isfinite(s.residual)) {
+        detected = true;
+        why = "non-finite residual";
+      } else if (iter > checkpoint_.iter && best_residual > 0.0 &&
+                 std::isfinite(best_residual) &&
+                 s.residual > cfg_.divergence_factor * best_residual) {
+        detected = true;
+        why = "diverging residual";
+      }
+    } catch (const IntegrityError&) {
+      detected = true;
+      why = "integrity error in step";
+    } catch (const PlanMismatchError&) {
+      detected = true;
+      why = "plan mismatch in step";
+    }
+
+    bool scanned_clean = false;
+    if (!detected) {
+      best_residual = std::min(best_residual, rep.residual);
+      const bool converging =
+          cfg_.tolerance > 0.0 && rep.residual <= cfg_.tolerance;
+      if (converging || (iter + 1) % scan_every == 0) {
+        try {
+          scan(rep);
+          scanned_clean = true;
+        } catch (const IntegrityError&) {
+          detected = true;
+          why = "scrub readback mismatch";
+        }
+      }
+    }
+
+    if (detected) {
+      recover(why);
+      iter = checkpoint_.iter;
+      continue;
+    }
+
+    ++iter;
+    rep.iterations = iter;
+    if (cfg_.tolerance > 0.0 && rep.residual <= cfg_.tolerance) {
+      // The convergence path always runs a scan first (above), so the
+      // final state is verified.
+      rep.converged = true;
+      break;
+    }
+    if (scanned_clean && iter - checkpoint_.iter >= checkpoint_every) {
+      take_checkpoint(iter, best_residual);
+    }
+  }
+  if (cfg_.tolerance <= 0.0) rep.converged = rep.iterations >= cfg_.max_iterations;
+  return rep;
+}
+
+}  // namespace mps::solver

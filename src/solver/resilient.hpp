@@ -1,0 +1,136 @@
+#pragma once
+// Self-healing driver for iterative solvers (docs/robustness.md).
+//
+// Iterative methods (CG, power iteration, AMG-preconditioned CG, Markov
+// evolution) share a shape: a small set of state vectors mutated by a
+// per-iteration step whose health is summarized by one residual scalar.
+// That shape is exactly what makes them recoverable from silent data
+// corruption — state is compact enough to checkpoint, and the residual
+// plus integrity guards (resilience/integrity.hpp) give a detection
+// signal.  ResilientSolver packages the recovery loop once so every
+// workload gets the same guarantees:
+//
+//   detect  — periodic scrub-with-readback scans (checksum each tracked
+//             vector, scrub it through the device — the registration
+//             point where armed MPS_FAULT_BITFLIP_* faults land — then
+//             re-checksum; any injected flip is caught deterministically
+//             before the next checkpoint), plus non-finite/divergent
+//             residual monitoring, plus IntegrityError /
+//             PlanMismatchError raised by guarded kernels inside step();
+//   recover — roll back to the last verified checkpoint, invoke the
+//             caller's rebuild hook (invalidate + rebuild plans whose
+//             pinned state may have been hit), and resume;
+//   bound   — at most `max_restores` rollbacks, and after every restore
+//             the scan interval halves (paranoid mode: corruption was
+//             observed, verify more often).  When the budget is spent the
+//             driver rethrows IntegrityError rather than looping forever.
+//
+// Because every fault-landing surface in the loop is covered by a
+// detector (scrubbed vectors by the readback scan, pinned plan state by
+// the plan's build-time checksum under MPS_INTEGRITY_CHECK), a recovered
+// solve reaches the same answer as an uncorrupted one.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vgpu/device.hpp"
+
+namespace mps::solver {
+
+struct ResilientConfig {
+  int max_iterations = 1000;
+  /// Convergence threshold on the step residual; <= 0 means run all
+  /// `max_iterations` (fixed-step workloads like Markov evolution).
+  double tolerance = 0.0;
+  /// Iterations between scrub-with-readback scans (the detection cadence;
+  /// halves after every restore, floor 1).
+  int scan_interval = 4;
+  /// Iterations between checkpoints.  Checkpoints are only taken right
+  /// after a clean scan, so a snapshot never captures undetected damage.
+  int checkpoint_interval = 16;
+  /// Rollback budget; exceeding it rethrows the detection error.
+  int max_restores = 32;
+  /// A residual above `divergence_factor * best_residual_so_far` counts
+  /// as corruption (a flipped sign/exponent rarely produces NaN but
+  /// reliably explodes the residual).
+  double divergence_factor = 1e4;
+};
+
+/// What one iteration reports back to the driver.
+struct StepResult {
+  double residual = 0.0;    ///< health scalar (norm, delta, mass error…)
+  double modeled_ms = 0.0;  ///< modeled kernel time spent in the step
+};
+
+struct ResilientReport {
+  int iterations = 0;        ///< committed (post-recovery) iterations
+  double residual = 0.0;     ///< final residual
+  bool converged = false;
+  int restores = 0;          ///< checkpoint rollbacks performed
+  int detections = 0;        ///< corruption events detected (any detector)
+  int plan_rebuilds = 0;     ///< rebuild hook invocations
+  double solver_ms = 0.0;    ///< modeled kernel time reported by steps
+  double guard_ms = 0.0;     ///< modeled scrub/verify overhead
+};
+
+class ResilientSolver {
+ public:
+  using StepFn = std::function<StepResult(int iter)>;
+  using RebuildFn = std::function<void()>;
+
+  explicit ResilientSolver(vgpu::Device& device, ResilientConfig cfg = {})
+      : device_(&device), cfg_(cfg) {}
+
+  /// Register a state vector the step function mutates.  Tracked storage
+  /// is scrubbed (exposed to the fault layer), verified, checkpointed and
+  /// restored; it must outlive the solver and keep its identity (resizing
+  /// is fine, replacing the vector object is not).
+  void track(const std::string& name, std::vector<double>& v) {
+    tracked_.push_back({name, &v});
+  }
+
+  /// Register a state scalar (e.g. CG's r·r): checkpointed, restored, and
+  /// verified finite at every scan.
+  void track_scalar(const std::string& name, double& s) {
+    scalars_.push_back({name, &s});
+  }
+
+  /// Drive `step` to convergence with detection + rollback as configured.
+  /// `rebuild` (optional) is invoked after every restore to invalidate
+  /// and rebuild any plans the step depends on.  Throws IntegrityError
+  /// when the restore budget is exhausted; anything unrelated to
+  /// corruption (InvalidInputError, real OOM…) propagates immediately.
+  ResilientReport run(const StepFn& step, const RebuildFn& rebuild = {});
+
+ private:
+  struct Tracked {
+    std::string name;
+    std::vector<double>* vec;
+  };
+  struct TrackedScalar {
+    std::string name;
+    double* value;
+  };
+  struct Checkpoint {
+    int iter = 0;
+    double best_residual = 0.0;
+    std::vector<std::vector<double>> vecs;
+    std::vector<double> scalars;
+  };
+
+  /// Scrub-with-readback over every tracked vector + finite checks;
+  /// throws IntegrityError on any detection, else accumulates guard ms.
+  void scan(ResilientReport& rep);
+  void take_checkpoint(int iter, double best_residual);
+  void restore_checkpoint();
+
+  vgpu::Device* device_;
+  ResilientConfig cfg_;
+  std::vector<Tracked> tracked_;
+  std::vector<TrackedScalar> scalars_;
+  Checkpoint checkpoint_;
+};
+
+}  // namespace mps::solver

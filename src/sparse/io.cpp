@@ -1,10 +1,14 @@
 #include "sparse/io.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -116,21 +120,79 @@ CooMatrix<double> read_matrix_market_file(const std::string& path) {
   return read_matrix_market(in);
 }
 
-void write_matrix_market(std::ostream& out, const CooMatrix<double>& a) {
-  out << "%%MatrixMarket matrix coordinate real general\n";
-  out << a.num_rows << ' ' << a.num_cols << ' ' << a.nnz() << '\n';
-  out.precision(17);
-  for (index_t i = 0; i < a.nnz(); ++i) {
-    out << (a.row[static_cast<std::size_t>(i)] + 1) << ' '
-        << (a.col[static_cast<std::size_t>(i)] + 1) << ' '
-        << a.val[static_cast<std::size_t>(i)] << '\n';
+namespace {
+
+bool bitwise_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Checks that every off-diagonal entry has a bitwise-identical transposed
+/// mirror, so the lower triangle alone reconstructs the matrix exactly.
+void require_symmetric(const CooMatrix<double>& a) {
+  if (a.num_rows != a.num_cols) {
+    throw InvalidInputError(
+        "matrix market: symmetric write requires a square matrix, got " +
+        std::to_string(a.num_rows) + " x " + std::to_string(a.num_cols));
+  }
+  const auto n = static_cast<std::size_t>(a.nnz());
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    if (a.row[x] != a.row[y]) return a.row[x] < a.row[y];
+    return a.col[x] < a.col[y];
+  });
+  const auto find = [&](index_t r, index_t c) -> const double* {
+    auto it = std::lower_bound(order.begin(), order.end(),
+                               std::make_pair(r, c),
+                               [&](std::size_t i, std::pair<index_t, index_t> key) {
+                                 if (a.row[i] != key.first) return a.row[i] < key.first;
+                                 return a.col[i] < key.second;
+                               });
+    if (it == order.end() || a.row[*it] != r || a.col[*it] != c) return nullptr;
+    return &a.val[*it];
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const index_t r = a.row[i], c = a.col[i];
+    if (r == c) continue;
+    const double* mirror = find(c, r);
+    if (mirror == nullptr || !bitwise_equal(*mirror, a.val[i])) {
+      throw InvalidInputError(
+          "matrix market: symmetric write but entry (" + std::to_string(r) +
+          ", " + std::to_string(c) + ") has no matching transpose entry");
+    }
   }
 }
 
-void write_matrix_market_file(const std::string& path, const CooMatrix<double>& a) {
+}  // namespace
+
+void write_matrix_market(std::ostream& out, const CooMatrix<double>& a,
+                         MmSymmetry symmetry) {
+  const bool sym = symmetry == MmSymmetry::kSymmetric;
+  if (sym) require_symmetric(a);
+  index_t stored = a.nnz();
+  if (sym) {
+    stored = 0;
+    for (index_t i = 0; i < a.nnz(); ++i) {
+      if (a.row[static_cast<std::size_t>(i)] >= a.col[static_cast<std::size_t>(i)])
+        ++stored;
+    }
+  }
+  out << "%%MatrixMarket matrix coordinate real "
+      << (sym ? "symmetric" : "general") << '\n';
+  out << a.num_rows << ' ' << a.num_cols << ' ' << stored << '\n';
+  out.precision(17);
+  for (index_t i = 0; i < a.nnz(); ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    if (sym && a.row[k] < a.col[k]) continue;  // upper triangle implied
+    out << (a.row[k] + 1) << ' ' << (a.col[k] + 1) << ' ' << a.val[k] << '\n';
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CooMatrix<double>& a,
+                              MmSymmetry symmetry) {
   std::ofstream out(path);
   if (!out) throw IoError("cannot open " + path);
-  write_matrix_market(out, a);
+  write_matrix_market(out, a, symmetry);
   out.flush();
   if (!out) throw IoError("failed writing " + path);
 }

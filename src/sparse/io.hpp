@@ -18,7 +18,16 @@ namespace mps::sparse {
 CooMatrix<double> read_matrix_market(std::istream& in);
 CooMatrix<double> read_matrix_market_file(const std::string& path);
 
-void write_matrix_market(std::ostream& out, const CooMatrix<double>& a);
-void write_matrix_market_file(const std::string& path, const CooMatrix<double>& a);
+/// Symmetry annotation for the writer.  `kSymmetric` stores only the lower
+/// triangle (row >= col) and requires the matrix to actually be symmetric —
+/// every (r, c, v) with r != c must have a bitwise-identical (c, r, v)
+/// mirror — raising InvalidInputError otherwise.  Values round-trip exactly:
+/// doubles are written with enough digits that read-after-write is bitwise.
+enum class MmSymmetry { kGeneral, kSymmetric };
+
+void write_matrix_market(std::ostream& out, const CooMatrix<double>& a,
+                         MmSymmetry symmetry = MmSymmetry::kGeneral);
+void write_matrix_market_file(const std::string& path, const CooMatrix<double>& a,
+                              MmSymmetry symmetry = MmSymmetry::kGeneral);
 
 }  // namespace mps::sparse

@@ -8,4 +8,9 @@ bool strict_validation() {
   return util::env_int("MPS_STRICT_VALIDATE", 0) != 0;
 }
 
+int strict_validation_level() {
+  const long long v = util::env_int("MPS_STRICT_VALIDATE", 0);
+  return v < 0 ? 0 : static_cast<int>(v);
+}
+
 }  // namespace mps::sparse

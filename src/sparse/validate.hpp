@@ -8,7 +8,13 @@
 // Kernels call validate-at-entry only under strict mode
 // (MPS_STRICT_VALIDATE=1): validation is O(nnz), which is the same order
 // as SpMV itself, so it must stay opt-in for production hot paths.
+//
+// MPS_STRICT_VALIDATE=2 additionally rejects non-finite values (NaN/Inf)
+// at kernel entry, reporting the first offending (row, col) — the cheap
+// way to pin down *where* a poisoned matrix came from before it spreads
+// through an iterative solve.
 
+#include <cmath>
 #include <string>
 
 #include "sparse/coo.hpp"
@@ -20,6 +26,11 @@ namespace mps::sparse {
 /// True when MPS_STRICT_VALIDATE is set to a nonzero value.  Read per
 /// call (kernel launches dwarf a getenv), so tests can toggle it.
 bool strict_validation();
+
+/// The numeric value of MPS_STRICT_VALIDATE (clamped to >= 0):
+/// 0 = off, 1 = structural validation, 2 = structural + reject
+/// non-finite values at kernel entry.
+int strict_validation_level();
 
 namespace detail {
 
@@ -33,9 +44,12 @@ namespace detail {
 /// Throws InvalidInputError unless `a` is a structurally valid CSR
 /// matrix: offsets of size rows+1 starting at 0, monotone, matching
 /// col/val sizes, and in-bounds strictly ascending columns per row.
-/// `what` names the argument in the error ("spgemm: A").
+/// `what` names the argument in the error ("spgemm: A").  With
+/// `require_finite` (default: strict level >= 2), non-finite values are
+/// rejected too, naming the first offending (row, col).
 template <typename V>
-void validate_csr(const CsrMatrix<V>& a, const char* what) {
+void validate_csr(const CsrMatrix<V>& a, const char* what,
+                  bool require_finite = strict_validation_level() >= 2) {
   using detail::validation_failed;
   if (a.num_rows < 0 || a.num_cols < 0) {
     validation_failed(what, "negative dimensions " + std::to_string(a.num_rows) +
@@ -84,16 +98,23 @@ void validate_csr(const CsrMatrix<V>& a, const char* what) {
                                     std::to_string(r) + " at nonzero " +
                                     std::to_string(k));
       }
+      if (require_finite && !std::isfinite(a.val[static_cast<std::size_t>(k)])) {
+        validation_failed(what, "non-finite value at (" + std::to_string(r) +
+                                    ", " + std::to_string(c) + ")");
+      }
     }
   }
 }
 
 /// Throws InvalidInputError unless `a` is a valid COO matrix: matching
 /// array sizes and in-bounds indices; with `require_canonical`, tuples
-/// must also be sorted by (row, col) with no duplicates.
+/// must also be sorted by (row, col) with no duplicates.  With
+/// `require_finite` (default: strict level >= 2), non-finite values are
+/// rejected too, naming the first offending (row, col).
 template <typename V>
 void validate_coo(const CooMatrix<V>& a, const char* what,
-                  bool require_canonical = true) {
+                  bool require_canonical = true,
+                  bool require_finite = strict_validation_level() >= 2) {
   using detail::validation_failed;
   if (a.num_rows < 0 || a.num_cols < 0) {
     validation_failed(what, "negative dimensions " + std::to_string(a.num_rows) +
@@ -128,6 +149,10 @@ void validate_coo(const CooMatrix<V>& a, const char* what,
                                     std::to_string(r) + ", " +
                                     std::to_string(c) + ")");
       }
+    }
+    if (require_finite && !std::isfinite(a.val[static_cast<std::size_t>(i)])) {
+      validation_failed(what, "non-finite value at (" + std::to_string(r) +
+                                  ", " + std::to_string(c) + ")");
     }
   }
 }

@@ -10,8 +10,13 @@
 //   MPS_FAULT_ALLOC_N     — fail the Nth device allocation per Device
 //   MPS_FAULT_BYTE_LIMIT  — fail the allocation crossing this byte count
 //   MPS_FAULT_CAPACITY    — cap device capacity in bytes
+//   MPS_FAULT_BITFLIP_ALLOC / _OFFSET / _MASK / _EVERY — silent bit-flip
+//                           injection into live device buffers
 //   MPS_STRICT_VALIDATE   — 1: structurally validate matrices at kernel
-//                           entry (InvalidInputError on violation)
+//                           entry (InvalidInputError on violation);
+//                           2: additionally reject non-finite values
+//   MPS_INTEGRITY_CHECK   — 1: buffer checksums + kernel postcondition
+//                           guards (IntegrityError on violation)
 
 #include <string>
 
@@ -19,6 +24,8 @@ namespace mps::util {
 
 double env_double(const char* name, double fallback);
 long long env_int(const char* name, long long fallback);
+/// Like env_int but auto-detects the base ("0x80" parses as hex).
+long long env_int_auto(const char* name, long long fallback);
 std::string env_string(const char* name, const std::string& fallback);
 
 }  // namespace mps::util

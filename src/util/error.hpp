@@ -15,6 +15,11 @@
 //   │                       pattern/precision drifted from the one it was
 //   │                       built for
 //   ├─ IoError            — file open/write failures
+//   ├─ IntegrityError     — silent data corruption detected: a buffer
+//   │                       checksum mismatch, a non-finite value or
+//   │                       broken structure in a kernel's output, or a
+//   │                       plan whose internal state no longer matches
+//   │                       its build-time checksum (resilience/)
 //   └─ vgpu::DeviceOomError (memory_model.hpp) — device capacity
 //                           exhausted, real or fault-injected
 //
@@ -62,6 +67,16 @@ class PlanMismatchError : public Error {
 class IoError : public Error {
  public:
   explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Silent data corruption detected by an integrity guard: a checksum
+/// mismatch, a non-finite value or structural violation in data that was
+/// previously valid, or corrupted plan state.  Distinct from
+/// InvalidInputError (the caller handed us bad data) — an IntegrityError
+/// means data that *was* good went bad, so retry/recovery is meaningful.
+class IntegrityError : public Error {
+ public:
+  explicit IntegrityError(const std::string& what) : Error(what) {}
 };
 
 }  // namespace mps

@@ -23,6 +23,8 @@ int guarded_main(const char* program, Body&& body) {
     std::fprintf(stderr, "%s: io error: %s\n", program, e.what());
   } catch (const PlanMismatchError& e) {
     std::fprintf(stderr, "%s: plan mismatch: %s\n", program, e.what());
+  } catch (const IntegrityError& e) {
+    std::fprintf(stderr, "%s: integrity error: %s\n", program, e.what());
   } catch (const InvalidInputError& e) {
     std::fprintf(stderr, "%s: invalid input: %s\n", program, e.what());
   } catch (const Error& e) {

@@ -10,6 +10,17 @@ FaultInjectorConfig FaultInjector::config_from_env() {
   if (n > 0) cfg.fail_alloc_n = n;
   const long long bytes = util::env_int("MPS_FAULT_BYTE_LIMIT", 0);
   if (bytes > 0) cfg.byte_limit = static_cast<std::size_t>(bytes);
+  const long long flip = util::env_int("MPS_FAULT_BITFLIP_ALLOC", 0);
+  if (flip > 0) {
+    cfg.bitflip_alloc = flip;
+    const long long offset = util::env_int("MPS_FAULT_BITFLIP_OFFSET", 0);
+    if (offset > 0) cfg.bitflip_offset = static_cast<std::size_t>(offset);
+    // The mask is a byte pattern — accept hex ("0x80") as well as decimal.
+    const long long mask = util::env_int_auto("MPS_FAULT_BITFLIP_MASK", 0x01);
+    cfg.bitflip_mask = static_cast<std::uint8_t>(mask & 0xFF);
+    const long long every = util::env_int("MPS_FAULT_BITFLIP_EVERY", 0);
+    if (every > 0) cfg.bitflip_every = every;
+  }
   return cfg;
 }
 

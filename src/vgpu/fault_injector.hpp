@@ -2,8 +2,9 @@
 // Deterministic fault injection for the device memory model.
 //
 // A FaultInjector attached to a MemoryModel observes every device
-// allocation (reserve) and can force one to fail with DeviceOomError:
+// allocation (reserve) and can inject two classes of fault:
 //
+// Allocation failures (throw DeviceOomError):
 //   * fail-the-Nth-allocation — the Nth reserve() on the model throws,
 //     all others succeed.  Sweeping N = 1..total exercises every
 //     allocation site of a kernel (the exception-safety sweep in
@@ -11,26 +12,48 @@
 //   * fail-at-byte-threshold — the first reserve() that pushes the
 //     cumulative reserved-byte counter past the threshold throws.
 //
-// Each trigger fires exactly once and then disarms, so a caller that
-// catches the error and retries (spgemm_adaptive's oom-retry tier) runs
-// clean afterwards.  Counters are per-injector and deterministic: the
-// functional layer performs the same allocations in the same order
+// Silent data corruption (bit flips):
+//   * flip-at-allocation — when the Nth reserve() registers a live host
+//     window for the buffer (ScopedDeviceAlloc's data pointer), one byte
+//     of that window is XORed with a mask.  The flip is silent: the
+//     allocation succeeds and no error is raised — detection is the job
+//     of the integrity layer (src/resilience/integrity.hpp).  A
+//     repeat-every-N mode re-fires the flip on every further Nth
+//     allocation, modeling transient faults that keep recurring.
+//     Reservations that carry no window (pure accounting) are counted as
+//     missed flips, never corrupted.
+//
+// Alloc-failure triggers fire exactly once and then disarm, so a caller
+// that catches the error and retries (spgemm_adaptive's oom-retry tier)
+// runs clean afterwards.  Counters are per-injector and deterministic:
+// the functional layer performs the same allocations in the same order
 // regardless of host thread count.
 //
 // Environment configuration (read by Device's constructor, util/env):
-//   MPS_FAULT_ALLOC_N     — fail the Nth device allocation (1-based)
-//   MPS_FAULT_BYTE_LIMIT  — fail the allocation that crosses this many
-//                           cumulative reserved bytes
-//   MPS_FAULT_CAPACITY    — cap device capacity at this many bytes
-//                           (applied to DeviceProperties, not here)
+//   MPS_FAULT_ALLOC_N        — fail the Nth device allocation (1-based)
+//   MPS_FAULT_BYTE_LIMIT     — fail the allocation that crosses this many
+//                              cumulative reserved bytes
+//   MPS_FAULT_CAPACITY       — cap device capacity at this many bytes
+//                              (applied to DeviceProperties, not here)
+//   MPS_FAULT_BITFLIP_ALLOC  — flip a bit in the Nth allocation's window
+//   MPS_FAULT_BITFLIP_OFFSET — byte offset of the flip (mod window size)
+//   MPS_FAULT_BITFLIP_MASK   — XOR mask for the byte (decimal or 0x hex;
+//                              default 0x01)
+//   MPS_FAULT_BITFLIP_EVERY  — re-fire every N further allocations
+//                              (transient-fault mode; 0 = flip once)
 
 #include <cstddef>
+#include <cstdint>
 
 namespace mps::vgpu {
 
 struct FaultInjectorConfig {
   long long fail_alloc_n = 0;   ///< 1-based allocation ordinal; 0 = disabled
   std::size_t byte_limit = 0;   ///< cumulative-bytes threshold; 0 = disabled
+  long long bitflip_alloc = 0;  ///< 1-based allocation ordinal; 0 = disabled
+  std::size_t bitflip_offset = 0;  ///< byte offset into the window (mod size)
+  std::uint8_t bitflip_mask = 0x01;  ///< XOR mask applied to the byte
+  long long bitflip_every = 0;  ///< re-fire period after the first flip; 0 = once
 };
 
 class FaultInjector {
@@ -38,7 +61,8 @@ class FaultInjector {
   FaultInjector() = default;
   explicit FaultInjector(const FaultInjectorConfig& cfg) : cfg_(cfg) {}
 
-  /// MPS_FAULT_ALLOC_N / MPS_FAULT_BYTE_LIMIT, zero (disabled) if unset.
+  /// MPS_FAULT_ALLOC_N / MPS_FAULT_BYTE_LIMIT / MPS_FAULT_BITFLIP_*,
+  /// zero (disabled) if unset.
   static FaultInjectorConfig config_from_env();
 
   /// Arm: the `n`th observed reserve() (1-based) fails.
@@ -53,6 +77,18 @@ class FaultInjector {
     fired_ = false;
   }
 
+  /// Arm: XOR `mask` into byte `offset` (mod window size) of the live
+  /// window registered by the `n`th reserve().  `every` > 0 re-fires the
+  /// flip on each further `every`th allocation (transient faults).
+  void flip_bit_at_allocation(long long n, std::size_t offset,
+                              std::uint8_t mask = 0x01, long long every = 0) {
+    cfg_.bitflip_alloc = n;
+    cfg_.bitflip_offset = offset;
+    cfg_.bitflip_mask = mask;
+    cfg_.bitflip_every = every;
+    bitflip_fired_ = false;
+  }
+
   /// Disable triggers; observation counters keep running.
   void disarm() { cfg_ = FaultInjectorConfig{}; }
 
@@ -61,21 +97,36 @@ class FaultInjector {
     allocations_ = 0;
     bytes_reserved_ = 0;
     faults_injected_ = 0;
+    bitflips_injected_ = 0;
+    bitflips_missed_ = 0;
     fired_ = false;
+    bitflip_fired_ = false;
   }
 
   bool armed() const {
-    return !fired_ && (cfg_.fail_alloc_n > 0 || cfg_.byte_limit > 0);
+    const bool alloc_armed =
+        !fired_ && (cfg_.fail_alloc_n > 0 || cfg_.byte_limit > 0);
+    const bool flip_armed =
+        cfg_.bitflip_alloc > 0 && (!bitflip_fired_ || cfg_.bitflip_every > 0);
+    return alloc_armed || flip_armed;
   }
   long long allocations_observed() const { return allocations_; }
   std::size_t bytes_observed() const { return bytes_reserved_; }
   long long faults_injected() const { return faults_injected_; }
+  long long bitflips_injected() const { return bitflips_injected_; }
+  /// Flips that matched their ordinal but found no registered window.
+  long long bitflips_missed() const { return bitflips_missed_; }
 
   /// Called by MemoryModel::reserve for every allocation; returns true
-  /// when this allocation must fail.  Fires at most once per arming.
-  bool on_reserve(std::size_t bytes) {
+  /// when this allocation must fail.  Alloc failures fire at most once
+  /// per arming.  `window`/`window_bytes` describe the live host storage
+  /// backing the allocation (nullptr for pure accounting reservations);
+  /// a matching armed bit flip corrupts one byte of it in place.
+  bool on_reserve(std::size_t bytes, void* window = nullptr,
+                  std::size_t window_bytes = 0) {
     ++allocations_;
     bytes_reserved_ += bytes;
+    maybe_flip(window, window_bytes);
     if (fired_) return false;
     const bool hit_n = cfg_.fail_alloc_n > 0 && allocations_ == cfg_.fail_alloc_n;
     const bool hit_bytes = cfg_.byte_limit > 0 && bytes_reserved_ > cfg_.byte_limit;
@@ -88,11 +139,33 @@ class FaultInjector {
   }
 
  private:
+  void maybe_flip(void* window, std::size_t window_bytes) {
+    if (cfg_.bitflip_alloc <= 0) return;
+    bool due = false;
+    if (allocations_ == cfg_.bitflip_alloc) {
+      due = !bitflip_fired_;
+    } else if (cfg_.bitflip_every > 0 && allocations_ > cfg_.bitflip_alloc) {
+      due = (allocations_ - cfg_.bitflip_alloc) % cfg_.bitflip_every == 0;
+    }
+    if (!due) return;
+    bitflip_fired_ = true;
+    if (window == nullptr || window_bytes == 0 || cfg_.bitflip_mask == 0) {
+      ++bitflips_missed_;
+      return;
+    }
+    auto* bytes = static_cast<std::uint8_t*>(window);
+    bytes[cfg_.bitflip_offset % window_bytes] ^= cfg_.bitflip_mask;
+    ++bitflips_injected_;
+  }
+
   FaultInjectorConfig cfg_;
   long long allocations_ = 0;
   std::size_t bytes_reserved_ = 0;  ///< cumulative; never decremented
   long long faults_injected_ = 0;
+  long long bitflips_injected_ = 0;
+  long long bitflips_missed_ = 0;
   bool fired_ = false;
+  bool bitflip_fired_ = false;
 };
 
 }  // namespace mps::vgpu

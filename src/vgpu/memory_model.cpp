@@ -4,8 +4,10 @@
 
 namespace mps::vgpu {
 
-void MemoryModel::reserve(std::size_t bytes) {
-  if (fault_ && fault_->on_reserve(bytes)) {
+void MemoryModel::reserve(std::size_t bytes, void* window,
+                          std::size_t window_bytes) {
+  if (window != nullptr && window_bytes == 0) window_bytes = bytes;
+  if (fault_ && fault_->on_reserve(bytes, window, window_bytes)) {
     throw DeviceOomError(bytes, in_use_, capacity_, /*injected=*/true);
   }
   if (in_use_ + bytes > capacity_) throw DeviceOomError(bytes, in_use_, capacity_);

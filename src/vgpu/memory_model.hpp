@@ -43,7 +43,13 @@ class MemoryModel {
  public:
   explicit MemoryModel(std::size_t capacity) : capacity_(capacity) {}
 
-  void reserve(std::size_t bytes);
+  /// Account `bytes` of device memory.  `window`/`window_bytes` optionally
+  /// register the live host storage backing the allocation so an attached
+  /// FaultInjector can corrupt it (bit-flip faults); when `window` is
+  /// given with `window_bytes` 0, the window spans `bytes`.  The window is
+  /// used transiently during this call and never retained.
+  void reserve(std::size_t bytes, void* window = nullptr,
+               std::size_t window_bytes = 0);
   void release(std::size_t bytes) noexcept;
 
   std::size_t in_use() const { return in_use_; }
@@ -63,12 +69,16 @@ class MemoryModel {
   FaultInjector* fault_ = nullptr;
 };
 
-/// RAII accounting for one device allocation.
+/// RAII accounting for one device allocation.  The optional window
+/// registers the backing host storage with the fault injector (see
+/// MemoryModel::reserve); it is not stored, so moving the underlying
+/// vectors after construction is safe.
 class ScopedDeviceAlloc {
  public:
-  ScopedDeviceAlloc(MemoryModel& model, std::size_t bytes)
+  ScopedDeviceAlloc(MemoryModel& model, std::size_t bytes,
+                    void* window = nullptr, std::size_t window_bytes = 0)
       : model_(&model), bytes_(bytes) {
-    model_->reserve(bytes_);
+    model_->reserve(bytes_, window, window_bytes);
   }
   ~ScopedDeviceAlloc() {
     if (model_) model_->release(bytes_);

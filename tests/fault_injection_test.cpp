@@ -20,7 +20,9 @@
 #include "core/spadd.hpp"
 #include "core/spgemm.hpp"
 #include "core/spgemm_adaptive.hpp"
+#include "core/spgemm_batched.hpp"
 #include "core/spgemm_chunked.hpp"
+#include "core/spmm.hpp"
 #include "core/spmv.hpp"
 #include "sparse/compare.hpp"
 #include "sparse/convert.hpp"
@@ -283,6 +285,45 @@ TEST(FaultSweep, SpgemmChunked) {
   cfg.chunk_bytes = 64 * 1024;  // force several chunks
   sweep_alloc_failures(
       [&](vgpu::Device& dev) { core::merge::spgemm_chunked(dev, a, b, c, cfg); },
+      [&] {
+        c = CsrD(1, 1);
+        c.row_offsets = {0, 1};
+        c.col = {0};
+        c.val = {kSentinel};
+      },
+      [&] {
+        ASSERT_EQ(c.nnz(), 1);
+        ASSERT_EQ(c.val[0], kSentinel);
+      });
+}
+
+TEST(FaultSweep, Spmm) {
+  const CsrD a = medium_matrix(61);
+  const index_t nv = 4;
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols) * nv, 1.0);
+  std::vector<double> y;
+  sweep_alloc_failures(
+      [&](vgpu::Device& dev) {
+        core::merge::spmm(dev, a, x, nv, y);
+      },
+      [&] {
+        y.assign(static_cast<std::size_t>(a.num_rows) * nv, kSentinel);
+      },
+      [&] {
+        for (double v : y) ASSERT_EQ(v, kSentinel);
+      });
+}
+
+TEST(FaultSweep, SpgemmBatched) {
+  const CsrD a = medium_matrix(67);
+  const CsrD b = medium_matrix(71);
+  CsrD c;
+  sweep_alloc_failures(
+      [&](vgpu::Device& dev) {
+        // Small batch cap forces several batches plus combine passes, so
+        // the sweep covers the partial-output union machinery too.
+        core::merge::spgemm_batched(dev, a, b, c, /*max_products_per_batch=*/2000);
+      },
       [&] {
         c = CsrD(1, 1);
         c.row_offsets = {0, 1};

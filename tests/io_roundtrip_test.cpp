@@ -1,0 +1,137 @@
+// Matrix Market round-trip: write → read → bitwise compare.  The writer
+// uses enough digits that doubles survive the text round trip exactly, so
+// the comparison is memcmp-strict, not tolerance-based.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "sparse/convert.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/io.hpp"
+#include "test_matrices.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mps;
+using sparse::CooD;
+
+void expect_bitwise_equal(const CooD& got, const CooD& want) {
+  ASSERT_EQ(got.num_rows, want.num_rows);
+  ASSERT_EQ(got.num_cols, want.num_cols);
+  ASSERT_EQ(got.nnz(), want.nnz());
+  EXPECT_EQ(got.row, want.row);
+  EXPECT_EQ(got.col, want.col);
+  ASSERT_EQ(got.val.size(), want.val.size());
+  EXPECT_EQ(std::memcmp(got.val.data(), want.val.data(),
+                        want.val.size() * sizeof(double)),
+            0)
+      << "values drifted through the text round trip";
+}
+
+CooD roundtrip(const CooD& a, sparse::MmSymmetry symmetry) {
+  std::ostringstream out;
+  sparse::write_matrix_market(out, a, symmetry);
+  std::istringstream in(out.str());
+  return sparse::read_matrix_market(in);
+}
+
+TEST(MatrixMarketRoundTrip, GeneralBitwiseExact) {
+  util::Rng rng(21);
+  // Awkward values on purpose: denormal-ish magnitudes, negatives, and
+  // values with no short decimal representation.
+  CooD a = mps::testing::random_coo(rng, 37, 53, 400);
+  a.val[0] = 0.1;
+  a.val[1] = -1.0 / 3.0;
+  a.val[2] = 1e-300;
+  a.val[3] = -7.25e250;
+  const CooD back = roundtrip(a, sparse::MmSymmetry::kGeneral);
+  expect_bitwise_equal(back, a);
+}
+
+TEST(MatrixMarketRoundTrip, GeneralEmptyMatrix) {
+  const CooD a(5, 9);
+  const CooD back = roundtrip(a, sparse::MmSymmetry::kGeneral);
+  expect_bitwise_equal(back, a);
+}
+
+TEST(MatrixMarketRoundTrip, SymmetricExpandsToFullMatrix) {
+  // Build a genuinely symmetric matrix: S = L + L^T with a diagonal.
+  util::Rng rng(23);
+  CooD s(40, 40);
+  for (int i = 0; i < 150; ++i) {
+    const auto r = static_cast<index_t>(rng.uniform(40));
+    const auto c = static_cast<index_t>(rng.uniform(40));
+    const double v = rng.uniform_double(-2.0, 2.0);
+    s.push_back(r, c, v);
+    if (r != c) s.push_back(c, r, v);
+  }
+  s.canonicalize();
+
+  std::ostringstream out;
+  sparse::write_matrix_market(out, s, sparse::MmSymmetry::kSymmetric);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("coordinate real symmetric"), std::string::npos);
+
+  // The stored entry count is the lower triangle only — strictly less
+  // than nnz whenever off-diagonal entries exist (the 2x expansion case).
+  index_t lower = 0;
+  for (index_t i = 0; i < s.nnz(); ++i) {
+    if (s.row[static_cast<std::size_t>(i)] >= s.col[static_cast<std::size_t>(i)])
+      ++lower;
+  }
+  ASSERT_LT(lower, s.nnz()) << "test matrix has no off-diagonal entries";
+
+  std::istringstream in(text);
+  const CooD back = sparse::read_matrix_market(in);
+  expect_bitwise_equal(back, s);
+}
+
+TEST(MatrixMarketRoundTrip, SymmetricDiagonalOnlyDoesNotExpand) {
+  CooD d(6, 6);
+  for (index_t i = 0; i < 6; ++i) d.push_back(i, i, 1.5 * i + 0.1);
+  const CooD back = roundtrip(d, sparse::MmSymmetry::kSymmetric);
+  expect_bitwise_equal(back, d);
+}
+
+TEST(MatrixMarketRoundTrip, SymmetricWriteRejectsAsymmetricMatrix) {
+  CooD a(4, 4);
+  a.push_back(0, 1, 2.0);  // no (1, 0) mirror
+  EXPECT_THROW(
+      sparse::write_matrix_market_file("/dev/null", a,
+                                       sparse::MmSymmetry::kSymmetric),
+      InvalidInputError);
+
+  CooD b(4, 4);
+  b.push_back(0, 1, 2.0);
+  b.push_back(1, 0, std::nextafter(2.0, 3.0));  // mirror off by one ulp
+  EXPECT_THROW(
+      sparse::write_matrix_market_file("/dev/null", b,
+                                       sparse::MmSymmetry::kSymmetric),
+      InvalidInputError);
+}
+
+TEST(MatrixMarketRoundTrip, SymmetricWriteRejectsRectangular) {
+  const CooD a(3, 5);
+  std::ostringstream out;
+  EXPECT_THROW(sparse::write_matrix_market(out, a, sparse::MmSymmetry::kSymmetric),
+               InvalidInputError);
+}
+
+TEST(MatrixMarketRoundTrip, FileRoundTrip) {
+  util::Rng rng(29);
+  const CooD a = mps::testing::random_coo(rng, 25, 25, 120);
+  const std::string path = ::testing::TempDir() + "mps_io_roundtrip.mtx";
+  sparse::write_matrix_market_file(path, a);
+  const CooD back = sparse::read_matrix_market_file(path);
+  std::remove(path.c_str());
+  expect_bitwise_equal(back, a);
+}
+
+}  // namespace

@@ -194,6 +194,9 @@ TEST(MergeSpgemm, CostTracksProductsNotStructure) {
 
 TEST(AdaptiveSpgemm, PicksFlatForSparse) {
   vgpu::Device dev;
+  // The subject is the scheme heuristic; an ambient MPS_FAULT_* sweep
+  // would flip the reported reason to "oom-retry".
+  dev.fault_injector().disarm();
   util::Rng rng(71);
   const auto a = coo_to_csr(random_coo(rng, 1000, 1000, 10000));
   sparse::CsrD c;
@@ -206,6 +209,7 @@ TEST(AdaptiveSpgemm, PicksFlatForSparse) {
 
 TEST(AdaptiveSpgemm, PicksSegmentedForDense) {
   vgpu::Device dev;
+  dev.fault_injector().disarm();
   // A fully dense 64x64 block: products/row = 64*64 = num_cols * 64.
   sparse::CooD d(64, 64);
   util::Rng rng(73);
@@ -224,6 +228,7 @@ TEST(AdaptiveSpgemm, PicksSegmentedUnderMemoryPressure) {
   vgpu::DeviceProperties tiny = vgpu::gtx_titan();
   tiny.global_mem_bytes = 1 << 18;
   vgpu::Device dev(tiny);
+  dev.fault_injector().disarm();
   util::Rng rng(79);
   const auto a = coo_to_csr(random_coo(rng, 300, 300, 9000));
   sparse::CsrD c;

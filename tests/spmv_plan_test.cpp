@@ -208,7 +208,9 @@ TEST(SpmvPlan, StatsBreakdown) {
   EXPECT_DOUBLE_EQ(plan.plan_ms(), oneshot.plan_ms);
   const auto exec = spmv_execute(dev, a, x, y, plan);
   EXPECT_DOUBLE_EQ(exec.plan_ms, plan.plan_ms());
-  EXPECT_DOUBLE_EQ(exec.modeled_ms(), exec.reduce_ms + exec.update_ms);
+  // integrity_ms is 0 unless the suite runs under MPS_INTEGRITY_CHECK=1.
+  EXPECT_DOUBLE_EQ(exec.modeled_ms(),
+                   exec.reduce_ms + exec.update_ms + exec.integrity_ms);
   EXPECT_DOUBLE_EQ(exec.reduce_ms + exec.update_ms,
                    oneshot.reduce_ms + oneshot.update_ms);
 }
