@@ -32,8 +32,8 @@ int main() {
   analysis::print_system_config(vgpu::gtx_titan(), cfg);
 
   util::Table t("Plan-reuse SpMV: per-iteration modeled ms vs apply count");
-  t.set_header({"Matrix", "driver", "one-shot", "plan", "exec", "n=1", "n=10",
-                "n=100", "n=1000", "steady-state x"});
+  t.set_header({"Matrix", "driver", "one-shot", "plan", "plan KiB", "exec",
+                "n=1", "n=10", "n=100", "n=1000", "steady-state x"});
   for (const auto& it : workloads::iterative_suite(cfg.scale)) {
     const auto& a = it.entry.matrix;
     vgpu::Device dev;
@@ -68,9 +68,13 @@ int main() {
     const auto per_iter = [&](double n) {
       return (plan.plan_ms() + n * exec_ms) / n;
     };
+    // The heap bytes a cached plan keeps resident (what the serving
+    // engine's plan cache charges, docs/serving.md).
+    require(plan.bytes() > 0, "plan reports a zero heap footprint");
     std::vector<std::string> row{it.entry.name, it.driver,
                                  util::fmt(oneshot_ms, 4),
                                  util::fmt(plan.plan_ms(), 4),
+                                 util::fmt(static_cast<double>(plan.bytes()) / 1024.0, 2),
                                  util::fmt(exec_ms, 4)};
     for (const double n : {1.0, 10.0, 100.0, 1000.0})
       row.push_back(util::fmt(per_iter(n), 4));

@@ -36,6 +36,15 @@ mps_add_bench(ablation_formats)
 mps_add_bench(sensitivity)
 mps_add_bench(extended_suite)
 
+# Links the serving engine on top of the bench helpers, so it gets an
+# explicit target like the microbenches.
+add_executable(serve_throughput ${CMAKE_SOURCE_DIR}/bench/serve_throughput.cpp)
+target_link_libraries(serve_throughput PRIVATE
+  mps_serve mps_workloads mps_analysis mps_sparse mps_vgpu mps_util
+  mps_warnings)
+set_target_properties(serve_throughput PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
 add_executable(micro_primitives ${CMAKE_SOURCE_DIR}/bench/micro_primitives.cpp)
 target_link_libraries(micro_primitives PRIVATE
   mps_primitives mps_vgpu mps_util benchmark::benchmark mps_warnings)

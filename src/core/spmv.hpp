@@ -113,6 +113,15 @@ class SpmvPlan {
   double plan_ms() const { return partition_ms_ + compact_ms_; }
   /// sizeof the value type the plan was built for (4 or 8).
   std::size_t value_bytes() const { return value_bytes_; }
+  /// Exact heap footprint of the plan's arrays: the per-CTA partition
+  /// fences plus the empty-row compacted view.  This is what a cached
+  /// plan actually holds resident between executes — the serving engine's
+  /// plan cache (src/serve/plan_cache.hpp) charges entries by it.
+  std::size_t bytes() const {
+    return (s_bounds_.capacity() + compact_offsets_.capacity() +
+            compact_row_ids_.capacity()) *
+           sizeof(index_t);
+  }
   /// Accounted device footprint held until the plan is destroyed.
   std::size_t device_bytes() const {
     return device_mem_ ? device_mem_->bytes() : 0;

@@ -64,3 +64,8 @@
 #include "baselines/seq.hpp"         // IWYU pragma: export
 #include "workloads/generators.hpp"  // IWYU pragma: export
 #include "workloads/suite.hpp"       // IWYU pragma: export
+
+// Serving: concurrent batched sparse-op engine (docs/serving.md).
+#include "serve/engine.hpp"      // IWYU pragma: export
+#include "serve/plan_cache.hpp"  // IWYU pragma: export
+#include "serve/trace.hpp"       // IWYU pragma: export

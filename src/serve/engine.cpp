@@ -1,0 +1,642 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/spadd.hpp"
+#include "core/spgemm.hpp"
+#include "core/spmm.hpp"
+#include "util/env.hpp"
+
+namespace mps::serve {
+
+using clock = std::chrono::steady_clock;
+
+MatrixHandle pattern_fingerprint(const sparse::CsrD& a) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(a.num_rows)));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(a.num_cols)));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(a.nnz())));
+  for (const index_t v : a.row_offsets) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+  }
+  return h;
+}
+
+namespace {
+
+EngineConfig resolve_config(EngineConfig cfg) {
+  if (cfg.threads == 0) {
+    cfg.threads = static_cast<unsigned>(
+        std::max(1ll, util::env_int("MPS_SERVE_THREADS", 4)));
+  }
+  if (cfg.queue_capacity == 0) {
+    cfg.queue_capacity = static_cast<std::size_t>(
+        std::max(1ll, util::env_int("MPS_SERVE_QUEUE_CAP", 1024)));
+  }
+  if (cfg.batch_window == 0) {
+    cfg.batch_window = static_cast<int>(
+        std::max(1ll, util::env_int("MPS_SERVE_BATCH_WINDOW", 8)));
+  }
+  if (cfg.plan_cache_bytes == 0) {
+    cfg.plan_cache_bytes =
+        static_cast<std::size_t>(
+            std::max(1ll, util::env_int("MPS_SERVE_PLAN_CACHE_MB", 64))) *
+        (1u << 20);
+  }
+  return cfg;
+}
+
+}  // namespace
+
+EngineConfig EngineConfig::from_env() { return resolve_config(EngineConfig{}); }
+
+// ---------------------------------------------------------------------------
+// Request / batch plumbing
+
+struct Engine::Request {
+  enum class Kind { kSpmv, kSpadd, kSpgemm };
+  Kind kind = Kind::kSpmv;
+  MatrixHandle handle_a = 0;
+  std::shared_ptr<const sparse::CsrD> a;
+  std::shared_ptr<const sparse::CsrD> b;  // SpAdd/SpGEMM only
+  std::vector<double> x;                  // SpMV only
+  std::promise<SpmvResult> spmv_promise;
+  std::promise<MatrixResult> matrix_promise;
+  clock::time_point submitted;
+  std::optional<clock::time_point> expires;  ///< queue-wait deadline
+
+  bool expired(clock::time_point now) const { return expires && now >= *expires; }
+
+  void fail(std::exception_ptr e) {
+    // A request whose promise is already settled (e.g. a failure after a
+    // partial batch scatter) must not re-throw out of the worker.
+    try {
+      if (kind == Kind::kSpmv) {
+        spmv_promise.set_exception(std::move(e));
+      } else {
+        matrix_promise.set_exception(std::move(e));
+      }
+    } catch (const std::future_error&) {
+    }
+  }
+};
+
+/// One dispatch unit: either N coalesced SpMV requests against the same
+/// matrix, or a single SpAdd/SpGEMM request.
+struct Engine::Batch {
+  std::vector<std::unique_ptr<Request>> reqs;
+};
+
+/// RAII lease of one worker Device from the engine's fixed set.
+namespace {
+class DeviceLease {
+ public:
+  DeviceLease(std::mutex& mutex, std::condition_variable& cv,
+              std::vector<std::size_t>& free_list,
+              std::vector<std::unique_ptr<vgpu::Device>>& devices)
+      : mutex_(mutex), cv_(cv), free_list_(free_list) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !free_list_.empty(); });
+    index_ = free_list_.back();
+    free_list_.pop_back();
+    device_ = devices[index_].get();
+  }
+  ~DeviceLease() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      free_list_.push_back(index_);
+    }
+    cv_.notify_one();
+  }
+  vgpu::Device& device() { return *device_; }
+
+ private:
+  std::mutex& mutex_;
+  std::condition_variable& cv_;
+  std::vector<std::size_t>& free_list_;
+  std::size_t index_ = 0;
+  vgpu::Device* device_ = nullptr;
+};
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+Engine::Engine(EngineConfig cfg)
+    : cfg_(resolve_config(cfg)),
+      num_workers_(cfg_.threads),
+      plan_cache_(cfg_.plan_cache_bytes),
+      paused_(cfg_.start_paused),
+      batch_histogram_(static_cast<std::size_t>(cfg_.batch_window) + 1, 0),
+      // ThreadPool counts the constructing thread as a participant; the
+      // engine needs cfg_.threads *dedicated* workers for posted tasks.
+      pool_(num_workers_ + 1) {
+  devices_.reserve(num_workers_);
+  free_devices_.reserve(num_workers_);
+  for (unsigned i = 0; i < num_workers_; ++i) {
+    devices_.push_back(std::make_unique<vgpu::Device>());
+    free_devices_.push_back(i);
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+Engine::~Engine() { shutdown(ShutdownMode::kDrain); }
+
+void Engine::shutdown(ShutdownMode mode) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    accepting_ = false;
+    paused_ = false;  // drain mode must actually run what's queued
+    reject_pending_ = (mode == ShutdownMode::kReject);
+    stop_dispatcher_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  dispatcher_.join();
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  }
+  // Every task the dispatcher posted has settled; the pool drains
+  // nothing and joins its workers (tasks posted after this — there are
+  // none — would be rejected deterministically).
+  pool_.shutdown();
+}
+
+void Engine::pause() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    paused_ = true;
+  }
+  idle_cv_.notify_all();  // drain() waiters unblock on pause
+}
+
+void Engine::resume() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+void Engine::drain() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  idle_cv_.wait(lock, [&] {
+    return (queue_.empty() && in_flight_ == 0) || paused_;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Registration + admission
+
+MatrixHandle Engine::register_matrix(const sparse::CsrD& a) {
+  if (!a.is_valid()) {
+    throw InvalidInputError("register_matrix: structurally invalid CSR");
+  }
+  const MatrixHandle h = pattern_fingerprint(a);
+  auto copy = std::make_shared<const sparse::CsrD>(a);
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  registry_[h] = std::move(copy);  // same pattern => refreshed values
+  return h;
+}
+
+std::shared_ptr<const sparse::CsrD> Engine::lookup(MatrixHandle h) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  if (auto it = registry_.find(h); it != registry_.end()) return it->second;
+  throw InvalidInputError("serve: unknown matrix handle " + std::to_string(h));
+}
+
+/// Waits for queue space per `opts`/`blocking`; returns false when the
+/// request must be rejected (queue full).  Throws ShutdownError once
+/// admission is closed.  Called with queue_mutex_ held.
+bool Engine::admit_locked(std::unique_lock<std::mutex>& lock,
+                          const SubmitOptions& opts, bool blocking) {
+  const auto closed = [&] {
+    if (!accepting_) throw ShutdownError("serve: engine is shut down");
+  };
+  closed();
+  if (queue_.size() < cfg_.queue_capacity) return true;
+  if (!blocking || opts.admission_timeout.count() == 0) return false;
+  const bool bounded = opts.admission_timeout.count() > 0;
+  const auto deadline = clock::now() + opts.admission_timeout;
+  while (queue_.size() >= cfg_.queue_capacity) {
+    if (bounded) {
+      if (space_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+          queue_.size() >= cfg_.queue_capacity) {
+        return false;
+      }
+    } else {
+      space_cv_.wait(lock);
+    }
+    closed();
+  }
+  return true;
+}
+
+std::future<SpmvResult> Engine::admit_spmv(MatrixHandle h,
+                                           std::vector<double> x,
+                                           const SubmitOptions& opts,
+                                           bool blocking, bool* admitted) {
+  auto a = lookup(h);  // throws for unknown handles, before queueing
+  if (x.size() != static_cast<std::size_t>(a->num_cols)) {
+    throw InvalidInputError("serve: x has " + std::to_string(x.size()) +
+                            " entries, matrix has " +
+                            std::to_string(a->num_cols) + " columns");
+  }
+  auto req = std::make_unique<Request>();
+  req->kind = Request::Kind::kSpmv;
+  req->handle_a = h;
+  req->a = std::move(a);
+  req->x = std::move(x);
+  req->submitted = clock::now();
+  auto timeout = opts.request_timeout.count() != 0 ? opts.request_timeout
+                                                   : cfg_.default_timeout;
+  if (timeout.count() > 0) req->expires = req->submitted + timeout;
+  auto future = req->spmv_promise.get_future();
+
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (!admit_locked(lock, opts, blocking)) {
+      {
+        std::lock_guard<std::mutex> slock(stats_mutex_);
+        ++rejected_full_;
+      }
+      *admitted = false;
+      if (!blocking) return future;  // caller discards; nullopt instead
+      throw QueueFullError("serve: submission queue full (capacity " +
+                           std::to_string(cfg_.queue_capacity) + ")");
+    }
+    queue_.push_back(std::move(req));
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++accepted_;
+    peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
+  }
+  queue_cv_.notify_one();
+  *admitted = true;
+  return future;
+}
+
+std::future<SpmvResult> Engine::submit_spmv(MatrixHandle h,
+                                            std::vector<double> x,
+                                            const SubmitOptions& opts) {
+  bool admitted = false;
+  auto future = admit_spmv(h, std::move(x), opts, /*blocking=*/true, &admitted);
+  return future;  // !admitted cases threw
+}
+
+std::optional<std::future<SpmvResult>> Engine::try_submit_spmv(
+    MatrixHandle h, std::vector<double> x, const SubmitOptions& opts) {
+  bool admitted = false;
+  try {
+    auto future =
+        admit_spmv(h, std::move(x), opts, /*blocking=*/false, &admitted);
+    if (!admitted) return std::nullopt;
+    return future;
+  } catch (const ShutdownError&) {
+    return std::nullopt;
+  }
+}
+
+std::future<MatrixResult> Engine::admit_matrix_op(bool gemm, MatrixHandle a,
+                                                  MatrixHandle b,
+                                                  const SubmitOptions& opts) {
+  auto ma = lookup(a);
+  auto mb = lookup(b);
+  if (gemm) {
+    if (ma->num_cols != mb->num_rows) {
+      throw InvalidInputError("serve: spgemm operands are dimension-incompatible");
+    }
+  } else if (ma->num_rows != mb->num_rows || ma->num_cols != mb->num_cols) {
+    throw InvalidInputError("serve: spadd operands differ in shape");
+  }
+  auto req = std::make_unique<Request>();
+  req->kind = gemm ? Request::Kind::kSpgemm : Request::Kind::kSpadd;
+  req->handle_a = a;
+  req->a = std::move(ma);
+  req->b = std::move(mb);
+  req->submitted = clock::now();
+  auto timeout = opts.request_timeout.count() != 0 ? opts.request_timeout
+                                                   : cfg_.default_timeout;
+  if (timeout.count() > 0) req->expires = req->submitted + timeout;
+  auto future = req->matrix_promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (!admit_locked(lock, opts, /*blocking=*/true)) {
+      std::lock_guard<std::mutex> slock(stats_mutex_);
+      ++rejected_full_;
+      throw QueueFullError("serve: submission queue full (capacity " +
+                           std::to_string(cfg_.queue_capacity) + ")");
+    }
+    queue_.push_back(std::move(req));
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++accepted_;
+    peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+std::future<MatrixResult> Engine::submit_spadd(MatrixHandle a, MatrixHandle b,
+                                               const SubmitOptions& opts) {
+  return admit_matrix_op(/*gemm=*/false, a, b, opts);
+}
+
+std::future<MatrixResult> Engine::submit_spgemm(MatrixHandle a, MatrixHandle b,
+                                                const SubmitOptions& opts) {
+  return admit_matrix_op(/*gemm=*/true, a, b, opts);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+
+void Engine::dispatcher_loop() {
+  for (;;) {
+    std::vector<std::unique_ptr<Request>> rejected;
+    std::vector<std::unique_ptr<Request>> expired;
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] {
+        return stop_dispatcher_ || (!paused_ && !queue_.empty());
+      });
+      if (reject_pending_) {
+        for (auto& r : queue_) rejected.push_back(std::move(r));
+        queue_.clear();
+      } else if (!queue_.empty() && !paused_) {
+        const auto now = clock::now();
+        // Expired requests fail without running; pop them in arrival
+        // order until a live one heads the queue.
+        while (!queue_.empty() && queue_.front()->expired(now)) {
+          expired.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+        if (!queue_.empty()) {
+          batch = std::make_shared<Batch>();
+          batch->reqs.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+          Request& head = *batch->reqs.front();
+          if (head.kind == Request::Kind::kSpmv && cfg_.batch_window > 1) {
+            // Coalesce same-matrix SpMV requests from anywhere in the
+            // queue (multi-tenant traffic interleaves them), up to the
+            // window.  Relative order of everything left is preserved.
+            for (auto it = queue_.begin();
+                 it != queue_.end() &&
+                 batch->reqs.size() <
+                     static_cast<std::size_t>(cfg_.batch_window);) {
+              Request& r = **it;
+              if (r.kind == Request::Kind::kSpmv &&
+                  r.handle_a == head.handle_a && !r.expired(now)) {
+                batch->reqs.push_back(std::move(*it));
+                it = queue_.erase(it);
+              } else {
+                ++it;
+              }
+            }
+          }
+          in_flight_ += batch->reqs.size();
+        }
+      }
+      if (queue_.empty()) idle_cv_.notify_all();
+      if (stop_dispatcher_ && queue_.empty() && !batch && rejected.empty() &&
+          expired.empty()) {
+        break;
+      }
+    }
+    space_cv_.notify_all();  // queue shrank (or is being torn down)
+
+    const auto settle_shutdown = [&](std::vector<std::unique_ptr<Request>>& rs) {
+      for (auto& r : rs) {
+        r->fail(std::make_exception_ptr(
+            ShutdownError("serve: engine shut down before the request ran")));
+      }
+      std::lock_guard<std::mutex> slock(stats_mutex_);
+      rejected_shutdown_ += static_cast<long long>(rs.size());
+    };
+    if (!rejected.empty()) settle_shutdown(rejected);
+    for (auto& r : expired) {
+      r->fail(std::make_exception_ptr(RequestTimeoutError(
+          "serve: request timed out after waiting in the queue")));
+      std::lock_guard<std::mutex> slock(stats_mutex_);
+      ++timed_out_;
+    }
+    if (batch) dispatch_batch(std::move(batch));
+  }
+}
+
+void Engine::dispatch_batch(std::shared_ptr<Batch> batch) {
+  const std::size_t n = batch->reqs.size();
+  {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    if (n < batch_histogram_.size()) batch_histogram_[n] += 1;
+    if (n >= 2) ++batches_;
+    max_batch_ = std::max(max_batch_, static_cast<long long>(n));
+  }
+  const bool posted = pool_.try_post([this, batch] {
+    {
+      DeviceLease lease(devices_mutex_, devices_cv_, free_devices_, devices_);
+      execute_batch(*batch, lease.device());
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      in_flight_ -= batch->reqs.size();
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
+  });
+  if (!posted) {
+    // Unreachable in normal operation (the pool is shut down only after
+    // the dispatcher exits), but if it happens the requests are settled
+    // with a typed error, not dropped.
+    for (auto& r : batch->reqs) {
+      r->fail(std::make_exception_ptr(
+          ShutdownError("serve: worker pool rejected the dispatch")));
+    }
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    in_flight_ -= batch->reqs.size();
+    if (in_flight_ == 0) idle_cv_.notify_all();
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    rejected_shutdown_ += static_cast<long long>(batch->reqs.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+
+void Engine::settle_metrics(double latency_ms, bool ok) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (ok) {
+    ++completed_;
+    latencies_ms_.push_back(latency_ms);
+  } else {
+    ++failed_;
+  }
+}
+
+void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
+  Request& head = *batch.reqs.front();
+  if (head.kind != Request::Kind::kSpmv) {
+    execute_matrix_op(head, device);
+    return;
+  }
+  const sparse::CsrD& a = *head.a;
+  const std::size_t n = batch.reqs.size();
+  const auto rows = static_cast<std::size_t>(a.num_rows);
+  const auto cols = static_cast<std::size_t>(a.num_cols);
+
+  try {
+    if (n == 1) {
+      // Unbatched path: plan-cache hit amortizes the partition.
+      std::vector<double> y(rows);
+      double modeled = 0.0;
+      bool hit = false;
+      for (int attempt = 0;; ++attempt) {
+        try {
+          auto plan = plan_cache_.get_or_build(device, a, head.handle_a, &hit);
+          modeled =
+              core::merge::spmv_execute(device, a, head.x, y, *plan).modeled_ms();
+          break;
+        } catch (const IntegrityError&) {
+          if (attempt >= 1) throw;
+          plan_cache_.invalidate(head.handle_a);  // rebuild from clean state
+          std::lock_guard<std::mutex> slock(stats_mutex_);
+          ++retries_;
+        } catch (const vgpu::DeviceOomError&) {
+          if (attempt >= 1) throw;
+          std::lock_guard<std::mutex> slock(stats_mutex_);
+          ++retries_;
+        }
+      }
+      SpmvResult result;
+      result.y = std::move(y);
+      result.modeled_ms = modeled;
+      result.batch_size = 1;
+      result.plan_cache_hit = hit;
+      settle_metrics(
+          std::chrono::duration<double, std::milli>(clock::now() - head.submitted)
+              .count(),
+          true);
+      head.spmv_promise.set_value(std::move(result));
+      return;
+    }
+
+    // Batched path: interleave the n request vectors into a row-major
+    // X (cols x n) and run ONE spmm.  Column j of Y is bitwise-identical
+    // to spmv of request j: spmm shares spmv's tile geometry and
+    // accumulation order (tests/serve_test.cpp asserts it).
+    std::vector<double> x_block(cols * n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::vector<double>& x = batch.reqs[j]->x;
+      for (std::size_t c = 0; c < cols; ++c) x_block[c * n + j] = x[c];
+    }
+    std::vector<double> y_block(rows * n);
+    double modeled = 0.0;
+    for (int attempt = 0;; ++attempt) {
+      try {
+        modeled = core::merge::spmm(device, a, x_block,
+                                    static_cast<index_t>(n), y_block)
+                      .modeled_ms;
+        break;
+      } catch (const vgpu::DeviceOomError&) {
+        if (attempt >= 1) throw;
+        std::lock_guard<std::mutex> slock(stats_mutex_);
+        ++retries_;
+      } catch (const IntegrityError&) {
+        if (attempt >= 1) throw;
+        std::lock_guard<std::mutex> slock(stats_mutex_);
+        ++retries_;
+      }
+    }
+    const auto now = clock::now();
+    for (std::size_t j = 0; j < n; ++j) {
+      Request& r = *batch.reqs[j];
+      SpmvResult result;
+      result.y.resize(rows);
+      for (std::size_t i = 0; i < rows; ++i) result.y[i] = y_block[i * n + j];
+      result.modeled_ms = modeled / static_cast<double>(n);
+      result.batch_size = static_cast<int>(n);
+      settle_metrics(
+          std::chrono::duration<double, std::milli>(now - r.submitted).count(),
+          true);
+      r.spmv_promise.set_value(std::move(result));
+    }
+  } catch (...) {
+    auto error = std::current_exception();
+    for (auto& r : batch.reqs) {
+      settle_metrics(0.0, false);
+      r->fail(error);
+    }
+  }
+}
+
+void Engine::execute_matrix_op(Request& req, vgpu::Device& device) {
+  try {
+    MatrixResult result;
+    for (int attempt = 0;; ++attempt) {
+      try {
+        if (req.kind == Request::Kind::kSpadd) {
+          result.modeled_ms =
+              core::merge::spadd_csr(device, *req.a, *req.b, result.c).modeled_ms;
+        } else {
+          result.modeled_ms =
+              core::merge::spgemm(device, *req.a, *req.b, result.c).modeled_ms();
+        }
+        break;
+      } catch (const vgpu::DeviceOomError&) {
+        if (attempt >= 1) throw;
+        std::lock_guard<std::mutex> slock(stats_mutex_);
+        ++retries_;
+      } catch (const IntegrityError&) {
+        if (attempt >= 1) throw;
+        std::lock_guard<std::mutex> slock(stats_mutex_);
+        ++retries_;
+      }
+    }
+    settle_metrics(
+        std::chrono::duration<double, std::milli>(clock::now() - req.submitted)
+            .count(),
+        true);
+    req.matrix_promise.set_value(std::move(result));
+  } catch (...) {
+    settle_metrics(0.0, false);
+    req.fail(std::current_exception());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    s.queue_depth = queue_.size();
+  }
+  s.queue_capacity = cfg_.queue_capacity;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    s.peak_queue_depth = peak_queue_depth_;
+    s.accepted = accepted_;
+    s.rejected_full = rejected_full_;
+    s.timed_out = timed_out_;
+    s.rejected_shutdown = rejected_shutdown_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.retries = retries_;
+    s.batches = batches_;
+    s.max_batch = max_batch_;
+    s.batch_histogram = batch_histogram_;
+    s.latency_ms = util::summarize(latencies_ms_);
+    s.latency_p50_ms = util::percentile(latencies_ms_, 50.0);
+    s.latency_p99_ms = util::percentile(latencies_ms_, 99.0);
+  }
+  s.plan_cache = plan_cache_.stats();
+  return s;
+}
+
+}  // namespace mps::serve

@@ -1,0 +1,286 @@
+#pragma once
+// mps::serve::Engine — concurrent batched sparse-op serving
+// (docs/serving.md).
+//
+// The library's kernels are one-shot: you hold a matrix, you call spmv.
+// A service sees the transpose of that — a stream of independent
+// requests, many of them hitting the same few matrices.  The engine
+// turns the stream back into the shapes the kernels are fastest at:
+//
+//   * plan reuse across requests — registered matrices are keyed by
+//     their pattern fingerprint; a capacity-bounded LRU PlanCache
+//     (plan_cache.hpp) means repeated SpMV against a matrix never
+//     re-runs the merge-path partition, no matter which client sent it;
+//   * request coalescing — the dispatcher drains the submission queue
+//     and merges up to `batch_window` pending SpMV requests against the
+//     same matrix into ONE spmm call (the row-split/SpMM switch of
+//     Yang/Buluç/Owens, PAPERS.md), scattering per-column results back
+//     to each request's future.  Batched answers are bitwise-identical
+//     to one-at-a-time execution (tests/serve_test.cpp): spmm uses the
+//     same tile geometry and accumulation order as spmv, so column j of
+//     the batch reproduces request j's sum exactly;
+//   * admission control — the submission queue is bounded.  try_submit_*
+//     rejects instead of blocking; submit_* blocks for queue space up to
+//     an admission deadline (then throws QueueFullError).  Queued
+//     requests carry an optional per-request timeout: a request that
+//     expires before dispatch fails its future with RequestTimeoutError
+//     without running;
+//   * fault handling — execution failures propagate through the future
+//     as typed mps::Error.  IntegrityError and DeviceOomError get one
+//     transparent retry (invalidating the cached plan first for
+//     integrity failures), mirroring spgemm_adaptive's oom-retry tier;
+//   * graceful shutdown — shutdown(kDrain) completes everything already
+//     admitted; shutdown(kReject) fails queued-but-unstarted requests
+//     with ShutdownError.  Either way every admitted request's future is
+//     settled — value or typed error, never abandoned.
+//
+// Execution runs on a private vgpu::ThreadPool (task mode, try_post)
+// with one virtual Device per worker; the dispatcher is a dedicated
+// thread.  Results are deterministic per request regardless of thread
+// count, batching, or arrival order, because each request's arithmetic
+// is fixed by the kernel geometry — the differential tests assert
+// bitwise equality against direct kernel calls under every regime.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/plan_cache.hpp"
+#include "sparse/csr.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/thread_pool.hpp"
+
+namespace mps::serve {
+
+// Serving-layer members of the mps::Error taxonomy (util/error.hpp;
+// they live here the way DeviceOomError lives in vgpu/memory_model.hpp).
+
+/// Admission failed: the bounded submission queue stayed full past the
+/// submit call's admission deadline.
+class QueueFullError : public Error {
+ public:
+  explicit QueueFullError(const std::string& what) : Error(what) {}
+};
+
+/// The request's per-request timeout elapsed while it waited in the
+/// queue; it was never executed.
+class RequestTimeoutError : public Error {
+ public:
+  explicit RequestTimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// The engine shut down (reject mode) before the request ran.
+class ShutdownError : public Error {
+ public:
+  explicit ShutdownError(const std::string& what) : Error(what) {}
+};
+
+/// Engine knobs.  Zero-valued fields resolve from the environment
+/// (docs/serving.md):
+///   MPS_SERVE_THREADS       — worker threads (default 4)
+///   MPS_SERVE_QUEUE_CAP     — submission-queue capacity (default 1024)
+///   MPS_SERVE_BATCH_WINDOW  — max same-matrix SpMV requests coalesced
+///                             into one spmm dispatch (default 8;
+///                             1 disables batching)
+///   MPS_SERVE_PLAN_CACHE_MB — plan-cache capacity in MiB (default 64)
+struct EngineConfig {
+  unsigned threads = 0;
+  std::size_t queue_capacity = 0;
+  int batch_window = 0;
+  std::size_t plan_cache_bytes = 0;
+  /// Default per-request queue-wait timeout; <= 0 means no timeout.
+  std::chrono::milliseconds default_timeout{0};
+  /// Construct with the dispatcher paused (tests build deterministic
+  /// queue states, then resume()).
+  bool start_paused = false;
+
+  /// Fill zero-valued fields from the environment knobs above.
+  static EngineConfig from_env();
+};
+
+/// Handle to a registered matrix: the dims/nnz/row-offset-checksum
+/// pattern fingerprint.  Registering a matrix whose pattern matches an
+/// existing registration returns the same handle (and refreshes the
+/// stored values); cached plans stay valid because they depend only on
+/// the pattern.
+using MatrixHandle = std::uint64_t;
+
+struct SpmvResult {
+  std::vector<double> y;
+  double modeled_ms = 0.0;  ///< this request's share of kernel time
+  int batch_size = 1;       ///< requests coalesced into the dispatch
+  bool plan_cache_hit = false;
+};
+
+struct MatrixResult {
+  sparse::CsrD c;
+  double modeled_ms = 0.0;
+};
+
+/// Options for one submission.
+struct SubmitOptions {
+  /// How long submit_* may block waiting for queue space; <0 blocks
+  /// indefinitely, 0 makes submit behave like try_submit.
+  std::chrono::milliseconds admission_timeout{-1};
+  /// Queue-wait budget for the request itself; 0 inherits the engine
+  /// default, <0 disables.
+  std::chrono::milliseconds request_timeout{0};
+};
+
+/// Point-in-time engine statistics (stats()).
+struct EngineStats {
+  std::size_t queue_depth = 0;
+  std::size_t peak_queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  long long accepted = 0;
+  long long rejected_full = 0;     ///< try_submit refusals + admission timeouts
+  long long timed_out = 0;         ///< expired in queue (RequestTimeoutError)
+  long long rejected_shutdown = 0; ///< failed with ShutdownError
+  long long completed = 0;
+  long long failed = 0;            ///< settled with a non-timeout error
+  long long retries = 0;           ///< transparent IntegrityError/OOM retries
+  long long batches = 0;           ///< spmm dispatches with >= 2 requests
+  long long max_batch = 0;
+  /// batch_histogram[k] = dispatches that coalesced exactly k requests
+  /// (index 0 unused).
+  std::vector<long long> batch_histogram;
+  util::Summary latency_ms;  ///< submit -> future-settled wall latency
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  PlanCache::Stats plan_cache;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig cfg = EngineConfig::from_env());
+  /// Drains (kDrain) and stops.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Register a matrix for serving; see MatrixHandle for keying rules.
+  /// The matrix is copied into the engine (requests may outlive the
+  /// caller's storage).
+  MatrixHandle register_matrix(const sparse::CsrD& a);
+
+  /// y = A x.  Blocks for queue space up to opts.admission_timeout, then
+  /// throws QueueFullError; throws ShutdownError synchronously once
+  /// shutdown began; throws InvalidInputError for an unknown handle or
+  /// mis-sized x.  All execution outcomes arrive through the future.
+  std::future<SpmvResult> submit_spmv(MatrixHandle h, std::vector<double> x,
+                                      const SubmitOptions& opts = {});
+  /// Non-blocking admission: nullopt when the queue is full or the
+  /// engine is shutting down.
+  std::optional<std::future<SpmvResult>> try_submit_spmv(
+      MatrixHandle h, std::vector<double> x, const SubmitOptions& opts = {});
+
+  /// C = A + B (csrgeam pattern-union semantics).
+  std::future<MatrixResult> submit_spadd(MatrixHandle a, MatrixHandle b,
+                                         const SubmitOptions& opts = {});
+  /// C = A x B.
+  std::future<MatrixResult> submit_spgemm(MatrixHandle a, MatrixHandle b,
+                                          const SubmitOptions& opts = {});
+
+  /// Block until the queue is empty and no request is executing.
+  void drain();
+
+  enum class ShutdownMode {
+    kDrain,   ///< run everything already admitted, then stop
+    kReject,  ///< fail queued-but-unstarted requests with ShutdownError
+  };
+  /// Stop admission, settle every admitted request per `mode`, stop the
+  /// workers.  Idempotent; later submits throw ShutdownError.
+  void shutdown(ShutdownMode mode = ShutdownMode::kDrain);
+
+  /// Test/ops hook: freeze and unfreeze dispatch (admission continues).
+  void pause();
+  void resume();
+
+  EngineStats stats() const;
+  unsigned num_workers() const { return num_workers_; }
+
+ private:
+  struct Request;
+  struct Batch;
+
+  void dispatcher_loop();
+  void dispatch_batch(std::shared_ptr<Batch> batch);
+  void execute_batch(Batch& batch, vgpu::Device& device);
+  void execute_matrix_op(Request& req, vgpu::Device& device);
+  void settle_metrics(double latency_ms, bool ok);
+  std::future<SpmvResult> admit_spmv(MatrixHandle h, std::vector<double> x,
+                                     const SubmitOptions& opts, bool blocking,
+                                     bool* admitted);
+  std::future<MatrixResult> admit_matrix_op(bool gemm, MatrixHandle a,
+                                            MatrixHandle b,
+                                            const SubmitOptions& opts);
+  bool admit_locked(std::unique_lock<std::mutex>& lock,
+                    const SubmitOptions& opts, bool blocking);
+
+  std::shared_ptr<const sparse::CsrD> lookup(MatrixHandle h) const;
+
+  EngineConfig cfg_;
+  unsigned num_workers_ = 0;
+
+  // Devices outlive the plan cache (declared first => destroyed last):
+  // evicted plans release their accounted device memory on destruction.
+  std::vector<std::unique_ptr<vgpu::Device>> devices_;
+  std::mutex devices_mutex_;
+  std::condition_variable devices_cv_;
+  std::vector<std::size_t> free_devices_;
+
+  PlanCache plan_cache_;
+
+  mutable std::mutex registry_mutex_;
+  std::unordered_map<MatrixHandle, std::shared_ptr<const sparse::CsrD>>
+      registry_;
+
+  // Submission queue + dispatcher state.
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;   ///< dispatcher: work available
+  std::condition_variable space_cv_;   ///< submitters: space available
+  std::condition_variable idle_cv_;    ///< drain(): queue empty + idle
+  std::deque<std::unique_ptr<Request>> queue_;
+  std::size_t in_flight_ = 0;  ///< dispatched but not yet settled
+  bool accepting_ = true;
+  bool paused_ = false;
+  bool reject_pending_ = false;  ///< shutdown(kReject): fail, don't run
+  bool stop_dispatcher_ = false;
+  bool shut_down_ = false;
+
+  // Metrics (guarded by stats_mutex_).
+  mutable std::mutex stats_mutex_;
+  std::size_t peak_queue_depth_ = 0;
+  long long accepted_ = 0;
+  long long rejected_full_ = 0;
+  long long timed_out_ = 0;
+  long long rejected_shutdown_ = 0;
+  long long completed_ = 0;
+  long long failed_ = 0;
+  long long retries_ = 0;
+  long long batches_ = 0;
+  long long max_batch_ = 0;
+  std::vector<long long> batch_histogram_;
+  std::vector<double> latencies_ms_;
+
+  vgpu::ThreadPool pool_;
+  std::thread dispatcher_;
+};
+
+/// The pattern fingerprint used for MatrixHandle keys: FNV-1a over the
+/// row offsets mixed with dims and nnz (the same guard quantity
+/// SpmvPlan's execute-side check uses).
+MatrixHandle pattern_fingerprint(const sparse::CsrD& a);
+
+}  // namespace mps::serve

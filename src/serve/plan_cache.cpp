@@ -1,0 +1,66 @@
+#include "serve/plan_cache.hpp"
+
+namespace mps::serve {
+
+std::shared_ptr<const core::merge::SpmvPlan> PlanCache::get_or_build(
+    vgpu::Device& device, const sparse::CsrD& a, std::uint64_t key,
+    bool* was_hit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (was_hit) *was_hit = false;
+  if (auto it = index_.find(key); it != index_.end()) {
+    ++hits_;
+    if (was_hit) *was_hit = true;
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch
+    return it->second->plan;
+  }
+  ++misses_;
+  auto plan = std::make_shared<const core::merge::SpmvPlan>(
+      core::merge::spmv_plan(device, a));
+  const std::size_t bytes = plan->bytes();
+  if (bytes > capacity_bytes_) {
+    ++oversize_;  // serve it, but never resident
+    return plan;
+  }
+  while (bytes_in_use_ + bytes > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_in_use_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{key, plan, bytes});
+  index_[key] = lru_.begin();
+  bytes_in_use_ += bytes;
+  return plan;
+}
+
+void PlanCache::invalidate(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = index_.find(key); it != index_.end()) {
+    bytes_in_use_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_in_use_ = 0;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.oversize = oversize_;
+  s.entries = index_.size();
+  s.bytes_in_use = bytes_in_use_;
+  s.capacity_bytes = capacity_bytes_;
+  return s;
+}
+
+}  // namespace mps::serve

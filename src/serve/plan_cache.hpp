@@ -1,0 +1,88 @@
+#pragma once
+// Capacity-bounded LRU cache of SpmvPlans keyed by matrix pattern
+// fingerprint (docs/serving.md).
+//
+// The serving engine amortizes merge-path partitioning across
+// *independent* requests the same way SpmvPlan amortizes it across the
+// iterations of one solver (the MERBIT setting, PAPERS.md): the first
+// SpMV against a registered matrix builds the plan, every later request
+// — from any client, on any worker — reuses it.  Entries charge their
+// real heap footprint (SpmvPlan::bytes()) against a byte capacity;
+// insertion evicts least-recently-used entries until the new plan fits.
+//
+// Concurrency: lookups hand out shared_ptr<const SpmvPlan>, so an
+// evicted plan stays alive until the last in-flight execute drops it
+// (spmv_execute only reads plan state — concurrent executes of one plan
+// are safe, tests/serve_test.cpp proves bitwise identity under N
+// threads).  get_or_build serializes on the cache mutex, which doubles
+// as single-flight control: concurrent misses on one key build the plan
+// once, not N times.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/spmv.hpp"
+#include "sparse/csr.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps::serve {
+
+class PlanCache {
+ public:
+  /// `capacity_bytes` bounds the summed SpmvPlan::bytes() of resident
+  /// entries.  A single plan larger than the whole capacity is built but
+  /// not cached (counted as an oversize miss).
+  explicit PlanCache(std::size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// The plan for `key`, building it from `a` on `device` on a miss.
+  /// The key must uniquely identify A's sparsity pattern (the engine
+  /// uses the dims/nnz/row-offset-checksum fingerprint).  `was_hit`
+  /// (optional) reports whether this call was served from cache.
+  std::shared_ptr<const core::merge::SpmvPlan> get_or_build(
+      vgpu::Device& device, const sparse::CsrD& a, std::uint64_t key,
+      bool* was_hit = nullptr);
+
+  /// Drop the entry for `key` if resident (the engine invalidates a plan
+  /// whose integrity checksum failed before rebuilding it).
+  void invalidate(std::uint64_t key);
+
+  /// Drop every entry (shutdown path; in-flight executes keep their
+  /// shared_ptrs alive until they finish).
+  void clear();
+
+  struct Stats {
+    long long hits = 0;
+    long long misses = 0;      ///< builds, including oversize ones
+    long long evictions = 0;   ///< entries displaced by capacity pressure
+    long long oversize = 0;    ///< plans too large to cache at all
+    std::size_t entries = 0;
+    std::size_t bytes_in_use = 0;
+    std::size_t capacity_bytes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const core::merge::SpmvPlan> plan;
+    std::size_t bytes = 0;
+  };
+
+  // Doubly-linked LRU list, most-recent at the front; the map points at
+  // list nodes.  All state guarded by mutex_.
+  mutable std::mutex mutex_;
+  std::size_t capacity_bytes_;
+  std::size_t bytes_in_use_ = 0;
+  std::list<Entry> lru_;
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  long long hits_ = 0;
+  long long misses_ = 0;
+  long long evictions_ = 0;
+  long long oversize_ = 0;
+};
+
+}  // namespace mps::serve

@@ -1,0 +1,36 @@
+#include "serve/trace.hpp"
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace mps::serve {
+
+std::vector<TraceOp> synthetic_trace(const TraceConfig& cfg,
+                                     std::size_t num_matrices) {
+  MPS_CHECK(num_matrices >= 1);
+  util::Rng rng(cfg.seed);
+  std::vector<TraceOp> ops;
+  ops.reserve(cfg.requests);
+  for (std::size_t i = 0; i < cfg.requests; ++i) {
+    TraceOp op;
+    // Zipf rank 1..num_matrices -> matrix index, so matrix 0 is hottest.
+    op.matrix = static_cast<std::size_t>(rng.zipf(num_matrices, cfg.zipf_s)) - 1;
+    const auto pick = static_cast<int>(rng.uniform(100));
+    if (pick < cfg.spgemm_percent) {
+      op.kind = OpKind::kSpgemm;
+    } else if (pick < cfg.spgemm_percent + cfg.spadd_percent) {
+      op.kind = OpKind::kSpadd;
+    } else {
+      op.kind = OpKind::kSpmv;
+    }
+    // SpAdd/SpGEMM pair the tenant's matrix with itself: the registered
+    // suite has heterogeneous dims, and self-pairing keeps every op
+    // dimension-compatible.
+    op.matrix_b = op.matrix;
+    op.x_seed = rng.next_u64();
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+}  // namespace mps::serve

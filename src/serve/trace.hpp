@@ -1,0 +1,40 @@
+#pragma once
+// Synthetic multi-tenant request traces for the serving engine
+// (tools/mps_serve, bench/serve_throughput).
+//
+// Models the traffic shape a production sparse-op service sees: many
+// tenants, each pinned to one registered matrix, with Zipf-skewed
+// popularity (a few hot tenants dominate — exactly the regime where the
+// plan cache and SpMV-batching pay off) and a configurable op mix that
+// is mostly SpMV with occasional SpAdd/SpGEMM heavies.  Fully
+// deterministic from the seed.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mps::serve {
+
+enum class OpKind { kSpmv, kSpadd, kSpgemm };
+
+struct TraceOp {
+  OpKind kind = OpKind::kSpmv;
+  std::size_t matrix = 0;    ///< index into the caller's registered set
+  std::size_t matrix_b = 0;  ///< second operand (SpAdd/SpGEMM)
+  std::uint64_t x_seed = 0;  ///< per-request input-vector seed (SpMV)
+};
+
+struct TraceConfig {
+  std::size_t requests = 1000;
+  double zipf_s = 1.1;       ///< tenant-popularity skew (1 = mild, 2 = heavy)
+  int spadd_percent = 4;     ///< % of requests that are SpAdd
+  int spgemm_percent = 1;    ///< % of requests that are SpGEMM
+  std::uint64_t seed = 42;
+};
+
+/// `num_matrices` is the size of the registered-matrix set the trace
+/// indexes into (must be >= 1).
+std::vector<TraceOp> synthetic_trace(const TraceConfig& cfg,
+                                     std::size_t num_matrices);
+
+}  // namespace mps::serve

@@ -17,6 +17,14 @@
 //                           2: additionally reject non-finite values
 //   MPS_INTEGRITY_CHECK   — 1: buffer checksums + kernel postcondition
 //                           guards (IntegrityError on violation)
+//
+// Serving knobs (docs/serving.md; read by serve::EngineConfig::from_env
+// for any field left zero):
+//   MPS_SERVE_THREADS       — engine worker threads (default 4)
+//   MPS_SERVE_QUEUE_CAP     — submission-queue capacity (default 1024)
+//   MPS_SERVE_BATCH_WINDOW  — max same-matrix SpMV requests coalesced
+//                             into one spmm dispatch (default 8)
+//   MPS_SERVE_PLAN_CACHE_MB — plan-cache capacity in MiB (default 64)
 
 #include <string>
 

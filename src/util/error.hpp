@@ -20,8 +20,12 @@
 //   │                       broken structure in a kernel's output, or a
 //   │                       plan whose internal state no longer matches
 //   │                       its build-time checksum (resilience/)
-//   └─ vgpu::DeviceOomError (memory_model.hpp) — device capacity
-//                           exhausted, real or fault-injected
+//   ├─ vgpu::DeviceOomError (memory_model.hpp) — device capacity
+//   │                       exhausted, real or fault-injected
+//   └─ serving errors (serve/engine.hpp) — admission and lifecycle
+//      ├─ serve::QueueFullError      — bounded queue full past deadline
+//      ├─ serve::RequestTimeoutError — request expired before dispatch
+//      └─ serve::ShutdownError       — engine stopped before the request ran
 //
 // Exception-safety contract: any kernel that throws one of these leaves
 // device accounting back where it started (MemoryModel::in_use()

@@ -55,6 +55,18 @@ LinearFit least_squares(std::span<const double> xs, std::span<const double> ys) 
   return fit;
 }
 
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  p = std::min(100.0, std::max(0.0, p));
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
 Summary summarize(std::span<const double> xs) {
   Summary s;
   s.n = xs.size();

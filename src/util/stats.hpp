@@ -38,4 +38,9 @@ struct Summary {
 
 Summary summarize(std::span<const double> xs);
 
+/// Linear-interpolated percentile of a sample; `p` in [0, 100].  Returns
+/// 0 for an empty sample.  Used by the serving engine's latency snapshot
+/// (p50/p99) and bench/serve_throughput.
+double percentile(std::span<const double> xs, double p);
+
 }  // namespace mps::util

@@ -6,6 +6,7 @@ namespace mps::vgpu {
 
 void MemoryModel::reserve(std::size_t bytes, void* window,
                           std::size_t window_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (window != nullptr && window_bytes == 0) window_bytes = bytes;
   if (fault_ && fault_->on_reserve(bytes, window, window_bytes)) {
     throw DeviceOomError(bytes, in_use_, capacity_, /*injected=*/true);
@@ -16,6 +17,7 @@ void MemoryModel::reserve(std::size_t bytes, void* window,
 }
 
 void MemoryModel::release(std::size_t bytes) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
   in_use_ = bytes > in_use_ ? 0 : in_use_ - bytes;
 }
 

@@ -11,6 +11,7 @@
 // exception-safety sweep and the MPS_FAULT_* environment knobs.
 
 #include <cstddef>
+#include <mutex>
 #include <string>
 
 #include "util/error.hpp"
@@ -43,19 +44,53 @@ class MemoryModel {
  public:
   explicit MemoryModel(std::size_t capacity) : capacity_(capacity) {}
 
+  /// Movable so Device stays movable; the internal mutex is not moved
+  /// (moving a model that other threads are concurrently using is a
+  /// caller bug, as for any standard container).
+  MemoryModel(MemoryModel&& o) noexcept
+      : capacity_(o.capacity_),
+        in_use_(o.in_use_),
+        peak_(o.peak_),
+        fault_(o.fault_) {}
+  MemoryModel& operator=(MemoryModel&& o) noexcept {
+    if (this != &o) {
+      capacity_ = o.capacity_;
+      in_use_ = o.in_use_;
+      peak_ = o.peak_;
+      fault_ = o.fault_;
+    }
+    return *this;
+  }
+  MemoryModel(const MemoryModel&) = delete;
+  MemoryModel& operator=(const MemoryModel&) = delete;
+
   /// Account `bytes` of device memory.  `window`/`window_bytes` optionally
   /// register the live host storage backing the allocation so an attached
   /// FaultInjector can corrupt it (bit-flip faults); when `window` is
   /// given with `window_bytes` 0, the window spans `bytes`.  The window is
   /// used transiently during this call and never retained.
+  ///
+  /// reserve/release are internally synchronized: the serving engine
+  /// (src/serve) destroys cached plans — and with them their
+  /// ScopedDeviceAllocs — from whichever worker drops the last reference,
+  /// concurrently with allocations on the owning device.
   void reserve(std::size_t bytes, void* window = nullptr,
                std::size_t window_bytes = 0);
   void release(std::size_t bytes) noexcept;
 
-  std::size_t in_use() const { return in_use_; }
-  std::size_t peak() const { return peak_; }
+  std::size_t in_use() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return in_use_;
+  }
+  std::size_t peak() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_;
+  }
   std::size_t capacity() const { return capacity_; }
-  void reset_peak() { peak_ = in_use_; }
+  void reset_peak() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    peak_ = in_use_;
+  }
 
   /// Attach a fault injector (non-owning; nullptr detaches).  Every
   /// subsequent reserve() is reported to it and may be forced to fail.
@@ -63,6 +98,7 @@ class MemoryModel {
   FaultInjector* fault_injector() const { return fault_; }
 
  private:
+  mutable std::mutex mutex_;
   std::size_t capacity_;
   std::size_t in_use_ = 0;
   std::size_t peak_ = 0;

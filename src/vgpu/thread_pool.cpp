@@ -1,6 +1,7 @@
 #include "vgpu/thread_pool.hpp"
 
 #include <cstdint>
+#include <utility>
 
 #include "util/env.hpp"
 
@@ -15,13 +16,35 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    closing_ = true;  // admission closed: try_post now returns false
+    // Drain: every task accepted before admission closed still runs.
+    done_cv_.wait(lock, [&] { return tasks_.empty() && tasks_running_ == 0; });
     stop_ = true;
+    to_join.swap(workers_);  // parallel_for falls back to inline from here
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : to_join) w.join();
+}
+
+bool ThreadPool::try_post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closing_) return false;
+    if (!workers_.empty()) {
+      tasks_.push_back(std::move(task));
+      cv_.notify_one();
+      return true;
+    }
+  }
+  // No spawned workers: the posting thread is the executor.
+  task();
+  return true;
 }
 
 void ThreadPool::run_job(Job& job) {
@@ -43,27 +66,56 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
     Job* job = nullptr;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return stop_ || (current_ && generation_ != seen); });
-      if (stop_) return;
-      seen = generation_;
-      job = current_;
-      job->in_flight += 1;
+      cv_.wait(lock, [&] {
+        return stop_ || !tasks_.empty() || (current_ && generation_ != seen);
+      });
+      if (current_ && generation_ != seen) {
+        seen = generation_;
+        job = current_;
+        job->in_flight += 1;
+      } else if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+        tasks_running_ += 1;
+      } else if (stop_) {
+        return;
+      } else {
+        continue;
+      }
     }
-    run_job(*job);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      job->in_flight -= 1;
+    if (job) {
+      run_job(*job);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job->in_flight -= 1;
+      }
+      done_cv_.notify_all();
+    } else {
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_running_ -= 1;
+      }
+      done_cv_.notify_all();
     }
-    done_cv_.notify_all();
   }
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
-  if (workers_.empty() || n == 1) {
+  bool inline_run;
+  {
+    // workers_ is mutated under mutex_ (shutdown swaps it out), so the
+    // emptiness check must hold the lock.  Inline covers single-iteration
+    // launches, zero-worker pools, and pools already shut down.
+    std::lock_guard<std::mutex> lock(mutex_);
+    inline_run = workers_.empty() || n == 1;
+  }
+  if (inline_run) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }

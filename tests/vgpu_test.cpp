@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "vgpu/cpu_model.hpp"
@@ -46,6 +49,77 @@ TEST(ThreadPool, ReusableAcrossJobs) {
     pool.parallel_for(257, [&](std::size_t i) { sum += static_cast<long long>(i); });
     EXPECT_EQ(sum.load(), 257LL * 256 / 2);
   }
+}
+
+TEST(ThreadPool, TryPostRunsTask) {
+  ThreadPool pool(4);
+  std::promise<int> done;
+  ASSERT_TRUE(pool.try_post([&] { done.set_value(42); }));
+  EXPECT_EQ(done.get_future().get(), 42);
+}
+
+TEST(ThreadPool, TryPostInlineWithoutWorkers) {
+  ThreadPool pool(1);  // the caller is the only participant
+  bool ran = false;
+  ASSERT_TRUE(pool.try_post([&] { ran = true; }));
+  EXPECT_TRUE(ran);  // ran inline, before try_post returned
+}
+
+TEST(ThreadPool, ShutdownDrainsAcceptedTasksThenRejects) {
+  // The ordering contract: every task accepted before shutdown() runs to
+  // completion; every try_post after shutdown() began is rejected
+  // deterministically.  Nothing is dropped.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 64;
+  int accepted = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    if (pool.try_post([&] {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          ran.fetch_add(1);
+        })) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, kTasks);
+  EXPECT_FALSE(pool.stopping());
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), kTasks);  // drained, not dropped
+  EXPECT_TRUE(pool.stopping());
+  EXPECT_FALSE(pool.try_post([&] { ran.fetch_add(1); }));
+  EXPECT_EQ(ran.load(), kTasks);  // the rejected task never ran
+  pool.shutdown();                // idempotent
+}
+
+TEST(ThreadPool, PostsRacingShutdownAreRunOrRejectedNeverDropped) {
+  // Hammer try_post from several threads while shutdown runs: each post
+  // either returns true (and the task runs) or false (and it does not).
+  for (int rep = 0; rep < 10; ++rep) {
+    ThreadPool pool(4);
+    std::atomic<int> accepted{0}, ran{0};
+    std::vector<std::thread> posters;
+    std::atomic<bool> go{false};
+    for (int t = 0; t < 4; ++t) {
+      posters.emplace_back([&] {
+        while (!go.load()) std::this_thread::yield();
+        for (int i = 0; i < 50; ++i) {
+          if (pool.try_post([&] { ran.fetch_add(1); })) accepted.fetch_add(1);
+        }
+      });
+    }
+    go.store(true);
+    pool.shutdown();
+    for (auto& p : posters) p.join();
+    EXPECT_EQ(ran.load(), accepted.load()) << "rep " << rep;
+  }
+}
+
+TEST(ThreadPool, ParallelForAfterShutdownRunsInline) {
+  ThreadPool pool(4);
+  pool.shutdown();
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i] += 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
 }
 
 TEST(Counters, CycleModelMonotone) {

@@ -1,0 +1,299 @@
+// mps_serve — replay a synthetic multi-tenant trace through the serving
+// engine (src/serve) and print its operational statistics.
+//
+//   mps_serve --trace synthetic --requests 2000
+//   mps_serve --requests 5000 --threads 8 --batch-window 16 --verify
+//
+// Options:
+//   --trace synthetic            trace source (only synthetic for now)
+//   --requests N                 number of requests to replay (default 2000)
+//   --tenants M                  registered matrices (default 6)
+//   --scale S                    suite scale factor (default 0.05)
+//   --zipf S                     tenant-popularity skew (default 1.1)
+//   --seed N                     trace seed (default 42)
+//   --threads N                  worker threads (0 = MPS_SERVE_THREADS)
+//   --queue-cap N                queue capacity (0 = MPS_SERVE_QUEUE_CAP)
+//   --batch-window N             coalescing window (0 = MPS_SERVE_BATCH_WINDOW)
+//   --cache-mb N                 plan-cache MiB (0 = MPS_SERVE_PLAN_CACHE_MB)
+//   --verify                     check every SpMV answer against the
+//                                sequential reference
+//
+// Exit status is non-zero if any admitted request is left unsettled —
+// the zero-dropped-on-shutdown guarantee CI smokes against.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/seq.hpp"
+#include "serve/engine.hpp"
+#include "serve/trace.hpp"
+#include "util/main_guard.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace mps;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--trace synthetic] [--requests N] [--tenants M]\n"
+               "          [--scale S] [--zipf S] [--seed N] [--threads N]\n"
+               "          [--queue-cap N] [--batch-window N] [--cache-mb N]\n"
+               "          [--verify]\n",
+               argv0);
+  std::exit(2);
+}
+
+struct Options {
+  std::string trace = "synthetic";
+  std::size_t requests = 2000;
+  std::size_t tenants = 6;
+  double scale = 0.05;
+  double zipf = 1.1;
+  std::uint64_t seed = 42;
+  unsigned threads = 0;       // 0 = env default
+  std::size_t queue_cap = 0;  // 0 = env default
+  int batch_window = 0;       // 0 = env default
+  std::size_t cache_mb = 0;   // 0 = env default
+  bool verify = false;
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--trace") {
+      o.trace = value();
+    } else if (arg == "--requests") {
+      o.requests = std::stoull(value());
+    } else if (arg == "--tenants") {
+      o.tenants = std::stoull(value());
+    } else if (arg == "--scale") {
+      o.scale = std::stod(value());
+    } else if (arg == "--zipf") {
+      o.zipf = std::stod(value());
+    } else if (arg == "--seed") {
+      o.seed = std::stoull(value());
+    } else if (arg == "--threads") {
+      o.threads = static_cast<unsigned>(std::stoul(value()));
+    } else if (arg == "--queue-cap") {
+      o.queue_cap = std::stoull(value());
+    } else if (arg == "--batch-window") {
+      o.batch_window = std::stoi(value());
+    } else if (arg == "--cache-mb") {
+      o.cache_mb = std::stoull(value());
+    } else if (arg == "--verify") {
+      o.verify = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (o.trace != "synthetic") {
+    std::fprintf(stderr, "unknown trace source: %s\n", o.trace.c_str());
+    usage(argv[0]);
+  }
+  if (o.requests == 0 || o.tenants == 0) usage(argv[0]);
+  return o;
+}
+
+std::vector<double> make_x(const sparse::CsrD& a, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols));
+  for (auto& v : x) v = rng.uniform_double(-1, 1);
+  return x;
+}
+
+/// One pending request's bookkeeping for the settle/verify pass.
+struct Pending {
+  serve::OpKind kind = serve::OpKind::kSpmv;
+  std::size_t matrix = 0;
+  std::uint64_t x_seed = 0;
+  std::future<serve::SpmvResult> spmv;
+  std::future<serve::MatrixResult> matrix_op;
+};
+
+int run_main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  // Tenant matrices: square Table II surrogates (the trace self-pairs
+  // SpAdd/SpGEMM operands, which needs square dims).
+  std::vector<workloads::SuiteEntry> tenants;
+  for (const auto& name : workloads::suite_names()) {
+    if (tenants.size() >= opt.tenants) break;
+    auto entry = workloads::suite_entry(name, opt.scale);
+    if (entry.matrix.num_rows == entry.matrix.num_cols) {
+      tenants.push_back(std::move(entry));
+    }
+  }
+  if (tenants.size() < opt.tenants) {
+    std::fprintf(stderr, "only %zu square suite matrices available\n",
+                 tenants.size());
+    return 2;
+  }
+
+  serve::EngineConfig cfg;
+  cfg.threads = opt.threads;
+  cfg.queue_capacity = opt.queue_cap;
+  cfg.batch_window = opt.batch_window;
+  cfg.plan_cache_bytes = opt.cache_mb << 20;
+  serve::Engine engine(cfg);
+
+  std::vector<serve::MatrixHandle> handles;
+  std::printf("tenants (%zu, scale %.3g):\n", tenants.size(), opt.scale);
+  for (const auto& t : tenants) {
+    handles.push_back(engine.register_matrix(t.matrix));
+    std::printf("  %-10s %7d x %-7d %9lld nnz  handle %016llx\n",
+                t.name.c_str(), t.matrix.num_rows, t.matrix.num_cols,
+                static_cast<long long>(t.matrix.nnz()),
+                static_cast<unsigned long long>(handles.back()));
+  }
+
+  serve::TraceConfig tcfg;
+  tcfg.requests = opt.requests;
+  tcfg.zipf_s = opt.zipf;
+  tcfg.seed = opt.seed;
+  const auto trace = serve::synthetic_trace(tcfg, tenants.size());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<Pending> pending;
+  pending.reserve(trace.size());
+  for (const auto& op : trace) {
+    Pending p;
+    p.kind = op.kind;
+    p.matrix = op.matrix;
+    p.x_seed = op.x_seed;
+    switch (op.kind) {
+      case serve::OpKind::kSpmv:
+        p.spmv = engine.submit_spmv(
+            handles[op.matrix], make_x(tenants[op.matrix].matrix, op.x_seed));
+        break;
+      case serve::OpKind::kSpadd:
+        p.matrix_op = engine.submit_spadd(handles[op.matrix],
+                                          handles[op.matrix_b]);
+        break;
+      case serve::OpKind::kSpgemm:
+        p.matrix_op = engine.submit_spgemm(handles[op.matrix],
+                                           handles[op.matrix_b]);
+        break;
+    }
+    pending.push_back(std::move(p));
+  }
+  engine.shutdown(serve::Engine::ShutdownMode::kDrain);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Settle every future; the drain guarantee means none may block or be
+  // abandoned.  Verify a sample (or all answers with --verify).
+  long long ok = 0, errored = 0, verified = 0, mismatched = 0;
+  double modeled_ms = 0.0;
+  for (auto& p : pending) {
+    try {
+      if (p.kind == serve::OpKind::kSpmv) {
+        serve::SpmvResult r = p.spmv.get();
+        modeled_ms += r.modeled_ms;
+        if (opt.verify) {
+          const auto& a = tenants[p.matrix].matrix;
+          std::vector<double> ref(static_cast<std::size_t>(a.num_rows));
+          baselines::seq::spmv(a, make_x(a, p.x_seed), ref);
+          bool good = r.y.size() == ref.size();
+          for (std::size_t i = 0; good && i < ref.size(); ++i) {
+            good = std::abs(r.y[i] - ref[i]) <= 1e-9;
+          }
+          ++verified;
+          if (!good) ++mismatched;
+        }
+      } else {
+        modeled_ms += p.matrix_op.get().modeled_ms;
+      }
+      ++ok;
+    } catch (const mps::Error&) {
+      ++errored;
+    }
+  }
+
+  const auto s = engine.stats();
+  util::Table t("mps_serve: synthetic trace replay");
+  t.set_header({"metric", "value"});
+  const auto add = [&t](const std::string& k, const std::string& v) {
+    t.add_row({k, v});
+  };
+  add("requests", std::to_string(opt.requests));
+  add("accepted", std::to_string(s.accepted));
+  add("completed", std::to_string(s.completed));
+  add("failed", std::to_string(s.failed));
+  add("timed out", std::to_string(s.timed_out));
+  add("rejected (full)", std::to_string(s.rejected_full));
+  add("rejected (shutdown)", std::to_string(s.rejected_shutdown));
+  add("throughput req/s", util::fmt(static_cast<double>(opt.requests) / wall_s, 1));
+  add("modeled kernel ms", util::fmt(modeled_ms, 2));
+  add("latency mean ms", util::fmt(s.latency_ms.mean, 3));
+  add("latency p50 ms", util::fmt(s.latency_p50_ms, 3));
+  add("latency p99 ms", util::fmt(s.latency_p99_ms, 3));
+  add("peak queue depth", std::to_string(s.peak_queue_depth) + " / cap " +
+                              std::to_string(s.queue_capacity));
+  add("spmm batches", std::to_string(s.batches) + " (max " +
+                          std::to_string(s.max_batch) + ")");
+  std::string histo;
+  for (std::size_t k = 1; k < s.batch_histogram.size(); ++k) {
+    if (s.batch_histogram[k] == 0) continue;
+    if (!histo.empty()) histo += " ";
+    histo += std::to_string(k) + ":" + std::to_string(s.batch_histogram[k]);
+  }
+  add("batch histogram", histo.empty() ? "-" : histo);
+  add("plan cache", std::to_string(s.plan_cache.hits) + " hits / " +
+                        std::to_string(s.plan_cache.misses) + " misses / " +
+                        std::to_string(s.plan_cache.evictions) + " evictions");
+  add("plan cache bytes", std::to_string(s.plan_cache.bytes_in_use) + " / " +
+                              std::to_string(s.plan_cache.capacity_bytes));
+  if (opt.verify) {
+    add("verified", std::to_string(verified) + " (" +
+                        std::to_string(mismatched) + " mismatched)");
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  // The hard guarantees this binary smokes in CI:
+  //  * every admitted request was settled (value or typed error);
+  //  * the bounded queue never exceeded its cap.
+  const long long settled = s.completed + s.failed + s.timed_out +
+                            s.rejected_shutdown;
+  const long long dropped = s.accepted - settled;
+  std::printf("\ndropped on shutdown: %lld\n", dropped);
+  if (dropped != 0) {
+    std::fprintf(stderr, "FAILED: %lld admitted requests were never settled\n",
+                 dropped);
+    return 1;
+  }
+  if (s.peak_queue_depth > s.queue_capacity) {
+    std::fprintf(stderr, "FAILED: queue depth %zu exceeded cap %zu\n",
+                 s.peak_queue_depth, s.queue_capacity);
+    return 1;
+  }
+  if (ok + errored != static_cast<long long>(pending.size())) {
+    std::fprintf(stderr, "FAILED: settled futures do not cover the trace\n");
+    return 1;
+  }
+  if (mismatched != 0) {
+    std::fprintf(stderr, "FAILED: %lld SpMV answers diverged from the "
+                 "sequential reference\n", mismatched);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return mps::util::guarded_main("mps_serve", [&] { return run_main(argc, argv); });
+}
