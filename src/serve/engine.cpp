@@ -24,6 +24,14 @@ MatrixHandle pattern_fingerprint(const sparse::CsrD& a) {
   for (const index_t v : a.row_offsets) {
     mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
   }
+  // Column indices are part of the key: two matrices with identical
+  // per-row counts but different columns (any two banded matrices, say)
+  // must get distinct handles, or one tenant's registration would
+  // silently replace the other's and later submits would compute
+  // against the wrong matrix.
+  for (const index_t v : a.col) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+  }
   return h;
 }
 
@@ -363,8 +371,15 @@ void Engine::dispatcher_loop() {
     std::shared_ptr<Batch> batch;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
+      // Dispatch is gated on execution capacity: with every worker busy
+      // (one in-flight batch each), pending requests stay in the bounded
+      // queue — where full-queue rejection and per-request timeouts
+      // apply — instead of piling into the pool's unbounded task deque.
+      // Workers signal queue_cv_ as batches settle.
       queue_cv_.wait(lock, [&] {
-        return stop_dispatcher_ || (!paused_ && !queue_.empty());
+        if (queue_.empty()) return stop_dispatcher_;
+        if (reject_pending_) return true;
+        return !paused_ && in_flight_batches_ < num_workers_;
       });
       if (reject_pending_) {
         for (auto& r : queue_) rejected.push_back(std::move(r));
@@ -401,6 +416,7 @@ void Engine::dispatcher_loop() {
             }
           }
           in_flight_ += batch->reqs.size();
+          ++in_flight_batches_;
         }
       }
       if (queue_.empty()) idle_cv_.notify_all();
@@ -411,20 +427,28 @@ void Engine::dispatcher_loop() {
     }
     space_cv_.notify_all();  // queue shrank (or is being torn down)
 
+    // Counters are bumped BEFORE the promises settle: a client that
+    // just observed its future must not race ahead of stats().
     const auto settle_shutdown = [&](std::vector<std::unique_ptr<Request>>& rs) {
+      {
+        std::lock_guard<std::mutex> slock(stats_mutex_);
+        rejected_shutdown_ += static_cast<long long>(rs.size());
+      }
       for (auto& r : rs) {
         r->fail(std::make_exception_ptr(
             ShutdownError("serve: engine shut down before the request ran")));
       }
-      std::lock_guard<std::mutex> slock(stats_mutex_);
-      rejected_shutdown_ += static_cast<long long>(rs.size());
     };
     if (!rejected.empty()) settle_shutdown(rejected);
-    for (auto& r : expired) {
-      r->fail(std::make_exception_ptr(RequestTimeoutError(
-          "serve: request timed out after waiting in the queue")));
-      std::lock_guard<std::mutex> slock(stats_mutex_);
-      ++timed_out_;
+    if (!expired.empty()) {
+      {
+        std::lock_guard<std::mutex> slock(stats_mutex_);
+        timed_out_ += static_cast<long long>(expired.size());
+      }
+      for (auto& r : expired) {
+        r->fail(std::make_exception_ptr(RequestTimeoutError(
+            "serve: request timed out after waiting in the queue")));
+      }
     }
     if (batch) dispatch_batch(std::move(batch));
   }
@@ -438,30 +462,38 @@ void Engine::dispatch_batch(std::shared_ptr<Batch> batch) {
     if (n >= 2) ++batches_;
     max_batch_ = std::max(max_batch_, static_cast<long long>(n));
   }
-  const bool posted = pool_.try_post([this, batch] {
+  // execute_batch may shrink batch->reqs (late-expiry re-check), so the
+  // in-flight accounting uses the size captured at dispatch.  Freed
+  // capacity wakes the dispatcher, which gates on in_flight_batches_.
+  const auto finish = [this, n] {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      in_flight_ -= n;
+      --in_flight_batches_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
+    queue_cv_.notify_one();
+  };
+  const bool posted = pool_.try_post([this, batch, finish] {
     {
       DeviceLease lease(devices_mutex_, devices_cv_, free_devices_, devices_);
       execute_batch(*batch, lease.device());
     }
-    {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      in_flight_ -= batch->reqs.size();
-      if (in_flight_ == 0) idle_cv_.notify_all();
-    }
+    finish();
   });
   if (!posted) {
     // Unreachable in normal operation (the pool is shut down only after
     // the dispatcher exits), but if it happens the requests are settled
     // with a typed error, not dropped.
+    {
+      std::lock_guard<std::mutex> slock(stats_mutex_);
+      rejected_shutdown_ += static_cast<long long>(n);
+    }
     for (auto& r : batch->reqs) {
       r->fail(std::make_exception_ptr(
           ShutdownError("serve: worker pool rejected the dispatch")));
     }
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    in_flight_ -= batch->reqs.size();
-    if (in_flight_ == 0) idle_cv_.notify_all();
-    std::lock_guard<std::mutex> slock(stats_mutex_);
-    rejected_shutdown_ += static_cast<long long>(batch->reqs.size());
+    finish();
   }
 }
 
@@ -472,13 +504,43 @@ void Engine::settle_metrics(double latency_ms, bool ok) {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   if (ok) {
     ++completed_;
-    latencies_ms_.push_back(latency_ms);
+    // Bounded reservoir: quantiles cover the most recent kLatencyWindow
+    // completions.  Unbounded history would be a slow leak (one double
+    // per request forever) and an ever-costlier sort in stats().
+    if (latencies_ms_.size() < kLatencyWindow) {
+      latencies_ms_.push_back(latency_ms);
+    } else {
+      latencies_ms_[latency_next_] = latency_ms;
+      latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+    }
   } else {
     ++failed_;
   }
 }
 
 void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
+  // Deadlines are re-checked at the last moment before execution: a
+  // request can expire between dispatch and here, and the contract is
+  // that an expired request never runs.
+  {
+    const auto now = clock::now();
+    std::size_t kept = 0;
+    for (auto& r : batch.reqs) {
+      if (r->expired(now)) {
+        {
+          std::lock_guard<std::mutex> slock(stats_mutex_);
+          ++timed_out_;
+        }
+        r->fail(std::make_exception_ptr(RequestTimeoutError(
+            "serve: request timed out before execution began")));
+      } else {
+        batch.reqs[kept++] = std::move(r);
+      }
+    }
+    batch.reqs.resize(kept);
+  }
+  if (batch.reqs.empty()) return;
+
   Request& head = *batch.reqs.front();
   if (head.kind != Request::Kind::kSpmv) {
     execute_matrix_op(head, device);
@@ -489,6 +551,7 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
   const auto rows = static_cast<std::size_t>(a.num_rows);
   const auto cols = static_cast<std::size_t>(a.num_cols);
 
+  std::size_t settled = 0;  ///< requests already counted as completed
   try {
     if (n == 1) {
       // Unbatched path: plan-cache hit amortizes the partition.
@@ -564,12 +627,16 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
           std::chrono::duration<double, std::milli>(now - r.submitted).count(),
           true);
       r.spmv_promise.set_value(std::move(result));
+      ++settled;
     }
   } catch (...) {
+    // A failure mid-scatter (e.g. allocation during result copy-out)
+    // must only fail the requests not yet settled: the earlier ones
+    // already delivered values and were counted as completed.
     auto error = std::current_exception();
-    for (auto& r : batch.reqs) {
+    for (std::size_t j = settled; j < batch.reqs.size(); ++j) {
       settle_metrics(0.0, false);
-      r->fail(error);
+      batch.reqs[j]->fail(error);
     }
   }
 }

@@ -24,7 +24,11 @@
 //     an admission deadline (then throws QueueFullError).  Queued
 //     requests carry an optional per-request timeout: a request that
 //     expires before dispatch fails its future with RequestTimeoutError
-//     without running;
+//     without running.  The dispatcher itself is gated on worker
+//     capacity (at most one in-flight batch per worker), so under
+//     sustained overload requests wait in the bounded queue — where
+//     rejection and timeouts apply — rather than accumulating without
+//     bound in the pool's task deque;
 //   * fault handling — execution failures propagate through the future
 //     as typed mps::Error.  IntegrityError and DeviceOomError get one
 //     transparent retry (invalidating the cached plan first for
@@ -108,11 +112,15 @@ struct EngineConfig {
   static EngineConfig from_env();
 };
 
-/// Handle to a registered matrix: the dims/nnz/row-offset-checksum
-/// pattern fingerprint.  Registering a matrix whose pattern matches an
-/// existing registration returns the same handle (and refreshes the
-/// stored values); cached plans stay valid because they depend only on
-/// the pattern.
+/// Handle to a registered matrix: a fingerprint of the full sparsity
+/// structure (dims, nnz, row offsets, column indices).  Registering a
+/// matrix whose structure matches an existing registration returns the
+/// same handle (and refreshes the stored values); matrices that differ
+/// anywhere in their structure — including in column indices alone —
+/// get distinct handles and distinct registry entries, so one tenant's
+/// registration can never silently replace another's.  Cached plans
+/// stay valid because they depend only on the row structure, which the
+/// handle key refines.
 using MatrixHandle = std::uint64_t;
 
 struct SpmvResult {
@@ -154,7 +162,11 @@ struct EngineStats {
   /// batch_histogram[k] = dispatches that coalesced exactly k requests
   /// (index 0 unused).
   std::vector<long long> batch_histogram;
-  util::Summary latency_ms;  ///< submit -> future-settled wall latency
+  /// submit -> future-settled wall latency over the most recent
+  /// Engine::kLatencyWindow completions (bounded reservoir, so a
+  /// long-running engine neither grows without bound nor sorts an
+  /// ever-larger sample per stats() call).
+  util::Summary latency_ms;
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   PlanCache::Stats plan_cache;
@@ -210,6 +222,10 @@ class Engine {
   EngineStats stats() const;
   unsigned num_workers() const { return num_workers_; }
 
+  /// Size of the bounded latency reservoir behind EngineStats::latency_ms
+  /// and the p50/p99 snapshot.
+  static constexpr std::size_t kLatencyWindow = 4096;
+
  private:
   struct Request;
   struct Batch;
@@ -252,7 +268,8 @@ class Engine {
   std::condition_variable space_cv_;   ///< submitters: space available
   std::condition_variable idle_cv_;    ///< drain(): queue empty + idle
   std::deque<std::unique_ptr<Request>> queue_;
-  std::size_t in_flight_ = 0;  ///< dispatched but not yet settled
+  std::size_t in_flight_ = 0;          ///< dispatched but not yet settled
+  std::size_t in_flight_batches_ = 0;  ///< dispatch gate: <= num_workers_
   bool accepting_ = true;
   bool paused_ = false;
   bool reject_pending_ = false;  ///< shutdown(kReject): fail, don't run
@@ -272,15 +289,17 @@ class Engine {
   long long batches_ = 0;
   long long max_batch_ = 0;
   std::vector<long long> batch_histogram_;
-  std::vector<double> latencies_ms_;
+  std::vector<double> latencies_ms_;  ///< ring of <= kLatencyWindow samples
+  std::size_t latency_next_ = 0;      ///< ring cursor once the window is full
 
   vgpu::ThreadPool pool_;
   std::thread dispatcher_;
 };
 
-/// The pattern fingerprint used for MatrixHandle keys: FNV-1a over the
-/// row offsets mixed with dims and nnz (the same guard quantity
-/// SpmvPlan's execute-side check uses).
+/// The structure fingerprint used for MatrixHandle keys: FNV-1a over the
+/// row offsets AND column indices, mixed with dims and nnz.  A strict
+/// refinement of the row-structure quantities SpmvPlan's execute-side
+/// guard checks, so equal handles always satisfy the plan guard.
 MatrixHandle pattern_fingerprint(const sparse::CsrD& a);
 
 }  // namespace mps::serve

@@ -39,9 +39,11 @@ class PlanCache {
       : capacity_bytes_(capacity_bytes) {}
 
   /// The plan for `key`, building it from `a` on `device` on a miss.
-  /// The key must uniquely identify A's sparsity pattern (the engine
-  /// uses the dims/nnz/row-offset-checksum fingerprint).  `was_hit`
-  /// (optional) reports whether this call was served from cache.
+  /// The key must never alias two different row structures; finer keys
+  /// are sound (plans depend only on row structure).  The engine uses
+  /// its full-structure MatrixHandle fingerprint, which refines the
+  /// row-structure partition.  `was_hit` (optional) reports whether this
+  /// call was served from cache.
   std::shared_ptr<const core::merge::SpmvPlan> get_or_build(
       vgpu::Device& device, const sparse::CsrD& a, std::uint64_t key,
       bool* was_hit = nullptr);

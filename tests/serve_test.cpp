@@ -338,6 +338,43 @@ TEST(ServeEngine, BackpressureQueueNeverExceedsCap) {
   EXPECT_LE(s.peak_queue_depth, kCap);
 }
 
+TEST(ServeEngine, OverloadTimesOutQueuedRequestsInsteadOfBuffering) {
+  // One worker, no batching: the dispatcher may keep at most one batch
+  // in flight, so a burst waits in the bounded queue where per-request
+  // deadlines are enforced.  (Without capacity gating the dispatcher
+  // would drain the queue straight into the pool's unbounded task
+  // deque, and queue-wait timeouts could never fire under load.)
+  auto cfg = test_config(/*threads=*/1, /*batch_window=*/1, /*queue_cap=*/1024);
+  Engine engine(cfg);
+  util::Rng rng(137);
+  const auto a = coo_to_csr(testing::random_coo(rng, 1500, 1500, 60000));
+  const auto h = engine.register_matrix(a);
+  const auto x = random_x(a, 7);
+
+  SubmitOptions opts;
+  opts.request_timeout = std::chrono::milliseconds(5);
+  constexpr int kRequests = 400;
+  std::vector<std::future<SpmvResult>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(engine.submit_spmv(h, x, opts));
+  }
+  long long ok = 0, late = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+      ++ok;
+    } catch (const RequestTimeoutError&) {
+      ++late;
+    }
+  }
+  EXPECT_GT(ok, 0);    // the head of the burst ran before its deadline
+  EXPECT_GT(late, 0);  // the tail expired while queued, never ran
+  const auto s = engine.stats();
+  EXPECT_EQ(s.timed_out, late);
+  EXPECT_EQ(s.completed, ok);
+  EXPECT_EQ(ok + late, static_cast<long long>(kRequests));
+}
+
 TEST(ServeEngine, RequestTimeoutFailsWithoutRunning) {
   auto cfg = test_config(/*threads=*/1, /*batch_window=*/4);
   cfg.start_paused = true;
@@ -481,6 +518,30 @@ TEST(ServeEngine, SamePatternRegistersToSameHandle) {
   for (std::size_t i = 0; i < ref.size(); ++i) {
     ASSERT_NEAR(r.y[i], ref[i], 1e-10);
   }
+}
+
+TEST(ServeEngine, DistinctColumnStructureGetsDistinctHandles) {
+  // Same dims, same nnz, same row offsets — only the column indices
+  // differ.  The handles must differ, or one registration would
+  // silently replace the other and submits would compute against the
+  // wrong matrix.
+  Engine engine(test_config(1, 1));
+  CsrD a(2, 2);
+  a.row_offsets = {0, 1, 2};
+  a.col = {0, 1};  // identity
+  a.val = {1.0, 1.0};
+  CsrD b = a;
+  b.col = {1, 0};  // anti-diagonal
+  ASSERT_TRUE(a.is_valid());
+  ASSERT_TRUE(b.is_valid());
+
+  const auto ha = engine.register_matrix(a);
+  const auto hb = engine.register_matrix(b);
+  EXPECT_NE(ha, hb);
+  // Each tenant is served from its own matrix.
+  const std::vector<double> x{2.0, 3.0};
+  EXPECT_EQ(engine.submit_spmv(ha, x).get().y, (std::vector<double>{2.0, 3.0}));
+  EXPECT_EQ(engine.submit_spmv(hb, x).get().y, (std::vector<double>{3.0, 2.0}));
 }
 
 // ---------------------------------------------------------------------------
