@@ -2,6 +2,7 @@
 // vectorized kernel, the row-wise vendor-style kernel, and Merge.
 #include <cstdio>
 
+#include "analysis/bench_json.hpp"
 #include "analysis/experiment.hpp"
 #include "resilience/integrity.hpp"
 #include "suite_runners.hpp"
@@ -15,6 +16,8 @@ int main() {
   const auto rows = bench::run_spmv_suite(workloads::paper_suite(cfg.scale));
   util::Table t("Figure 5: SpMV performance, GFLOPs/s (modeled; 2 flops/nnz)");
   t.set_header({"Matrix", "nnz", "Cusp", "Cusparse", "Merge", "best"});
+  analysis::BenchJson report("fig5_spmv");
+  report.add_stat("scale", cfg.scale);
   for (const auto& r : rows) {
     const double flops = 2.0 * static_cast<double>(r.nnz);
     const double cusp = analysis::gflops(flops, r.cusp_ms);
@@ -25,8 +28,14 @@ int main() {
                                                      : "Cusparse";
     t.add_row({r.name, util::fmt_sep(static_cast<unsigned long long>(r.nnz)),
                util::fmt(cusp, 2), util::fmt(row, 2), util::fmt(merge, 2), best});
+    report.add_case(r.name, {{"nnz", static_cast<double>(r.nnz)},
+                             {"cusp_ms", r.cusp_ms},
+                             {"rowwise_ms", r.rowwise_ms},
+                             {"merge_ms", r.merge_ms},
+                             {"merge_gflops", merge}});
   }
   analysis::emit(t, "fig5_spmv");
+  report.write();
   std::puts("\nExpected shape (paper): Merge competitive everywhere except "
             "Dense; markedly better on the irregular Webbase and LP.");
 

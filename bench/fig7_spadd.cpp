@@ -3,6 +3,7 @@
 // path, COO).
 #include <cstdio>
 
+#include "analysis/bench_json.hpp"
 #include "analysis/experiment.hpp"
 #include "suite_runners.hpp"
 #include "util/table.hpp"
@@ -15,13 +16,21 @@ int main() {
   const auto rows = bench::run_spadd_suite(workloads::paper_suite(cfg.scale));
   util::Table t("Figure 7: SpAdd speedup vs sequential CPU (modeled)");
   t.set_header({"Matrix", "|A|+|B|", "Cusp", "Cusparse", "Merge"});
+  analysis::BenchJson report("fig7_spadd");
+  report.add_stat("scale", cfg.scale);
   for (const auto& r : rows) {
     t.add_row({r.name, util::fmt_sep(static_cast<unsigned long long>(r.work)),
                util::fmt(r.cpu_ms / r.cusp_ms, 2),
                util::fmt(r.cpu_ms / r.rowwise_ms, 2),
                util::fmt(r.cpu_ms / r.merge_ms, 2)});
+    report.add_case(r.name, {{"work", static_cast<double>(r.work)},
+                             {"cpu_ms", r.cpu_ms},
+                             {"cusp_ms", r.cusp_ms},
+                             {"rowwise_ms", r.rowwise_ms},
+                             {"merge_ms", r.merge_ms}});
   }
   analysis::emit(t, "fig7_spadd");
+  report.write();
   std::puts("\nExpected shape (paper): Cusparse and Merge both far ahead of "
             "Cusp; Cusparse ahead on Dense/Protein/Wind, comparable "
             "elsewhere, far behind on Webbase/LP-style irregularity.");

@@ -14,6 +14,7 @@
 #include <future>
 #include <vector>
 
+#include "analysis/bench_json.hpp"
 #include "analysis/experiment.hpp"
 #include "serve/engine.hpp"
 #include "serve/trace.hpp"
@@ -85,6 +86,9 @@ int main() {
   t.set_header({"threads", "window", "req/s", "p50 ms", "p99 ms",
                 "modeled ms", "batched%", "max", "cache hit%"});
 
+  analysis::BenchJson report("serve_throughput");
+  report.add_stat("scale", cfg.scale);
+  report.add_stat("requests", static_cast<double>(trace.size()));
   std::vector<std::uint64_t> reference_hashes;  // from the first config
   double modeled_unbatched = 0.0;               // window=1 baseline per thread count
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
@@ -153,6 +157,17 @@ int main() {
                  lookups > 0
                      ? util::fmt(100.0 * static_cast<double>(pc.hits) / lookups, 1)
                      : "-"});
+      // Wall-clock metrics (req/s, latency) vary run to run; modeled ms
+      // and cache behavior are the deterministic regression signals.
+      report.add_case("t" + std::to_string(threads) + "_w" +
+                          std::to_string(window),
+                      {{"threads", static_cast<double>(threads)},
+                       {"window", static_cast<double>(window)},
+                       {"modeled_ms", modeled_ms},
+                       {"batched", static_cast<double>(batched)},
+                       {"max_batch", static_cast<double>(max_batch)},
+                       {"cache_hits", static_cast<double>(pc.hits)},
+                       {"cache_misses", static_cast<double>(pc.misses)}});
       // Coalescing must not cost modeled time: a batched dispatch runs
       // ONE merge-path partition where unbatched dispatch runs N.
       if (window > 1) {
@@ -162,6 +177,7 @@ int main() {
     }
   }
   analysis::emit(t, "serve_throughput");
+  report.write();
   std::puts("\nExpected shape: req/s grows with threads; opening the batch"
             " window lowers the summed modeled kernel cost (one partition"
             " per coalesced spmm instead of one per request) and the"

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Report-only delta table between BENCH_*.json runs and a committed baseline.
+
+The modeled timeline is deterministic, so any delta in a *_ms metric at the
+same scale is a real change in the cost model or the kernels, not noise.
+This script REPORTS deltas; it never fails the build (exit 0 always) — the
+table is for the reviewer reading the CI log.
+
+Usage:
+    bench_delta.py --baseline BENCH_seed.json --dir <dir with BENCH_*.json>
+
+Baseline format (committed as BENCH_seed.json at the repo root):
+    {"schema": 1, "scale": 0.05,
+     "benches": {"fig5_spmv": {"Dense": {"merge_ms": 0.016, ...}, ...}, ...}}
+
+Run files are what analysis::BenchJson writes:
+    {"bench": "fig5_spmv", "schema": 1,
+     "cases": [{"name": "Dense", "metrics": {...}}, ...], "stats": {...}}
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_run(path):
+    with open(path) as f:
+        doc = json.load(f)
+    cases = {c["name"]: c.get("metrics", {}) for c in doc.get("cases", [])}
+    return doc.get("bench", os.path.basename(path)), cases
+
+
+def fmt_delta(base, cur):
+    if base is None:
+        return "new"
+    if cur is None:
+        return "gone"
+    if base == cur:
+        return "="
+    if base == 0:
+        return f"{cur:+.6g} (was 0)"
+    pct = 100.0 * (cur - base) / abs(base)
+    return f"{pct:+.2f}%"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True, help="committed BENCH_seed.json")
+    ap.add_argument("--dir", required=True, help="directory with BENCH_*.json runs")
+    ap.add_argument(
+        "--metric-suffix",
+        default="_ms",
+        help="only compare metrics with this suffix (default: _ms)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            seed = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_delta: cannot read baseline: {e}")
+        return 0
+    baselines = seed.get("benches", {})
+
+    runs = sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json")))
+    if not runs:
+        print(f"bench_delta: no BENCH_*.json under {args.dir}")
+        return 0
+
+    print(f"bench delta vs {args.baseline} (scale {seed.get('scale', '?')}; "
+          "report-only, never fails the build)")
+    print(f"{'bench':<18} {'case':<14} {'metric':<14} "
+          f"{'baseline':>14} {'current':>14} {'delta':>12}")
+    exact, changed, uncovered = 0, 0, 0
+    for path in runs:
+        try:
+            bench, cases = load_run(path)
+        except (json.JSONDecodeError, KeyError, TypeError) as e:
+            print(f"bench_delta: skipping malformed {path}: {e}")
+            continue
+        base_cases = baselines.get(bench)
+        if base_cases is None:
+            uncovered += 1
+            print(f"{bench:<18} (no baseline recorded; skipped)")
+            continue
+        for case in sorted(set(base_cases) | set(cases)):
+            b_metrics = base_cases.get(case, {})
+            c_metrics = cases.get(case, {})
+            for metric in sorted(set(b_metrics) | set(c_metrics)):
+                if not metric.endswith(args.metric_suffix):
+                    continue
+                b, c = b_metrics.get(metric), c_metrics.get(metric)
+                delta = fmt_delta(b, c)
+                if delta == "=":
+                    exact += 1
+                    continue  # only print drift; exact matches are the norm
+                changed += 1
+                bs = "-" if b is None else f"{b:.6g}"
+                cs = "-" if c is None else f"{c:.6g}"
+                print(f"{bench:<18} {case:<14} {metric:<14} "
+                      f"{bs:>14} {cs:>14} {delta:>12}")
+    print(f"bench_delta: {exact} metric(s) exactly unchanged, "
+          f"{changed} changed/new/gone, {uncovered} bench(es) without baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

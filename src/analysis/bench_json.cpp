@@ -1,0 +1,99 @@
+#include "analysis/bench_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/env.hpp"
+
+namespace mps::analysis {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (u < 0x20 || u >= 0x7f) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void write_pairs(std::ostream& out,
+                 const std::vector<std::pair<std::string, double>>& pairs) {
+  out << '{';
+  bool first = true;
+  for (const auto& [k, v] : pairs) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(k) << "\":" << json_num(v);
+  }
+  out << '}';
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string name)
+    : name_(std::move(name)),
+      enabled_(util::env_int("MPS_BENCH_JSON", 1) != 0) {}
+
+void BenchJson::add_case(const std::string& case_name,
+                         std::vector<std::pair<std::string, double>> metrics) {
+  cases_.push_back(Case{case_name, std::move(metrics)});
+}
+
+void BenchJson::add_stat(const std::string& key, double value) {
+  stats_.emplace_back(key, value);
+}
+
+std::string BenchJson::write() const {
+  if (!enabled_) return "";
+  const std::string dir = util::env_string("MPS_BENCH_DIR", ".");
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return "";
+  }
+  out << "{\"bench\":\"" << json_escape(name_) << "\",\"schema\":1,"
+      << "\"cases\":[";
+  bool first = true;
+  for (const auto& c : cases_) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << json_escape(c.name) << "\",\"metrics\":";
+    write_pairs(out, c.metrics);
+    out << '}';
+  }
+  out << "],\"stats\":";
+  write_pairs(out, stats_);
+  out << "}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "warning: failed writing %s\n", path.c_str());
+    return "";
+  }
+  std::printf("(bench json written to %s)\n", path.c_str());
+  return path;
+}
+
+}  // namespace mps::analysis

@@ -1,0 +1,52 @@
+#pragma once
+// Structured bench reporting (docs/observability.md): every suite/figure
+// binary records its per-case results through a BenchJson and writes one
+// BENCH_<name>.json next to the human-readable table, so CI can diff
+// modeled times against committed baselines (scripts/bench_delta.py)
+// instead of scraping stdout.
+//
+// The modeled timeline is deterministic — same binary, same scale, same
+// numbers — so the JSON doubles as an exact regression baseline.
+//
+// Knobs: MPS_BENCH_DIR picks the output directory (default the working
+// directory); MPS_BENCH_JSON=0 disables writing entirely.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mps::analysis {
+
+class BenchJson {
+ public:
+  /// `name` becomes the file stem: BENCH_<name>.json.
+  explicit BenchJson(std::string name);
+
+  /// False when MPS_BENCH_JSON=0 (write() becomes a no-op).
+  bool enabled() const { return enabled_; }
+
+  /// Record one case (a matrix, a sweep point) with its numeric metrics.
+  /// Key order is preserved in the output.
+  void add_case(const std::string& case_name,
+                std::vector<std::pair<std::string, double>> metrics);
+
+  /// Record a suite-level scalar (a correlation rho, a total).
+  void add_stat(const std::string& key, double value);
+
+  /// Write BENCH_<name>.json into MPS_BENCH_DIR (default ".").  Returns
+  /// the path written, or "" when disabled or on I/O failure (a warning
+  /// is printed; benches never fail because reporting did).
+  std::string write() const;
+
+ private:
+  std::string name_;
+  bool enabled_ = true;
+  struct Case {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::vector<Case> cases_;
+  std::vector<std::pair<std::string, double>> stats_;
+};
+
+}  // namespace mps::analysis

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "analysis/bench_json.hpp"
 #include "util/env.hpp"
 
 namespace mps::analysis {
@@ -85,6 +86,30 @@ std::string render_correlation_figure(const std::string& title,
            "   (least-squares: " + util::fmt(rep.slope_ms_per_unit * 1e6, 3) +
            " ms per 1e6 " + work_label + ", intercept " +
            util::fmt(rep.intercept_ms, 3) + " ms)\n";
+  }
+  // Structured report alongside the table: per-case (work, time) for every
+  // scheme plus the correlation stats the figure is about.
+  if (!figure_id.empty()) {
+    BenchJson report(figure_id);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      std::vector<std::pair<std::string, double>> metrics;
+      if (!series.empty() && i < series[0].work.size()) {
+        metrics.emplace_back(work_label, series[0].work[i]);
+      }
+      for (const auto& s : series) {
+        if (i < s.time_ms.size()) {
+          metrics.emplace_back(s.scheme + "_ms", s.time_ms[i]);
+        }
+      }
+      report.add_case(labels[i], std::move(metrics));
+    }
+    for (const auto& s : series) {
+      const auto rep = correlate(s);
+      report.add_stat("rho_" + rep.scheme, rep.rho);
+      report.add_stat("slope_ms_per_" + work_label + "_" + rep.scheme,
+                      rep.slope_ms_per_unit);
+    }
+    report.write();
   }
   return out;
 }

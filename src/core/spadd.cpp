@@ -7,6 +7,7 @@
 #include "sparse/convert.hpp"
 #include "sparse/packed_key.hpp"
 #include "sparse/validate.hpp"
+#include "telemetry/span.hpp"
 #include "util/timer.hpp"
 
 namespace mps::core::merge {
@@ -64,6 +65,7 @@ SpaddStats spadd_impl(vgpu::Device& device, V alpha,
 
   // Pack tuples into 64-bit keys whose integer order is Algorithm 1's
   // lexicographic tuple order.
+  telemetry::ScopedSpan pack_span("spadd.pack");
   const std::size_t an = static_cast<std::size_t>(a.nnz());
   const std::size_t bn = static_cast<std::size_t>(b.nnz());
   vgpu::ScopedDeviceAlloc key_mem(device.memory(),
@@ -87,6 +89,7 @@ SpaddStats spadd_impl(vgpu::Device& device, V alpha,
     }
   });
   stats.modeled_ms += s0.modeled_ms;
+  pack_span.end();
 
   // Scaling folds into the value loads (free on real hardware too).
   std::vector<V> va_scaled, vb_scaled;
@@ -106,10 +109,12 @@ SpaddStats spadd_impl(vgpu::Device& device, V alpha,
   // Balanced-path union; matched tuples combine by addition.  For
   // well-formed inputs there are at most two duplicates per output tuple,
   // but the underlying set op handles arbitrary duplication (paper III-B).
+  telemetry::ScopedSpan union_span("spadd.union");
   auto res = primitives::device_set_op<std::uint64_t, V>(
       device, ka, va, kb, vb, primitives::SetOp::kUnion,
       [](V x, V y) { return x + y; });
   stats.modeled_ms += res.modeled_ms;
+  union_span.end();
 
   c = sparse::CooMatrix<V>(a.num_rows, a.num_cols);
   c.reserve(res.keys.size());

@@ -9,6 +9,7 @@
 #include "resilience/integrity.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/validate.hpp"
+#include "telemetry/span.hpp"
 #include "util/timer.hpp"
 
 namespace mps::core::merge {
@@ -93,6 +94,7 @@ SpgemmStats spgemm_symbolic(vgpu::Device& device, const CsrD& a, const CsrD& b,
     sparse::validate_csr(a, "spgemm: A");
     sparse::validate_csr(b, "spgemm: B");
   }
+  telemetry::ScopedSpan sym_span("spgemm.symbolic");
   util::WallTimer wall;
   SpgemmStats stats;
   // Built locally and moved into `out_plan` only on success: a throw at
@@ -114,6 +116,7 @@ SpgemmStats spgemm_symbolic(vgpu::Device& device, const CsrD& a, const CsrD& b,
 
   // ======================= Setup =======================================
   // Row ids of A's nonzeros and the segmented product-offset scan S.
+  telemetry::ScopedSpan setup_span("spgemm.setup");
   plan.a_rows_ = sparse::expand_row_indices(a);
   auto& S = plan.prod_offsets_;
   S.assign(a_nnz + 1, 0);
@@ -140,6 +143,7 @@ SpgemmStats spgemm_symbolic(vgpu::Device& device, const CsrD& a, const CsrD& b,
   stats.phases.setup_ms += device.log().back().modeled_ms;
   plan.num_products_ = static_cast<long long>(num_products);
   stats.num_products = plan.num_products_;
+  setup_span.end();
   if (num_products == 0) {
     plan.seg_offsets_.assign(1, 0);
     stats.wall_ms = wall.milliseconds();
@@ -176,6 +180,7 @@ SpgemmStats spgemm_symbolic(vgpu::Device& device, const CsrD& a, const CsrD& b,
   plan.unique_offset_.assign(static_cast<std::size_t>(num_ctas) + 1, 0);
 
   // ======================= Block Sort ===================================
+  telemetry::ScopedSpan block_sort_span("spgemm.block_sort");
   {
     primitives::CtaSortConfig sort_cfg;
     sort_cfg.block_threads = cfg.block_threads;
@@ -249,8 +254,10 @@ SpgemmStats spgemm_symbolic(vgpu::Device& device, const CsrD& a, const CsrD& b,
       std::span<std::uint64_t>(plan.unique_offset_));
   stats.phases.block_sort_ms += device.log().back().modeled_ms;
   stats.block_unique = static_cast<long long>(num_unique);
+  block_sort_span.end();
 
   // ======================= Global Sort ==================================
+  telemetry::ScopedSpan global_sort_span("spgemm.global_sort");
   vgpu::ScopedDeviceAlloc unique_mem(
       device.memory(),
       static_cast<std::size_t>(num_unique) *
@@ -291,12 +298,14 @@ SpgemmStats spgemm_symbolic(vgpu::Device& device, const CsrD& a, const CsrD& b,
     });
     stats.phases.global_sort_ms += s.modeled_ms;
   }
+  global_sort_span.end();
 
   // ================== Other: pattern + segment assembly =================
   // The sorted key stream still holds cross-CTA duplicates; unique runs
   // become C's entries, and seg_offsets_ records each entry's run so the
   // numeric phase reduces with a plain segmented sum.
   {
+    telemetry::ScopedSpan pattern_span("spgemm.pattern");
     CsrD& c = plan.pattern_;
     auto& seg = plan.seg_offsets_;
     const std::size_t m = keys.size();
@@ -365,6 +374,7 @@ double spgemm_numeric(vgpu::Device& device, const CsrD& a, const CsrD& b,
           std::to_string(k) + " expands to a different product count");
     }
   }
+  telemetry::ScopedSpan num_span("spgemm.numeric");
   double modeled_ms = 0.0;
   // Built locally and assigned to `c` only on success so a mid-pipeline
   // throw (an injected allocation failure, say) leaves the caller's
@@ -385,6 +395,7 @@ double spgemm_numeric(vgpu::Device& device, const CsrD& a, const CsrD& b,
   // ======================= Product Compute ==============================
   // Replay the expansion forming values, reduce within the CTA using the
   // stored permutation + flags, scatter partial sums into sorted order.
+  telemetry::ScopedSpan products_span("spgemm.products");
   std::vector<double> sorted_vals(num_unique, 0.0);
   vgpu::ScopedDeviceAlloc vals_mem(device.memory(), num_unique * sizeof(double));
   auto s = device.launch("merge.spgemm_products", plan.num_ctas_,
@@ -425,8 +436,10 @@ double spgemm_numeric(vgpu::Device& device, const CsrD& a, const CsrD& b,
     cta.charge_sync();
   });
   modeled_ms += s.modeled_ms;
+  products_span.end();
 
   // ======================= Product Reduce ===============================
+  telemetry::ScopedSpan reduce_span("spgemm.reduce");
   // Cross-CTA duplicates are adjacent in sorted order; the plan's segment
   // offsets turn the reduction into a plain segmented sum into C.
   constexpr std::size_t kRedTile = 2048;
@@ -456,6 +469,7 @@ double spgemm_numeric(vgpu::Device& device, const CsrD& a, const CsrD& b,
                       (hi - lo) * (sizeof(double) + 2 * sizeof(index_t)));
   });
   modeled_ms += red.modeled_ms;
+  reduce_span.end();
   c = std::move(out);
   // Output postcondition under MPS_INTEGRITY_CHECK: offsets monotone,
   // columns in range, values finite.

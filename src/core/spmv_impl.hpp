@@ -14,6 +14,7 @@
 #include "primitives/search.hpp"
 #include "resilience/integrity.hpp"
 #include "sparse/validate.hpp"
+#include "telemetry/span.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -75,6 +76,7 @@ struct SpmvPlanAccess {
   template <typename V>
   static SpmvPlan build(vgpu::Device& device, const sparse::CsrMatrix<V>& a,
                         const SpmvConfig& cfg) {
+    telemetry::ScopedSpan span("spmv.plan_build");
     if (sparse::strict_validation()) sparse::validate_csr(a, "spmv: A");
     SpmvPlan plan;
     plan.cfg_ = cfg;
@@ -189,6 +191,7 @@ struct SpmvPlanAccess {
         plan.offsets_fingerprint_ != offsets_fingerprint(a.row_offsets)) {
       throw PlanMismatchError("matrix pattern does not match the plan");
     }
+    telemetry::ScopedSpan span("spmv.execute");
     util::WallTimer wall;
     SpmvStats stats;
     stats.setup_amortized = true;

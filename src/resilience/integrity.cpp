@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
 #include "util/common.hpp"
 #include "util/env.hpp"
 
@@ -18,6 +19,7 @@ Counters& counters() {
 
 void integrity_failed(const std::string& what) {
   ++counters().integrity_failures;
+  telemetry::metrics().counter("resilience.integrity_failures").add();
   throw IntegrityError("integrity check failed: " + what);
 }
 
@@ -52,6 +54,7 @@ double charge_guard_scan(vgpu::Device& device, std::size_t bytes) {
 
 double scrub_bytes(vgpu::Device& device, void* window, std::size_t bytes) {
   ++counters().scrubs;
+  telemetry::metrics().counter("resilience.scrubs").add();
   // Zero-byte reservation: accounting and OOM behavior are untouched, but
   // the attached FaultInjector observes the ordinal and the live window —
   // this is where armed MPS_FAULT_BITFLIP_* faults land.

@@ -6,7 +6,9 @@
 #include "core/spadd.hpp"
 #include "core/spgemm.hpp"
 #include "core/spmm.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/env.hpp"
+#include "vgpu/trace.hpp"
 
 namespace mps::serve {
 
@@ -59,6 +61,38 @@ EngineConfig resolve_config(EngineConfig cfg) {
   return cfg;
 }
 
+/// Registry handles resolved once; every bump after that is a relaxed
+/// atomic (docs/observability.md).  These mirror the per-engine counters
+/// under stats_mutex_ — the registry aggregates across engines and is
+/// what --metrics-out / MPS_METRICS_DUMP_MS export.
+struct ServeMetrics {
+  telemetry::Counter& accepted =
+      telemetry::metrics().counter("serve.requests.accepted");
+  telemetry::Counter& rejected_full =
+      telemetry::metrics().counter("serve.requests.rejected_full");
+  telemetry::Counter& timed_out =
+      telemetry::metrics().counter("serve.requests.timed_out");
+  telemetry::Counter& rejected_shutdown =
+      telemetry::metrics().counter("serve.requests.rejected_shutdown");
+  telemetry::Counter& completed =
+      telemetry::metrics().counter("serve.requests.completed");
+  telemetry::Counter& failed =
+      telemetry::metrics().counter("serve.requests.failed");
+  telemetry::Counter& retries =
+      telemetry::metrics().counter("serve.requests.retries");
+  telemetry::Counter& batches =
+      telemetry::metrics().counter("serve.batches.coalesced");
+  telemetry::Gauge& peak_queue =
+      telemetry::metrics().gauge("serve.queue.peak_depth");
+  telemetry::Histogram& latency_ms = telemetry::metrics().histogram(
+      "serve.latency_ms", telemetry::default_latency_bounds_ms());
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics m;
+  return m;
+}
+
 }  // namespace
 
 EngineConfig EngineConfig::from_env() { return resolve_config(EngineConfig{}); }
@@ -77,10 +111,45 @@ struct Engine::Request {
   std::promise<MatrixResult> matrix_promise;
   clock::time_point submitted;
   std::optional<clock::time_point> expires;  ///< queue-wait deadline
+  // Telemetry: a fresh trace opened at admission (zero while the tracer
+  // is disabled).  The request span is recorded manually at settle time
+  // because it crosses threads: admitted on the client thread, settled
+  // on a worker.
+  telemetry::SpanContext span_ctx;
+  double span_start_us = -1.0;
+  std::uint32_t span_tid = 0;
 
   bool expired(clock::time_point now) const { return expires && now >= *expires; }
 
+  void open_span() {
+    auto& tr = telemetry::tracer();
+    if (!tr.enabled()) return;
+    span_ctx = telemetry::SpanContext{tr.next_trace_id(), tr.next_span_id()};
+    span_start_us = tr.now_us();
+    span_tid = telemetry::current_tid();
+  }
+
+  /// Record the request span with the given outcome; idempotent (the
+  /// first caller wins, so a specific "timeout"/"shutdown" status set
+  /// before fail() is not overwritten by fail()'s generic "error").
+  void finish_span(const char* status) {
+    if (!span_ctx.active()) return;
+    auto& tr = telemetry::tracer();
+    telemetry::SpanRecord rec;
+    rec.trace_id = span_ctx.trace_id;
+    rec.span_id = span_ctx.span_id;
+    rec.name = "serve.request";
+    rec.track = "serve";
+    rec.status = status;
+    rec.start_us = span_start_us;
+    rec.dur_us = tr.now_us() - span_start_us;
+    rec.tid = span_tid;
+    tr.record(std::move(rec));
+    span_ctx = telemetry::SpanContext{};
+  }
+
   void fail(std::exception_ptr e) {
+    finish_span("error");
     // A request whose promise is already settled (e.g. a failure after a
     // partial batch scatter) must not re-throw out of the worker.
     try {
@@ -264,6 +333,7 @@ std::future<SpmvResult> Engine::admit_spmv(MatrixHandle h,
   req->a = std::move(a);
   req->x = std::move(x);
   req->submitted = clock::now();
+  req->open_span();
   auto timeout = opts.request_timeout.count() != 0 ? opts.request_timeout
                                                    : cfg_.default_timeout;
   if (timeout.count() > 0) req->expires = req->submitted + timeout;
@@ -276,12 +346,15 @@ std::future<SpmvResult> Engine::admit_spmv(MatrixHandle h,
         std::lock_guard<std::mutex> slock(stats_mutex_);
         ++rejected_full_;
       }
+      serve_metrics().rejected_full.add();
       *admitted = false;
       if (!blocking) return future;  // caller discards; nullopt instead
       throw QueueFullError("serve: submission queue full (capacity " +
                            std::to_string(cfg_.queue_capacity) + ")");
     }
     queue_.push_back(std::move(req));
+    serve_metrics().accepted.add();
+    serve_metrics().peak_queue.update_max(static_cast<double>(queue_.size()));
     std::lock_guard<std::mutex> slock(stats_mutex_);
     ++accepted_;
     peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
@@ -330,6 +403,7 @@ std::future<MatrixResult> Engine::admit_matrix_op(bool gemm, MatrixHandle a,
   req->a = std::move(ma);
   req->b = std::move(mb);
   req->submitted = clock::now();
+  req->open_span();
   auto timeout = opts.request_timeout.count() != 0 ? opts.request_timeout
                                                    : cfg_.default_timeout;
   if (timeout.count() > 0) req->expires = req->submitted + timeout;
@@ -337,12 +411,15 @@ std::future<MatrixResult> Engine::admit_matrix_op(bool gemm, MatrixHandle a,
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     if (!admit_locked(lock, opts, /*blocking=*/true)) {
+      serve_metrics().rejected_full.add();
       std::lock_guard<std::mutex> slock(stats_mutex_);
       ++rejected_full_;
       throw QueueFullError("serve: submission queue full (capacity " +
                            std::to_string(cfg_.queue_capacity) + ")");
     }
     queue_.push_back(std::move(req));
+    serve_metrics().accepted.add();
+    serve_metrics().peak_queue.update_max(static_cast<double>(queue_.size()));
     std::lock_guard<std::mutex> slock(stats_mutex_);
     ++accepted_;
     peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
@@ -434,7 +511,9 @@ void Engine::dispatcher_loop() {
         std::lock_guard<std::mutex> slock(stats_mutex_);
         rejected_shutdown_ += static_cast<long long>(rs.size());
       }
+      serve_metrics().rejected_shutdown.add(static_cast<long long>(rs.size()));
       for (auto& r : rs) {
+        r->finish_span("shutdown");
         r->fail(std::make_exception_ptr(
             ShutdownError("serve: engine shut down before the request ran")));
       }
@@ -445,7 +524,9 @@ void Engine::dispatcher_loop() {
         std::lock_guard<std::mutex> slock(stats_mutex_);
         timed_out_ += static_cast<long long>(expired.size());
       }
+      serve_metrics().timed_out.add(static_cast<long long>(expired.size()));
       for (auto& r : expired) {
+        r->finish_span("timeout");
         r->fail(std::make_exception_ptr(RequestTimeoutError(
             "serve: request timed out after waiting in the queue")));
       }
@@ -462,6 +543,7 @@ void Engine::dispatch_batch(std::shared_ptr<Batch> batch) {
     if (n >= 2) ++batches_;
     max_batch_ = std::max(max_batch_, static_cast<long long>(n));
   }
+  if (n >= 2) serve_metrics().batches.add();
   // execute_batch may shrink batch->reqs (late-expiry re-check), so the
   // in-flight accounting uses the size captured at dispatch.  Freed
   // capacity wakes the dispatcher, which gates on in_flight_batches_.
@@ -489,7 +571,9 @@ void Engine::dispatch_batch(std::shared_ptr<Batch> batch) {
       std::lock_guard<std::mutex> slock(stats_mutex_);
       rejected_shutdown_ += static_cast<long long>(n);
     }
+    serve_metrics().rejected_shutdown.add(static_cast<long long>(n));
     for (auto& r : batch->reqs) {
+      r->finish_span("shutdown");
       r->fail(std::make_exception_ptr(
           ShutdownError("serve: worker pool rejected the dispatch")));
     }
@@ -501,6 +585,12 @@ void Engine::dispatch_batch(std::shared_ptr<Batch> batch) {
 // Execution
 
 void Engine::settle_metrics(double latency_ms, bool ok) {
+  if (ok) {
+    serve_metrics().completed.add();
+    serve_metrics().latency_ms.observe(latency_ms);
+  } else {
+    serve_metrics().failed.add();
+  }
   std::lock_guard<std::mutex> lock(stats_mutex_);
   if (ok) {
     ++completed_;
@@ -531,6 +621,8 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
           std::lock_guard<std::mutex> slock(stats_mutex_);
           ++timed_out_;
         }
+        serve_metrics().timed_out.add();
+        r->finish_span("timeout");
         r->fail(std::make_exception_ptr(RequestTimeoutError(
             "serve: request timed out before execution began")));
       } else {
@@ -546,6 +638,10 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
     execute_matrix_op(head, device);
     return;
   }
+  // Run the batch under the head request's span: nested host-phase spans
+  // and every kernel this worker launches inherit its trace id (the
+  // correlation the Perfetto export surfaces).
+  telemetry::ContextScope trace_scope(head.span_ctx);
   const sparse::CsrD& a = *head.a;
   const std::size_t n = batch.reqs.size();
   const auto rows = static_cast<std::size_t>(a.num_rows);
@@ -558,6 +654,7 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
       std::vector<double> y(rows);
       double modeled = 0.0;
       bool hit = false;
+      telemetry::ScopedSpan exec_span("serve.execute");
       for (int attempt = 0;; ++attempt) {
         try {
           auto plan = plan_cache_.get_or_build(device, a, head.handle_a, &hit);
@@ -567,14 +664,17 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
         } catch (const IntegrityError&) {
           if (attempt >= 1) throw;
           plan_cache_.invalidate(head.handle_a);  // rebuild from clean state
+          serve_metrics().retries.add();
           std::lock_guard<std::mutex> slock(stats_mutex_);
           ++retries_;
         } catch (const vgpu::DeviceOomError&) {
           if (attempt >= 1) throw;
+          serve_metrics().retries.add();
           std::lock_guard<std::mutex> slock(stats_mutex_);
           ++retries_;
         }
       }
+      exec_span.end();
       SpmvResult result;
       result.y = std::move(y);
       result.modeled_ms = modeled;
@@ -584,6 +684,7 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
           std::chrono::duration<double, std::milli>(clock::now() - head.submitted)
               .count(),
           true);
+      head.finish_span("ok");
       head.spmv_promise.set_value(std::move(result));
       return;
     }
@@ -592,13 +693,16 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
     // X (cols x n) and run ONE spmm.  Column j of Y is bitwise-identical
     // to spmv of request j: spmm shares spmv's tile geometry and
     // accumulation order (tests/serve_test.cpp asserts it).
+    telemetry::ScopedSpan assemble_span("serve.batch_assemble");
     std::vector<double> x_block(cols * n);
     for (std::size_t j = 0; j < n; ++j) {
       const std::vector<double>& x = batch.reqs[j]->x;
       for (std::size_t c = 0; c < cols; ++c) x_block[c * n + j] = x[c];
     }
+    assemble_span.end();
     std::vector<double> y_block(rows * n);
     double modeled = 0.0;
+    telemetry::ScopedSpan exec_span("serve.execute");
     for (int attempt = 0;; ++attempt) {
       try {
         modeled = core::merge::spmm(device, a, x_block,
@@ -607,14 +711,18 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
         break;
       } catch (const vgpu::DeviceOomError&) {
         if (attempt >= 1) throw;
+        serve_metrics().retries.add();
         std::lock_guard<std::mutex> slock(stats_mutex_);
         ++retries_;
       } catch (const IntegrityError&) {
         if (attempt >= 1) throw;
+        serve_metrics().retries.add();
         std::lock_guard<std::mutex> slock(stats_mutex_);
         ++retries_;
       }
     }
+    exec_span.end();
+    telemetry::ScopedSpan scatter_span("serve.batch_scatter");
     const auto now = clock::now();
     for (std::size_t j = 0; j < n; ++j) {
       Request& r = *batch.reqs[j];
@@ -626,6 +734,7 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
       settle_metrics(
           std::chrono::duration<double, std::milli>(now - r.submitted).count(),
           true);
+      r.finish_span("ok");
       r.spmv_promise.set_value(std::move(result));
       ++settled;
     }
@@ -642,8 +751,10 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
 }
 
 void Engine::execute_matrix_op(Request& req, vgpu::Device& device) {
+  telemetry::ContextScope trace_scope(req.span_ctx);
   try {
     MatrixResult result;
+    telemetry::ScopedSpan exec_span("serve.execute");
     for (int attempt = 0;; ++attempt) {
       try {
         if (req.kind == Request::Kind::kSpadd) {
@@ -656,18 +767,22 @@ void Engine::execute_matrix_op(Request& req, vgpu::Device& device) {
         break;
       } catch (const vgpu::DeviceOomError&) {
         if (attempt >= 1) throw;
+        serve_metrics().retries.add();
         std::lock_guard<std::mutex> slock(stats_mutex_);
         ++retries_;
       } catch (const IntegrityError&) {
         if (attempt >= 1) throw;
+        serve_metrics().retries.add();
         std::lock_guard<std::mutex> slock(stats_mutex_);
         ++retries_;
       }
     }
+    exec_span.end();
     settle_metrics(
         std::chrono::duration<double, std::milli>(clock::now() - req.submitted)
             .count(),
         true);
+    req.finish_span("ok");
     req.matrix_promise.set_value(std::move(result));
   } catch (...) {
     settle_metrics(0.0, false);
@@ -704,6 +819,16 @@ EngineStats Engine::stats() const {
   }
   s.plan_cache = plan_cache_.stats();
   return s;
+}
+
+void Engine::write_trace(std::ostream& out) const {
+  std::vector<vgpu::TraceTrack> tracks;
+  tracks.reserve(devices_.size());
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    tracks.push_back(vgpu::TraceTrack{"vgpu worker " + std::to_string(i),
+                                      devices_[i].get()});
+  }
+  vgpu::write_perfetto_trace(out, tracks);
 }
 
 }  // namespace mps::serve

@@ -50,6 +50,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -59,6 +60,7 @@
 
 #include "serve/plan_cache.hpp"
 #include "sparse/csr.hpp"
+#include "telemetry/span.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 #include "vgpu/device.hpp"
@@ -221,6 +223,13 @@ class Engine {
 
   EngineStats stats() const;
   unsigned num_workers() const { return num_workers_; }
+
+  /// Export the correlated Perfetto timeline: every request span recorded
+  /// by the telemetry tracer (track "serve"), host phase spans, and each
+  /// worker device's kernel log as its own track.  Call only while the
+  /// engine is quiescent (after drain() or shutdown()); requires the
+  /// tracer to have been enabled while requests ran.
+  void write_trace(std::ostream& out) const;
 
   /// Size of the bounded latency reservoir behind EngineStats::latency_ms
   /// and the p50/p99 snapshot.

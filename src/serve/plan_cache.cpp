@@ -1,6 +1,28 @@
 #include "serve/plan_cache.hpp"
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
 namespace mps::serve {
+
+namespace {
+
+/// Registry handles cached once; bumps after that are lock-free.
+struct CacheMetrics {
+  telemetry::Counter& hits =
+      telemetry::metrics().counter("serve.plan_cache.hits");
+  telemetry::Counter& misses =
+      telemetry::metrics().counter("serve.plan_cache.misses");
+  telemetry::Counter& evictions =
+      telemetry::metrics().counter("serve.plan_cache.evictions");
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::shared_ptr<const core::merge::SpmvPlan> PlanCache::get_or_build(
     vgpu::Device& device, const sparse::CsrD& a, std::uint64_t key,
@@ -9,13 +31,17 @@ std::shared_ptr<const core::merge::SpmvPlan> PlanCache::get_or_build(
   if (was_hit) *was_hit = false;
   if (auto it = index_.find(key); it != index_.end()) {
     ++hits_;
+    cache_metrics().hits.add();
     if (was_hit) *was_hit = true;
     lru_.splice(lru_.begin(), lru_, it->second);  // touch
     return it->second->plan;
   }
   ++misses_;
+  cache_metrics().misses.add();
+  telemetry::ScopedSpan build_span("serve.plan_build");
   auto plan = std::make_shared<const core::merge::SpmvPlan>(
       core::merge::spmv_plan(device, a));
+  build_span.end();
   const std::size_t bytes = plan->bytes();
   if (bytes > capacity_bytes_) {
     ++oversize_;  // serve it, but never resident
@@ -27,6 +53,7 @@ std::shared_ptr<const core::merge::SpmvPlan> PlanCache::get_or_build(
     index_.erase(victim.key);
     lru_.pop_back();
     ++evictions_;
+    cache_metrics().evictions.add();
   }
   lru_.push_front(Entry{key, plan, bytes});
   index_[key] = lru_.begin();

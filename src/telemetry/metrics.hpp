@@ -1,0 +1,142 @@
+#pragma once
+// mps::telemetry — process-wide metrics registry (docs/observability.md).
+//
+// Three instrument kinds, all with a lock-free fast path:
+//
+//   * Counter   — monotone add; relaxed atomic increments;
+//   * Gauge     — last-value set() plus a high-water update_max() (CAS
+//                 loop), for things like device-memory peaks;
+//   * Histogram — fixed upper-bound buckets chosen at registration
+//                 (cumulative counts exported Prometheus-style), for
+//                 latency distributions.
+//
+// Registration (metrics().counter("serve.requests.accepted")) takes a
+// mutex once and returns a reference that stays valid for the process
+// lifetime — call sites cache it (typically in a function-local static
+// struct) and then only touch atomics.  Metric names are dotted
+// lowercase ("subsystem.object.event"); the Prometheus exporter maps
+// them to mps_subsystem_object_event.
+//
+// Exports: write_json() (machine-readable snapshot, one object per
+// instrument kind) and write_prometheus() (text exposition format 0.0.4).
+// tools/mps_serve exposes both via --metrics-out / --metrics-prom, and a
+// PeriodicDumper instance honors the MPS_METRICS_DUMP_MS env knob.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mps::telemetry {
+
+class Counter {
+ public:
+  void add(long long d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  long long value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Raise the gauge to `v` if it exceeds the current value (high-water
+  /// marks; lock-free CAS loop).
+  void update_max(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; an implicit +inf bucket
+  /// is appended.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  long long count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts, one per bound plus the +inf
+  /// bucket.
+  std::vector<long long> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<long long>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<long long> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name → instrument registry.  Instruments are created on first use and
+/// never destroyed; returned references are stable for the process
+/// lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Registering an existing histogram name returns it unchanged (the
+  /// first registration's buckets win).
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds);
+
+  /// JSON snapshot: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void write_json(std::ostream& out) const;
+  /// Prometheus text exposition (names prefixed mps_, dots → underscores).
+  void write_prometheus(std::ostream& out) const;
+
+  /// Zero every instrument's value (tests; registrations are kept so
+  /// cached references stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry.
+MetricsRegistry& metrics();
+
+/// Default latency-histogram bounds (milliseconds).
+const std::vector<double>& default_latency_bounds_ms();
+
+/// Background metrics dumper honoring MPS_METRICS_DUMP_MS: when the knob
+/// is a positive interval, a thread writes a JSON snapshot every interval
+/// to MPS_METRICS_DUMP_PATH (appending one snapshot per line; stderr when
+/// unset) until destruction.  With the knob unset this is inert.
+class PeriodicDumper {
+ public:
+  PeriodicDumper();
+  ~PeriodicDumper();
+  PeriodicDumper(const PeriodicDumper&) = delete;
+  PeriodicDumper& operator=(const PeriodicDumper&) = delete;
+
+  bool running() const { return thread_.joinable(); }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace mps::telemetry

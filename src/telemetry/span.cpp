@@ -1,0 +1,105 @@
+#include "telemetry/span.hpp"
+
+namespace mps::telemetry {
+
+namespace {
+
+thread_local SpanContext t_current{};
+
+std::uint32_t next_tid() {
+  static std::atomic<std::uint32_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tracer& tracer() {
+  static Tracer t;
+  return t;
+}
+
+SpanContext current_context() { return t_current; }
+
+std::uint32_t current_tid() {
+  thread_local std::uint32_t tid = next_tid();
+  return tid;
+}
+
+void Tracer::enable() {
+  bool expected = false;
+  if (epoch_set_.compare_exchange_strong(expected, true)) {
+    epoch_ = std::chrono::steady_clock::now();
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+}
+
+double Tracer::now_us() const {
+  if (!epoch_set_.load(std::memory_order_acquire)) return 0.0;
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::record(SpanRecord rec) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+ContextScope::ContextScope(SpanContext ctx) : prev_(t_current) {
+  t_current = ctx;
+}
+
+ContextScope::~ContextScope() { t_current = prev_; }
+
+ScopedSpan::ScopedSpan(const char* name, const char* track) {
+  Tracer& t = tracer();
+  if (!t.enabled()) return;
+  active_ = true;
+  name_ = name;
+  track_ = track;
+  prev_ = t_current;
+  ctx_.trace_id = prev_.active() ? prev_.trace_id : t.next_trace_id();
+  ctx_.span_id = t.next_span_id();
+  t_current = ctx_;
+  start_us_ = t.now_us();
+}
+
+void ScopedSpan::end(const char* status) {
+  if (!active_) return;
+  active_ = false;
+  t_current = prev_;
+  Tracer& t = tracer();
+  SpanRecord rec;
+  rec.trace_id = ctx_.trace_id;
+  rec.span_id = ctx_.span_id;
+  rec.parent_id = prev_.span_id;
+  rec.name = name_;
+  rec.track = track_;
+  rec.status = status;
+  rec.start_us = start_us_;
+  rec.dur_us = t.now_us() - start_us_;
+  rec.tid = current_tid();
+  t.record(std::move(rec));
+}
+
+ScopedSpan::~ScopedSpan() { end(); }
+
+}  // namespace mps::telemetry

@@ -1,0 +1,150 @@
+#pragma once
+// mps::telemetry — unified spans (docs/observability.md).
+//
+// A Span is one named, timed interval on a named track; the process-wide
+// Tracer collects finished spans so an exporter (vgpu/trace.hpp's
+// write_perfetto_trace) can lay serving-request lanes, host phase spans
+// and modeled device kernels on one correlated timeline.
+//
+// Correlation model: every span carries a (trace_id, span_id, parent_id)
+// triple.  A serving request opens a fresh trace; host phases executed on
+// its behalf become child spans via the thread-local *current context*
+// (ContextScope / ScopedSpan propagate it), and vgpu::Device::launch
+// stamps the active context into each KernelStats record — so one trace
+// id threads a request through every host phase and device kernel it ran.
+//
+// Cost contract: instrumentation is compiled in everywhere but must be
+// near-zero-cost when no subscriber is attached.  With the tracer
+// disabled (the default), constructing a ScopedSpan is one relaxed atomic
+// load and no allocation, no clock read, no lock; the modeled device
+// timeline is untouched in either state (spans never charge the cost
+// model — bench/plan_reuse_spmv asserts the zero-delta, mirroring the
+// MPS_INTEGRITY_CHECK contract).
+//
+// Enable by calling tracer().enable() (tools do this when --trace-out or
+// MPS_TRACE_OUT is given).  The tracer is thread-safe: record() appends
+// under a mutex, snapshot() copies.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mps::telemetry {
+
+using TraceId = std::uint64_t;
+using SpanId = std::uint64_t;
+
+/// The (trace, span) pair propagated through thread-local storage; the
+/// zero context means "no active span".
+struct SpanContext {
+  TraceId trace_id = 0;
+  SpanId span_id = 0;
+  bool active() const { return span_id != 0; }
+};
+
+/// One finished span, as stored by the Tracer.
+struct SpanRecord {
+  TraceId trace_id = 0;
+  SpanId span_id = 0;
+  SpanId parent_id = 0;
+  std::string name;
+  std::string track;  ///< timeline grouping: "host", "serve", ...
+  std::string status; ///< optional outcome tag ("ok", "error", ...)
+  double start_us = 0.0;  ///< wall microseconds since the tracer epoch
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;  ///< stable small id of the recording thread
+};
+
+/// Thread-safe collector of finished spans.  Disabled by default; when
+/// disabled every instrumentation call site degenerates to one relaxed
+/// atomic load.
+class Tracer {
+ public:
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// Start collecting; the first enable() fixes the epoch all span
+  /// timestamps are relative to (re-enabling keeps it).
+  void enable();
+  void disable();
+  /// Drop collected spans (the epoch is kept).
+  void clear();
+
+  /// Microseconds since the epoch (0 until the first enable()).
+  double now_us() const;
+
+  TraceId next_trace_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  SpanId next_span_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Append a finished span (no-op while disabled).
+  void record(SpanRecord rec);
+
+  std::vector<SpanRecord> snapshot() const;
+  std::size_t size() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<bool> epoch_set_{false};
+  std::chrono::steady_clock::time_point epoch_{};
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// The process-wide tracer.
+Tracer& tracer();
+
+/// The calling thread's active span context (zero when none).
+SpanContext current_context();
+
+/// Stable small id for the calling thread (for trace export lanes).
+std::uint32_t current_tid();
+
+/// RAII: make `ctx` the thread's current context for the scope.  Used by
+/// the serving engine to run a worker's execution under the request's
+/// span so nested ScopedSpans and kernel launches correlate to it.
+class ContextScope {
+ public:
+  explicit ContextScope(SpanContext ctx);
+  ~ContextScope();
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  SpanContext prev_;
+};
+
+/// RAII span: starts at construction, records at destruction (or at an
+/// explicit end()).  Inherits the trace id of — and parents itself under
+/// — the current context, becomes the current context for its scope, and
+/// opens a fresh trace when there is none.  Inactive (free) while the
+/// tracer is disabled.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* track = "host");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Finish early (idempotent); `status` lands in the record.
+  void end(const char* status = "");
+
+  /// This span's context (zero when the tracer was disabled at
+  /// construction).
+  SpanContext context() const { return ctx_; }
+
+ private:
+  bool active_ = false;
+  SpanContext ctx_;
+  SpanContext prev_;
+  const char* name_ = "";
+  const char* track_ = "";
+  double start_us_ = 0.0;
+};
+
+}  // namespace mps::telemetry

@@ -51,6 +51,13 @@ struct KernelStats {
   double modeled_ms = 0.0;
   double wall_ms = 0.0;        ///< host wall time (informational only)
   CtaCounters totals;          ///< summed over CTAs
+  /// Telemetry correlation (telemetry/span.hpp): the active span context
+  /// at launch and the wall start time relative to the tracer epoch.
+  /// Zero / negative while the tracer is disabled — stamping them never
+  /// affects modeled time (the zero-overhead contract).
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  double start_us = -1.0;
 
   KernelStats& operator+=(const KernelStats& o) {
     num_ctas += o.num_ctas;

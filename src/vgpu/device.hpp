@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/span.hpp"
 #include "util/timer.hpp"
 #include "vgpu/counters.hpp"
 #include "vgpu/cta.hpp"
@@ -45,6 +46,13 @@ class Device {
                      F&& kernel) {
     MPS_CHECK(num_ctas >= 0);
     MPS_CHECK(block_threads > 0 && block_threads <= props_.max_cta_threads);
+    // Telemetry stamp: the active span context and wall start, read before
+    // the CTAs run.  One relaxed atomic load when the tracer is disabled;
+    // never charges the cost model either way.
+    const bool traced = telemetry::tracer().enabled();
+    const telemetry::SpanContext span_ctx =
+        traced ? telemetry::current_context() : telemetry::SpanContext{};
+    const double start_us = traced ? telemetry::tracer().now_us() : -1.0;
     util::WallTimer wall;
     std::vector<CtaCounters> counters(static_cast<std::size_t>(num_ctas));
     auto body = [&](std::size_t i) {
@@ -70,6 +78,9 @@ class Device {
     stats.device_cycles = schedule_cycles(props_, cycles);
     stats.modeled_ms = props_.cycles_to_ms(stats.device_cycles);
     stats.wall_ms = wall.milliseconds();
+    stats.trace_id = span_ctx.trace_id;
+    stats.span_id = span_ctx.span_id;
+    stats.start_us = start_us;
     log_.push_back(stats);
     return stats;
   }

@@ -2,18 +2,46 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+
 namespace mps::vgpu {
+
+namespace {
+
+/// Registry handles cached once; increments after that are lock-free
+/// (docs/observability.md naming conventions).
+struct MemMetrics {
+  telemetry::Gauge& peak_bytes =
+      telemetry::metrics().gauge("vgpu.mem.peak_bytes");
+  telemetry::Counter& oom =
+      telemetry::metrics().counter("vgpu.mem.oom_errors");
+  telemetry::Counter& injected =
+      telemetry::metrics().counter("vgpu.faults.injected_alloc_failures");
+};
+
+MemMetrics& mem_metrics() {
+  static MemMetrics m;
+  return m;
+}
+
+}  // namespace
 
 void MemoryModel::reserve(std::size_t bytes, void* window,
                           std::size_t window_bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (window != nullptr && window_bytes == 0) window_bytes = bytes;
   if (fault_ && fault_->on_reserve(bytes, window, window_bytes)) {
+    mem_metrics().injected.add();
     throw DeviceOomError(bytes, in_use_, capacity_, /*injected=*/true);
   }
-  if (in_use_ + bytes > capacity_) throw DeviceOomError(bytes, in_use_, capacity_);
+  if (in_use_ + bytes > capacity_) {
+    mem_metrics().oom.add();
+    throw DeviceOomError(bytes, in_use_, capacity_);
+  }
   in_use_ += bytes;
   peak_ = std::max(peak_, in_use_);
+  // Process-wide high-water mark across every device's memory model.
+  mem_metrics().peak_bytes.update_max(static_cast<double>(peak_));
 }
 
 void MemoryModel::release(std::size_t bytes) noexcept {

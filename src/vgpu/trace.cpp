@@ -1,8 +1,10 @@
 #include "vgpu/trace.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
+#include <map>
 #include <ostream>
-#include <stdexcept>
 
 #include "util/error.hpp"
 
@@ -10,10 +12,16 @@ namespace mps::vgpu {
 
 namespace {
 
+// Escapes for a JSON string literal.  Control bytes AND non-ASCII bytes
+// are \u-escaped: kernel names are internal identifiers, but a corrupted
+// or adversarial name must still produce output that strict parsers
+// (python -m json.tool in CI) accept, so nothing that could break UTF-8
+// validation is passed through raw.
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
     switch (c) {
       case '"':
         out += "\\\"";
@@ -24,10 +32,16 @@ std::string json_escape(const std::string& s) {
       case '\n':
         out += "\\n";
         break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+        if (u < 0x20 || u >= 0x7f) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
           out += buf;
         } else {
           out += c;
@@ -37,27 +51,45 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// "ph":"M" metadata event naming a process or thread in the trace UI.
+void write_name_meta(std::ostream& out, const char* what, int pid, int tid,
+                     const std::string& name, bool& first) {
+  if (!first) out << ',';
+  first = false;
+  out << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << json_escape(name)
+      << "\"}}";
+}
+
+void write_kernel_event(std::ostream& out, const KernelStats& k, int pid,
+                        double ts_us, bool& first) {
+  const double dur_us = k.modeled_ms * 1e3;
+  if (!first) out << ',';
+  first = false;
+  out << "{\"name\":\"" << json_escape(k.name)
+      << "\",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":1"
+      << ",\"ts\":" << ts_us << ",\"dur\":" << dur_us << ",\"args\":{"
+      << "\"num_ctas\":" << k.num_ctas
+      << ",\"device_cycles\":" << k.device_cycles
+      << ",\"global_bytes\":" << k.totals.global_bytes
+      << ",\"gather_bytes\":" << k.totals.gather_bytes
+      << ",\"shared_ops\":" << k.totals.shared_ops
+      << ",\"warp_iters\":" << k.totals.warp_iters
+      << ",\"wall_ms\":" << k.wall_ms << ",\"trace_id\":" << k.trace_id
+      << ",\"span_id\":" << k.span_id << "}}";
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& out, const Device& device) {
   out << "{\"traceEvents\":[";
-  double cursor_us = 0.0;
   bool first = true;
+  write_name_meta(out, "process_name", 1, 0, "mps virtual GPU", first);
+  write_name_meta(out, "thread_name", 1, 1, "modeled kernels", first);
+  double cursor_us = 0.0;
   for (const auto& k : device.log()) {
-    const double dur_us = k.modeled_ms * 1e3;
-    if (!first) out << ',';
-    first = false;
-    out << "{\"name\":\"" << json_escape(k.name)
-        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":1"
-        << ",\"ts\":" << cursor_us << ",\"dur\":" << dur_us << ",\"args\":{"
-        << "\"num_ctas\":" << k.num_ctas
-        << ",\"device_cycles\":" << k.device_cycles
-        << ",\"global_bytes\":" << k.totals.global_bytes
-        << ",\"gather_bytes\":" << k.totals.gather_bytes
-        << ",\"shared_ops\":" << k.totals.shared_ops
-        << ",\"warp_iters\":" << k.totals.warp_iters
-        << ",\"wall_ms\":" << k.wall_ms << "}}";
-    cursor_us += dur_us;
+    write_kernel_event(out, k, /*pid=*/1, cursor_us, first);
+    cursor_us += k.modeled_ms * 1e3;
   }
   out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
       << "\"device\":\"mps virtual GPU\",\"kernels\":" << device.log().size()
@@ -68,6 +100,83 @@ void write_chrome_trace_file(const std::string& path, const Device& device) {
   std::ofstream out(path);
   if (!out) throw IoError("cannot open trace file " + path);
   write_chrome_trace(out, device);
+  if (!out) throw IoError("failed writing trace file " + path);
+}
+
+void write_perfetto_trace(std::ostream& out, std::span<const TraceTrack> tracks,
+                          const telemetry::Tracer& tracer) {
+  const std::vector<telemetry::SpanRecord> spans = tracer.snapshot();
+
+  // Span tracks become pids 1..N in first-seen order; device tracks follow.
+  std::map<std::string, int> span_pids;
+  std::vector<std::string> span_track_names;
+  for (const auto& rec : spans) {
+    if (span_pids.emplace(rec.track, 0).second) {
+      span_track_names.push_back(rec.track);
+    }
+  }
+  int next_pid = 1;
+  for (const auto& name : span_track_names) span_pids[name] = next_pid++;
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+
+  for (const auto& name : span_track_names) {
+    write_name_meta(out, "process_name", span_pids[name], 0, name, first);
+  }
+  // Thread-name metadata: one per (track, tid) pair observed in the spans.
+  std::map<std::pair<int, std::uint32_t>, bool> tids_seen;
+  for (const auto& rec : spans) {
+    const int pid = span_pids[rec.track];
+    if (tids_seen.emplace(std::make_pair(pid, rec.tid), true).second) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "lane %u", rec.tid);
+      write_name_meta(out, "thread_name", pid, static_cast<int>(rec.tid), buf,
+                      first);
+    }
+  }
+
+  for (const auto& rec : spans) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << json_escape(rec.name)
+        << "\",\"ph\":\"X\",\"pid\":" << span_pids[rec.track]
+        << ",\"tid\":" << rec.tid << ",\"ts\":" << rec.start_us
+        << ",\"dur\":" << rec.dur_us << ",\"args\":{"
+        << "\"trace_id\":" << rec.trace_id << ",\"span_id\":" << rec.span_id
+        << ",\"parent_id\":" << rec.parent_id << ",\"status\":\""
+        << json_escape(rec.status) << "\"}}";
+  }
+
+  std::size_t kernel_count = 0;
+  for (const auto& track : tracks) {
+    const int pid = next_pid++;
+    write_name_meta(out, "process_name", pid, 0, track.name, first);
+    write_name_meta(out, "thread_name", pid, 1, "modeled kernels", first);
+    if (track.device == nullptr) continue;
+    // Stamped kernels sit at their wall start so they nest under the host
+    // span that launched them; unstamped ones (tracer off at launch) fall
+    // back to a back-to-back modeled layout after the last stamped event.
+    double cursor_us = 0.0;
+    for (const auto& k : track.device->log()) {
+      const double ts_us = k.start_us >= 0.0 ? k.start_us : cursor_us;
+      write_kernel_event(out, k, pid, ts_us, first);
+      cursor_us = std::max(cursor_us, ts_us + k.modeled_ms * 1e3);
+      ++kernel_count;
+    }
+  }
+
+  out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+      << "\"device\":\"mps virtual GPU\",\"spans\":" << spans.size()
+      << ",\"kernels\":" << kernel_count << "}}";
+}
+
+void write_perfetto_trace_file(const std::string& path,
+                               std::span<const TraceTrack> tracks,
+                               const telemetry::Tracer& tracer) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open trace file " + path);
+  write_perfetto_trace(out, tracks, tracer);
   if (!out) throw IoError("failed writing trace file " + path);
 }
 

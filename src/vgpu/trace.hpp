@@ -1,13 +1,35 @@
 #pragma once
-// Chrome-trace (chrome://tracing / Perfetto) export of a device's kernel
-// log.  Each kernel becomes a complete event on the "Virtual GPU" track,
-// laid out back-to-back on the modeled timeline, so the phase structure
-// of an operation (e.g. the Fig 11 SpGEMM pipeline) can be inspected
-// visually.
+// Chrome-trace (chrome://tracing / Perfetto) export of device kernel
+// logs and telemetry spans (docs/observability.md).
+//
+// Two exporters:
+//
+//   * write_chrome_trace — one device's kernel log on a single "Virtual
+//     GPU" track, laid back-to-back on the modeled timeline, so the
+//     phase structure of an operation (e.g. the Fig 11 SpGEMM pipeline)
+//     can be inspected visually.  Process/thread name metadata events
+//     are emitted so the track is labeled in the UI.
+//
+//   * write_perfetto_trace — the multi-track timeline: every span track
+//     collected by the telemetry tracer (serving-request lanes, host
+//     phase spans) becomes a named process, and each device's kernel
+//     log becomes one more.  Kernel events launched while the tracer
+//     was enabled carry their wall start time, so they land *inside*
+//     the host phase span that issued them; their duration stays the
+//     modeled one, and every event carries its trace/span ids in args —
+//     the correlation key tying a serving request to the kernels it ran.
+//     Kernels with no wall stamp (tracer off at launch) fall back to
+//     the back-to-back modeled layout.
+//
+// All string fields are JSON-escaped (including control and non-ASCII
+// bytes), so arbitrary kernel names survive a JSON round trip.
 
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
+#include "telemetry/span.hpp"
 #include "vgpu/device.hpp"
 
 namespace mps::vgpu {
@@ -17,5 +39,22 @@ void write_chrome_trace(std::ostream& out, const Device& device);
 
 /// Convenience file variant; throws mps::IoError on I/O failure.
 void write_chrome_trace_file(const std::string& path, const Device& device);
+
+/// One device lane of a multi-track export.
+struct TraceTrack {
+  std::string name;  ///< process name in the trace UI ("vgpu worker 0", ...)
+  const Device* device = nullptr;
+};
+
+/// Multi-track Perfetto export: tracer spans plus every device's kernel
+/// log, correlated by trace/span ids (see file comment).  The devices
+/// must be quiescent (no concurrent launches) while exporting.
+void write_perfetto_trace(std::ostream& out, std::span<const TraceTrack> tracks,
+                          const telemetry::Tracer& tracer = telemetry::tracer());
+
+/// Convenience file variant; throws mps::IoError on I/O failure.
+void write_perfetto_trace_file(const std::string& path,
+                               std::span<const TraceTrack> tracks,
+                               const telemetry::Tracer& tracer = telemetry::tracer());
 
 }  // namespace mps::vgpu

@@ -1,0 +1,286 @@
+// Tests for mps::telemetry — spans, context propagation, the metrics
+// registry and its exporters, and the correlated Perfetto timeline
+// (docs/observability.md).
+//
+// The tracer and registry are process-wide singletons, so every test
+// leaves them in the default state (tracer disabled + cleared, registry
+// values reset).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/trace.hpp"
+
+namespace mps {
+namespace {
+
+/// Reset the global tracer/registry on entry and exit so tests compose.
+struct TelemetryReset {
+  TelemetryReset() { reset(); }
+  ~TelemetryReset() { reset(); }
+  static void reset() {
+    telemetry::tracer().disable();
+    telemetry::tracer().clear();
+    telemetry::metrics().reset();
+  }
+};
+
+TEST(Tracer, DisabledByDefaultAndRecordsNothing) {
+  TelemetryReset guard;
+  EXPECT_FALSE(telemetry::tracer().enabled());
+  {
+    telemetry::ScopedSpan span("should.not.record");
+    EXPECT_FALSE(span.context().active());
+  }
+  telemetry::SpanRecord rec;
+  rec.trace_id = rec.span_id = 1;
+  rec.name = "manual";
+  telemetry::tracer().record(rec);  // no-op while disabled
+  EXPECT_EQ(telemetry::tracer().size(), 0u);
+  EXPECT_FALSE(telemetry::current_context().active());
+}
+
+TEST(Tracer, ScopedSpanRecordsWithFreshTrace) {
+  TelemetryReset guard;
+  telemetry::tracer().enable();
+  {
+    telemetry::ScopedSpan span("unit.phase", "host");
+    EXPECT_TRUE(span.context().active());
+    EXPECT_EQ(telemetry::current_context().span_id, span.context().span_id);
+  }
+  EXPECT_FALSE(telemetry::current_context().active());
+  const auto spans = telemetry::tracer().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "unit.phase");
+  EXPECT_EQ(spans[0].track, "host");
+  EXPECT_NE(spans[0].trace_id, 0u);
+  EXPECT_NE(spans[0].span_id, 0u);
+  EXPECT_EQ(spans[0].parent_id, 0u);  // no enclosing context: fresh trace
+  EXPECT_GE(spans[0].dur_us, 0.0);
+}
+
+TEST(Tracer, NestedSpansShareTraceAndParent) {
+  TelemetryReset guard;
+  telemetry::tracer().enable();
+  telemetry::TraceId trace = 0;
+  telemetry::SpanId outer_id = 0;
+  {
+    telemetry::ScopedSpan outer("outer");
+    trace = outer.context().trace_id;
+    outer_id = outer.context().span_id;
+    telemetry::ScopedSpan inner("inner");
+    EXPECT_EQ(inner.context().trace_id, trace);
+    EXPECT_NE(inner.context().span_id, outer_id);
+  }
+  const auto spans = telemetry::tracer().snapshot();
+  ASSERT_EQ(spans.size(), 2u);  // inner finishes (and records) first
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].trace_id, trace);
+  EXPECT_EQ(spans[0].parent_id, outer_id);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent_id, 0u);
+}
+
+TEST(Tracer, EndIsIdempotentAndTagsStatus) {
+  TelemetryReset guard;
+  telemetry::tracer().enable();
+  {
+    telemetry::ScopedSpan span("tagged");
+    span.end("error");
+    span.end("ok");  // ignored: already finished
+  }
+  const auto spans = telemetry::tracer().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].status, "error");
+}
+
+TEST(Tracer, ContextScopePropagatesAcrossThreads) {
+  // The serving engine's pattern: the request context is captured on the
+  // admitting thread and re-established on the worker via ContextScope,
+  // so worker-side spans join the request's trace.
+  TelemetryReset guard;
+  telemetry::tracer().enable();
+  telemetry::SpanContext req;
+  req.trace_id = telemetry::tracer().next_trace_id();
+  req.span_id = telemetry::tracer().next_span_id();
+  std::thread worker([req] {
+    telemetry::ContextScope scope(req);
+    telemetry::ScopedSpan span("worker.phase");
+    EXPECT_EQ(span.context().trace_id, req.trace_id);
+  });
+  worker.join();
+  const auto spans = telemetry::tracer().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, req.trace_id);
+  EXPECT_EQ(spans[0].parent_id, req.span_id);
+  EXPECT_NE(spans[0].tid, telemetry::current_tid());
+}
+
+TEST(Tracer, KernelLaunchStampsActiveContext) {
+  TelemetryReset guard;
+  vgpu::Device dev;
+  // Disabled: launches carry the zero context and no start time.
+  dev.launch("untraced", 1, 32, [](vgpu::Cta&) {});
+  EXPECT_EQ(dev.log().back().trace_id, 0u);
+  EXPECT_LT(dev.log().back().start_us, 0.0);
+
+  telemetry::tracer().enable();
+  telemetry::ScopedSpan span("launcher");
+  dev.launch("traced", 1, 32, [](vgpu::Cta&) {});
+  EXPECT_EQ(dev.log().back().trace_id, span.context().trace_id);
+  EXPECT_EQ(dev.log().back().span_id, span.context().span_id);
+  EXPECT_GE(dev.log().back().start_us, 0.0);
+}
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  TelemetryReset guard;
+  auto& c = telemetry::metrics().counter("test.counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  // Re-registration returns the same instrument.
+  EXPECT_EQ(&telemetry::metrics().counter("test.counter"), &c);
+
+  auto& g = telemetry::metrics().gauge("test.gauge");
+  g.set(2.5);
+  g.update_max(1.0);  // below current: kept
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.update_max(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+
+  auto& h = telemetry::metrics().histogram("test.histo", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 55.5);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);  // two bounds + the +inf bucket
+  EXPECT_EQ(buckets[0], 1);
+  EXPECT_EQ(buckets[1], 1);
+  EXPECT_EQ(buckets[2], 1);
+  // First registration's buckets win.
+  EXPECT_EQ(&telemetry::metrics().histogram("test.histo", {99.0}), &h);
+  EXPECT_EQ(h.upper_bounds().size(), 2u);
+}
+
+TEST(Metrics, JsonAndPrometheusExports) {
+  TelemetryReset guard;
+  telemetry::metrics().counter("export.hits").add(3);
+  telemetry::metrics().gauge("export.depth").set(1.5);
+  telemetry::metrics().histogram("export.lat_ms", {1.0}).observe(0.25);
+  std::ostringstream js;
+  telemetry::metrics().write_json(js);
+  const std::string j = js.str();
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"export.hits\":3"), std::string::npos);
+  EXPECT_NE(j.find("\"export.depth\""), std::string::npos);
+  EXPECT_NE(j.find("\"export.lat_ms\""), std::string::npos);
+  EXPECT_EQ(j.front(), '{');
+
+  std::ostringstream prom;
+  telemetry::metrics().write_prometheus(prom);
+  const std::string p = prom.str();
+  EXPECT_NE(p.find("# TYPE mps_export_hits counter"), std::string::npos);
+  EXPECT_NE(p.find("mps_export_hits 3"), std::string::npos);
+  EXPECT_NE(p.find("# TYPE mps_export_depth gauge"), std::string::npos);
+  EXPECT_NE(p.find("# TYPE mps_export_lat_ms histogram"), std::string::npos);
+  EXPECT_NE(p.find("mps_export_lat_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(p.find("mps_export_lat_ms_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(p.find("mps_export_lat_ms_count 1"), std::string::npos);
+}
+
+TEST(Metrics, PeriodicDumperInertWithoutKnob) {
+  TelemetryReset guard;
+  ::unsetenv("MPS_METRICS_DUMP_MS");
+  telemetry::PeriodicDumper dumper;
+  EXPECT_FALSE(dumper.running());
+}
+
+TEST(Metrics, PeriodicDumperWritesSnapshots) {
+  TelemetryReset guard;
+  telemetry::metrics().counter("dumper.ticks").add(5);
+  const std::string path = ::testing::TempDir() + "/mps_dump_test.json";
+  std::remove(path.c_str());
+  ::setenv("MPS_METRICS_DUMP_MS", "10", 1);
+  ::setenv("MPS_METRICS_DUMP_PATH", path.c_str(), 1);
+  {
+    telemetry::PeriodicDumper dumper;
+    EXPECT_TRUE(dumper.running());
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+  ::unsetenv("MPS_METRICS_DUMP_MS");
+  ::unsetenv("MPS_METRICS_DUMP_PATH");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line).good() || !line.empty());
+  EXPECT_NE(line.find("\"dumper.ticks\":5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Perfetto, ExportCorrelatesSpansAndKernels) {
+  // The end-to-end acceptance shape at unit scale: a request-style span
+  // with a child host phase and a device kernel launched underneath it,
+  // all sharing one trace id in the exported timeline.
+  TelemetryReset guard;
+  telemetry::tracer().enable();
+  vgpu::Device dev;
+  telemetry::TraceId trace = 0;
+  {
+    telemetry::ScopedSpan request("unit.request", "serve");
+    trace = request.context().trace_id;
+    telemetry::ScopedSpan phase("unit.phase");
+    dev.launch("unit.kernel", 2, 64,
+               [](vgpu::Cta& cta) { cta.charge_global(128); });
+  }
+  std::ostringstream os;
+  const vgpu::TraceTrack tracks[] = {{"unit device", &dev}};
+  vgpu::write_perfetto_trace(os, tracks);
+  const std::string s = os.str();
+
+  // Track metadata for both span tracks and the device track.
+  EXPECT_NE(s.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(s.find("\"serve\""), std::string::npos);
+  EXPECT_NE(s.find("\"host\""), std::string::npos);
+  EXPECT_NE(s.find("\"unit device\""), std::string::npos);
+  // All three events carry the one trace id.
+  const std::string tag = "\"trace_id\":" + std::to_string(trace);
+  std::size_t hits = 0;
+  for (std::size_t pos = s.find(tag); pos != std::string::npos;
+       pos = s.find(tag, pos + tag.size())) {
+    ++hits;
+  }
+  EXPECT_EQ(hits, 3u);
+  EXPECT_NE(s.find("unit.request"), std::string::npos);
+  EXPECT_NE(s.find("unit.phase"), std::string::npos);
+  EXPECT_NE(s.find("unit.kernel"), std::string::npos);
+}
+
+TEST(Perfetto, UntracedKernelsStillExportBackToBack) {
+  // Kernels launched with the tracer off have no wall placement; the
+  // exporter lays them back-to-back from the timeline cursor instead of
+  // dropping them.
+  TelemetryReset guard;
+  vgpu::Device dev;
+  dev.launch("cold.a", 1, 32, [](vgpu::Cta&) {});
+  dev.launch("cold.b", 1, 32, [](vgpu::Cta&) {});
+  std::ostringstream os;
+  const vgpu::TraceTrack tracks[] = {{"cold device", &dev}};
+  vgpu::write_perfetto_trace(os, tracks);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("cold.a"), std::string::npos);
+  EXPECT_NE(s.find("cold.b"), std::string::npos);
+  EXPECT_NE(s.find("\"kernels\":2"), std::string::npos);
+  EXPECT_NE(s.find("\"spans\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mps

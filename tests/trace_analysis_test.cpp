@@ -16,11 +16,15 @@ namespace mps {
 namespace {
 
 TEST(Trace, EmptyLogIsValidJson) {
+  // An empty log still names its tracks (metadata events) but carries
+  // zero kernel events.
   vgpu::Device dev;
   std::ostringstream os;
   vgpu::write_chrome_trace(os, dev);
   const std::string s = os.str();
-  EXPECT_NE(s.find("\"traceEvents\":[]"), std::string::npos);
+  EXPECT_NE(s.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(s.find("\"kernels\":0"), std::string::npos);
+  EXPECT_EQ(s.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_EQ(s.front(), '{');
   EXPECT_EQ(s.back(), '}');
 }
@@ -48,6 +52,50 @@ TEST(Trace, EscapesSpecialCharacters) {
   vgpu::write_chrome_trace(os, dev);
   const std::string s = os.str();
   EXPECT_NE(s.find("weird\\\"name\\\\with\\nstuff"), std::string::npos);
+}
+
+TEST(Trace, EmitsProcessAndThreadNameMetadata) {
+  // Perfetto/chrome://tracing label tracks from "M" metadata events; a
+  // trace without them renders as anonymous pid/tid numbers.
+  vgpu::Device dev;
+  dev.launch("k", 1, 32, [](vgpu::Cta&) {});
+  std::ostringstream os;
+  vgpu::write_chrome_trace(os, dev);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(s.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(s.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(s.find("mps virtual GPU"), std::string::npos);
+  // Metadata precedes the kernel events so viewers name tracks up front.
+  EXPECT_LT(s.find("\"ph\":\"M\""), s.find("\"ph\":\"X\""));
+}
+
+TEST(Trace, MalformedKernelNameRoundTrips) {
+  // Control bytes, DEL, high (non-UTF-8) bytes, quotes and backslashes
+  // in a kernel name must all come out as valid JSON escapes — strict
+  // parsers (python -m json.tool validates these artifacts in CI) reject
+  // raw control bytes and invalid UTF-8.
+  vgpu::Device dev;
+  const std::string name = std::string("bad\x01\x1f\x7f") + "\xc3\x28" +
+                           "\"q\"\\end\ttab";
+  dev.launch(name, 1, 32, [](vgpu::Cta&) {});
+  std::ostringstream os;
+  vgpu::write_chrome_trace(os, dev);
+  const std::string s = os.str();
+  // Escaped forms present...
+  EXPECT_NE(s.find("\\u0001"), std::string::npos);
+  EXPECT_NE(s.find("\\u001f"), std::string::npos);
+  EXPECT_NE(s.find("\\u007f"), std::string::npos);
+  EXPECT_NE(s.find("\\u00c3"), std::string::npos);
+  EXPECT_NE(s.find("\\\"q\\\""), std::string::npos);
+  EXPECT_NE(s.find("\\\\end"), std::string::npos);
+  EXPECT_NE(s.find("\\ttab"), std::string::npos);
+  // ...and not a single raw byte outside printable ASCII in the output.
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    EXPECT_TRUE(u >= 0x20 && u < 0x7f) << "raw byte 0x" << std::hex
+                                       << static_cast<int>(u) << " leaked";
+  }
 }
 
 TEST(Trace, FileVariantWritesAndThrows) {

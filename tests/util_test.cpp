@@ -173,6 +173,43 @@ TEST(Stats, Summarize) {
   EXPECT_DOUBLE_EQ(s.mean, 2.0);
 }
 
+TEST(Stats, PercentileEmptyIsZero) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(util::percentile(empty, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(util::percentile(empty, 99.0), 0.0);
+}
+
+TEST(Stats, PercentileSingleSample) {
+  // One sample IS every percentile — including the clamped extremes.
+  const std::vector<double> one{3.5};
+  for (const double p : {-10.0, 0.0, 50.0, 99.0, 100.0, 250.0}) {
+    EXPECT_DOUBLE_EQ(util::percentile(one, p), 3.5);
+  }
+}
+
+TEST(Stats, PercentileInterpolatesAndClamps) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 150.0), 4.0);  // p clamped to 100
+  EXPECT_DOUBLE_EQ(util::percentile(xs, -5.0), 1.0);   // p clamped to 0
+}
+
+TEST(Stats, PercentileDuplicateHeavy) {
+  // The serving-latency regime: ties dominate, a few outliers at the top.
+  // Percentiles must stay on real sample values (no interpolation drift
+  // across the flat region) and p99 must reach into the outlier tail.
+  std::vector<double> xs(1000, 1.0);
+  xs[997] = xs[998] = xs[999] = 100.0;
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 50.0), 1.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 99.0), 1.0);  // rank 989.01: flat
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 99.8), 100.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 100.0), 100.0);
+  const std::vector<double> all_same(4096, 7.0);
+  EXPECT_DOUBLE_EQ(util::percentile(all_same, 99.0), 7.0);
+}
+
 TEST(Table, RenderAligns) {
   util::Table t("demo");
   t.set_header({"name", "value"});

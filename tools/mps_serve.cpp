@@ -17,18 +17,34 @@
 //   --cache-mb N                 plan-cache MiB (0 = MPS_SERVE_PLAN_CACHE_MB)
 //   --verify                     check every SpMV answer against the
 //                                sequential reference
+//   --trace-out PATH             enable the telemetry tracer and write the
+//                                correlated Perfetto timeline (request
+//                                lanes + host spans + device kernels);
+//                                MPS_TRACE_OUT sets the same thing
+//   --metrics-out PATH           write the metrics registry as JSON on
+//                                clean shutdown
+//   --metrics-prom PATH          write Prometheus text exposition
+//
+// MPS_METRICS_DUMP_MS=N additionally dumps the registry as JSON every
+// N ms while the replay runs (to MPS_METRICS_DUMP_PATH or stderr).
 //
 // Exit status is non-zero if any admitted request is left unsettled —
-// the zero-dropped-on-shutdown guarantee CI smokes against.
+// the zero-dropped-on-shutdown guarantee CI smokes against — or if the
+// engine completed requests but reports no finite p99 latency.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "baselines/seq.hpp"
 #include "serve/engine.hpp"
 #include "serve/trace.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "util/env.hpp"
 #include "util/main_guard.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -43,7 +59,8 @@ using namespace mps;
                "usage: %s [--trace synthetic] [--requests N] [--tenants M]\n"
                "          [--scale S] [--zipf S] [--seed N] [--threads N]\n"
                "          [--queue-cap N] [--batch-window N] [--cache-mb N]\n"
-               "          [--verify]\n",
+               "          [--verify] [--trace-out PATH] [--metrics-out PATH]\n"
+               "          [--metrics-prom PATH]\n",
                argv0);
   std::exit(2);
 }
@@ -60,6 +77,9 @@ struct Options {
   int batch_window = 0;       // 0 = env default
   std::size_t cache_mb = 0;   // 0 = env default
   bool verify = false;
+  std::string trace_out;      // empty = MPS_TRACE_OUT, else no trace
+  std::string metrics_out;    // metrics registry JSON on shutdown
+  std::string metrics_prom;   // Prometheus text exposition on shutdown
 };
 
 Options parse(int argc, char** argv) {
@@ -92,6 +112,12 @@ Options parse(int argc, char** argv) {
       o.cache_mb = std::stoull(value());
     } else if (arg == "--verify") {
       o.verify = true;
+    } else if (arg == "--trace-out") {
+      o.trace_out = value();
+    } else if (arg == "--metrics-out") {
+      o.metrics_out = value();
+    } else if (arg == "--metrics-prom") {
+      o.metrics_prom = value();
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -124,7 +150,17 @@ struct Pending {
 };
 
 int run_main(int argc, char** argv) {
-  const Options opt = parse(argc, argv);
+  Options opt = parse(argc, argv);
+  if (opt.trace_out.empty()) {
+    opt.trace_out = util::env_string("MPS_TRACE_OUT", "");
+  }
+
+  // The tracer must be live BEFORE any request is admitted so that the
+  // serve.request spans, the host phase spans underneath them, and the
+  // kernel launches they trigger all carry correlated trace ids.
+  if (!opt.trace_out.empty()) telemetry::tracer().enable();
+  // Honors MPS_METRICS_DUMP_MS; inert (no thread) when the knob is unset.
+  telemetry::PeriodicDumper dumper;
 
   // Tenant matrices: square Table II surrogates (the trace self-pairs
   // SpAdd/SpGEMM operands, which needs square dims).
@@ -263,6 +299,42 @@ int run_main(int argc, char** argv) {
   }
   std::fputs(t.render().c_str(), stdout);
 
+  // Observability artifacts: the correlated Perfetto timeline and the
+  // final metrics-registry snapshot (JSON and/or Prometheus text).
+  if (!opt.trace_out.empty()) {
+    std::ofstream out(opt.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "FAILED: cannot write trace to %s\n",
+                   opt.trace_out.c_str());
+      return 1;
+    }
+    engine.write_trace(out);
+    std::printf("(perfetto trace written to %s: %zu spans)\n",
+                opt.trace_out.c_str(), telemetry::tracer().size());
+    telemetry::tracer().disable();
+  }
+  if (!opt.metrics_out.empty()) {
+    std::ofstream out(opt.metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "FAILED: cannot write metrics to %s\n",
+                   opt.metrics_out.c_str());
+      return 1;
+    }
+    telemetry::metrics().write_json(out);
+    std::printf("(metrics json written to %s)\n", opt.metrics_out.c_str());
+  }
+  if (!opt.metrics_prom.empty()) {
+    std::ofstream out(opt.metrics_prom);
+    if (!out) {
+      std::fprintf(stderr, "FAILED: cannot write metrics to %s\n",
+                   opt.metrics_prom.c_str());
+      return 1;
+    }
+    telemetry::metrics().write_prometheus(out);
+    std::printf("(prometheus metrics written to %s)\n",
+                opt.metrics_prom.c_str());
+  }
+
   // The hard guarantees this binary smokes in CI:
   //  * every admitted request was settled (value or typed error);
   //  * the bounded queue never exceeded its cap.
@@ -287,6 +359,16 @@ int run_main(int argc, char** argv) {
   if (mismatched != 0) {
     std::fprintf(stderr, "FAILED: %lld SpMV answers diverged from the "
                  "sequential reference\n", mismatched);
+    return 1;
+  }
+  // A run that completed work must report a usable tail latency — an
+  // absent or NaN p99 means the latency ring broke, which would blind
+  // any operator dashboard built on these stats.
+  if (s.completed > 0 &&
+      (s.latency_ms.n == 0 || !std::isfinite(s.latency_p99_ms))) {
+    std::fprintf(stderr,
+                 "FAILED: completed %lld requests but p99 latency is "
+                 "absent/non-finite\n", s.completed);
     return 1;
   }
   return 0;
