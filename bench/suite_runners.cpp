@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "autotune/autotune.hpp"
 #include "baselines/cusplike.hpp"
 #include "baselines/rowwise.hpp"
 #include "baselines/seq.hpp"
@@ -78,6 +79,16 @@ std::vector<SpmvRow> run_spmv_suite(const std::vector<workloads::SuiteEntry>& su
         counters_after.integrity_failures - counters_before.integrity_failures;
     row.restores =
         counters_after.checkpoint_restores - counters_before.checkpoint_restores;
+
+    if (autotune::enabled()) {
+      const autotune::TunedPlan tuned(dev, a);
+      std::vector<double> y_auto(y.size(), -999.0);
+      row.auto_ms = tuned.execute(dev, a, x, y_auto).modeled_ms();
+      require(y_auto == y_exec, e.name + " autotuned spmv not bit-identical");
+      require(row.auto_ms <= row.merge_exec_ms * (1.0 + 1e-12),
+              e.name + " autotuner slower than static merge default");
+      row.auto_choice = tuned.choice().name;
+    }
     rows.push_back(row);
   }
   return rows;

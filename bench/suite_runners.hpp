@@ -28,6 +28,13 @@ struct SpmvRow {
   double integrity_ms = 0.0;
   long long integrity_failures = 0;
   long long restores = 0;
+  /// Autotuned steady-state apply (MPS_AUTOTUNE=1 only; -1 when the tuner
+  /// is off).  The runner requires the tuned result bitwise-identical to
+  /// the planned merge run and never slower than it (candidate 0 of the
+  /// trial protocol IS the static merge default, so this holds by
+  /// construction — the require guards against cost-model regressions).
+  double auto_ms = -1.0;
+  std::string auto_choice;
 };
 
 /// y = A x per matrix; results are verified against the sequential

@@ -4,7 +4,7 @@
 add_library(mps_benchlib STATIC ${CMAKE_SOURCE_DIR}/bench/suite_runners.cpp)
 target_include_directories(mps_benchlib PUBLIC ${CMAKE_SOURCE_DIR}/bench)
 target_link_libraries(mps_benchlib
-  PUBLIC mps_core mps_baselines mps_workloads mps_analysis
+  PUBLIC mps_core mps_baselines mps_workloads mps_analysis mps_autotune
   PRIVATE mps_warnings)
 set_target_properties(mps_benchlib PROPERTIES
   ARCHIVE_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/lib)

@@ -7,8 +7,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <vector>
 
+#include "autotune/autotune.hpp"
 #include "baselines/rowwise.hpp"
 #include "core/spmv.hpp"
 #include "solver/resilient.hpp"
@@ -61,6 +63,15 @@ int run_main(int argc, char** argv) {
   auto plan = core::merge::spmv_plan(device, m);
   double merge_ms = plan.plan_ms();
   double rowwise_ms = 0.0;
+  // MPS_AUTOTUNE=1: swap the statically tuned merge kernel for the
+  // autotuned choice.  Bitwise-identical ranks either way (the whole
+  // candidate space shares the canonical accumulation order).
+  std::optional<autotune::TunedPlan> tuned;
+  if (autotune::enabled()) {
+    tuned.emplace(autotune::tune(device, m));
+    std::printf("autotune: %s (%.4f ms/apply modeled, tuned in %.4f ms)\n",
+                tuned->choice().name, tuned->steady_ms(), tuned->tune_ms());
+  }
 
   solver::ResilientConfig rcfg;
   rcfg.max_iterations = 100;
@@ -70,7 +81,9 @@ int run_main(int argc, char** argv) {
   driver.track("next", next);
   const auto report = driver.run(
       [&](int) {
-        const auto s = core::merge::spmv_execute(device, m, rank, next, plan);
+        const auto s = tuned
+                           ? tuned->execute(device, m, rank, next)
+                           : core::merge::spmv_execute(device, m, rank, next, plan);
         merge_ms += s.modeled_ms();
         // Also time the row-wise scheme on identical input (result unused —
         // this is the comparison the figures make, embedded in an app).
@@ -86,7 +99,10 @@ int run_main(int argc, char** argv) {
         rank.swap(next);
         return solver::StepResult{delta, s.modeled_ms()};
       },
-      [&] { plan = core::merge::spmv_plan(device, m); });
+      [&] {
+        plan = core::merge::spmv_plan(device, m);
+        if (tuned) tuned.emplace(autotune::tune(device, m));
+      });
   const int iters = report.iterations - 1;
 
   // Top pages by rank.

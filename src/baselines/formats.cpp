@@ -163,4 +163,73 @@ OpStats spmv_hyb(vgpu::Device& device, const HybMatrix<double>& a,
   return op;
 }
 
+OpStats spmv_cmrs(vgpu::Device& device, const sparse::CmrsMatrix<double>& a,
+                  std::span<const double> x, std::span<double> y) {
+  MPS_CHECK(x.size() >= static_cast<std::size_t>(a.num_cols));
+  MPS_CHECK(y.size() >= static_cast<std::size_t>(a.num_rows));
+  util::WallTimer wall;
+  if (a.num_rows == 0) return OpStats{0.0, wall.milliseconds()};
+  // Warp-per-strip: four warps per CTA each stream one strip's elements
+  // front to back.  Strips never split rows, so each row's products are
+  // accumulated in ascending-k order and written once — the canonical
+  // order every scheme shares.
+  constexpr int kWarpsPerCta = kBlock / 32;
+  const index_t num_strips = a.num_strips();
+  const int num_ctas = static_cast<int>(
+      ceil_div(static_cast<std::size_t>(std::max<index_t>(num_strips, 1)),
+               static_cast<std::size_t>(kWarpsPerCta)));
+  const bool packed = a.tag_packed();
+  auto s = device.launch("formats.spmv_cmrs", num_ctas, kBlock,
+                         [&](vgpu::Cta& cta) {
+    const index_t s_lo = static_cast<index_t>(cta.cta_id()) * kWarpsPerCta;
+    const index_t s_hi = std::min<index_t>(num_strips, s_lo + kWarpsPerCta);
+    const index_t row_lo = s_lo * a.strip_height;
+    const index_t row_hi =
+        std::min<index_t>(a.num_rows, s_hi * a.strip_height);
+    for (index_t r = row_lo; r < row_hi; ++r) y[static_cast<std::size_t>(r)] = 0.0;
+    std::size_t total = 0, warp_iters = 0, max_strip_bytes = 0;
+    const std::size_t elem_bytes =
+        sizeof(index_t) + sizeof(double) +
+        (packed ? 0 : sizeof(std::uint16_t));
+    for (index_t st = s_lo; st < s_hi; ++st) {
+      const index_t lo = a.strip_ptr[static_cast<std::size_t>(st)];
+      const index_t hi = a.strip_ptr[static_cast<std::size_t>(st) + 1];
+      double acc = 0.0;
+      index_t cur = -1;
+      for (index_t k = lo; k < hi; ++k) {
+        const index_t r =
+            st * a.strip_height +
+            static_cast<index_t>(a.row_in_strip[static_cast<std::size_t>(k)]);
+        if (r != cur) {
+          if (cur >= 0) y[static_cast<std::size_t>(cur)] = acc;
+          acc = 0.0;
+          cur = r;
+        }
+        acc += a.val[static_cast<std::size_t>(k)] *
+               x[static_cast<std::size_t>(a.col[static_cast<std::size_t>(k)])];
+      }
+      if (cur >= 0) y[static_cast<std::size_t>(cur)] = acc;
+      const std::size_t count = static_cast<std::size_t>(hi - lo);
+      total += count;
+      warp_iters += ceil_div(count, std::size_t{32});
+      max_strip_bytes = std::max(max_strip_bytes, count * elem_bytes);
+    }
+    // Element streams coalesce per warp; like the row-wise kernel, a CTA
+    // whose strips are lopsided is pinned behind its heaviest warp, which
+    // alone sustains ~1/3 of the SM's bandwidth.
+    cta.charge_global(std::max(total * elem_bytes, 3 * max_strip_bytes));
+    cta.charge_global(static_cast<std::size_t>(s_hi - s_lo + 1) *
+                      sizeof(index_t));  // strip_ptr window
+    cta.charge_gather(total);            // x dereferences
+    cta.charge_warp_iters(warp_iters);
+    // Tag decode + row-boundary detection per element, and a warp-level
+    // staging slot for each partial before its row write.
+    cta.charge_alu_uniform(2 * total);
+    cta.charge_shared_elems(total);
+    cta.charge_global(static_cast<std::size_t>(row_hi - row_lo) *
+                      sizeof(double));  // y writes (zero-fill + row sums)
+  });
+  return OpStats{s.modeled_ms, wall.milliseconds()};
+}
+
 }  // namespace mps::baselines::formats

@@ -9,10 +9,14 @@
 //            max-row-width, not nnz;
 //   * DIA  — densest possible access for stencils, no column indices at
 //            all; inapplicable beyond a bounded diagonal count;
-//   * HYB  — ELL head + COO tail, the Bell–Garland compromise.
+//   * HYB  — ELL head + COO tail, the Bell–Garland compromise;
+//   * CMRS — fixed-height row strips streamed whole by one warp (Koza et
+//            al.), built for the short-row regime where per-row kernels
+//            pay a transaction floor on every row.
 
 #include <span>
 
+#include "sparse/cmrs.hpp"
 #include "sparse/ell.hpp"
 #include "vgpu/device.hpp"
 
@@ -34,5 +38,10 @@ OpStats spmv_dia(vgpu::Device& device, const sparse::DiaMatrix<double>& a,
 /// y = A x over HYB storage (ELL pass + accumulating COO pass).
 OpStats spmv_hyb(vgpu::Device& device, const sparse::HybMatrix<double>& a,
                  std::span<const double> x, std::span<double> y);
+
+/// y = A x over CMRS storage (warp-per-strip; strips never split rows,
+/// so accumulation stays in the canonical ascending-k row order).
+OpStats spmv_cmrs(vgpu::Device& device, const sparse::CmrsMatrix<double>& a,
+                  std::span<const double> x, std::span<double> y);
 
 }  // namespace mps::baselines::formats

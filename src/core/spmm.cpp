@@ -99,12 +99,27 @@ SpmmStats spmm_impl(vgpu::Device& device, const sparse::CsrMatrix<V>& a,
   stats.modeled_ms += s.modeled_ms;
 
   auto fix = device.launch("merge.spmm_update", 1, kBlock, [&](vgpu::Cta& cta) {
+    // Canonical accumulation order (see merge.spmv_update): spanning rows
+    // are rebuilt ascending-k so column j of Y stays bitwise identical to
+    // spmv of right-hand side j under every batching decision.  Charges
+    // model the carry fold the GPU kernel performs.
+    index_t prev = -1;
+    std::vector<V> acc(nv);
     for (int i = 0; i < num_ctas; ++i) {
       const index_t r = carry_row[static_cast<std::size_t>(i)];
-      if (r < 0) continue;
+      if (r < 0 || r == prev) continue;
+      prev = r;
+      std::fill(acc.begin(), acc.end(), V{});
+      for (std::size_t k = static_cast<std::size_t>(
+               offsets[static_cast<std::size_t>(r)]);
+           k < static_cast<std::size_t>(offsets[static_cast<std::size_t>(r) + 1]);
+           ++k) {
+        const std::size_t col = static_cast<std::size_t>(a.col[k]);
+        const V v = a.val[k];
+        for (std::size_t j = 0; j < nv; ++j) acc[j] += v * x[col * nv + j];
+      }
       for (std::size_t j = 0; j < nv; ++j) {
-        y[static_cast<std::size_t>(r) * nv + j] +=
-            carry_val[static_cast<std::size_t>(i) * nv + j];
+        y[static_cast<std::size_t>(r) * nv + j] = acc[j];
       }
     }
     cta.charge_global(static_cast<std::size_t>(num_ctas) *

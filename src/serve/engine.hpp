@@ -99,11 +99,18 @@ class ShutdownError : public Error {
 ///                             into one spmm dispatch (default 8;
 ///                             1 disables batching)
 ///   MPS_SERVE_PLAN_CACHE_MB — plan-cache capacity in MiB (default 64)
+///   MPS_AUTOTUNE            — unbatched SpMV dispatch runs through the
+///                             format/kernel autotuner's TunedPlan
+///                             (default 0; docs/autotuning.md)
 struct EngineConfig {
   unsigned threads = 0;
   std::size_t queue_capacity = 0;
   int batch_window = 0;
   std::size_t plan_cache_bytes = 0;
+  /// < 0: resolve from MPS_AUTOTUNE; 0: static merge path; > 0: tuned
+  /// dispatch for unbatched SpMV (batched dispatch always uses the
+  /// merge spmm — coalescing already picked the kernel shape).
+  int autotune = -1;
   /// Default per-request queue-wait timeout; <= 0 means no timeout.
   std::chrono::milliseconds default_timeout{0};
   /// Construct with the dispatcher paused (tests build deterministic

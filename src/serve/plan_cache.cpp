@@ -55,19 +55,67 @@ std::shared_ptr<const core::merge::SpmvPlan> PlanCache::get_or_build(
     ++evictions_;
     cache_metrics().evictions.add();
   }
-  lru_.push_front(Entry{key, plan, bytes});
+  lru_.push_front(Entry{key, plan, nullptr, bytes});
   index_[key] = lru_.begin();
   bytes_in_use_ += bytes;
   return plan;
 }
 
-void PlanCache::invalidate(std::uint64_t key) {
+std::shared_ptr<const autotune::TunedPlan> PlanCache::get_or_build_tuned(
+    vgpu::Device& device, const sparse::CsrD& a, std::uint64_t key,
+    bool* was_hit) {
+  const std::uint64_t tagged = key ^ kTunedKeyTag;
   std::lock_guard<std::mutex> lock(mutex_);
-  if (auto it = index_.find(key); it != index_.end()) {
+  if (was_hit) *was_hit = false;
+  if (auto it = index_.find(tagged); it != index_.end()) {
+    ++hits_;
+    cache_metrics().hits.add();
+    if (was_hit) *was_hit = true;
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch
+    return it->second->tuned;
+  }
+  ++misses_;
+  cache_metrics().misses.add();
+  telemetry::ScopedSpan build_span("serve.tuned_plan_build");
+  auto tuned =
+      std::make_shared<const autotune::TunedPlan>(autotune::tune(device, a));
+  build_span.end(tuned->choice().name);
+  const std::size_t bytes = tuned->bytes();
+  if (bytes > capacity_bytes_) {
+    ++oversize_;  // serve it, but never resident
+    return tuned;
+  }
+  while (bytes_in_use_ + bytes > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_in_use_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+    cache_metrics().evictions.add();
+  }
+  lru_.push_front(Entry{tagged, nullptr, tuned, bytes});
+  index_[tagged] = lru_.begin();
+  bytes_in_use_ += bytes;
+  return tuned;
+}
+
+void PlanCache::erase_locked(std::uint64_t tagged_key) {
+  if (auto it = index_.find(tagged_key); it != index_.end()) {
     bytes_in_use_ -= it->second->bytes;
     lru_.erase(it->second);
     index_.erase(it);
   }
+}
+
+void PlanCache::invalidate(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  erase_locked(key);
+  erase_locked(key ^ kTunedKeyTag);
+}
+
+void PlanCache::invalidate_tuned(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  erase_locked(key ^ kTunedKeyTag);
 }
 
 void PlanCache::clear() {

@@ -24,12 +24,19 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "autotune/autotune.hpp"
 #include "core/spmv.hpp"
 #include "sparse/csr.hpp"
 #include "vgpu/device.hpp"
 
 namespace mps::serve {
 
+// The cache holds two entry kinds in ONE LRU under one byte budget:
+// merge SpmvPlans (pattern-only, value-free) and autotune TunedPlans
+// (winning candidate + its resident storage, charged by
+// TunedPlan::bytes()).  Tuned entries live under a tagged key so the
+// two kinds of one matrix never collide; eviction pressure is shared —
+// a large tuned entry can displace plain plans and vice versa.
 class PlanCache {
  public:
   /// `capacity_bytes` bounds the summed SpmvPlan::bytes() of resident
@@ -48,9 +55,21 @@ class PlanCache {
       vgpu::Device& device, const sparse::CsrD& a, std::uint64_t key,
       bool* was_hit = nullptr);
 
-  /// Drop the entry for `key` if resident (the engine invalidates a plan
-  /// whose integrity checksum failed before rebuilding it).
+  /// The tuned plan for `key`, running the autotune trial protocol on a
+  /// miss (docs/autotuning.md).  Trial cost is paid at build time only
+  /// — the cached entry's executes report steady-state cost.
+  std::shared_ptr<const autotune::TunedPlan> get_or_build_tuned(
+      vgpu::Device& device, const sparse::CsrD& a, std::uint64_t key,
+      bool* was_hit = nullptr);
+
+  /// Drop both entry kinds for `key` if resident (the engine invalidates
+  /// a plan whose integrity checksum failed before rebuilding it).
   void invalidate(std::uint64_t key);
+
+  /// Drop only the tuned entry for `key`.  register_matrix calls this on
+  /// every (re-)registration: tuned storage may bind the matrix's value
+  /// buffer, which re-registration replaces.
+  void invalidate_tuned(std::uint64_t key);
 
   /// Drop every entry (shutdown path; in-flight executes keep their
   /// shared_ptrs alive until they finish).
@@ -68,11 +87,18 @@ class PlanCache {
   Stats stats() const;
 
  private:
+  /// Tuned entries are indexed under key ^ kTunedKeyTag so one matrix
+  /// can hold both kinds without collision.
+  static constexpr std::uint64_t kTunedKeyTag = 0x9e3779b97f4a7c15ull;
+
   struct Entry {
-    std::uint64_t key = 0;
+    std::uint64_t key = 0;  ///< tagged key, as indexed
     std::shared_ptr<const core::merge::SpmvPlan> plan;
+    std::shared_ptr<const autotune::TunedPlan> tuned;
     std::size_t bytes = 0;
   };
+
+  void erase_locked(std::uint64_t tagged_key);
 
   // Doubly-linked LRU list, most-recent at the front; the map points at
   // list nodes.  All state guarded by mutex_.

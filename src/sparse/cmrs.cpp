@@ -1,0 +1,88 @@
+#include "sparse/cmrs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace mps::sparse {
+
+index_t cmrs_default_strip_height(double avg_row) {
+  // Aim for ~128 elements per strip so one warp streams a few coalesced
+  // bursts per strip; very short rows get tall strips, long rows shallow
+  // ones (a strip of one row degenerates to row-wise CSR).
+  const double target = 128.0;
+  const double h = target / std::max(1.0, avg_row);
+  return static_cast<index_t>(std::clamp(h, 1.0, 256.0));
+}
+
+CmrsMatrix<double> csr_to_cmrs(const CsrMatrix<double>& a, index_t strip_height) {
+  CmrsMatrix<double> c;
+  c.num_rows = a.num_rows;
+  c.num_cols = a.num_cols;
+  if (strip_height <= 0) {
+    const double avg = a.num_rows > 0 ? static_cast<double>(a.nnz()) /
+                                            static_cast<double>(a.num_rows)
+                                      : 0.0;
+    strip_height = cmrs_default_strip_height(avg);
+  }
+  MPS_CHECK_MSG(strip_height <= 65535,
+                "CMRS strip height exceeds the row-in-strip tag range");
+  c.strip_height = strip_height;
+  // Elements are copied in CSR order; the strip pointer marks each
+  // strip_height-row boundary and the per-element tag records the row
+  // within its strip.
+  c.col = a.col;
+  c.val = a.val;
+  c.row_in_strip.resize(static_cast<std::size_t>(a.nnz()));
+  const index_t num_strips =
+      a.num_rows == 0
+          ? 0
+          : static_cast<index_t>(ceil_div<std::size_t>(
+                static_cast<std::size_t>(a.num_rows),
+                static_cast<std::size_t>(strip_height)));
+  c.strip_ptr.reserve(static_cast<std::size_t>(num_strips) + 1);
+  c.strip_ptr.push_back(0);
+  for (index_t s = 0; s < num_strips; ++s) {
+    const index_t row_lo = s * strip_height;
+    const index_t row_hi = std::min<index_t>(a.num_rows, row_lo + strip_height);
+    for (index_t r = row_lo; r < row_hi; ++r) {
+      for (index_t k = a.row_offsets[static_cast<std::size_t>(r)];
+           k < a.row_offsets[static_cast<std::size_t>(r) + 1]; ++k) {
+        c.row_in_strip[static_cast<std::size_t>(k)] =
+            static_cast<std::uint16_t>(r - row_lo);
+      }
+    }
+    c.strip_ptr.push_back(a.row_offsets[static_cast<std::size_t>(row_hi)]);
+  }
+  return c;
+}
+
+CsrMatrix<double> cmrs_to_csr(const CmrsMatrix<double>& a) {
+  CsrMatrix<double> out(a.num_rows, a.num_cols);
+  // Row lengths are recovered by counting tags per strip; elements keep
+  // their stored order, so col/val round-trip bitwise.
+  std::vector<index_t> lengths(static_cast<std::size_t>(a.num_rows), 0);
+  for (index_t s = 0; s < a.num_strips(); ++s) {
+    const index_t row_lo = s * a.strip_height;
+    for (index_t k = a.strip_ptr[static_cast<std::size_t>(s)];
+         k < a.strip_ptr[static_cast<std::size_t>(s) + 1]; ++k) {
+      const index_t r =
+          row_lo + static_cast<index_t>(a.row_in_strip[static_cast<std::size_t>(k)]);
+      MPS_CHECK_MSG(r < a.num_rows, "CMRS row tag out of range");
+      ++lengths[static_cast<std::size_t>(r)];
+    }
+  }
+  out.row_offsets.resize(static_cast<std::size_t>(a.num_rows) + 1);
+  out.row_offsets[0] = 0;
+  for (index_t r = 0; r < a.num_rows; ++r) {
+    out.row_offsets[static_cast<std::size_t>(r) + 1] =
+        out.row_offsets[static_cast<std::size_t>(r)] +
+        lengths[static_cast<std::size_t>(r)];
+  }
+  out.col = a.col;
+  out.val = a.val;
+  return out;
+}
+
+}  // namespace mps::sparse

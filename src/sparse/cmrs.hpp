@@ -1,0 +1,68 @@
+#pragma once
+// CMRS — Compressed Multirow Storage (Koza et al., PAPERS.md).  Rows are
+// grouped into fixed-height strips; one warp streams a whole strip, so
+// short-row matrices avoid the per-row transaction floor that row-wise
+// CSR kernels pay.  Elements stay in CSR (row-major, ascending-column)
+// order — the strip pointer array replaces the per-row offsets and a
+// small per-element row-in-strip tag recovers the row — which makes the
+// CSR round-trip bitwise trivial and keeps SpMV accumulation in the
+// canonical ascending-k order every scheme in this repo shares.
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace mps::sparse {
+
+template <typename V>
+struct CmrsMatrix {
+  index_t num_rows = 0;
+  index_t num_cols = 0;
+  index_t strip_height = 1;  ///< rows per strip (last strip may be short)
+  /// strip_ptr[s] .. strip_ptr[s+1]: element range of strip s (into
+  /// col/val/row_in_strip).  Size num_strips() + 1.
+  std::vector<index_t> strip_ptr;
+  /// Per element: its row's offset within the strip (< strip_height).
+  std::vector<std::uint16_t> row_in_strip;
+  std::vector<index_t> col;  ///< CSR element order preserved
+  std::vector<V> val;
+
+  index_t num_strips() const {
+    return strip_ptr.empty() ? 0 : static_cast<index_t>(strip_ptr.size()) - 1;
+  }
+  /// True when the row-in-strip tag fits in the column index's unused
+  /// upper bits (Koza's packing): tags need ceil(log2(strip_height))
+  /// bits, and every column index must fit in the remaining 31.  When
+  /// packed, an element costs the same bytes as plain CSR — the tag
+  /// rides along for free.
+  bool tag_packed() const {
+    unsigned tag_bits = 0;
+    while ((index_t{1} << tag_bits) < strip_height) ++tag_bits;
+    return tag_bits < 31 &&
+           static_cast<std::uint64_t>(num_cols) <= (std::uint64_t{1} << (31 - tag_bits));
+  }
+  std::size_t device_bytes() const {
+    return strip_ptr.size() * sizeof(index_t) +
+           (tag_packed() ? 0 : row_in_strip.size() * sizeof(std::uint16_t)) +
+           col.size() * (sizeof(index_t) + sizeof(V));
+  }
+};
+
+using CmrsD = CmrsMatrix<double>;
+
+/// CSR -> CMRS.  `strip_height` <= 0 picks the stats-driven default
+/// (cmrs_default_strip_height).  Throws InvalidInputError when the
+/// height exceeds the row-in-strip tag range (65535).
+CmrsMatrix<double> csr_to_cmrs(const CsrMatrix<double>& a,
+                               index_t strip_height = -1);
+
+/// CMRS -> CSR round-trip; col/val are bitwise identical to the source.
+CsrMatrix<double> cmrs_to_csr(const CmrsMatrix<double>& a);
+
+/// The deterministic default strip height for a matrix with the given
+/// mean row length: enough rows per strip that a warp's strip holds
+/// roughly a tile of work, clamped to [1, 256].
+index_t cmrs_default_strip_height(double avg_row);
+
+}  // namespace mps::sparse

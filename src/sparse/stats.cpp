@@ -1,8 +1,29 @@
 #include "sparse/stats.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 
 namespace mps::sparse {
+
+namespace {
+std::atomic<long long> g_scan_count{0};
+
+/// Bucket index for a row length: 0 for empty, else 1 + floor(log2(len)),
+/// clamped to the last bucket.
+std::size_t hist_bucket(index_t len) {
+  if (len <= 0) return 0;
+  std::size_t b = 1;
+  index_t v = len;
+  while (v > 1 && b + 1 < kRowHistBuckets) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+}  // namespace
+
+long long stats_scan_count() { return g_scan_count.load(); }
 
 MatrixStats compute_stats(const CsrMatrix<double>& a) {
   MatrixStats s;
@@ -10,18 +31,35 @@ MatrixStats compute_stats(const CsrMatrix<double>& a) {
   s.cols = a.num_cols;
   s.nnz = a.nnz();
   if (a.num_rows == 0) return s;
-  double sum = 0.0, sum2 = 0.0;
+  // One fused pass over the row offsets computes the moments, the
+  // extremes, the diagonal-distance sum AND the histogram the
+  // autotuner's feature extraction reads — the histogram is cached on
+  // the struct, never recomputed per caller.
+  g_scan_count.fetch_add(1, std::memory_order_relaxed);
+  double sum = 0.0, sum2 = 0.0, band = 0.0;
   for (index_t r = 0; r < a.num_rows; ++r) {
-    const double len = static_cast<double>(a.row_length(r));
+    const index_t lo = a.row_offsets[static_cast<std::size_t>(r)];
+    const index_t hi = a.row_offsets[static_cast<std::size_t>(r) + 1];
+    const index_t ilen = hi - lo;
+    const double len = static_cast<double>(ilen);
     sum += len;
     sum2 += len * len;
-    if (a.row_length(r) > s.max_row) s.max_row = a.row_length(r);
-    if (a.row_length(r) == 0) ++s.empty_rows;
+    if (ilen > s.max_row) s.max_row = ilen;
+    if (ilen == 0) ++s.empty_rows;
+    ++s.row_hist[hist_bucket(ilen)];
+    for (index_t k = lo; k < hi; ++k) {
+      band +=
+          std::abs(static_cast<double>(a.col[static_cast<std::size_t>(k)] - r));
+    }
   }
   const double n = static_cast<double>(a.num_rows);
   s.avg_row = sum / n;
   const double var = sum2 / n - s.avg_row * s.avg_row;
   s.std_row = var > 0.0 ? std::sqrt(var) : 0.0;
+  if (s.nnz > 0 && a.num_cols > 0) {
+    s.bandwidth_frac =
+        band / static_cast<double>(s.nnz) / static_cast<double>(a.num_cols);
+  }
   return s;
 }
 

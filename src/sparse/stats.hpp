@@ -1,11 +1,18 @@
 #pragma once
-// Structural statistics of a sparse matrix (the columns of Table II).
+// Structural statistics of a sparse matrix (the columns of Table II,
+// plus the feature inputs of the SpMV autotuner — docs/autotuning.md).
 
+#include <array>
 #include <string>
 
 #include "sparse/csr.hpp"
 
 namespace mps::sparse {
+
+/// Log2 row-length histogram buckets: bucket 0 counts empty rows, bucket
+/// b >= 1 counts rows with length in [2^(b-1), 2^b).  The last bucket is
+/// open-ended.
+inline constexpr std::size_t kRowHistBuckets = 10;
 
 struct MatrixStats {
   index_t rows = 0;
@@ -15,8 +22,29 @@ struct MatrixStats {
   double std_row = 0.0;  ///< population std of nonzeros per row
   index_t max_row = 0;
   index_t empty_rows = 0;
+  /// Cached nnz/row histogram, filled in the same single pass over
+  /// `row_offsets` as the moments above.  Consumers (autotune feature
+  /// extraction) read it from here instead of rescanning the matrix.
+  std::array<long long, kRowHistBuckets> row_hist{};
+  /// Mean |col - row| over all nonzeros, normalized by num_cols (0 for an
+  /// empty matrix).  The one structural feature that needs the column
+  /// array; computed in a single pass over `col`.
+  double bandwidth_frac = 0.0;
+
+  /// Coefficient of variation of the row lengths (0 when avg_row == 0).
+  double cv_row() const { return avg_row > 0.0 ? std_row / avg_row : 0.0; }
+  /// Fraction of rows with no nonzeros.
+  double empty_frac() const {
+    return rows > 0 ? static_cast<double>(empty_rows) / static_cast<double>(rows)
+                    : 0.0;
+  }
 };
 
 MatrixStats compute_stats(const CsrMatrix<double>& a);
+
+/// Process-wide count of row-offset scans performed by compute_stats.
+/// Exists so tests can assert that feature extraction reuses the cached
+/// histogram instead of rescanning (exactly one bump per compute_stats).
+long long stats_scan_count();
 
 }  // namespace mps::sparse

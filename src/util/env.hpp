@@ -25,6 +25,15 @@
 //   MPS_SERVE_BATCH_WINDOW  — max same-matrix SpMV requests coalesced
 //                             into one spmm dispatch (default 8)
 //   MPS_SERVE_PLAN_CACHE_MB — plan-cache capacity in MiB (default 64)
+//
+// Autotuning knobs (docs/autotuning.md; read by mps::autotune):
+//   MPS_AUTOTUNE        — 1: adaptive format/kernel selection for SpMV in
+//                         the serving engine, examples and fig5 (default 0;
+//                         results stay bitwise-identical to the static
+//                         merge path — only the dispatch choice changes)
+//   MPS_AUTOTUNE_TRIALS — cap on candidates tried per matrix (default 64,
+//                         i.e. the full candidate space; 1 degenerates to
+//                         the static merge default)
 
 #include <string>
 

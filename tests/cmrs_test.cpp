@@ -1,0 +1,169 @@
+// CMRS (Compressed Multirow Storage): converter round-trips are bitwise,
+// degenerate shapes survive, and warp-per-strip SpMV is bitwise-identical
+// to the sequential reference across every fuzz regime — CMRS keeps
+// elements in CSR order, so it shares the canonical accumulation order.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "baselines/formats.hpp"
+#include "baselines/seq.hpp"
+#include "oracle.hpp"
+#include "sparse/cmrs.hpp"
+#include "sparse/convert.hpp"
+#include "test_matrices.hpp"
+#include "util/error.hpp"
+#include "vgpu/device.hpp"
+
+namespace mps {
+namespace {
+
+using sparse::cmrs_to_csr;
+using sparse::coo_to_csr;
+using sparse::csr_to_cmrs;
+using testing::bitwise_equal;
+using testing::kAllRegimes;
+using testing::kFuzzSeeds;
+using testing::make_regime_matrix;
+using testing::oracle_x;
+using testing::Regime;
+using testing::regime_name;
+
+void expect_roundtrip_bitwise(const sparse::CsrD& a, index_t strip_height = -1) {
+  const auto c = csr_to_cmrs(a, strip_height);
+  EXPECT_EQ(c.num_rows, a.num_rows);
+  EXPECT_EQ(c.num_cols, a.num_cols);
+  // col/val are carried in CSR element order — bitwise identity, not
+  // just numerical equality.
+  EXPECT_EQ(c.col, a.col);
+  ASSERT_EQ(c.val.size(), a.val.size());
+  if (!a.val.empty()) {
+    EXPECT_EQ(0, std::memcmp(c.val.data(), a.val.data(),
+                             a.val.size() * sizeof(double)));
+  }
+  const auto back = cmrs_to_csr(c);
+  EXPECT_EQ(back.num_rows, a.num_rows);
+  EXPECT_EQ(back.num_cols, a.num_cols);
+  EXPECT_EQ(back.row_offsets, a.row_offsets);
+  EXPECT_EQ(back.col, a.col);
+  if (!a.val.empty()) {
+    EXPECT_EQ(0, std::memcmp(back.val.data(), a.val.data(),
+                             a.val.size() * sizeof(double)));
+  }
+}
+
+TEST(Cmrs, RoundTripAcrossRegimes) {
+  for (const Regime r : kAllRegimes) {
+    for (const std::uint64_t seed : kFuzzSeeds) {
+      SCOPED_TRACE(regime_name(r) + "/" + std::to_string(seed));
+      expect_roundtrip_bitwise(make_regime_matrix(r, seed));
+    }
+  }
+}
+
+TEST(Cmrs, RoundTripExplicitStripHeights) {
+  const auto a = make_regime_matrix(Regime::kPowerLaw, 1);
+  for (const index_t h : {index_t{1}, index_t{2}, index_t{7}, index_t{256}}) {
+    SCOPED_TRACE(h);
+    expect_roundtrip_bitwise(a, h);
+  }
+}
+
+TEST(Cmrs, EmptyMatrix) {
+  sparse::CsrD a(0, 0);
+  a.row_offsets = {0};
+  const auto c = csr_to_cmrs(a);
+  EXPECT_EQ(c.num_strips(), 0);
+  EXPECT_TRUE(c.col.empty());
+  const auto back = cmrs_to_csr(c);
+  EXPECT_EQ(back.num_rows, 0);
+  EXPECT_EQ(back.nnz(), 0);
+}
+
+TEST(Cmrs, AllEmptyRows) {
+  sparse::CsrD a(1000, 50);
+  a.row_offsets.assign(1001, 0);
+  expect_roundtrip_bitwise(a);
+  const auto c = csr_to_cmrs(a);
+  EXPECT_GT(c.num_strips(), 0);
+  vgpu::Device dev;
+  std::vector<double> x(50, 1.0), y(1000, -999.0);
+  baselines::formats::spmv_cmrs(dev, c, x, y);
+  for (double v : y) EXPECT_EQ(v, 0.0);  // every row written (zeroed)
+}
+
+TEST(Cmrs, SingleDenseRow) {
+  sparse::CooD coo(3, 50000);
+  util::Rng rng(13);
+  for (index_t col = 0; col < 50000; col += 2) {
+    coo.push_back(1, col, rng.uniform_double(-1, 1));
+  }
+  coo.canonicalize();
+  const auto a = coo_to_csr(coo);
+  expect_roundtrip_bitwise(a);
+
+  // The dense row vastly exceeds any strip height: one warp streams the
+  // whole row, still in ascending-k order.
+  vgpu::Device dev;
+  const auto c = csr_to_cmrs(a);
+  const auto x = oracle_x(a);
+  std::vector<double> y_ref(3, -999.0), y(3, -999.0);
+  baselines::seq::spmv(a, x, y_ref);
+  baselines::formats::spmv_cmrs(dev, c, x, y);
+  EXPECT_TRUE(bitwise_equal(y, y_ref));
+}
+
+TEST(Cmrs, StripHeightTagRangeGuard) {
+  sparse::CsrD a(2, 2);
+  a.row_offsets = {0, 1, 2};
+  a.col = {0, 1};
+  a.val = {1.0, 2.0};
+  EXPECT_THROW(csr_to_cmrs(a, 70000), Error);
+}
+
+TEST(Cmrs, DefaultStripHeightIsClamped) {
+  EXPECT_EQ(sparse::cmrs_default_strip_height(0.0), 128);
+  EXPECT_EQ(sparse::cmrs_default_strip_height(1.0), 128);
+  EXPECT_EQ(sparse::cmrs_default_strip_height(1e9), 1);
+  EXPECT_LE(sparse::cmrs_default_strip_height(0.1), 256);
+}
+
+class CmrsSpmvTest
+    : public ::testing::TestWithParam<std::tuple<Regime, std::uint64_t>> {
+ protected:
+  vgpu::Device dev_;
+};
+
+TEST_P(CmrsSpmvTest, BitIdenticalToSequential) {
+  const auto [regime, seed] = GetParam();
+  const auto a = make_regime_matrix(regime, seed);
+  const auto x = oracle_x(a);
+  std::vector<double> y_ref(static_cast<std::size_t>(a.num_rows), -999.0);
+  baselines::seq::spmv(a, x, y_ref);
+  // Default strip height plus extremes: the result may never depend on
+  // the strip geometry, only the cost model does.
+  for (const index_t h : {index_t{-1}, index_t{1}, index_t{256}}) {
+    SCOPED_TRACE(h);
+    const auto c = csr_to_cmrs(a, h);
+    std::vector<double> y(static_cast<std::size_t>(a.num_rows), -999.0);
+    const auto s = baselines::formats::spmv_cmrs(dev_, c, x, y);
+    EXPECT_GE(s.modeled_ms, 0.0);
+    EXPECT_TRUE(bitwise_equal(y, y_ref));
+  }
+}
+
+std::string cmrs_param_name(
+    const ::testing::TestParamInfo<std::tuple<Regime, std::uint64_t>>& info) {
+  return regime_name(std::get<0>(info.param)) +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CmrsSpmvTest,
+    ::testing::Combine(::testing::ValuesIn(testing::kAllRegimes),
+                       ::testing::ValuesIn(testing::kFuzzSeeds)),
+    cmrs_param_name);
+
+}  // namespace
+}  // namespace mps

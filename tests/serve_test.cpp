@@ -97,6 +97,7 @@ EngineConfig test_config(unsigned threads, int batch_window,
   cfg.batch_window = batch_window;
   cfg.queue_capacity = queue_cap;
   cfg.plan_cache_bytes = 64u << 20;
+  cfg.autotune = 0;  // static merge path unless a test opts in
   return cfg;
 }
 
@@ -286,6 +287,96 @@ TEST(PlanCache, HitsMissesEvictionsAndOversize) {
   EXPECT_EQ(cache.stats().entries, 0u);
   cache.get_or_build(dev, b, 2, &hit);
   EXPECT_FALSE(hit);
+}
+
+TEST(PlanCache, MixedEntriesExactByteAccountingUnderEviction) {
+  // SpmvPlan and TunedPlan entries share ONE LRU and one byte budget;
+  // the accounting must stay exact through insertions, evictions and
+  // invalidations of either kind.
+  vgpu::Device dev;
+  util::Rng rng(93);
+  const auto a = coo_to_csr(testing::random_coo(rng, 400, 400, 4000));
+  const auto b = coo_to_csr(testing::random_coo(rng, 500, 500, 5000));
+
+  const std::size_t plan_a_bytes = core::merge::spmv_plan(dev, a).bytes();
+  const std::size_t tuned_a_bytes = autotune::TunedPlan(dev, a).bytes();
+  const std::size_t tuned_b_bytes = autotune::TunedPlan(dev, b).bytes();
+  // The deterministic-LRU scenario below needs the tuned entries (which
+  // may hold converted storage) to dwarf the pattern-only merge plan.
+  ASSERT_GT(tuned_a_bytes, plan_a_bytes);
+  ASSERT_GT(tuned_b_bytes, plan_a_bytes);
+
+  // Roomy cache: both kinds for one key coexist without collision.
+  PlanCache cache(plan_a_bytes + tuned_a_bytes + tuned_b_bytes);
+  bool hit = false;
+  auto plan_a = cache.get_or_build(dev, a, 1, &hit);
+  auto tuned_a = cache.get_or_build_tuned(dev, a, 1, &hit);
+  EXPECT_FALSE(hit);
+  auto tuned_b = cache.get_or_build_tuned(dev, b, 2, &hit);
+  EXPECT_FALSE(hit);
+  auto s = cache.stats();
+  EXPECT_EQ(s.entries, 3u);
+  EXPECT_EQ(s.bytes_in_use, plan_a_bytes + tuned_a_bytes + tuned_b_bytes);
+  EXPECT_EQ(cache.get_or_build(dev, a, 1, &hit).get(), plan_a.get());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(cache.get_or_build_tuned(dev, a, 1, &hit).get(), tuned_a.get());
+  EXPECT_TRUE(hit);
+
+  // invalidate(key) drops BOTH kinds for that key, exactly.
+  cache.invalidate(1);
+  s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes_in_use, tuned_b_bytes);
+
+  // Eviction pressure across kinds: capacity holds one tuned entry plus
+  // the small plan.  Insert tuned_a, then plan_a (fits beside it), then
+  // tuned_b — which must displace tuned_a (LRU) but keep plan_a.
+  PlanCache small(tuned_b_bytes + plan_a_bytes);
+  ASSERT_LE(tuned_a_bytes, small.stats().capacity_bytes);
+  small.get_or_build_tuned(dev, a, 1, &hit);
+  small.get_or_build(dev, a, 1, &hit);
+  small.get_or_build_tuned(dev, b, 2, &hit);
+  s = small.stats();
+  EXPECT_EQ(s.evictions, 1);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.bytes_in_use, plan_a_bytes + tuned_b_bytes);  // exact
+  small.get_or_build(dev, a, 1, &hit);
+  EXPECT_TRUE(hit);  // the merge plan survived the tuned eviction
+  small.get_or_build_tuned(dev, a, 1, &hit);
+  EXPECT_FALSE(hit);  // the tuned entry was the victim
+}
+
+TEST(ServeEngine, ChangedPatternReRegistrationNeverServesStaleTunedPlan) {
+  // Registering a structurally different matrix yields a new handle; the
+  // tuned entry built for the old pattern must never serve it (the
+  // TunedPlan fingerprint guard backs the cache keying), and the new
+  // handle's first request re-tunes from scratch.
+  auto cfg = test_config(/*threads=*/1, /*batch_window=*/1);
+  cfg.autotune = 1;
+  Engine engine(cfg);
+
+  const auto a = workloads::poisson2d(24, 24);
+  const auto h1 = engine.register_matrix(a);
+  const auto x = random_x(a, 5);
+  const auto r1 = engine.submit_spmv(h1, x).get();
+  EXPECT_FALSE(r1.plan_cache_hit);
+
+  // Same dims, different pattern (so the same x vector applies).
+  const auto b = workloads::fem_banded(a.num_rows, 5.0, 2.0, 7);
+  ASSERT_EQ(b.num_cols, a.num_cols);
+  const auto h2 = engine.register_matrix(b);
+  EXPECT_NE(h1, h2);
+  const auto r2 = engine.submit_spmv(h2, x).get();
+  EXPECT_FALSE(r2.plan_cache_hit);  // re-tuned, not served from h1's entry
+
+  std::vector<double> y_ref(static_cast<std::size_t>(b.num_rows), -999.0);
+  baselines::seq::spmv(b, x, y_ref);
+  ASSERT_EQ(r2.y.size(), y_ref.size());
+  for (std::size_t i = 0; i < y_ref.size(); ++i) {
+    ASSERT_EQ(r2.y[i], y_ref[i]) << i;
+  }
+  // The old registration still serves correctly from its own entry.
+  EXPECT_TRUE(engine.submit_spmv(h1, x).get().plan_cache_hit);
 }
 
 TEST(ServeEngine, PlanCacheHitReportedThroughResults) {

@@ -3,6 +3,7 @@
 
 #include "baselines/seq.hpp"
 #include "core/spadd.hpp"
+#include "oracle.hpp"
 #include "sparse/compare.hpp"
 #include "sparse/convert.hpp"
 #include "test_matrices.hpp"
@@ -14,18 +15,8 @@ namespace {
 using core::merge::spadd;
 using sparse::coo_to_csr;
 using sparse::csr_to_coo;
+using testing::expect_spadd_matches;
 using testing::random_coo;
-
-void expect_spadd_matches(vgpu::Device& dev, const sparse::CooD& a,
-                          const sparse::CooD& b) {
-  const auto ref = baselines::seq::spadd(coo_to_csr(a), coo_to_csr(b));
-  sparse::CooD c;
-  const auto stats = spadd(dev, a, b, c);
-  EXPECT_GE(stats.modeled_ms, 0.0);
-  EXPECT_TRUE(c.is_canonical());
-  const auto cmp = sparse::compare_csr(coo_to_csr(c), ref);
-  EXPECT_TRUE(cmp.equal) << cmp.detail;
-}
 
 TEST(MergeSpadd, PaperExampleAPlusB) {
   vgpu::Device dev;

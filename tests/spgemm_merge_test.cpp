@@ -6,6 +6,7 @@
 #include "baselines/seq.hpp"
 #include "core/spgemm.hpp"
 #include "core/spgemm_adaptive.hpp"
+#include "oracle.hpp"
 #include "sparse/compare.hpp"
 #include "sparse/convert.hpp"
 #include "test_matrices.hpp"
@@ -18,18 +19,8 @@ using core::merge::spgemm;
 using core::merge::spgemm_adaptive;
 using core::merge::SpgemmConfig;
 using sparse::coo_to_csr;
+using testing::expect_spgemm_matches;
 using testing::random_coo;
-
-void expect_spgemm_matches(vgpu::Device& dev, const sparse::CsrD& a,
-                           const sparse::CsrD& b, const SpgemmConfig& cfg = {}) {
-  const auto ref = baselines::seq::spgemm(a, b);
-  sparse::CsrD c;
-  const auto stats = spgemm(dev, a, b, c, cfg);
-  EXPECT_TRUE(c.is_valid());
-  EXPECT_EQ(stats.num_products, baselines::seq::spgemm_num_products(a, b));
-  const auto cmp = sparse::compare_csr(c, ref, 1e-9, 1e-11);
-  EXPECT_TRUE(cmp.equal) << cmp.detail;
-}
 
 TEST(MergeSpgemm, PaperFig3WorkedExample) {
   vgpu::Device dev;

@@ -6,6 +6,7 @@
 
 #include "baselines/seq.hpp"
 #include "core/spmv.hpp"
+#include "oracle.hpp"
 #include "sparse/convert.hpp"
 #include "test_matrices.hpp"
 #include "vgpu/device.hpp"
@@ -16,22 +17,8 @@ namespace {
 using core::merge::spmv;
 using core::merge::SpmvConfig;
 using sparse::coo_to_csr;
+using testing::expect_spmv_matches;
 using testing::random_coo;
-
-void expect_spmv_matches(vgpu::Device& dev, const sparse::CsrD& a,
-                         const SpmvConfig& cfg = {}) {
-  util::Rng rng(static_cast<std::uint64_t>(a.nnz()) + 7);
-  std::vector<double> x(static_cast<std::size_t>(a.num_cols));
-  for (auto& v : x) v = rng.uniform_double(-1, 1);
-  std::vector<double> y_ref(static_cast<std::size_t>(a.num_rows), -999.0);
-  std::vector<double> y(static_cast<std::size_t>(a.num_rows), -999.0);
-  baselines::seq::spmv(a, x, y_ref);
-  const auto stats = spmv(dev, a, x, y, cfg);
-  EXPECT_GE(stats.modeled_ms(), 0.0);
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    ASSERT_NEAR(y[i], y_ref[i], 1e-11) << "row " << i;
-  }
-}
 
 TEST(MergeSpmv, PaperExample) {
   vgpu::Device dev;
