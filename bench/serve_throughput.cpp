@@ -10,6 +10,7 @@
 // of thread count, batch window, or arrival interleaving.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <vector>
@@ -176,6 +177,50 @@ int main() {
       }
     }
   }
+  // Zero-overhead-when-off contract: constructing the engine with the
+  // chaos layer force-disabled vs armed-with-an-empty-schedule must give
+  // bitwise-identical summed modeled time and answers.  The disarmed
+  // fast path in vgpu::Device::launch is one predicted branch; if the
+  // fault-tolerance machinery (retry policy, breaker, supervision) ever
+  // leaks modeled cost into the fault-free path, this trips.
+  ::unsetenv("MPS_CHAOS_SCRIPT");  // the contract assumes no real faults
+  ::unsetenv("MPS_CHAOS_SEED");
+  double chaos_modeled[2] = {0.0, 0.0};
+  std::vector<std::uint64_t> chaos_hashes[2];
+  for (const int chaos_enabled : {0, 1}) {
+    serve::EngineConfig ecfg;
+    ecfg.threads = 1;
+    ecfg.batch_window = 1;
+    ecfg.queue_capacity = 2048;
+    ecfg.plan_cache_bytes = 64u << 20;
+    ecfg.chaos_enabled = chaos_enabled;
+    serve::Engine engine(ecfg);
+    std::vector<serve::MatrixHandle> handles;
+    for (const auto& a : tenants) handles.push_back(engine.register_matrix(a));
+    std::vector<std::future<serve::SpmvResult>> futures;
+    futures.reserve(trace.size());
+    for (const auto& op : trace) {
+      futures.push_back(engine.submit_spmv(
+          handles[op.matrix], make_x(tenants[op.matrix], op.x_seed)));
+    }
+    for (auto& f : futures) {
+      serve::SpmvResult r = f.get();
+      chaos_modeled[chaos_enabled] += r.modeled_ms;
+      chaos_hashes[chaos_enabled].push_back(hash_bits(r.y));
+    }
+    engine.shutdown();
+    require(engine.stats().retries == 0,
+            "fault-free run must not spend retry budget");
+  }
+  require(std::memcmp(&chaos_modeled[0], &chaos_modeled[1],
+                      sizeof(chaos_modeled[0])) == 0,
+          "arming an empty chaos schedule changed modeled time");
+  require(chaos_hashes[0] == chaos_hashes[1],
+          "arming an empty chaos schedule changed answers");
+  require(chaos_hashes[0] == reference_hashes,
+          "chaos-layer check diverged from the sweep's answers");
+  report.add_stat("chaos_zero_overhead_ok", 1.0);
+
   analysis::emit(t, "serve_throughput");
   report.write();
   std::puts("\nExpected shape: req/s grows with threads; opening the batch"

@@ -61,6 +61,31 @@ EngineConfig resolve_config(EngineConfig cfg) {
   if (cfg.autotune < 0) {
     cfg.autotune = autotune::enabled() ? 1 : 0;
   }
+  cfg.retry = RetryPolicy::resolve(cfg.retry);
+  cfg.breaker = CircuitBreakerConfig::resolve(cfg.breaker);
+  if (cfg.shed_watermark < 0.0) {
+    cfg.shed_watermark = util::env_double("MPS_SERVE_SHED_WATERMARK", 0.75);
+  }
+  if (cfg.max_failovers < 0) {
+    cfg.max_failovers = static_cast<int>(
+        std::max(0ll, util::env_int("MPS_SERVE_MAX_FAILOVERS", 8)));
+  }
+  if (cfg.degrade_cache_frac < 0.0) {
+    cfg.degrade_cache_frac =
+        util::env_double("MPS_SERVE_DEGRADE_CACHE_FRAC", 0.25);
+  }
+  if (cfg.degrade_recovery < 0) {
+    cfg.degrade_recovery = static_cast<int>(
+        std::max(0ll, util::env_int("MPS_SERVE_DEGRADE_RECOVERY", 64)));
+  }
+  // Chaos resolves AFTER threads: the seeded generator spreads events
+  // over the worker-device ordinals.  chaos_enabled == 0 is the chaos
+  // harness's fault-free reference run — the env knobs are ignored so
+  // the same process can run both legs.
+  if (cfg.chaos_enabled != 0 && cfg.chaos.empty()) {
+    cfg.chaos = vgpu::ChaosSchedule::from_env(static_cast<int>(cfg.threads));
+  }
+  if (cfg.chaos_enabled < 0) cfg.chaos_enabled = cfg.chaos.empty() ? 0 : 1;
   return cfg;
 }
 
@@ -85,6 +110,17 @@ struct ServeMetrics {
       telemetry::metrics().counter("serve.requests.retries");
   telemetry::Counter& batches =
       telemetry::metrics().counter("serve.batches.coalesced");
+  telemetry::Counter& shed =
+      telemetry::metrics().counter("serve.requests.shed");
+  telemetry::Counter& failovers =
+      telemetry::metrics().counter("serve.failovers");
+  telemetry::Counter& breaker_opened =
+      telemetry::metrics().counter("serve.breaker.opened");
+  telemetry::Counter& breaker_fail_fast =
+      telemetry::metrics().counter("serve.breaker.fail_fast");
+  telemetry::Counter& degraded_entered =
+      telemetry::metrics().counter("serve.degraded.entered");
+  telemetry::Gauge& degraded = telemetry::metrics().gauge("serve.degraded");
   telemetry::Gauge& peak_queue =
       telemetry::metrics().gauge("serve.queue.peak_depth");
   telemetry::Histogram& latency_ms = telemetry::metrics().histogram(
@@ -114,6 +150,10 @@ struct Engine::Request {
   std::promise<MatrixResult> matrix_promise;
   clock::time_point submitted;
   std::optional<clock::time_point> expires;  ///< queue-wait deadline
+  /// Stable jitter salt for RetryPolicy::backoff_ms: handle mixed with
+  /// the admission ordinal, so concurrent requests don't back off in
+  /// lockstep yet a replayed trace reproduces the same schedule.
+  std::uint64_t salt = 0;
   // Telemetry: a fresh trace opened at admission (zero while the tracer
   // is disabled).  The request span is recorded manually at settle time
   // because it crosses threads: admitted on the client thread, settled
@@ -172,38 +212,6 @@ struct Engine::Batch {
   std::vector<std::unique_ptr<Request>> reqs;
 };
 
-/// RAII lease of one worker Device from the engine's fixed set.
-namespace {
-class DeviceLease {
- public:
-  DeviceLease(std::mutex& mutex, std::condition_variable& cv,
-              std::vector<std::size_t>& free_list,
-              std::vector<std::unique_ptr<vgpu::Device>>& devices)
-      : mutex_(mutex), cv_(cv), free_list_(free_list) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return !free_list_.empty(); });
-    index_ = free_list_.back();
-    free_list_.pop_back();
-    device_ = devices[index_].get();
-  }
-  ~DeviceLease() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      free_list_.push_back(index_);
-    }
-    cv_.notify_one();
-  }
-  vgpu::Device& device() { return *device_; }
-
- private:
-  std::mutex& mutex_;
-  std::condition_variable& cv_;
-  std::vector<std::size_t>& free_list_;
-  std::size_t index_ = 0;
-  vgpu::Device* device_ = nullptr;
-};
-}  // namespace
-
 // ---------------------------------------------------------------------------
 // Lifecycle
 
@@ -211,15 +219,25 @@ Engine::Engine(EngineConfig cfg)
     : cfg_(resolve_config(cfg)),
       num_workers_(cfg_.threads),
       plan_cache_(cfg_.plan_cache_bytes),
+      breaker_(cfg_.breaker),
       paused_(cfg_.start_paused),
       batch_histogram_(static_cast<std::size_t>(cfg_.batch_window) + 1, 0),
       // ThreadPool counts the constructing thread as a participant; the
       // engine needs cfg_.threads *dedicated* workers for posted tasks.
       pool_(num_workers_ + 1) {
+  if (cfg_.shed_watermark > 0.0) {
+    shed_threshold_ = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg_.shed_watermark *
+                                    static_cast<double>(cfg_.queue_capacity)));
+  }
   devices_.reserve(num_workers_);
   free_devices_.reserve(num_workers_);
   for (unsigned i = 0; i < num_workers_; ++i) {
     devices_.push_back(std::make_unique<vgpu::Device>());
+    if (cfg_.chaos_enabled > 0) {
+      devices_.back()->fault_injector().arm_chaos(cfg_.chaos,
+                                                  static_cast<int>(i));
+    }
     free_devices_.push_back(i);
   }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
@@ -299,6 +317,21 @@ std::shared_ptr<const sparse::CsrD> Engine::lookup(MatrixHandle h) const {
   throw InvalidInputError("serve: unknown matrix handle " + std::to_string(h));
 }
 
+void Engine::shed_low_priority_locked(const SubmitOptions& opts) {
+  if (opts.priority != Priority::kLow || shed_threshold_ == 0 ||
+      queue_.size() < shed_threshold_) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++shed_;
+  }
+  serve_metrics().shed.add();
+  throw LoadShedError("serve: low-priority request shed (queue depth " +
+                      std::to_string(queue_.size()) + " >= watermark " +
+                      std::to_string(shed_threshold_) + ")");
+}
+
 /// Waits for queue space per `opts`/`blocking`; returns false when the
 /// request must be rejected (queue full).  Throws ShutdownError once
 /// admission is closed.  Called with queue_mutex_ held.
@@ -336,12 +369,22 @@ std::future<SpmvResult> Engine::admit_spmv(MatrixHandle h,
                             " entries, matrix has " +
                             std::to_string(a->num_cols) + " columns");
   }
+  // Fail fast while the handle's circuit is open: no queueing, no device
+  // time, a synchronous CircuitOpenError at the submit call.
+  try {
+    breaker_.admit(h, modeled_now_ms());
+  } catch (const CircuitOpenError&) {
+    serve_metrics().breaker_fail_fast.add();
+    throw;
+  }
   auto req = std::make_unique<Request>();
   req->kind = Request::Kind::kSpmv;
   req->handle_a = h;
   req->a = std::move(a);
   req->x = std::move(x);
   req->submitted = clock::now();
+  req->salt = h ^ (admit_seq_.fetch_add(1, std::memory_order_relaxed) *
+                   0x9E3779B97F4A7C15ull);
   req->open_span();
   auto timeout = opts.request_timeout.count() != 0 ? opts.request_timeout
                                                    : cfg_.default_timeout;
@@ -350,6 +393,7 @@ std::future<SpmvResult> Engine::admit_spmv(MatrixHandle h,
 
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
+    shed_low_priority_locked(opts);  // throws LoadShedError past watermark
     if (!admit_locked(lock, opts, blocking)) {
       {
         std::lock_guard<std::mutex> slock(stats_mutex_);
@@ -406,12 +450,20 @@ std::future<MatrixResult> Engine::admit_matrix_op(bool gemm, MatrixHandle a,
   } else if (ma->num_rows != mb->num_rows || ma->num_cols != mb->num_cols) {
     throw InvalidInputError("serve: spadd operands differ in shape");
   }
+  try {
+    breaker_.admit(a, modeled_now_ms());
+  } catch (const CircuitOpenError&) {
+    serve_metrics().breaker_fail_fast.add();
+    throw;
+  }
   auto req = std::make_unique<Request>();
   req->kind = gemm ? Request::Kind::kSpgemm : Request::Kind::kSpadd;
   req->handle_a = a;
   req->a = std::move(ma);
   req->b = std::move(mb);
   req->submitted = clock::now();
+  req->salt = a ^ (admit_seq_.fetch_add(1, std::memory_order_relaxed) *
+                   0x9E3779B97F4A7C15ull);
   req->open_span();
   auto timeout = opts.request_timeout.count() != 0 ? opts.request_timeout
                                                    : cfg_.default_timeout;
@@ -419,6 +471,7 @@ std::future<MatrixResult> Engine::admit_matrix_op(bool gemm, MatrixHandle a,
   auto future = req->matrix_promise.get_future();
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
+    shed_low_priority_locked(opts);
     if (!admit_locked(lock, opts, /*blocking=*/true)) {
       serve_metrics().rejected_full.add();
       std::lock_guard<std::mutex> slock(stats_mutex_);
@@ -566,10 +619,7 @@ void Engine::dispatch_batch(std::shared_ptr<Batch> batch) {
     queue_cv_.notify_one();
   };
   const bool posted = pool_.try_post([this, batch, finish] {
-    {
-      DeviceLease lease(devices_mutex_, devices_cv_, free_devices_, devices_);
-      execute_batch(*batch, lease.device());
-    }
+    execute_with_failover(*batch);
     finish();
   });
   if (!posted) {
@@ -592,6 +642,191 @@ void Engine::dispatch_batch(std::shared_ptr<Batch> batch) {
 
 // ---------------------------------------------------------------------------
 // Execution
+
+double Engine::prepare_retry(Request& req, int attempt) {
+  // Runs inside a catch handler: `throw;` re-raises the fault that
+  // brought us here once the budget is spent.
+  if (attempt + 1 >= cfg_.retry.max_attempts) throw;
+  if (req.expired(clock::now())) {
+    // Deadline-aware retry: nobody is waiting for this answer anymore.
+    throw RequestTimeoutError(
+        "serve: request deadline expired before retry attempt " +
+        std::to_string(attempt + 1));
+  }
+  serve_metrics().retries.add();
+  {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++retries_;
+  }
+  return cfg_.retry.backoff_ms(attempt + 1, req.salt);
+}
+
+double Engine::prepare_batch_retry(Batch& batch, int attempt) {
+  if (attempt + 1 >= cfg_.retry.max_attempts) throw;
+  // Requests that expired during the failed attempt settle with a
+  // timeout now; the survivors get the retry (the batch block is
+  // reassembled from whoever is left).
+  const auto now = clock::now();
+  std::size_t kept = 0;
+  for (auto& r : batch.reqs) {
+    if (r->expired(now)) {
+      fail_request(*r, std::make_exception_ptr(RequestTimeoutError(
+                           "serve: request deadline expired before retry "
+                           "attempt " +
+                           std::to_string(attempt + 1))));
+    } else {
+      batch.reqs[kept++] = std::move(r);
+    }
+  }
+  batch.reqs.resize(kept);
+  if (batch.reqs.empty()) {
+    throw RequestTimeoutError(
+        "serve: every request of the batch expired before the retry");
+  }
+  serve_metrics().retries.add();
+  {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++retries_;
+  }
+  return cfg_.retry.backoff_ms(attempt + 1, batch.reqs.front()->salt);
+}
+
+void Engine::fail_request(Request& r, const std::exception_ptr& e) {
+  bool timeout = false;
+  try {
+    std::rethrow_exception(e);
+  } catch (const RequestTimeoutError&) {
+    timeout = true;
+  } catch (...) {
+  }
+  if (timeout) {
+    {
+      std::lock_guard<std::mutex> slock(stats_mutex_);
+      ++timed_out_;
+    }
+    serve_metrics().timed_out.add();
+    r.finish_span("timeout");  // first status wins; fail()'s "error" won't
+  } else {
+    settle_metrics(0.0, false);
+  }
+  r.fail(e);
+}
+
+void Engine::note_execution_failure(MatrixHandle h,
+                                    const std::exception_ptr& e) {
+  // Timeouts say the queue is slow; device loss says the hardware died.
+  // Neither is evidence against the matrix, so neither feeds the breaker.
+  try {
+    std::rethrow_exception(e);
+  } catch (const RequestTimeoutError&) {
+    return;
+  } catch (const vgpu::DeviceLostError&) {
+    return;
+  } catch (...) {
+  }
+  if (breaker_.on_failure(h, modeled_now_ms())) {
+    serve_metrics().breaker_opened.add();
+  }
+}
+
+void Engine::note_success(MatrixHandle h) {
+  breaker_.on_success(h);
+  if (cfg_.degrade_recovery > 0 &&
+      degraded_.load(std::memory_order_relaxed)) {
+    if (degrade_successes_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+        cfg_.degrade_recovery) {
+      bool expected = true;
+      if (degraded_.compare_exchange_strong(expected, false)) {
+        plan_cache_.set_capacity(cfg_.plan_cache_bytes);
+        serve_metrics().degraded.set(0.0);
+        telemetry::ScopedSpan span("serve.degraded_exit");
+      }
+    }
+  }
+}
+
+void Engine::note_memory_pressure() {
+  if (cfg_.degrade_recovery <= 0) return;
+  // Any OOM resets the recovery streak; the FIRST one shrinks the plan
+  // cache so resident plans stop competing with working sets, and flips
+  // unbatched SpMV onto the plan-less path (execute_batch checks the
+  // flag per dispatch).
+  degrade_successes_.store(0, std::memory_order_relaxed);
+  bool expected = false;
+  if (degraded_.compare_exchange_strong(expected, true)) {
+    telemetry::ScopedSpan span("serve.degraded_enter");
+    plan_cache_.set_capacity(static_cast<std::size_t>(
+        static_cast<double>(cfg_.plan_cache_bytes) * cfg_.degrade_cache_frac));
+    serve_metrics().degraded_entered.add();
+    serve_metrics().degraded.set(1.0);
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++degraded_entered_;
+  }
+}
+
+void Engine::execute_with_failover(Batch& batch) {
+  int failovers = 0;
+  for (;;) {
+    std::size_t idx = 0;
+    vgpu::Device* device = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(devices_mutex_);
+      devices_cv_.wait(lock, [&] { return !free_devices_.empty(); });
+      idx = free_devices_.back();
+      free_devices_.pop_back();
+      device = devices_[idx].get();
+    }
+    try {
+      execute_batch(batch, *device);
+    } catch (const vgpu::DeviceLostError&) {
+      // The worker's device is gone.  Quarantine it, provision a fresh
+      // one in its slot, and requeue the batch — structurally nothing in
+      // it has settled yet (losses fire from launches/reserves, which
+      // all precede the first promise settle).
+      handle_device_loss(idx);
+      ++failovers;
+      if (failovers > cfg_.max_failovers) {
+        const auto error = std::current_exception();
+        note_execution_failure(
+            batch.reqs.empty() ? 0 : batch.reqs.front()->handle_a, error);
+        for (auto& r : batch.reqs) fail_request(*r, error);
+        return;
+      }
+      continue;  // retry on whichever worker frees up next
+    }
+    {
+      std::lock_guard<std::mutex> lock(devices_mutex_);
+      free_devices_.push_back(idx);
+    }
+    devices_cv_.notify_one();
+    return;
+  }
+}
+
+void Engine::handle_device_loss(std::size_t device_index) {
+  telemetry::ScopedSpan span("serve.failover");
+  // Fresh hardware, fresh luck: the replacement is NOT re-armed with the
+  // chaos schedule (re-arming would lose it at the same ordinal forever
+  // — a livelock, not a model of anything).  MPS_FAULT_* env knobs still
+  // apply through the Device constructor, as for the original fleet.
+  auto fresh = std::make_unique<vgpu::Device>();
+  {
+    std::lock_guard<std::mutex> lock(devices_mutex_);
+    quarantined_.push_back(std::move(devices_[device_index]));
+    devices_[device_index] = std::move(fresh);
+    free_devices_.push_back(device_index);
+  }
+  devices_cv_.notify_all();
+  // Cached plans may hold allocations accounted against the lost device;
+  // drop them all and let the survivors rebuild lazily (re-residenting
+  // registered matrices costs one plan build per matrix, amortized).
+  plan_cache_.clear();
+  serve_metrics().failovers.add();
+  {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    ++failovers_;
+  }
+}
 
 void Engine::settle_metrics(double latency_ms, bool ok) {
   if (ok) {
@@ -626,14 +861,9 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
     std::size_t kept = 0;
     for (auto& r : batch.reqs) {
       if (r->expired(now)) {
-        {
-          std::lock_guard<std::mutex> slock(stats_mutex_);
-          ++timed_out_;
-        }
-        serve_metrics().timed_out.add();
-        r->finish_span("timeout");
-        r->fail(std::make_exception_ptr(RequestTimeoutError(
-            "serve: request timed out before execution began")));
+        fail_request(*r, std::make_exception_ptr(RequestTimeoutError(
+                             "serve: request timed out before execution "
+                             "began")));
       } else {
         batch.reqs[kept++] = std::move(r);
       }
@@ -642,72 +872,76 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
   }
   if (batch.reqs.empty()) return;
 
-  Request& head = *batch.reqs.front();
-  if (head.kind != Request::Kind::kSpmv) {
-    execute_matrix_op(head, device);
+  if (batch.reqs.front()->kind != Request::Kind::kSpmv) {
+    execute_matrix_op(*batch.reqs.front(), device);
     return;
   }
   // Run the batch under the head request's span: nested host-phase spans
   // and every kernel this worker launches inherit its trace id (the
-  // correlation the Perfetto export surfaces).
-  telemetry::ContextScope trace_scope(head.span_ctx);
-  const sparse::CsrD& a = *head.a;
-  const std::size_t n = batch.reqs.size();
+  // correlation the Perfetto export surfaces).  The context is copied up
+  // front — retries may prune the head request itself.
+  telemetry::ContextScope trace_scope(batch.reqs.front()->span_ctx);
+  const MatrixHandle handle = batch.reqs.front()->handle_a;
+  const std::shared_ptr<const sparse::CsrD> a_ref = batch.reqs.front()->a;
+  const sparse::CsrD& a = *a_ref;
   const auto rows = static_cast<std::size_t>(a.num_rows);
   const auto cols = static_cast<std::size_t>(a.num_cols);
 
   std::size_t settled = 0;  ///< requests already counted as completed
   try {
-    if (n == 1) {
+    if (batch.reqs.size() == 1) {
       // Unbatched path: plan-cache hit amortizes the partition (and,
       // with autotuning on, the trial protocol).  Tuned execution is
       // bitwise-identical to the merge path — every candidate shares
       // the canonical accumulation order — so flipping MPS_AUTOTUNE can
-      // change modeled cost only, never a result.
+      // change modeled cost only, never a result.  In degraded mode the
+      // cache is bypassed entirely: one-shot spmv builds a transient
+      // plan and frees it, trading amortization for a minimal resident
+      // footprint (results stay bitwise-identical by construction).
+      Request& head = *batch.reqs.front();
       std::vector<double> y(rows);
       double modeled = 0.0;
+      double backoff_ms = 0.0;
       bool hit = false;
       telemetry::ScopedSpan exec_span("serve.execute");
       for (int attempt = 0;; ++attempt) {
         try {
-          if (cfg_.autotune > 0) {
+          if (degraded_.load(std::memory_order_relaxed)) {
+            modeled = core::merge::spmv(device, a, head.x, y).modeled_ms();
+            hit = false;
+          } else if (cfg_.autotune > 0) {
             auto tuned =
-                plan_cache_.get_or_build_tuned(device, a, head.handle_a, &hit);
+                plan_cache_.get_or_build_tuned(device, a, handle, &hit);
             modeled = tuned->execute(device, a, head.x, y).modeled_ms();
           } else {
-            auto plan =
-                plan_cache_.get_or_build(device, a, head.handle_a, &hit);
+            auto plan = plan_cache_.get_or_build(device, a, handle, &hit);
             modeled = core::merge::spmv_execute(device, a, head.x, y, *plan)
                           .modeled_ms();
           }
           break;
         } catch (const IntegrityError&) {
-          if (attempt >= 1) throw;
-          plan_cache_.invalidate(head.handle_a);  // rebuild from clean state
-          serve_metrics().retries.add();
-          std::lock_guard<std::mutex> slock(stats_mutex_);
-          ++retries_;
+          plan_cache_.invalidate(handle);  // rebuild from clean state
+          backoff_ms += prepare_retry(head, attempt);
         } catch (const PlanMismatchError&) {
           // A stale tuned entry (e.g. values re-registered between
-          // lookup and execute) — drop it and re-tune once.
-          if (attempt >= 1) throw;
-          plan_cache_.invalidate_tuned(head.handle_a);
-          serve_metrics().retries.add();
-          std::lock_guard<std::mutex> slock(stats_mutex_);
-          ++retries_;
+          // lookup and execute) — drop it and re-tune.
+          plan_cache_.invalidate_tuned(handle);
+          backoff_ms += prepare_retry(head, attempt);
         } catch (const vgpu::DeviceOomError&) {
-          if (attempt >= 1) throw;
-          serve_metrics().retries.add();
-          std::lock_guard<std::mutex> slock(stats_mutex_);
-          ++retries_;
+          note_memory_pressure();
+          backoff_ms += prepare_retry(head, attempt);
         }
       }
       exec_span.end();
+      charge_modeled(modeled + backoff_ms);
       SpmvResult result;
       result.y = std::move(y);
-      result.modeled_ms = modeled;
+      // Backoff is charged in modeled time — the client's bill includes
+      // the waiting the policy imposed, not just the kernels.
+      result.modeled_ms = modeled + backoff_ms;
       result.batch_size = 1;
       result.plan_cache_hit = hit;
+      note_success(handle);
       settle_metrics(
           std::chrono::duration<double, std::milli>(clock::now() - head.submitted)
               .count(),
@@ -720,44 +954,49 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
     // Batched path: interleave the n request vectors into a row-major
     // X (cols x n) and run ONE spmm.  Column j of Y is bitwise-identical
     // to spmv of request j: spmm shares spmv's tile geometry and
-    // accumulation order (tests/serve_test.cpp asserts it).
-    telemetry::ScopedSpan assemble_span("serve.batch_assemble");
-    std::vector<double> x_block(cols * n);
-    for (std::size_t j = 0; j < n; ++j) {
-      const std::vector<double>& x = batch.reqs[j]->x;
-      for (std::size_t c = 0; c < cols; ++c) x_block[c * n + j] = x[c];
-    }
-    assemble_span.end();
-    std::vector<double> y_block(rows * n);
+    // accumulation order (tests/serve_test.cpp asserts it).  The block
+    // is (re)assembled per attempt because a retry may have pruned
+    // expired requests from the batch.
+    std::vector<double> y_block;
     double modeled = 0.0;
-    telemetry::ScopedSpan exec_span("serve.execute");
+    double backoff_ms = 0.0;
     for (int attempt = 0;; ++attempt) {
+      const std::size_t n = batch.reqs.size();
+      telemetry::ScopedSpan assemble_span("serve.batch_assemble");
+      std::vector<double> x_block(cols * n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::vector<double>& x = batch.reqs[j]->x;
+        for (std::size_t c = 0; c < cols; ++c) x_block[c * n + j] = x[c];
+      }
+      assemble_span.end();
+      y_block.assign(rows * n, 0.0);
+      telemetry::ScopedSpan exec_span("serve.execute");
       try {
         modeled = core::merge::spmm(device, a, x_block,
                                     static_cast<index_t>(n), y_block)
                       .modeled_ms;
+        exec_span.end();
         break;
       } catch (const vgpu::DeviceOomError&) {
-        if (attempt >= 1) throw;
-        serve_metrics().retries.add();
-        std::lock_guard<std::mutex> slock(stats_mutex_);
-        ++retries_;
+        exec_span.end("oom");
+        note_memory_pressure();
+        backoff_ms += prepare_batch_retry(batch, attempt);
       } catch (const IntegrityError&) {
-        if (attempt >= 1) throw;
-        serve_metrics().retries.add();
-        std::lock_guard<std::mutex> slock(stats_mutex_);
-        ++retries_;
+        exec_span.end("integrity");
+        backoff_ms += prepare_batch_retry(batch, attempt);
       }
     }
-    exec_span.end();
     telemetry::ScopedSpan scatter_span("serve.batch_scatter");
+    const std::size_t n = batch.reqs.size();
+    charge_modeled(modeled + backoff_ms);
+    note_success(handle);
     const auto now = clock::now();
     for (std::size_t j = 0; j < n; ++j) {
       Request& r = *batch.reqs[j];
       SpmvResult result;
       result.y.resize(rows);
       for (std::size_t i = 0; i < rows; ++i) result.y[i] = y_block[i * n + j];
-      result.modeled_ms = modeled / static_cast<double>(n);
+      result.modeled_ms = (modeled + backoff_ms) / static_cast<double>(n);
       result.batch_size = static_cast<int>(n);
       settle_metrics(
           std::chrono::duration<double, std::milli>(now - r.submitted).count(),
@@ -766,14 +1005,19 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
       r.spmv_promise.set_value(std::move(result));
       ++settled;
     }
+  } catch (const vgpu::DeviceLostError&) {
+    // Failover territory: nothing in the batch has settled (losses fire
+    // from launches/reserves, all of which precede the first settle), so
+    // the whole batch can requeue on a surviving worker.
+    throw;
   } catch (...) {
     // A failure mid-scatter (e.g. allocation during result copy-out)
     // must only fail the requests not yet settled: the earlier ones
     // already delivered values and were counted as completed.
     auto error = std::current_exception();
+    note_execution_failure(handle, error);
     for (std::size_t j = settled; j < batch.reqs.size(); ++j) {
-      settle_metrics(0.0, false);
-      batch.reqs[j]->fail(error);
+      fail_request(*batch.reqs[j], error);
     }
   }
 }
@@ -782,6 +1026,7 @@ void Engine::execute_matrix_op(Request& req, vgpu::Device& device) {
   telemetry::ContextScope trace_scope(req.span_ctx);
   try {
     MatrixResult result;
+    double backoff_ms = 0.0;
     telemetry::ScopedSpan exec_span("serve.execute");
     for (int attempt = 0;; ++attempt) {
       try {
@@ -794,27 +1039,28 @@ void Engine::execute_matrix_op(Request& req, vgpu::Device& device) {
         }
         break;
       } catch (const vgpu::DeviceOomError&) {
-        if (attempt >= 1) throw;
-        serve_metrics().retries.add();
-        std::lock_guard<std::mutex> slock(stats_mutex_);
-        ++retries_;
+        note_memory_pressure();
+        backoff_ms += prepare_retry(req, attempt);
       } catch (const IntegrityError&) {
-        if (attempt >= 1) throw;
-        serve_metrics().retries.add();
-        std::lock_guard<std::mutex> slock(stats_mutex_);
-        ++retries_;
+        backoff_ms += prepare_retry(req, attempt);
       }
     }
     exec_span.end();
+    result.modeled_ms += backoff_ms;
+    charge_modeled(result.modeled_ms);
+    note_success(req.handle_a);
     settle_metrics(
         std::chrono::duration<double, std::milli>(clock::now() - req.submitted)
             .count(),
         true);
     req.finish_span("ok");
     req.matrix_promise.set_value(std::move(result));
+  } catch (const vgpu::DeviceLostError&) {
+    throw;  // nothing settled yet — safe to fail the device over and requeue
   } catch (...) {
-    settle_metrics(0.0, false);
-    req.fail(std::current_exception());
+    auto error = std::current_exception();
+    note_execution_failure(req.handle_a, error);
+    fail_request(req, error);
   }
 }
 
@@ -844,17 +1090,30 @@ EngineStats Engine::stats() const {
     s.latency_ms = util::summarize(latencies_ms_);
     s.latency_p50_ms = util::percentile(latencies_ms_, 50.0);
     s.latency_p99_ms = util::percentile(latencies_ms_, 99.0);
+    s.shed = shed_;
+    s.failovers = failovers_;
+    s.degraded_entered = degraded_entered_;
   }
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.breaker = breaker_.stats();
   s.plan_cache = plan_cache_.stats();
   return s;
 }
 
 void Engine::write_trace(std::ostream& out) const {
   std::vector<vgpu::TraceTrack> tracks;
-  tracks.reserve(devices_.size());
+  std::lock_guard<std::mutex> lock(devices_mutex_);
+  tracks.reserve(devices_.size() + quarantined_.size());
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     tracks.push_back(vgpu::TraceTrack{"vgpu worker " + std::to_string(i),
                                       devices_[i].get()});
+  }
+  // Lost devices keep their kernel history: the timeline shows work up
+  // to the loss point, then the failover replacement takes over the
+  // worker track above.
+  for (std::size_t i = 0; i < quarantined_.size(); ++i) {
+    tracks.push_back(vgpu::TraceTrack{"vgpu lost " + std::to_string(i),
+                                      quarantined_[i].get()});
   }
   vgpu::write_perfetto_trace(out, tracks);
 }

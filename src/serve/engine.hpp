@@ -30,9 +30,30 @@
 //     rejection and timeouts apply — rather than accumulating without
 //     bound in the pool's task deque;
 //   * fault handling — execution failures propagate through the future
-//     as typed mps::Error.  IntegrityError and DeviceOomError get one
-//     transparent retry (invalidating the cached plan first for
-//     integrity failures), mirroring spgemm_adaptive's oom-retry tier;
+//     as typed mps::Error.  IntegrityError, PlanMismatchError and
+//     DeviceOomError get transparent retries under a configurable
+//     RetryPolicy (retry_policy.hpp): bounded attempt budget,
+//     exponential backoff with deterministic jitter charged into the
+//     request's MODELED latency, and the request deadline re-checked
+//     before every attempt (an expired request settles with
+//     RequestTimeoutError instead of burning budget);
+//   * worker supervision — a DeviceLostError (chaos-injected device
+//     loss, vgpu/chaos.hpp) quarantines the worker's Device, provisions
+//     a fresh one in its slot, drops cached plans (they re-resident
+//     lazily on the survivors), and requeues the in-flight batch —
+//     bounded by max_failovers per batch, after which the batch settles
+//     with the loss error.  No admitted request is ever abandoned;
+//   * circuit breaking — a per-matrix-handle breaker
+//     (circuit_breaker.hpp) trips open after N consecutive execution
+//     failures; submissions against an open handle fail fast at
+//     admission with CircuitOpenError until a half-open probe succeeds.
+//     Timeouts and shedding never count against the breaker;
+//   * graceful degradation — requests carry a Priority class; once the
+//     queue crosses the shed watermark, kLow submissions are refused
+//     with LoadShedError.  Memory pressure (any DeviceOomError) enters a
+//     degraded mode that shrinks the plan-cache budget and serves
+//     unbatched SpMV plan-less (bitwise-identical — only the amortization
+//     is lost) until `degrade_recovery` consecutive successes restore it;
 //   * graceful shutdown — shutdown(kDrain) completes everything already
 //     admitted; shutdown(kReject) fails queued-but-unstarted requests
 //     with ShutdownError.  Either way every admitted request's future is
@@ -45,6 +66,7 @@
 // is fixed by the kernel geometry — the differential tests assert
 // bitwise equality against direct kernel calls under every regime.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -58,7 +80,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "serve/circuit_breaker.hpp"
 #include "serve/plan_cache.hpp"
+#include "serve/retry_policy.hpp"
+#include "vgpu/chaos.hpp"
 #include "sparse/csr.hpp"
 #include "telemetry/span.hpp"
 #include "util/error.hpp"
@@ -91,6 +116,21 @@ class ShutdownError : public Error {
   explicit ShutdownError(const std::string& what) : Error(what) {}
 };
 
+/// A low-priority submission was refused at admission because queue
+/// depth crossed the shed watermark (graceful degradation under
+/// overload).  The request never entered the queue; resubmit later or
+/// at a higher priority.
+class LoadShedError : public Error {
+ public:
+  explicit LoadShedError(const std::string& what) : Error(what) {}
+};
+
+/// Request priority class.  Shedding applies to kLow only: when queue
+/// depth crosses `shed_watermark` x capacity, kLow submissions throw
+/// LoadShedError while kNormal/kHigh continue to admit (up to the hard
+/// queue capacity, which still applies to everyone).
+enum class Priority { kHigh, kNormal, kLow };
+
 /// Engine knobs.  Zero-valued fields resolve from the environment
 /// (docs/serving.md):
 ///   MPS_SERVE_THREADS       — worker threads (default 4)
@@ -116,6 +156,31 @@ struct EngineConfig {
   /// Construct with the dispatcher paused (tests build deterministic
   /// queue states, then resume()).
   bool start_paused = false;
+
+  /// Retry budget + backoff for transient execution faults; defaulted
+  /// fields resolve from MPS_SERVE_RETRIES / MPS_SERVE_BACKOFF_*.
+  RetryPolicy retry;
+  /// Per-matrix circuit breaker; defaults resolve from
+  /// MPS_SERVE_BREAKER_THRESHOLD / MPS_SERVE_BREAKER_COOLDOWN_MS.
+  CircuitBreakerConfig breaker;
+  /// Queue-depth fraction past which kLow submissions shed; < 0 resolves
+  /// from MPS_SERVE_SHED_WATERMARK (default 0.75), 0 disables shedding.
+  double shed_watermark = -1.0;
+  /// Device-loss failovers tolerated per batch before it settles with
+  /// the loss error; < 0 resolves MPS_SERVE_MAX_FAILOVERS (default 8).
+  int max_failovers = -1;
+  /// Degraded-mode plan-cache budget as a fraction of plan_cache_bytes;
+  /// < 0 resolves MPS_SERVE_DEGRADE_CACHE_FRAC (default 0.25).
+  double degrade_cache_frac = -1.0;
+  /// Consecutive successes that exit degraded mode; < 0 resolves
+  /// MPS_SERVE_DEGRADE_RECOVERY (default 64), 0 disables degraded mode.
+  int degrade_recovery = -1;
+  /// Chaos fault schedule armed on the worker devices at construction
+  /// (vgpu/chaos.hpp).  `chaos_enabled`: < 0 = arm `chaos` if non-empty,
+  /// else whatever MPS_CHAOS_SCRIPT / MPS_CHAOS_SEED provide; 0 = force
+  /// off (the chaos harness's fault-free reference run); > 0 = arm.
+  vgpu::ChaosSchedule chaos;
+  int chaos_enabled = -1;
 
   /// Fill zero-valued fields from the environment knobs above.
   static EngineConfig from_env();
@@ -152,6 +217,8 @@ struct SubmitOptions {
   /// Queue-wait budget for the request itself; 0 inherits the engine
   /// default, <0 disables.
   std::chrono::milliseconds request_timeout{0};
+  /// Shedding class; kLow is refused (LoadShedError) past the watermark.
+  Priority priority = Priority::kNormal;
 };
 
 /// Point-in-time engine statistics (stats()).
@@ -166,6 +233,11 @@ struct EngineStats {
   long long completed = 0;
   long long failed = 0;            ///< settled with a non-timeout error
   long long retries = 0;           ///< transparent IntegrityError/OOM retries
+  long long shed = 0;              ///< kLow submissions refused (LoadShedError)
+  long long failovers = 0;         ///< device-loss quarantine + re-provisions
+  long long degraded_entered = 0;  ///< memory-pressure degraded-mode entries
+  bool degraded = false;           ///< currently in degraded mode
+  CircuitBreaker::Stats breaker;
   long long batches = 0;           ///< spmm dispatches with >= 2 requests
   long long max_batch = 0;
   /// batch_histogram[k] = dispatches that coalesced exactly k requests
@@ -198,11 +270,16 @@ class Engine {
   /// y = A x.  Blocks for queue space up to opts.admission_timeout, then
   /// throws QueueFullError; throws ShutdownError synchronously once
   /// shutdown began; throws InvalidInputError for an unknown handle or
-  /// mis-sized x.  All execution outcomes arrive through the future.
+  /// mis-sized x; throws LoadShedError for a kLow request past the shed
+  /// watermark and CircuitOpenError while the handle's breaker is open.
+  /// All execution outcomes arrive through the future.
   std::future<SpmvResult> submit_spmv(MatrixHandle h, std::vector<double> x,
                                       const SubmitOptions& opts = {});
   /// Non-blocking admission: nullopt when the queue is full or the
-  /// engine is shutting down.
+  /// engine is shutting down.  Typed admission refusals that are not
+  /// capacity (LoadShedError, CircuitOpenError, InvalidInputError)
+  /// still propagate as exceptions — they tell the caller something a
+  /// nullopt cannot.
   std::optional<std::future<SpmvResult>> try_submit_spmv(
       MatrixHandle h, std::vector<double> x, const SubmitOptions& opts = {});
 
@@ -248,9 +325,47 @@ class Engine {
 
   void dispatcher_loop();
   void dispatch_batch(std::shared_ptr<Batch> batch);
+  /// Lease a device, run the batch, and on DeviceLostError quarantine +
+  /// re-provision the worker and requeue the batch on the survivors (up
+  /// to cfg_.max_failovers, then settle the batch with the loss error).
+  void execute_with_failover(Batch& batch);
+  /// Runs the batch on `device`; DeviceLostError propagates to the
+  /// failover loop (structurally, a loss can only fire before any
+  /// request of the batch has settled — launches and reserves all
+  /// precede the first set_value).
   void execute_batch(Batch& batch, vgpu::Device& device);
   void execute_matrix_op(Request& req, vgpu::Device& device);
+  void handle_device_loss(std::size_t device_index);
   void settle_metrics(double latency_ms, bool ok);
+  /// Called from a retry catch handler after `attempt` (0-based) failed:
+  /// rethrows when the budget is spent, settles the deadline re-check
+  /// (RequestTimeoutError), counts the retry, and returns the modeled
+  /// backoff to charge.
+  double prepare_retry(Request& req, int attempt);
+  /// Batched variant: additionally prunes requests that expired between
+  /// attempts (they settle with RequestTimeoutError; survivors retry).
+  double prepare_batch_retry(Batch& batch, int attempt);
+  /// Typed failure settle: timeouts count as timed_out (span status
+  /// "timeout"), everything else as failed.
+  void fail_request(Request& r, const std::exception_ptr& e);
+  /// Breaker bookkeeping for one failed execution (timeouts and device
+  /// loss excluded — they say nothing about the matrix's health).
+  void note_execution_failure(MatrixHandle h, const std::exception_ptr& e);
+  /// Breaker close/probe-success + degraded-mode recovery tick.
+  void note_success(MatrixHandle h);
+  /// DeviceOomError observed: enter degraded mode (shrink the plan-cache
+  /// budget; unbatched SpMV goes plan-less until recovery).
+  void note_memory_pressure();
+  /// Advance the modeled-time clock (breaker cooldowns key off it).
+  void charge_modeled(double ms) {
+    modeled_clock_us_.fetch_add(static_cast<long long>(ms * 1000.0),
+                                std::memory_order_relaxed);
+  }
+  double modeled_now_ms() const {
+    return static_cast<double>(
+               modeled_clock_us_.load(std::memory_order_relaxed)) /
+           1000.0;
+  }
   std::future<SpmvResult> admit_spmv(MatrixHandle h, std::vector<double> x,
                                      const SubmitOptions& opts, bool blocking,
                                      bool* admitted);
@@ -259,6 +374,9 @@ class Engine {
                                             const SubmitOptions& opts);
   bool admit_locked(std::unique_lock<std::mutex>& lock,
                     const SubmitOptions& opts, bool blocking);
+  /// Throws LoadShedError for kLow requests once queue depth reaches the
+  /// shed watermark.  Called with queue_mutex_ held.
+  void shed_low_priority_locked(const SubmitOptions& opts);
 
   std::shared_ptr<const sparse::CsrD> lookup(MatrixHandle h) const;
 
@@ -268,11 +386,21 @@ class Engine {
   // Devices outlive the plan cache (declared first => destroyed last):
   // evicted plans release their accounted device memory on destruction.
   std::vector<std::unique_ptr<vgpu::Device>> devices_;
-  std::mutex devices_mutex_;
+  mutable std::mutex devices_mutex_;
   std::condition_variable devices_cv_;
   std::vector<std::size_t> free_devices_;
+  /// Devices lost to chaos and replaced by failover.  Kept alive (and
+  /// declared before plan_cache_) because cached plans built on them
+  /// release their accounted memory on destruction.
+  std::vector<std::unique_ptr<vgpu::Device>> quarantined_;
 
   PlanCache plan_cache_;
+  CircuitBreaker breaker_;
+  std::size_t shed_threshold_ = 0;  ///< queue depth; 0 = shedding off
+  std::atomic<bool> degraded_{false};
+  std::atomic<int> degrade_successes_{0};
+  std::atomic<long long> modeled_clock_us_{0};
+  std::atomic<std::uint64_t> admit_seq_{0};  ///< retry-jitter salt source
 
   mutable std::mutex registry_mutex_;
   std::unordered_map<MatrixHandle, std::shared_ptr<const sparse::CsrD>>
@@ -302,6 +430,9 @@ class Engine {
   long long completed_ = 0;
   long long failed_ = 0;
   long long retries_ = 0;
+  long long shed_ = 0;
+  long long failovers_ = 0;
+  long long degraded_entered_ = 0;
   long long batches_ = 0;
   long long max_batch_ = 0;
   std::vector<long long> batch_histogram_;

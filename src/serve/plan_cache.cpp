@@ -125,6 +125,19 @@ void PlanCache::clear() {
   bytes_in_use_ = 0;
 }
 
+void PlanCache::set_capacity(std::size_t capacity_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_bytes_ = capacity_bytes;
+  while (bytes_in_use_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_in_use_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+    cache_metrics().evictions.add();
+  }
+}
+
 PlanCache::Stats PlanCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats s;

@@ -75,6 +75,11 @@ class PlanCache {
   /// shared_ptrs alive until they finish).
   void clear();
 
+  /// Retarget the byte budget, evicting least-recently-used entries
+  /// until resident bytes fit.  The engine's degraded mode shrinks the
+  /// budget under memory pressure and restores it on recovery.
+  void set_capacity(std::size_t capacity_bytes);
+
   struct Stats {
     long long hits = 0;
     long long misses = 0;      ///< builds, including oversize ones

@@ -35,6 +35,18 @@
 //                         i.e. the full candidate space; 1 degenerates to
 //                         the static merge default)
 
+// Chaos knobs (docs/robustness.md; read by vgpu::ChaosSchedule::from_env):
+//   MPS_CHAOS_SCRIPT — explicit fault timeline (device loss, stragglers,
+//                      alloc failures, bit flips) in the chaos
+//                      mini-language; see src/vgpu/chaos.hpp
+//   MPS_CHAOS_SEED   — deterministic pseudo-random schedule (0 = off)
+//
+// Fault/chaos knobs parse STRICTLY via the *_checked variants below:
+// a malformed, overflowing, or out-of-range value throws
+// InvalidInputError naming the variable instead of silently falling
+// back.  Tuning knobs (MPS_SCALE, MPS_SERVE_*, ...) stay lenient.
+
+#include <climits>
 #include <string>
 
 namespace mps::util {
@@ -44,5 +56,18 @@ long long env_int(const char* name, long long fallback);
 /// Like env_int but auto-detects the base ("0x80" parses as hex).
 long long env_int_auto(const char* name, long long fallback);
 std::string env_string(const char* name, const std::string& fallback);
+
+// Strict variants: unset (or empty) returns `fallback` untouched, but a
+// set-and-malformed value — non-numeric trailing junk, out-of-range for
+// the type (ERANGE), or outside [min, max] — throws InvalidInputError
+// whose message names the environment variable.  Fault-injection and
+// chaos configuration goes through these; a typo'd fault schedule must
+// never silently run fault-free.
+long long env_int_checked(const char* name, long long fallback,
+                          long long min = 0, long long max = LLONG_MAX);
+/// Strict + base auto-detection ("0x80" parses as hex).
+long long env_int_auto_checked(const char* name, long long fallback,
+                               long long min = 0, long long max = LLONG_MAX);
+double env_double_checked(const char* name, double fallback, double min = 0.0);
 
 }  // namespace mps::util

@@ -22,10 +22,22 @@
 //   │                       its build-time checksum (resilience/)
 //   ├─ vgpu::DeviceOomError (memory_model.hpp) — device capacity
 //   │                       exhausted, real or fault-injected
-//   └─ serving errors (serve/engine.hpp) — admission and lifecycle
+//   ├─ vgpu::DeviceLostError (chaos.hpp) — the device is permanently
+//   │                       gone (chaos-injected loss); launches and
+//   │                       allocations on it can never succeed again,
+//   │                       so callers must fail over, not retry
+//   └─ serving errors (serve/) — admission and lifecycle
 //      ├─ serve::QueueFullError      — bounded queue full past deadline
-//      ├─ serve::RequestTimeoutError — request expired before dispatch
-//      └─ serve::ShutdownError       — engine stopped before the request ran
+//      ├─ serve::RequestTimeoutError — request expired before dispatch,
+//      │                       immediately before execution, or between
+//      │                       retry attempts
+//      ├─ serve::ShutdownError       — engine stopped before the request ran
+//      ├─ serve::LoadShedError (engine.hpp) — low-priority request shed
+//      │                       at admission because queue depth crossed
+//      │                       the shed watermark
+//      └─ serve::CircuitOpenError (circuit_breaker.hpp) — fail-fast: the
+//                              target matrix's circuit breaker is open
+//                              after repeated execution failures
 //
 // Exception-safety contract: any kernel that throws one of these leaves
 // device accounting back where it started (MemoryModel::in_use()

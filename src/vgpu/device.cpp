@@ -9,7 +9,7 @@ namespace mps::vgpu {
 namespace {
 
 DeviceProperties apply_env_caps(DeviceProperties props) {
-  const long long cap = util::env_int("MPS_FAULT_CAPACITY", 0);
+  const long long cap = util::env_int_checked("MPS_FAULT_CAPACITY", 0);
   if (cap > 0) {
     props.global_mem_bytes =
         std::min(props.global_mem_bytes, static_cast<std::size_t>(cap));

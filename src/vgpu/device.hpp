@@ -46,6 +46,19 @@ class Device {
                      F&& kernel) {
     MPS_CHECK(num_ctas >= 0);
     MPS_CHECK(block_threads > 0 && block_threads <= props_.max_cta_threads);
+    // Chaos hook: one predictable branch when no schedule is armed (the
+    // zero-overhead-when-off contract asserted by bench/serve_throughput).
+    // A lost device refuses every launch; a straggler multiplies this
+    // launch's modeled latency after the cost model runs.
+    double chaos_factor = 1.0;
+    if (fault_->chaos_armed()) {
+      const FaultInjector::LaunchFault f = fault_->on_launch(modeled_total_ms_);
+      if (f.lost) {
+        throw DeviceLostError("device lost (chaos): refusing launch of \"" +
+                              name + "\"");
+      }
+      chaos_factor = f.factor;
+    }
     // Telemetry stamp: the active span context and wall start, read before
     // the CTAs run.  One relaxed atomic load when the tracer is disabled;
     // never charges the cost model either way.
@@ -77,6 +90,11 @@ class Device {
     }
     stats.device_cycles = schedule_cycles(props_, cycles);
     stats.modeled_ms = props_.cycles_to_ms(stats.device_cycles);
+    if (chaos_factor != 1.0) {
+      stats.device_cycles *= chaos_factor;
+      stats.modeled_ms *= chaos_factor;
+    }
+    modeled_total_ms_ += stats.modeled_ms;
     stats.wall_ms = wall.milliseconds();
     stats.trace_id = span_ctx.trace_id;
     stats.span_id = span_ctx.span_id;
@@ -89,11 +107,16 @@ class Device {
   const std::vector<KernelStats>& log() const { return log_; }
   void clear_log() { log_.clear(); }
 
+  /// Cumulative modeled milliseconds across every launch (straggler
+  /// inflation included) — the clock chaos time-triggers compare against.
+  double modeled_total_ms() const { return modeled_total_ms_; }
+
  private:
   DeviceProperties props_;
   MemoryModel memory_;
   std::unique_ptr<FaultInjector> fault_;  ///< stable address for memory_
   std::vector<KernelStats> log_;
+  double modeled_total_ms_ = 0.0;
 };
 
 }  // namespace mps::vgpu

@@ -41,9 +41,28 @@
 //                              default 0x01)
 //   MPS_FAULT_BITFLIP_EVERY  — re-fire every N further allocations
 //                              (transient-fault mode; 0 = flip once)
+//
+// All MPS_FAULT_* values parse strictly (util::env_*_checked): a
+// malformed or out-of-range value throws InvalidInputError naming the
+// variable rather than silently running fault-free.
+//
+// Chaos schedules (chaos.hpp) extend the injector with two launch-side
+// fault classes, armed per device via arm_chaos():
+//   * device loss — once the trigger fires (launch ordinal via
+//     on_launch(), or cumulative modeled time), lost() turns true
+//     PERMANENTLY; Device::launch and MemoryModel::reserve turn that
+//     into DeviceLostError on every subsequent call;
+//   * stragglers — on_launch() reports a modeled-latency multiplier for
+//     scheduled launch ordinals (optionally repeating every K launches).
+// Alloc-failure / bit-flip chaos events reuse the reserve-side machinery
+// above.  chaos_armed() is a plain bool so the disarmed launch path adds
+// exactly one predictable branch (zero-overhead-when-off contract).
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
+
+#include "vgpu/chaos.hpp"
 
 namespace mps::vgpu {
 
@@ -89,7 +108,53 @@ class FaultInjector {
     bitflip_fired_ = false;
   }
 
-  /// Disable triggers; observation counters keep running.
+  /// Arm every event in `schedule` that targets device `device_ordinal`
+  /// (events with device == -1 match all devices).  Loss and straggler
+  /// events feed the launch-side hooks below; alloc-failure and bit-flip
+  /// events are translated onto the reserve-side triggers above.  At
+  /// most one alloc-failure and one bit-flip event can be pending at a
+  /// time (last one wins — same contract as calling the arm methods
+  /// directly); losses and stragglers stack freely.
+  void arm_chaos(const ChaosSchedule& schedule, int device_ordinal);
+
+  /// Drop all chaos state (loss flag included) and launch counters.
+  void disarm_chaos() {
+    losses_.clear();
+    stragglers_.clear();
+    lost_ = false;
+    launches_ = 0;
+    straggles_injected_ = 0;
+    losses_injected_ = 0;
+  }
+
+  /// True once a device-loss trigger has fired; permanent until
+  /// disarm_chaos().  Checked by MemoryModel::reserve.
+  bool lost() const { return lost_; }
+
+  /// Force the loss state directly (tests, manual failover drills).
+  void lose_now() { lost_ = true; }
+
+  /// Cheap gate for Device::launch — one branch when no chaos schedule
+  /// is armed and the device is healthy.
+  bool chaos_armed() const {
+    return lost_ || !losses_.empty() || !stragglers_.empty();
+  }
+
+  /// Launch-side fault decision, called by Device::launch once per
+  /// kernel while chaos_armed().  `modeled_ms_total` is the device's
+  /// cumulative modeled milliseconds BEFORE this launch (time-triggered
+  /// losses compare against it).  Counts the launch, then reports
+  /// whether the device is (now) lost and the straggler latency factor
+  /// to apply to this launch (1.0 = none; factors from multiple matching
+  /// straggler events multiply).
+  struct LaunchFault {
+    bool lost = false;
+    double factor = 1.0;
+  };
+  LaunchFault on_launch(double modeled_ms_total);
+
+  /// Disable reserve-side triggers; observation counters keep running.
+  /// Chaos launch-side state is separate — see disarm_chaos().
   void disarm() { cfg_ = FaultInjectorConfig{}; }
 
   /// Zero the observation counters (a fresh sweep iteration).
@@ -116,6 +181,9 @@ class FaultInjector {
   long long bitflips_injected() const { return bitflips_injected_; }
   /// Flips that matched their ordinal but found no registered window.
   long long bitflips_missed() const { return bitflips_missed_; }
+  long long launches_observed() const { return launches_; }
+  long long stragglers_injected() const { return straggles_injected_; }
+  long long losses_injected() const { return losses_injected_; }
 
   /// Called by MemoryModel::reserve for every allocation; returns true
   /// when this allocation must fail.  Alloc failures fire at most once
@@ -166,6 +234,14 @@ class FaultInjector {
   long long bitflips_missed_ = 0;
   bool fired_ = false;
   bool bitflip_fired_ = false;
+
+  // Chaos launch-side state (chaos.hpp events armed for this device).
+  std::vector<ChaosEvent> losses_;      ///< pending kDeviceLoss triggers
+  std::vector<ChaosEvent> stragglers_;  ///< kStraggler events
+  bool lost_ = false;
+  long long launches_ = 0;  ///< launches observed while chaos is armed
+  long long straggles_injected_ = 0;
+  long long losses_injected_ = 0;
 };
 
 }  // namespace mps::vgpu

@@ -29,6 +29,12 @@ MemMetrics& mem_metrics() {
 void MemoryModel::reserve(std::size_t bytes, void* window,
                           std::size_t window_bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (fault_ && fault_->lost()) {
+    // A lost device can never allocate again; distinct from OOM so callers
+    // fail over instead of retrying in place.
+    throw DeviceLostError("device lost (chaos): refusing allocation of " +
+                          std::to_string(bytes) + " B");
+  }
   if (window != nullptr && window_bytes == 0) window_bytes = bytes;
   if (fault_ && fault_->on_reserve(bytes, window, window_bytes)) {
     mem_metrics().injected.add();

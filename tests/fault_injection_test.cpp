@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "autotune/autotune.hpp"
+#include "baselines/formats.hpp"
 #include "baselines/rowwise.hpp"
 #include "baselines/seq.hpp"
 #include "core/spadd.hpp"
@@ -336,6 +338,59 @@ TEST(FaultSweep, SpgemmBatched) {
       });
 }
 
+TEST(FaultSweep, AutotuneTrialProtocol) {
+  // The tuner runs EVERY candidate once (merge tiles, ELL, CMRS), so the
+  // sweep walks the allocation sites inside the trial protocol itself —
+  // including the format conversions — then the winner's execute.  The
+  // TunedPlan is scoped inside the run so its resident footprint is
+  // released before the harness asserts zero residency.
+  const CsrD a = medium_matrix(107, 120, 120, 900);
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols), 1.0);
+  std::vector<double> y;
+  sweep_alloc_failures(
+      [&](vgpu::Device& dev) {
+        const autotune::TunedPlan tuned = autotune::tune(dev, a);
+        tuned.execute(dev, a, x, y);
+      },
+      [&] { y.assign(static_cast<std::size_t>(a.num_rows), kSentinel); },
+      [&] {
+        for (double v : y) ASSERT_EQ(v, kSentinel);
+      });
+}
+
+TEST(FaultSweep, CmrsConvertAndSpmv) {
+  // The CMRS conversion is host-side and the kernel itself is functional,
+  // so the device allocations under test are the format's resident
+  // arrays, accounted the way the autotuner's trial protocol residents
+  // them.  A failure at any site must release every byte and leave the
+  // converted matrix reusable and the output untouched.
+  const CsrD a = medium_matrix(109, 150, 150, 1100);
+  const sparse::CmrsD cmrs = sparse::csr_to_cmrs(a);
+  std::vector<double> x(static_cast<std::size_t>(a.num_cols), 1.0);
+  std::vector<double> y;
+  const auto bytes_of = [](const auto& v) { return v.size() * sizeof(v[0]); };
+  sweep_alloc_failures(
+      [&](vgpu::Device& dev) {
+        vgpu::ScopedDeviceAlloc strips(dev.memory(), bytes_of(cmrs.strip_ptr));
+        vgpu::ScopedDeviceAlloc rows(dev.memory(),
+                                     bytes_of(cmrs.row_in_strip));
+        vgpu::ScopedDeviceAlloc cols(dev.memory(), bytes_of(cmrs.col));
+        vgpu::ScopedDeviceAlloc vals(dev.memory(), bytes_of(cmrs.val));
+        baselines::formats::spmv_cmrs(dev, cmrs, x, y);
+      },
+      [&] { y.assign(static_cast<std::size_t>(a.num_rows), kSentinel); },
+      [&] {
+        for (double v : y) ASSERT_EQ(v, kSentinel);
+      });
+  // The swept matrix still produces the right answer on a clean device.
+  auto dev = make_clean_device();
+  y.assign(static_cast<std::size_t>(a.num_rows), 0.0);
+  baselines::formats::spmv_cmrs(dev, cmrs, x, y);
+  std::vector<double> ref(static_cast<std::size_t>(a.num_rows), 0.0);
+  baselines::seq::spmv(a, x, ref);
+  for (std::size_t i = 0; i < ref.size(); ++i) ASSERT_EQ(y[i], ref[i]);
+}
+
 // ---------------------------------------------------------------------------
 // Chunked SpGEMM correctness.
 
@@ -509,6 +564,43 @@ TEST(FaultEnv, KernelsSurviveAnyEnvInjection) {
   } catch (const vgpu::DeviceOomError&) {
   }
   EXPECT_EQ(dev.memory().in_use(), 0u);
+}
+
+TEST(FaultEnv, MalformedValuesAreRejectedNamingTheVariable) {
+  // Misconfigured injection must fail loudly at device construction, not
+  // silently run fault-free: a chaos job with a typo'd knob would
+  // otherwise report a green soak that tested nothing.
+  const auto expect_rejected = [](const char* var, const char* value) {
+    SCOPED_TRACE(std::string(var) + "=" + value);
+    EnvVarGuard g(var, value);
+    try {
+      vgpu::Device dev;
+      FAIL() << "expected InvalidInputError for " << var << "=" << value;
+    } catch (const InvalidInputError& e) {
+      EXPECT_NE(std::string(e.what()).find(var), std::string::npos)
+          << "error must name the offending variable: " << e.what();
+    }
+  };
+  expect_rejected("MPS_FAULT_ALLOC_N", "banana");
+  expect_rejected("MPS_FAULT_ALLOC_N", "12x");
+  expect_rejected("MPS_FAULT_ALLOC_N", "-3");
+  expect_rejected("MPS_FAULT_BYTE_LIMIT", "1e6");  // integers only
+  expect_rejected("MPS_FAULT_BITFLIP_ALLOC", "abc");
+  // The mask is validated even with no flip armed — a typo'd satellite
+  // knob must not wait for MPS_FAULT_BITFLIP_ALLOC to be discovered.
+  expect_rejected("MPS_FAULT_BITFLIP_MASK", "0x100");  // above 0xFF
+  expect_rejected("MPS_FAULT_BITFLIP_MASK", "zz");
+  expect_rejected("MPS_FAULT_CAPACITY", "99999999999999999999999");  // overflow
+}
+
+TEST(FaultEnv, WellFormedValuesStillParse) {
+  EnvVarGuard mask("MPS_FAULT_BITFLIP_MASK", "0x80");
+  EnvVarGuard flip("MPS_FAULT_BITFLIP_ALLOC", "0");
+  vgpu::Device dev;  // hex mask in range: accepted
+  EnvVarGuard mask2("MPS_FAULT_BITFLIP_MASK", "128");
+  vgpu::Device dev2;  // decimal form of the same mask: accepted
+  EnvVarGuard empty("MPS_FAULT_BITFLIP_ALLOC", "");
+  vgpu::Device dev3;  // empty string counts as unset, not malformed
 }
 
 // ---------------------------------------------------------------------------
