@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <future>
 #include <vector>
 
@@ -220,6 +221,61 @@ int main() {
   require(chaos_hashes[0] == reference_hashes,
           "chaos-layer check diverged from the sweep's answers");
   report.add_stat("chaos_zero_overhead_ok", 1.0);
+
+  // Same contract for the durability layer: WAL appends and snapshots
+  // happen on the host wall clock, never on the modeled device timeline,
+  // so running with a durable directory must give bitwise-identical
+  // modeled time and answers to running with durability off entirely.
+  ::unsetenv("MPS_DURABLE_DIR");
+  ::unsetenv("MPS_DURABLE_SNAPSHOT_EVERY");
+  ::unsetenv("MPS_DURABLE_WARM");
+  ::unsetenv("MPS_DURABLE_FSYNC");
+  char durable_dir[] = "/tmp/mps_serve_bench_durable.XXXXXX";
+  require(::mkdtemp(durable_dir) != nullptr, "mkdtemp failed");
+  double durable_modeled[2] = {0.0, 0.0};
+  std::vector<std::uint64_t> durable_hashes[2];
+  for (const int durable : {0, 1}) {
+    serve::EngineConfig ecfg;
+    ecfg.threads = 1;
+    ecfg.batch_window = 1;
+    ecfg.queue_capacity = 2048;
+    ecfg.plan_cache_bytes = 64u << 20;
+    if (durable) {
+      ecfg.durable_dir = durable_dir;
+      ecfg.durable_enabled = 1;
+    }
+    serve::Engine engine(ecfg);
+    require(engine.stats().durability.enabled == (durable != 0),
+            "durability armed state does not match the config");
+    std::vector<serve::MatrixHandle> handles;
+    for (const auto& a : tenants) handles.push_back(engine.register_matrix(a));
+    std::vector<std::future<serve::SpmvResult>> futures;
+    futures.reserve(trace.size());
+    for (const auto& op : trace) {
+      futures.push_back(engine.submit_spmv(
+          handles[op.matrix], make_x(tenants[op.matrix], op.x_seed)));
+    }
+    for (auto& f : futures) {
+      serve::SpmvResult r = f.get();
+      durable_modeled[durable] += r.modeled_ms;
+      durable_hashes[durable].push_back(hash_bits(r.y));
+    }
+    engine.shutdown();
+    if (durable) {
+      require(engine.stats().durability.wal_appends ==
+                  static_cast<long long>(tenants.size()),
+              "every registration must hit the WAL exactly once");
+    }
+  }
+  std::filesystem::remove_all(durable_dir);
+  require(std::memcmp(&durable_modeled[0], &durable_modeled[1],
+                      sizeof(durable_modeled[0])) == 0,
+          "durable logging changed modeled time");
+  require(durable_hashes[0] == durable_hashes[1],
+          "durable logging changed answers");
+  require(durable_hashes[0] == reference_hashes,
+          "durability check diverged from the sweep's answers");
+  report.add_stat("durable_zero_overhead_ok", 1.0);
 
   analysis::emit(t, "serve_throughput");
   report.write();

@@ -3,8 +3,11 @@
 
 The modeled timeline is deterministic, so any delta in a *_ms metric at the
 same scale is a real change in the cost model or the kernels, not noise.
-This script REPORTS deltas; it never fails the build (exit 0 always) — the
-table is for the reviewer reading the CI log.
+This script REPORTS deltas — a changed metric never fails the build; the
+table is for the reviewer reading the CI log.  Broken *inputs* do fail it:
+a missing/unreadable baseline, a run directory with no BENCH_*.json, or a
+malformed run file exits 1, so CI can't silently "pass" a bench step whose
+output was never produced.
 
 Usage:
     bench_delta.py --baseline BENCH_seed.json --dir <dir with BENCH_*.json>
@@ -60,25 +63,32 @@ def main():
         with open(args.baseline) as f:
             seed = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        print(f"bench_delta: cannot read baseline: {e}")
-        return 0
+        print(f"bench_delta: ERROR: cannot read baseline: {e}", file=sys.stderr)
+        return 1
     baselines = seed.get("benches", {})
+    if not isinstance(baselines, dict) or not baselines:
+        print(f"bench_delta: ERROR: baseline {args.baseline} has no 'benches' "
+              "table", file=sys.stderr)
+        return 1
 
     runs = sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json")))
     if not runs:
-        print(f"bench_delta: no BENCH_*.json under {args.dir}")
-        return 0
+        print(f"bench_delta: ERROR: no BENCH_*.json under {args.dir} — "
+              "did the bench step run?", file=sys.stderr)
+        return 1
 
     print(f"bench delta vs {args.baseline} (scale {seed.get('scale', '?')}; "
-          "report-only, never fails the build)")
+          "deltas are report-only — only broken inputs fail the build)")
     print(f"{'bench':<18} {'case':<14} {'metric':<14} "
           f"{'baseline':>14} {'current':>14} {'delta':>12}")
-    exact, changed, uncovered = 0, 0, 0
+    exact, changed, uncovered, malformed = 0, 0, 0, 0
     for path in runs:
         try:
             bench, cases = load_run(path)
-        except (json.JSONDecodeError, KeyError, TypeError) as e:
-            print(f"bench_delta: skipping malformed {path}: {e}")
+        except (OSError, json.JSONDecodeError, KeyError, TypeError) as e:
+            print(f"bench_delta: ERROR: malformed run file {path}: {e}",
+                  file=sys.stderr)
+            malformed += 1
             continue
         base_cases = baselines.get(bench)
         if base_cases is None:
@@ -103,6 +113,10 @@ def main():
                       f"{bs:>14} {cs:>14} {delta:>12}")
     print(f"bench_delta: {exact} metric(s) exactly unchanged, "
           f"{changed} changed/new/gone, {uncovered} bench(es) without baseline")
+    if malformed:
+        print(f"bench_delta: ERROR: {malformed} malformed run file(s)",
+              file=sys.stderr)
+        return 1
     return 0
 
 

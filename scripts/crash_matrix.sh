@@ -1,0 +1,240 @@
+#!/usr/bin/env bash
+# Kill-and-recover sweep for the durable serving engine (docs/robustness.md).
+#
+# For each scripted kill point the harness runs mps_serve with a durable
+# directory and an armed crash (--crash-point P:N), expects the process to
+# die with the injection exit code (43), restarts it against the same
+# directory, and fails unless
+#   (a) recovery succeeds (exit 0 and a "durable recovery:" line),
+#   (b) every acked registration survives ("manifest: N/N acked
+#       registrations recovered" — the manifest line is written *before*
+#       the post-ack crash hook fires, so an acked-but-lost registration
+#       is detectable), and
+#   (c) the recovered run's per-request result hashes are bitwise
+#       identical to an uninterrupted reference run (cmp on --hash-out).
+#
+# --sigkill adds an external sweep: background runs killed with SIGKILL at
+# staggered delays, then recovered and verified the same way (hash compare
+# is skipped for a run that happened to finish before the kill landed).
+#
+# usage: scripts/crash_matrix.sh [--bin PATH] [--out DIR] [--sigkill]
+#   --bin PATH   mps_serve binary (default build/tools/mps_serve,
+#                or $MPS_SERVE_BIN)
+#   --out DIR    work/artifact directory (default: mktemp -d); the
+#                aggregated recovery_metrics.json lands here
+#   --sigkill    also run the external SIGKILL sweep
+set -u
+
+BIN=${MPS_SERVE_BIN:-build/tools/mps_serve}
+OUT=""
+SIGKILL=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --bin) BIN=$2; shift 2 ;;
+    --out) OUT=$2; shift 2 ;;
+    --sigkill) SIGKILL=1; shift ;;
+    *) echo "crash_matrix: unknown arg $1" >&2; exit 2 ;;
+  esac
+done
+
+if [ ! -x "$BIN" ]; then
+  echo "crash_matrix: binary not found or not executable: $BIN" >&2
+  exit 2
+fi
+if [ -z "$OUT" ]; then
+  OUT=$(mktemp -d /tmp/crash_matrix.XXXXXX)
+fi
+mkdir -p "$OUT"
+echo "crash_matrix: bin=$BIN out=$OUT"
+
+# Workload shared by every leg: identical trace parameters mean identical
+# per-request answers, so one reference hash file serves all kill points.
+# 4 tenants + 500/25 re-registrations = 24 durable appends per full run;
+# --snapshot-every 6 keeps the background snapshotter busy mid-run.
+ARGS="--requests 500 --tenants 4 --scale 0.03 --seed 7 \
+      --reregister-every 25 --snapshot-every 6"
+CRASH_EXIT=43
+
+FAILURES=0
+POINTS_RUN=0
+POINTS_PASSED=0
+METRICS_LINES=""
+
+fail() {
+  echo "crash_matrix: FAIL: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# run_leg <logfile> <extra args...> — returns the leg's exit code.
+run_leg() {
+  local log=$1
+  shift
+  # shellcheck disable=SC2086
+  "$BIN" $ARGS "$@" >"$log" 2>&1
+}
+
+# verify_recovery <name> <dir> <log> — checks (a)(b)(c) after a restart.
+verify_recovery() {
+  local name=$1 dir=$2 log=$3 ok=1
+  if ! grep -q "durable recovery:" "$log"; then
+    fail "$name: no 'durable recovery:' line in $log"
+    ok=0
+  fi
+  local manifest_line
+  manifest_line=$(grep "acked registrations recovered" "$log" || true)
+  if [ -z "$manifest_line" ]; then
+    fail "$name: no manifest verification line in $log"
+    ok=0
+  else
+    # "manifest: N/M acked registrations recovered" — require N == M.
+    local got want
+    got=$(echo "$manifest_line" | sed 's|manifest: \([0-9]*\)/.*|\1|')
+    want=$(echo "$manifest_line" | sed 's|manifest: [0-9]*/\([0-9]*\) .*|\1|')
+    if [ "$got" != "$want" ]; then
+      fail "$name: lost acked registrations ($manifest_line)"
+      ok=0
+    fi
+  fi
+  if [ -f "$dir/rec.hash" ]; then
+    if ! cmp -s "$OUT/ref.hash" "$dir/rec.hash"; then
+      fail "$name: recovered result hashes differ from uninterrupted reference"
+      ok=0
+    fi
+  fi
+  return $((1 - ok))
+}
+
+# record_metrics <name> <status> <log>
+record_metrics() {
+  local name=$1 status=$2 log=$3
+  local rec
+  rec=$(grep "durable recovery:" "$log" | head -1 | sed 's/"/\\"/g' || true)
+  METRICS_LINES="$METRICS_LINES    {\"kill_point\": \"$name\", \"status\": \"$status\", \"recovery\": \"$rec\"},
+"
+}
+
+# --- Reference leg: uninterrupted durable run -------------------------------
+REF_DIR=$OUT/ref
+mkdir -p "$REF_DIR"
+if ! run_leg "$OUT/ref.log" --durable-dir "$REF_DIR" \
+     --durable-manifest "$REF_DIR/manifest.txt" --hash-out "$OUT/ref.hash"; then
+  echo "crash_matrix: reference leg failed:" >&2
+  cat "$OUT/ref.log" >&2
+  exit 1
+fi
+echo "crash_matrix: reference leg ok ($(wc -l <"$OUT/ref.hash") hashes)"
+
+# --- Scripted kill points ---------------------------------------------------
+# post-ack counts are in manifest appends (4 registrations + re-registers);
+# wal counts are in WAL appends; snapshot points fire in the background
+# snapshotter or, at the latest, in the shutdown snapshot.
+KILL_POINTS="wal-mid:1 wal-mid:3 wal-post:2 snapshot-mid:1 snapshot-post:1 post-ack:4 post-ack:9"
+
+for kp in $KILL_POINTS; do
+  name=$(echo "$kp" | tr ':' '_')
+  dir=$OUT/kp_$name
+  mkdir -p "$dir"
+  POINTS_RUN=$((POINTS_RUN + 1))
+
+  run_leg "$dir/crash.log" --durable-dir "$dir" \
+    --durable-manifest "$dir/manifest.txt" --crash-point "$kp"
+  rc=$?
+  if [ $rc -ne $CRASH_EXIT ]; then
+    fail "$kp: crash leg exited $rc, expected $CRASH_EXIT (injection never fired?)"
+    record_metrics "$kp" "crash-leg-failed" "$dir/crash.log"
+    continue
+  fi
+
+  if ! run_leg "$dir/recover.log" --durable-dir "$dir" \
+       --durable-manifest "$dir/manifest.txt" --hash-out "$dir/rec.hash" \
+       --metrics-out "$dir/metrics.json"; then
+    fail "$kp: recovery leg exited non-zero"
+    sed 's/^/  /' "$dir/recover.log" >&2
+    record_metrics "$kp" "recovery-failed" "$dir/recover.log"
+    continue
+  fi
+  if verify_recovery "$kp" "$dir" "$dir/recover.log"; then
+    POINTS_PASSED=$((POINTS_PASSED + 1))
+    echo "crash_matrix: $kp ok ($(grep 'durable recovery:' "$dir/recover.log"))"
+    record_metrics "$kp" "passed" "$dir/recover.log"
+  else
+    record_metrics "$kp" "verify-failed" "$dir/recover.log"
+  fi
+done
+
+# --- Crash mid-submission (no injection hook: plain _exit in the CLI) -------
+dir=$OUT/kp_crash_after
+mkdir -p "$dir"
+POINTS_RUN=$((POINTS_RUN + 1))
+run_leg "$dir/crash.log" --durable-dir "$dir" \
+  --durable-manifest "$dir/manifest.txt" --crash-after 150
+rc=$?
+if [ $rc -ne $CRASH_EXIT ]; then
+  fail "crash-after: crash leg exited $rc, expected $CRASH_EXIT"
+  record_metrics "crash-after:150" "crash-leg-failed" "$dir/crash.log"
+elif ! run_leg "$dir/recover.log" --durable-dir "$dir" \
+     --durable-manifest "$dir/manifest.txt" --hash-out "$dir/rec.hash"; then
+  fail "crash-after: recovery leg exited non-zero"
+  record_metrics "crash-after:150" "recovery-failed" "$dir/recover.log"
+elif verify_recovery "crash-after" "$dir" "$dir/recover.log"; then
+  POINTS_PASSED=$((POINTS_PASSED + 1))
+  echo "crash_matrix: crash-after:150 ok"
+  record_metrics "crash-after:150" "passed" "$dir/recover.log"
+else
+  record_metrics "crash-after:150" "verify-failed" "$dir/recover.log"
+fi
+
+# --- External SIGKILL sweep (opt-in) ----------------------------------------
+if [ "$SIGKILL" = "1" ]; then
+  for i in 1 2 3; do
+    name=sigkill_$i
+    dir=$OUT/$name
+    mkdir -p "$dir"
+    POINTS_RUN=$((POINTS_RUN + 1))
+    # Longer trace so the kill lands mid-run on fast machines.
+    # shellcheck disable=SC2086
+    "$BIN" $ARGS --requests 20000 --durable-dir "$dir" \
+      --durable-manifest "$dir/manifest.txt" >"$dir/crash.log" 2>&1 &
+    pid=$!
+    sleep "0.$((i * 2))"
+    kill -9 "$pid" 2>/dev/null
+    wait "$pid" 2>/dev/null
+    rc=$?
+    if [ $rc -ne 137 ]; then
+      echo "crash_matrix: $name: run finished before SIGKILL (rc=$rc); verifying recovery anyway"
+    fi
+    if ! run_leg "$dir/recover.log" --durable-dir "$dir" \
+         --durable-manifest "$dir/manifest.txt"; then
+      fail "$name: recovery leg exited non-zero"
+      record_metrics "$name" "recovery-failed" "$dir/recover.log"
+      continue
+    fi
+    if verify_recovery "$name" "$dir" "$dir/recover.log"; then
+      POINTS_PASSED=$((POINTS_PASSED + 1))
+      echo "crash_matrix: $name ok"
+      record_metrics "$name" "passed" "$dir/recover.log"
+    else
+      record_metrics "$name" "verify-failed" "$dir/recover.log"
+    fi
+  done
+fi
+
+# --- Aggregate artifact -----------------------------------------------------
+{
+  echo "{"
+  echo "  \"kill_points_run\": $POINTS_RUN,"
+  echo "  \"kill_points_passed\": $POINTS_PASSED,"
+  echo "  \"failures\": $FAILURES,"
+  echo "  \"results\": ["
+  printf '%s' "$METRICS_LINES" | sed '$ s/},$/}/'
+  echo "  ]"
+  echo "}"
+} >"$OUT/recovery_metrics.json"
+
+echo "crash_matrix: $POINTS_PASSED/$POINTS_RUN kill points passed" \
+     "(metrics: $OUT/recovery_metrics.json)"
+if [ "$FAILURES" -ne 0 ]; then
+  echo "crash_matrix: FAILED ($FAILURES failure(s))" >&2
+  exit 1
+fi
+echo "crash_matrix: PASS"

@@ -1,0 +1,104 @@
+#include "durability/crash.hpp"
+
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace mps::durability {
+
+namespace detail {
+
+std::atomic<bool> crash_armed{false};
+
+namespace {
+constexpr int kNumPoints = static_cast<int>(CrashPoint::kCount_);
+std::array<std::atomic<long long>, kNumPoints> remaining{};  // 0 = disarmed
+
+const char* point_name(CrashPoint p) {
+  switch (p) {
+    case CrashPoint::kWalMid: return "wal-mid";
+    case CrashPoint::kWalPost: return "wal-post";
+    case CrashPoint::kSnapshotMid: return "snapshot-mid";
+    case CrashPoint::kSnapshotPost: return "snapshot-post";
+    case CrashPoint::kPostAck: return "post-ack";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void crash_hit(CrashPoint point) {
+  auto& counter = remaining[static_cast<int>(point)];
+  long long cur = counter.load(std::memory_order_relaxed);
+  while (cur > 0) {
+    if (counter.compare_exchange_weak(cur, cur - 1, std::memory_order_relaxed)) {
+      if (cur == 1) {
+        // stderr, not stdout: the harness greps stdout for recovery lines
+        // and must not confuse the death notice with engine output.
+        std::fprintf(stderr, "durable crash injected at %s\n", point_name(point));
+        std::fflush(stderr);
+        ::_exit(kCrashExitCode);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+void arm_crash(CrashPoint point, long long n) {
+  if (n <= 0) {
+    for (auto& c : detail::remaining) c.store(0, std::memory_order_relaxed);
+    detail::crash_armed.store(false, std::memory_order_relaxed);
+    return;
+  }
+  detail::remaining[static_cast<int>(point)].store(n, std::memory_order_relaxed);
+  detail::crash_armed.store(true, std::memory_order_relaxed);
+}
+
+void arm_crash_from_env() {
+  const std::string spec = util::env_string("MPS_DURABLE_CRASH", "");
+  if (spec.empty()) return;
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    throw InvalidInputError("MPS_DURABLE_CRASH: expected \"<point>:<n>\", got \"" +
+                            spec + "\"");
+  }
+  const std::string name = spec.substr(0, colon);
+  CrashPoint point;
+  if (name == "wal-mid") {
+    point = CrashPoint::kWalMid;
+  } else if (name == "wal-post") {
+    point = CrashPoint::kWalPost;
+  } else if (name == "snapshot-mid") {
+    point = CrashPoint::kSnapshotMid;
+  } else if (name == "snapshot-post") {
+    point = CrashPoint::kSnapshotPost;
+  } else if (name == "post-ack") {
+    point = CrashPoint::kPostAck;
+  } else {
+    throw InvalidInputError("MPS_DURABLE_CRASH: unknown crash point \"" + name +
+                            "\" (expected wal-mid, wal-post, snapshot-mid, "
+                            "snapshot-post, or post-ack)");
+  }
+  const std::string count = spec.substr(colon + 1);
+  long long n = 0;
+  std::size_t used = 0;
+  try {
+    n = std::stoll(count, &used);
+  } catch (const std::exception&) {
+    throw InvalidInputError("MPS_DURABLE_CRASH: malformed count \"" + count + "\"");
+  }
+  if (used != count.size() || n < 1) {
+    throw InvalidInputError("MPS_DURABLE_CRASH: count must be a positive integer, got \"" +
+                            count + "\"");
+  }
+  arm_crash(point, n);
+}
+
+}  // namespace mps::durability

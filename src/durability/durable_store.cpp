@@ -1,0 +1,196 @@
+#include "durability/durable_store.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "telemetry/metrics.hpp"
+#include "util/error.hpp"
+
+namespace mps::durability {
+
+namespace {
+
+/// Registry handles resolved once (the serve-engine metrics idiom).
+struct DurabilityMetrics {
+  telemetry::Counter& wal_appends =
+      telemetry::metrics().counter("durability.wal.appends");
+  telemetry::Counter& wal_bytes =
+      telemetry::metrics().counter("durability.wal.bytes");
+  telemetry::Counter& snapshots =
+      telemetry::metrics().counter("durability.snapshots");
+  telemetry::Counter& recovered_matrices =
+      telemetry::metrics().counter("durability.recovered.matrices");
+  telemetry::Counter& recovered_wal_records =
+      telemetry::metrics().counter("durability.recovered.wal_records");
+  telemetry::Counter& torn_tails =
+      telemetry::metrics().counter("durability.recovered.torn_tails");
+};
+
+DurabilityMetrics& durability_metrics() {
+  static DurabilityMetrics m;
+  return m;
+}
+
+}  // namespace
+
+RecoveredState recover_dir(const std::string& dir) {
+  RecoveredState state;
+  state.info.attempted = true;
+
+  std::vector<WalRecord> tail;
+  {
+    auto snap = read_snapshot(dir + "/" + kSnapshotFileName);
+    WalReadResult wal = read_wal(dir + "/" + kWalFileName);
+    state.wal_valid_bytes = wal.valid_bytes;
+    state.info.torn_tail_dropped = wal.torn_tail_dropped;
+
+    std::uint64_t covered = 0;
+    if (snap) {
+      state.info.snapshot_loaded = true;
+      state.info.snapshot_matrices = static_cast<long long>(snap->matrices.size());
+      state.matrices = std::move(snap->matrices);
+      state.warm = std::move(snap->warm);
+      covered = snap->last_seq;
+      state.info.last_seq = snap->last_seq;
+    }
+    for (WalRecord& rec : wal.records) {
+      state.info.last_seq = std::max(state.info.last_seq, rec.seq);
+      if (rec.seq <= covered) {
+        // The snapshot already reflects this record — the crash landed
+        // between the snapshot rename and the WAL truncation.
+        ++state.info.stale_skipped;
+        continue;
+      }
+      ++state.info.wal_records_replayed;
+      tail.push_back(std::move(rec));
+    }
+  }
+
+  // Fold the tail onto the snapshot: latest version per handle wins
+  // (replay order == seq order == acknowledgement order).
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(state.matrices.size() + tail.size());
+  for (std::size_t i = 0; i < state.matrices.size(); ++i) {
+    index[state.matrices[i].handle] = i;
+  }
+  for (WalRecord& rec : tail) {
+    MatrixRecord m;
+    m.handle = rec.handle;
+    m.version = rec.version;
+    m.matrix = std::make_shared<const sparse::CsrD>(std::move(rec.matrix));
+    if (auto it = index.find(rec.handle); it != index.end()) {
+      state.matrices[it->second] = std::move(m);
+    } else {
+      index[rec.handle] = state.matrices.size();
+      state.matrices.push_back(std::move(m));
+    }
+  }
+
+  durability_metrics().recovered_matrices.add(
+      static_cast<long long>(state.matrices.size()));
+  durability_metrics().recovered_wal_records.add(state.info.wal_records_replayed);
+  if (state.info.torn_tail_dropped) durability_metrics().torn_tails.add();
+  return state;
+}
+
+DurableStore::DurableStore(DurableConfig cfg, const RecoveredState& recovered,
+                           SnapshotSource source)
+    : cfg_(std::move(cfg)),
+      source_(std::move(source)),
+      recovery_(recovered.info) {
+  wal_ = std::make_unique<WalWriter>(cfg_.dir + "/" + kWalFileName, cfg_.fsync,
+                                     recovered.wal_valid_bytes,
+                                     recovered.info.last_seq);
+  last_seq_.store(recovered.info.last_seq, std::memory_order_release);
+  if (cfg_.snapshot_every > 0) {
+    snapshotter_ = std::thread([this] { snapshotter_loop(); });
+  }
+}
+
+DurableStore::~DurableStore() {
+  if (snapshotter_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    snapshotter_.join();
+  }
+}
+
+std::uint64_t DurableStore::append_register(std::uint64_t handle,
+                                            std::uint64_t version,
+                                            const sparse::CsrD& matrix) {
+  std::uint64_t seq = 0;
+  long long appended_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(append_mutex_);
+    const long long before = wal_->bytes_written();
+    seq = wal_->append_register(handle, version, matrix);
+    appended_bytes = wal_->bytes_written() - before;
+    last_seq_.store(seq, std::memory_order_release);
+  }
+  durability_metrics().wal_appends.add();
+  durability_metrics().wal_bytes.add(appended_bytes);
+  bool wake = false;
+  if (cfg_.snapshot_every > 0) {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    wake = ++appends_since_snapshot_ >= cfg_.snapshot_every;
+  }
+  if (wake) wake_cv_.notify_one();
+  return seq;
+}
+
+void DurableStore::snapshotter_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      wake_cv_.wait(lock, [&] {
+        return stop_ || appends_since_snapshot_ >= cfg_.snapshot_every;
+      });
+      if (stop_) return;
+    }
+    do_snapshot();
+  }
+}
+
+void DurableStore::do_snapshot() {
+  std::lock_guard<std::mutex> slock(snapshot_mutex_);
+  // The capture runs under the owner's registry lock and reads last_seq
+  // there, so `data` is consistent: it reflects exactly the appends up
+  // to data.last_seq and none after.
+  SnapshotData data = source_();
+  write_snapshot(cfg_.dir, data);
+  {
+    std::lock_guard<std::mutex> alock(append_mutex_);
+    if (last_seq_.load(std::memory_order_acquire) == data.last_seq) {
+      wal_->truncate_records();
+    }
+    // else: appends raced the capture — keep the WAL; replay skips the
+    // records the snapshot covers (seq <= last_seq), so nothing is lost
+    // and nothing applies twice.
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    appends_since_snapshot_ = 0;
+  }
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+  durability_metrics().snapshots.add();
+}
+
+void DurableStore::snapshot_now() { do_snapshot(); }
+
+DurableStore::Stats DurableStore::stats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(append_mutex_);
+    s.wal_appends = wal_->appends();
+    s.wal_bytes = wal_->bytes_written();
+  }
+  s.snapshots = snapshots_.load(std::memory_order_relaxed);
+  s.recovery = recovery_;
+  return s;
+}
+
+}  // namespace mps::durability

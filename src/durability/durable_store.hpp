@@ -1,0 +1,136 @@
+#pragma once
+// DurableStore — the WAL + snapshot pair underneath serve::Engine
+// (docs/robustness.md, "Process crash & recovery").
+//
+// Write path: the engine appends every matrix (re-)registration to the
+// WAL *before* inserting it into its registry — the registration is
+// acknowledged only once the record is on disk.  A background
+// snapshotter wakes every `snapshot_every` appends, asks the engine for
+// a consistent capture of its registry + warm plan-cache metadata,
+// writes it atomically (snapshot.hpp), and truncates the WAL when no
+// append raced the capture.
+//
+// Read path: `recover_dir` loads the snapshot (if any) and replays the
+// WAL tail on top, skipping records the snapshot already covers and
+// tolerating a torn final record.  The engine applies the result to its
+// registry and re-opens the store to continue appending where the
+// pre-crash process left off.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "durability/snapshot.hpp"
+#include "durability/wal.hpp"
+
+namespace mps::durability {
+
+struct DurableConfig {
+  std::string dir;
+  /// WAL appends between background snapshots; 0 disables the
+  /// snapshotter thread (snapshots then happen only via snapshot_now,
+  /// e.g. the engine's shutdown path).
+  long long snapshot_every = 64;
+  /// fsync the WAL after every append.  Off by default: the kill harness
+  /// models process death (_exit / SIGKILL), which the page cache
+  /// survives; turn on when the threat model includes kernel or power
+  /// failure.
+  bool fsync = false;
+};
+
+/// What recovery found, surfaced through EngineStats and the serving
+/// CLI's "durable recovery:" line.
+struct RecoveryInfo {
+  bool attempted = false;          ///< durability was enabled at startup
+  bool snapshot_loaded = false;
+  long long snapshot_matrices = 0;
+  long long wal_records_replayed = 0;
+  long long stale_skipped = 0;     ///< WAL records the snapshot already covered
+  bool torn_tail_dropped = false;  ///< a torn final WAL record was discarded
+  std::uint64_t last_seq = 0;      ///< append sequence resumes after this
+};
+
+struct RecoveredState {
+  /// Replay result, one entry per handle (latest version wins).
+  std::vector<MatrixRecord> matrices;
+  std::vector<WarmEntry> warm;
+  RecoveryInfo info;
+  std::size_t wal_valid_bytes = 0;
+};
+
+/// Loads snapshot + WAL tail from `dir`.  Raises RecoveryError for any
+/// damage other than a torn final WAL record.  A directory with neither
+/// file recovers to an empty state (first boot).
+RecoveredState recover_dir(const std::string& dir);
+
+class DurableStore {
+ public:
+  /// Asks the owner for a consistent capture of its durable state; the
+  /// callback must fill SnapshotData::last_seq with this store's
+  /// last_seq() read under the same lock that orders its appends.
+  using SnapshotSource = std::function<SnapshotData()>;
+
+  /// Opens the WAL for appending (continuing `recovered`'s sequence and
+  /// cutting its torn tail) and starts the snapshotter when configured.
+  DurableStore(DurableConfig cfg, const RecoveredState& recovered,
+               SnapshotSource source);
+  /// Stops the snapshotter.  Does NOT write a final snapshot — the owner
+  /// decides (the engine snapshots on graceful shutdown only).
+  ~DurableStore();
+
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  /// Durably appends one registration; returns its sequence number.
+  /// Blocks until the bytes are written (+fsync when configured) — the
+  /// caller may acknowledge afterwards.  Thread-safe.
+  std::uint64_t append_register(std::uint64_t handle, std::uint64_t version,
+                                const sparse::CsrD& matrix);
+
+  /// Synchronous snapshot + conditional WAL truncation.  Thread-safe;
+  /// serializes with the background snapshotter.
+  void snapshot_now();
+
+  std::uint64_t last_seq() const {
+    return last_seq_.load(std::memory_order_acquire);
+  }
+
+  struct Stats {
+    long long wal_appends = 0;
+    long long wal_bytes = 0;
+    long long snapshots = 0;
+    RecoveryInfo recovery;
+  };
+  Stats stats() const;
+
+ private:
+  void snapshotter_loop();
+  void do_snapshot();
+
+  DurableConfig cfg_;
+  SnapshotSource source_;
+  RecoveryInfo recovery_;
+
+  /// Orders appends and the truncate-vs-append race check.
+  mutable std::mutex append_mutex_;
+  std::unique_ptr<WalWriter> wal_;  // guarded by append_mutex_
+  std::atomic<std::uint64_t> last_seq_{0};
+  std::atomic<long long> snapshots_{0};
+
+  /// Serializes snapshot_now with the background snapshotter.
+  std::mutex snapshot_mutex_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  long long appends_since_snapshot_ = 0;  // guarded by wake_mutex_
+  bool stop_ = false;                     // guarded by wake_mutex_
+  std::thread snapshotter_;
+};
+
+}  // namespace mps::durability

@@ -1,0 +1,153 @@
+#include "durability/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "durability/crash.hpp"
+#include "resilience/integrity.hpp"
+#include "sparse/binary.hpp"
+#include "util/error.hpp"
+
+namespace mps::durability {
+
+namespace {
+
+constexpr char kSnapMagic[8] = {'M', 'P', 'S', 'S', 'N', 'A', 'P', '1'};
+
+template <typename T>
+void put(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+template <typename T>
+T get(const std::string& data, std::size_t* pos, const std::string& path) {
+  if (data.size() - *pos < sizeof(T)) {
+    throw RecoveryError("snapshot: '" + path + "' truncated at byte " +
+                        std::to_string(*pos));
+  }
+  T v;
+  std::memcpy(&v, data.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return v;
+}
+
+void write_all(int fd, const char* data, std::size_t len, const std::string& path) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("snapshot: write to '" + path + "' failed: " +
+                    std::strerror(errno));
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void write_snapshot(const std::string& dir, const SnapshotData& data) {
+  std::string body;
+  body.append(kSnapMagic, sizeof(kSnapMagic));
+  put<std::uint64_t>(body, data.last_seq);
+  put<std::uint32_t>(body, static_cast<std::uint32_t>(data.matrices.size()));
+  for (const MatrixRecord& m : data.matrices) {
+    put<std::uint64_t>(body, m.handle);
+    put<std::uint64_t>(body, m.version);
+    sparse::append_csr_binary(body, *m.matrix);
+  }
+  put<std::uint32_t>(body, static_cast<std::uint32_t>(data.warm.size()));
+  for (const WarmEntry& w : data.warm) {
+    put<std::uint64_t>(body, w.handle);
+    body.push_back(w.tuned ? 1 : 0);
+  }
+  put<std::uint64_t>(body, resilience::checksum_bytes(body.data(), body.size()));
+
+  const std::string final_path = dir + "/" + kSnapshotFileName;
+  const std::string tmp_path = final_path + kSnapshotTmpSuffix;
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw IoError("snapshot: cannot open '" + tmp_path + "': " +
+                  std::strerror(errno));
+  }
+  try {
+    // Split write so kSnapshotMid leaves a genuinely partial temp file.
+    const std::size_t half = body.size() / 2;
+    write_all(fd, body.data(), half, tmp_path);
+    maybe_crash(CrashPoint::kSnapshotMid);
+    write_all(fd, body.data() + half, body.size() - half, tmp_path);
+    ::fsync(fd);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    throw IoError("snapshot: rename '" + tmp_path + "' -> '" + final_path +
+                  "' failed: " + std::strerror(errno));
+  }
+  maybe_crash(CrashPoint::kSnapshotPost);
+}
+
+std::optional<SnapshotData> read_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+
+  if (data.size() < sizeof(kSnapMagic) + sizeof(std::uint64_t) ||
+      std::memcmp(data.data(), kSnapMagic, sizeof(kSnapMagic)) != 0) {
+    throw RecoveryError("snapshot: '" + path +
+                        "' is missing the snapshot magic (corrupt or foreign file)");
+  }
+  const std::size_t body_bytes = data.size() - sizeof(std::uint64_t);
+  std::uint64_t recorded;
+  std::memcpy(&recorded, data.data() + body_bytes, sizeof(recorded));
+  if (resilience::checksum_bytes(data.data(), body_bytes) != recorded) {
+    throw RecoveryError("snapshot: checksum mismatch in '" + path + "'");
+  }
+
+  SnapshotData snap;
+  std::size_t pos = sizeof(kSnapMagic);
+  snap.last_seq = get<std::uint64_t>(data, &pos, path);
+  const auto n_matrices = get<std::uint32_t>(data, &pos, path);
+  snap.matrices.reserve(n_matrices);
+  for (std::uint32_t i = 0; i < n_matrices; ++i) {
+    MatrixRecord m;
+    m.handle = get<std::uint64_t>(data, &pos, path);
+    m.version = get<std::uint64_t>(data, &pos, path);
+    std::size_t consumed = 0;
+    try {
+      m.matrix = std::make_shared<const sparse::CsrD>(
+          sparse::read_csr_binary(data.data() + pos, body_bytes - pos, &consumed));
+    } catch (const ParseError& e) {
+      throw RecoveryError("snapshot: matrix " + std::to_string(i) + " in '" +
+                          path + "' is corrupt: " + e.what());
+    }
+    pos += consumed;
+    snap.matrices.push_back(std::move(m));
+  }
+  const auto n_warm = get<std::uint32_t>(data, &pos, path);
+  snap.warm.reserve(n_warm);
+  for (std::uint32_t i = 0; i < n_warm; ++i) {
+    WarmEntry w;
+    w.handle = get<std::uint64_t>(data, &pos, path);
+    w.tuned = get<std::uint8_t>(data, &pos, path) != 0;
+    snap.warm.push_back(w);
+  }
+  if (pos != body_bytes) {
+    throw RecoveryError("snapshot: trailing bytes inside checksummed body of '" +
+                        path + "'");
+  }
+  return snap;
+}
+
+}  // namespace mps::durability

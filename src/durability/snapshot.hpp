@@ -1,0 +1,68 @@
+#pragma once
+// Atomic registry snapshots (docs/robustness.md).
+//
+// A snapshot serializes the whole registered-matrix set, the per-handle
+// version counters, and the *metadata* of warm plan-cache entries (which
+// handles held a plan, and whether it was tuned — plans themselves are
+// deterministic rebuilds, so only the fact that they were warm is worth
+// persisting).  Layout:
+//
+//   "MPSSNAP1" | u64 last_seq | u32 n_matrices |
+//     { u64 handle | u64 version | csr binary } x n_matrices |
+//   u32 n_warm | { u64 handle | u8 tuned } x n_warm |
+//   u64 fnv1a(everything above)
+//
+// The file is written to `snapshot.bin.tmp` and atomically renamed over
+// `snapshot.bin`: a reader sees either the old complete snapshot or the
+// new complete snapshot, never a partial one.  A stray .tmp (crash
+// mid-write) is ignored and overwritten by the next snapshot.  The WAL
+// is truncated only after the rename, and only if no append raced the
+// capture — replay is idempotent (seq <= last_seq is skipped), so a
+// crash between rename and truncate is harmless.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace mps::durability {
+
+inline constexpr const char* kSnapshotFileName = "snapshot.bin";
+inline constexpr const char* kSnapshotTmpSuffix = ".tmp";
+
+struct MatrixRecord {
+  std::uint64_t handle = 0;
+  std::uint64_t version = 0;
+  std::shared_ptr<const sparse::CsrD> matrix;
+};
+
+/// A plan-cache entry that was warm at snapshot time.  MPS_DURABLE_WARM
+/// recovery rebuilds these eagerly so the first post-restart request
+/// pays no partition (or trial-protocol) cost.
+struct WarmEntry {
+  std::uint64_t handle = 0;
+  bool tuned = false;
+};
+
+struct SnapshotData {
+  std::vector<MatrixRecord> matrices;
+  std::vector<WarmEntry> warm;
+  /// WAL sequence number the capture covered: every record with
+  /// seq <= last_seq is reflected in `matrices`.
+  std::uint64_t last_seq = 0;
+};
+
+/// Writes `data` atomically into `dir` (tmp + rename).  Crash points
+/// kSnapshotMid / kSnapshotPost fire inside.  Raises IoError.
+void write_snapshot(const std::string& dir, const SnapshotData& data);
+
+/// Loads `path`; nullopt when the file does not exist.  Any truncation,
+/// checksum mismatch, or structural damage raises RecoveryError — unlike
+/// the WAL there is no torn-tail tolerance, because the atomic rename
+/// means a visible snapshot was always written completely.
+std::optional<SnapshotData> read_snapshot(const std::string& path);
+
+}  // namespace mps::durability

@@ -1,0 +1,225 @@
+#include "durability/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "durability/crash.hpp"
+#include "resilience/integrity.hpp"
+#include "sparse/binary.hpp"
+#include "util/error.hpp"
+
+namespace mps::durability {
+
+namespace {
+
+constexpr std::uint8_t kRecordRegister = 1;
+// Frame header: u32 payload_len + u64 checksum.
+constexpr std::size_t kFrameHeaderBytes = sizeof(std::uint32_t) + sizeof(std::uint64_t);
+// type + seq + handle + version + minimal csr (header + one row offset).
+constexpr std::size_t kMinPayloadBytes = 1 + 3 * sizeof(std::uint64_t) + 16 + 4;
+// Framing sanity bound; a length field past this is corruption, not data.
+constexpr std::size_t kMaxPayloadBytes = std::size_t{1} << 31;
+
+template <typename T>
+void put(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+template <typename T>
+T get_raw(const std::string& data, std::size_t pos) {
+  T v;
+  std::memcpy(&v, data.data() + pos, sizeof(T));
+  return v;
+}
+
+void write_all(int fd, const char* data, std::size_t len, const std::string& path) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("wal: write to '" + path + "' failed: " + std::strerror(errno));
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Decodes one payload into a record; the frame checksum already passed,
+/// so any failure here is real corruption, not a torn write.
+WalRecord decode_payload(const char* data, std::size_t len, std::size_t offset) {
+  const auto corrupt = [offset](const std::string& why) -> RecoveryError {
+    return RecoveryError("wal: corrupt record at byte " + std::to_string(offset) +
+                         ": " + why);
+  };
+  std::size_t pos = 0;
+  std::uint8_t type;
+  std::memcpy(&type, data, 1);
+  pos += 1;
+  if (type != kRecordRegister) {
+    throw corrupt("unknown record type " + std::to_string(type));
+  }
+  WalRecord rec;
+  std::memcpy(&rec.seq, data + pos, 8);
+  pos += 8;
+  std::memcpy(&rec.handle, data + pos, 8);
+  pos += 8;
+  std::memcpy(&rec.version, data + pos, 8);
+  pos += 8;
+  std::size_t consumed = 0;
+  try {
+    rec.matrix = sparse::read_csr_binary(data + pos, len - pos, &consumed);
+  } catch (const ParseError& e) {
+    throw corrupt(e.what());
+  }
+  if (pos + consumed != len) {
+    throw corrupt("trailing bytes inside checksummed payload");
+  }
+  return rec;
+}
+
+}  // namespace
+
+WalReadResult read_wal(const std::string& path) {
+  WalReadResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return result;  // no log yet — empty
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+
+  if (data.size() < kWalMagicBytes) {
+    // Crash during the very first write (the magic itself): nothing was
+    // ever acknowledged from this file, so an empty-or-prefix file is a
+    // torn tail, while mismatching bytes are corruption.
+    if (std::memcmp(data.data(), kWalMagic, data.size()) != 0) {
+      throw RecoveryError("wal: '" + path + "' does not start with the WAL magic");
+    }
+    result.torn_tail_dropped = !data.empty();
+    return result;
+  }
+  if (std::memcmp(data.data(), kWalMagic, kWalMagicBytes) != 0) {
+    throw RecoveryError("wal: '" + path + "' does not start with the WAL magic");
+  }
+
+  std::size_t pos = kWalMagicBytes;
+  result.valid_bytes = pos;
+  std::uint64_t prev_seq = 0;
+  while (pos < data.size()) {
+    // Frame header or payload running past EOF can only be the final
+    // (torn) record — by definition nothing follows it.
+    if (data.size() - pos < kFrameHeaderBytes) {
+      result.torn_tail_dropped = true;
+      break;
+    }
+    const auto len = get_raw<std::uint32_t>(data, pos);
+    const auto checksum = get_raw<std::uint64_t>(data, pos + sizeof(std::uint32_t));
+    if (len < kMinPayloadBytes || len > kMaxPayloadBytes ||
+        data.size() - pos - kFrameHeaderBytes < len) {
+      // An insane or past-EOF length field: at the tail this is the torn
+      // final record (possibly with its length bytes themselves torn).
+      // We cannot distinguish that from a corrupted mid-log length that
+      // swallowed real records — but a corrupted length implies the
+      // *final* acknowledged state is unreachable either way, so only
+      // tail position is tolerable.  Anything whose frame would have fit
+      // is handled below with a proper checksum verdict.
+      result.torn_tail_dropped = true;
+      break;
+    }
+    const char* payload = data.data() + pos + kFrameHeaderBytes;
+    const std::size_t record_end = pos + kFrameHeaderBytes + len;
+    if (resilience::checksum_bytes(payload, len) != checksum) {
+      if (record_end == data.size()) {
+        result.torn_tail_dropped = true;  // torn final record
+        break;
+      }
+      throw RecoveryError("wal: checksum mismatch at byte " + std::to_string(pos) +
+                          " of '" + path + "' (not the final record)");
+    }
+    WalRecord rec = decode_payload(payload, len, pos);
+    if (rec.seq <= prev_seq) {
+      throw RecoveryError("wal: non-monotone sequence " + std::to_string(rec.seq) +
+                          " after " + std::to_string(prev_seq) + " in '" + path + "'");
+    }
+    prev_seq = rec.seq;
+    result.records.push_back(std::move(rec));
+    pos = record_end;
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+WalWriter::WalWriter(std::string path, bool fsync, std::size_t valid_bytes,
+                     std::uint64_t last_seq)
+    : path_(std::move(path)), fsync_(fsync), last_seq_(last_seq) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw IoError("wal: cannot open '" + path_ + "': " + std::strerror(errno));
+  }
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end > 0 && valid_bytes < static_cast<std::size_t>(end)) {
+    // Cut the torn tail recovery tolerated; O_APPEND writes then land at
+    // the new, clean end.
+    if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0) {
+      const int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw IoError("wal: cannot truncate '" + path_ + "': " + std::strerror(err));
+    }
+  }
+  if (end == 0 || valid_bytes == 0) {
+    write_all(fd_, kWalMagic, kWalMagicBytes, path_);
+    bytes_written_ += static_cast<long long>(kWalMagicBytes);
+  }
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t WalWriter::append_register(std::uint64_t handle,
+                                         std::uint64_t version,
+                                         const sparse::CsrD& matrix) {
+  const std::uint64_t seq = last_seq_ + 1;
+  std::string payload;
+  payload.push_back(static_cast<char>(kRecordRegister));
+  put<std::uint64_t>(payload, seq);
+  put<std::uint64_t>(payload, handle);
+  put<std::uint64_t>(payload, version);
+  sparse::append_csr_binary(payload, matrix);
+
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  put<std::uint32_t>(frame, static_cast<std::uint32_t>(payload.size()));
+  put<std::uint64_t>(frame, resilience::checksum_bytes(payload.data(), payload.size()));
+  frame += payload;
+
+  // Two writes, split mid-payload: the kWalMid crash point must leave a
+  // genuinely torn record on disk (header + partial payload), which is
+  // exactly what a real crash inside one large write can leave.
+  const std::size_t half = kFrameHeaderBytes + payload.size() / 2;
+  write_all(fd_, frame.data(), half, path_);
+  maybe_crash(CrashPoint::kWalMid);
+  write_all(fd_, frame.data() + half, frame.size() - half, path_);
+  if (fsync_) ::fsync(fd_);
+  maybe_crash(CrashPoint::kWalPost);
+
+  last_seq_ = seq;
+  ++appends_;
+  bytes_written_ += static_cast<long long>(frame.size());
+  return seq;
+}
+
+void WalWriter::truncate_records() {
+  if (::ftruncate(fd_, static_cast<off_t>(kWalMagicBytes)) != 0) {
+    throw IoError("wal: cannot truncate '" + path_ + "': " + std::strerror(errno));
+  }
+}
+
+}  // namespace mps::durability

@@ -1,0 +1,96 @@
+#pragma once
+// Write-ahead log for matrix registrations (docs/robustness.md).
+//
+// File layout: an 8-byte magic ("MPSWAL1\n") followed by records.  Each
+// record is framed
+//
+//   u32 payload_len | u64 fnv1a(payload) | payload
+//
+// with payload
+//
+//   u8 type(1 = register) | u64 seq | u64 handle | u64 version |
+//   csr binary (sparse/binary.hpp)
+//
+// Sequence numbers are strictly increasing across the log's whole life
+// (they survive truncation), which is what makes replay idempotent: a
+// record whose seq is <= the snapshot's last_seq is stale and skipped.
+//
+// Torn-tail policy (the crash contract): a record that runs past EOF or
+// whose checksum fails *at the very end of the file* is the torn write
+// of the crash that killed us — it was never acknowledged, so it is
+// dropped and recovery succeeds.  The same damage anywhere *before* the
+// final record means the log itself is corrupt, and raises
+// RecoveryError rather than silently serving a partial registry.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace mps::durability {
+
+inline constexpr char kWalMagic[8] = {'M', 'P', 'S', 'W', 'A', 'L', '1', '\n'};
+inline constexpr std::size_t kWalMagicBytes = sizeof(kWalMagic);
+inline constexpr const char* kWalFileName = "wal.bin";
+
+struct WalRecord {
+  std::uint64_t seq = 0;
+  std::uint64_t handle = 0;
+  std::uint64_t version = 0;
+  sparse::CsrD matrix;
+};
+
+struct WalReadResult {
+  std::vector<WalRecord> records;  ///< in log order (seq ascending)
+  bool torn_tail_dropped = false;  ///< a torn final record was discarded
+  /// Byte length of the cleanly framed prefix (magic + whole records).
+  /// The writer reopens the log truncated to this, so a torn tail can
+  /// never end up *behind* fresh appends as mid-log corruption.
+  std::size_t valid_bytes = 0;
+};
+
+/// Reads and validates the log.  A missing file is an empty log.  Raises
+/// RecoveryError for a bad magic or for corruption before the final
+/// record; tolerates (drops) a torn final record per the policy above.
+WalReadResult read_wal(const std::string& path);
+
+/// Append-side handle.  NOT thread-safe — the DurableStore serializes
+/// appends and truncation under its append mutex.
+class WalWriter {
+ public:
+  /// Opens (creating if absent) `path`, truncates to `valid_bytes` when
+  /// the file pre-exists (cutting any torn tail recovery tolerated), and
+  /// continues sequence numbers from `last_seq`.  Raises IoError.
+  WalWriter(std::string path, bool fsync, std::size_t valid_bytes,
+            std::uint64_t last_seq);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one register record; returns its sequence number.  The
+  /// record is fully written (and fsynced when configured) before this
+  /// returns — the caller may acknowledge.  Crash points kWalMid /
+  /// kWalPost fire inside.  Raises IoError on write failure.
+  std::uint64_t append_register(std::uint64_t handle, std::uint64_t version,
+                                const sparse::CsrD& matrix);
+
+  /// Drops every record (keeps the magic).  Called after a snapshot that
+  /// covers the log; sequence numbers keep counting.
+  void truncate_records();
+
+  std::uint64_t last_seq() const { return last_seq_; }
+  long long appends() const { return appends_; }
+  long long bytes_written() const { return bytes_written_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  bool fsync_ = false;
+  std::uint64_t last_seq_ = 0;
+  long long appends_ = 0;
+  long long bytes_written_ = 0;
+};
+
+}  // namespace mps::durability

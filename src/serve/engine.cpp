@@ -40,22 +40,27 @@ MatrixHandle pattern_fingerprint(const sparse::CsrD& a) {
 namespace {
 
 EngineConfig resolve_config(EngineConfig cfg) {
+  // Every MPS_SERVE_* knob parses strictly (the MPS_FAULT_*/MPS_CHAOS_*
+  // pattern): a negative count or non-numeric garbage in a production
+  // environment is a deploy bug, and silently clamping it to a default
+  // hides the bug until it pages someone.  InvalidInputError names the
+  // offending variable.
   if (cfg.threads == 0) {
     cfg.threads = static_cast<unsigned>(
-        std::max(1ll, util::env_int("MPS_SERVE_THREADS", 4)));
+        util::env_int_checked("MPS_SERVE_THREADS", 4, 1, 1024));
   }
   if (cfg.queue_capacity == 0) {
     cfg.queue_capacity = static_cast<std::size_t>(
-        std::max(1ll, util::env_int("MPS_SERVE_QUEUE_CAP", 1024)));
+        util::env_int_checked("MPS_SERVE_QUEUE_CAP", 1024, 1, 1ll << 30));
   }
   if (cfg.batch_window == 0) {
     cfg.batch_window = static_cast<int>(
-        std::max(1ll, util::env_int("MPS_SERVE_BATCH_WINDOW", 8)));
+        util::env_int_checked("MPS_SERVE_BATCH_WINDOW", 8, 1, 4096));
   }
   if (cfg.plan_cache_bytes == 0) {
     cfg.plan_cache_bytes =
         static_cast<std::size_t>(
-            std::max(1ll, util::env_int("MPS_SERVE_PLAN_CACHE_MB", 64))) *
+            util::env_int_checked("MPS_SERVE_PLAN_CACHE_MB", 64, 1, 1ll << 20)) *
         (1u << 20);
   }
   if (cfg.autotune < 0) {
@@ -64,19 +69,44 @@ EngineConfig resolve_config(EngineConfig cfg) {
   cfg.retry = RetryPolicy::resolve(cfg.retry);
   cfg.breaker = CircuitBreakerConfig::resolve(cfg.breaker);
   if (cfg.shed_watermark < 0.0) {
-    cfg.shed_watermark = util::env_double("MPS_SERVE_SHED_WATERMARK", 0.75);
+    cfg.shed_watermark =
+        util::env_double_checked("MPS_SERVE_SHED_WATERMARK", 0.75);
   }
   if (cfg.max_failovers < 0) {
     cfg.max_failovers = static_cast<int>(
-        std::max(0ll, util::env_int("MPS_SERVE_MAX_FAILOVERS", 8)));
+        util::env_int_checked("MPS_SERVE_MAX_FAILOVERS", 8, 0, 1 << 20));
   }
   if (cfg.degrade_cache_frac < 0.0) {
     cfg.degrade_cache_frac =
-        util::env_double("MPS_SERVE_DEGRADE_CACHE_FRAC", 0.25);
+        util::env_double_checked("MPS_SERVE_DEGRADE_CACHE_FRAC", 0.25);
   }
   if (cfg.degrade_recovery < 0) {
     cfg.degrade_recovery = static_cast<int>(
-        std::max(0ll, util::env_int("MPS_SERVE_DEGRADE_RECOVERY", 64)));
+        util::env_int_checked("MPS_SERVE_DEGRADE_RECOVERY", 64, 0, 1 << 30));
+  }
+  // Durability: MPS_DURABLE_DIR arms the WAL + snapshot layer; like the
+  // chaos knobs, durable_enabled == 0 forces it off so the kill harness
+  // can run its non-durable reference leg in the same environment.
+  if (cfg.durable_enabled != 0 && cfg.durable_dir.empty()) {
+    cfg.durable_dir = util::env_string("MPS_DURABLE_DIR", "");
+  }
+  if (cfg.durable_enabled < 0) cfg.durable_enabled = cfg.durable_dir.empty() ? 0 : 1;
+  if (cfg.durable_enabled > 0 && cfg.durable_dir.empty()) {
+    throw InvalidInputError(
+        "serve: durability enabled but no directory (set cfg.durable_dir or "
+        "MPS_DURABLE_DIR)");
+  }
+  if (cfg.durable_snapshot_every < 0) {
+    cfg.durable_snapshot_every =
+        util::env_int_checked("MPS_DURABLE_SNAPSHOT_EVERY", 64, 0, 1ll << 30);
+  }
+  if (cfg.durable_warm < 0) {
+    cfg.durable_warm =
+        static_cast<int>(util::env_int_checked("MPS_DURABLE_WARM", 0, 0, 1));
+  }
+  if (cfg.durable_fsync < 0) {
+    cfg.durable_fsync =
+        static_cast<int>(util::env_int_checked("MPS_DURABLE_FSYNC", 0, 0, 1));
   }
   // Chaos resolves AFTER threads: the seeded generator spreads events
   // over the worker-device ordinals.  chaos_enabled == 0 is the chaos
@@ -240,7 +270,86 @@ Engine::Engine(EngineConfig cfg)
     }
     free_devices_.push_back(i);
   }
+  // Recovery runs before the dispatcher exists: the registry fills (and
+  // warm plans rebuild) while construction is still single-threaded, so
+  // the first request after a restart sees the full pre-crash state.
+  if (cfg_.durable_enabled > 0) init_durability();
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+std::unique_ptr<Engine> Engine::recover(const std::string& dir,
+                                        EngineConfig cfg) {
+  cfg.durable_dir = dir;
+  cfg.durable_enabled = 1;
+  return std::make_unique<Engine>(std::move(cfg));
+}
+
+void Engine::init_durability() {
+  auto recovered = durability::recover_dir(cfg_.durable_dir);
+  for (auto& m : recovered.matrices) {
+    // The handle is the full-structure fingerprint; a recovered matrix
+    // that no longer hashes to its recorded handle means the bytes on
+    // disk drifted from what was acknowledged — refuse to serve it.
+    if (pattern_fingerprint(*m.matrix) != m.handle) {
+      throw RecoveryError(
+          "serve: recovered matrix does not fingerprint to its recorded "
+          "handle " +
+          std::to_string(m.handle));
+    }
+    registry_[m.handle] = m.matrix;
+    versions_[m.handle] = m.version;
+  }
+  recovery_info_ = recovered.info;
+  if (cfg_.durable_warm > 0 && !devices_.empty()) {
+    // Eager warm-up: rebuild the snapshot's warm plan set on worker 0 so
+    // the first post-restart request pays no partition (or autotune
+    // trial) cost.  Plans are deterministic rebuilds — results are
+    // bitwise-identical either way; only the modeled cost of the first
+    // touch moves.
+    vgpu::Device& device = *devices_.front();
+    for (const auto& w : recovered.warm) {
+      auto it = registry_.find(w.handle);
+      if (it == registry_.end()) continue;
+      if (w.tuned) {
+        if (cfg_.autotune > 0) {
+          plan_cache_.get_or_build_tuned(device, *it->second, w.handle);
+        }
+      } else {
+        plan_cache_.get_or_build(device, *it->second, w.handle);
+      }
+    }
+  }
+  store_ = std::make_unique<durability::DurableStore>(
+      durability::DurableConfig{cfg_.durable_dir, cfg_.durable_snapshot_every,
+                                cfg_.durable_fsync > 0},
+      recovered, [this] { return capture_snapshot(); });
+}
+
+durability::SnapshotData Engine::capture_snapshot() const {
+  durability::SnapshotData data;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  data.matrices.reserve(registry_.size());
+  for (const auto& [h, m] : registry_) {
+    durability::MatrixRecord rec;
+    rec.handle = h;
+    const auto vit = versions_.find(h);
+    rec.version = vit == versions_.end() ? 1 : vit->second;
+    rec.matrix = m;
+    data.matrices.push_back(std::move(rec));
+  }
+  // Appends run under registry_mutex_ too (register_matrix), so reading
+  // last_seq here gives a capture that covers exactly seq <= last_seq.
+  data.last_seq = store_->last_seq();
+  for (const auto& [key, tuned] : plan_cache_.warm_entries()) {
+    // Warm metadata only for handles that are still registered: a plan
+    // can outlive its registration in the LRU.
+    if (registry_.count(key) != 0) data.warm.push_back({key, tuned});
+  }
+  return data;
+}
+
+void Engine::snapshot_now() {
+  if (store_) store_->snapshot_now();
 }
 
 Engine::~Engine() { shutdown(ShutdownMode::kDrain); }
@@ -266,6 +375,10 @@ void Engine::shutdown(ShutdownMode mode) {
   // nothing and joins its workers (tasks posted after this — there are
   // none — would be rejected deterministically).
   pool_.shutdown();
+  // Graceful exit leaves a fresh snapshot and an empty WAL tail: the
+  // next boot recovers without replay, and MPS_DURABLE_WARM gets the
+  // final warm-set metadata.
+  if (store_) store_->snapshot_now();
 }
 
 void Engine::pause() {
@@ -302,6 +415,14 @@ MatrixHandle Engine::register_matrix(const sparse::CsrD& a) {
   auto copy = std::make_shared<const sparse::CsrD>(a);
   {
     std::lock_guard<std::mutex> lock(registry_mutex_);
+    const std::uint64_t version = versions_[h] + 1;
+    // Durable-ack ordering: the WAL append completes BEFORE the registry
+    // insert and before the caller sees the handle.  If the append
+    // throws, nothing was acknowledged and nothing became visible — the
+    // crash contract "every acknowledged registration survives" follows
+    // from this line ordering, not from fsync.
+    if (store_) store_->append_register(h, version, a);
+    versions_[h] = version;
     registry_[h] = std::move(copy);  // same pattern => refreshed values
   }
   // A tuned plan may hold format-converted storage bound to the previous
@@ -315,6 +436,17 @@ std::shared_ptr<const sparse::CsrD> Engine::lookup(MatrixHandle h) const {
   std::lock_guard<std::mutex> lock(registry_mutex_);
   if (auto it = registry_.find(h); it != registry_.end()) return it->second;
   throw InvalidInputError("serve: unknown matrix handle " + std::to_string(h));
+}
+
+bool Engine::has_matrix(MatrixHandle h) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return registry_.count(h) != 0;
+}
+
+std::uint64_t Engine::matrix_version(MatrixHandle h) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = versions_.find(h);
+  return it == versions_.end() ? 0 : it->second;
 }
 
 void Engine::shed_low_priority_locked(const SubmitOptions& opts) {
@@ -1097,6 +1229,14 @@ EngineStats Engine::stats() const {
   s.degraded = degraded_.load(std::memory_order_relaxed);
   s.breaker = breaker_.stats();
   s.plan_cache = plan_cache_.stats();
+  if (store_) {
+    const auto d = store_->stats();
+    s.durability.enabled = true;
+    s.durability.wal_appends = d.wal_appends;
+    s.durability.wal_bytes = d.wal_bytes;
+    s.durability.snapshots = d.snapshots;
+    s.durability.recovery = d.recovery;
+  }
   return s;
 }
 

@@ -80,6 +80,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "durability/durable_store.hpp"
 #include "serve/circuit_breaker.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/retry_policy.hpp"
@@ -182,6 +183,26 @@ struct EngineConfig {
   vgpu::ChaosSchedule chaos;
   int chaos_enabled = -1;
 
+  /// Crash-consistent durability (docs/robustness.md).  Empty resolves
+  /// from MPS_DURABLE_DIR; with a directory set, every registration is
+  /// WAL-appended before it is acknowledged, the background snapshotter
+  /// runs, and construction recovers whatever state the directory holds.
+  std::string durable_dir;
+  /// `durable_enabled`: < 0 = on iff `durable_dir` (or MPS_DURABLE_DIR)
+  /// is non-empty; 0 = force off (env ignored — the harness's
+  /// non-durable reference leg); > 0 = on, requiring a directory.
+  int durable_enabled = -1;
+  /// WAL appends between background snapshots; < 0 resolves
+  /// MPS_DURABLE_SNAPSHOT_EVERY (default 64), 0 disables the snapshotter
+  /// (shutdown still writes a final snapshot).
+  long long durable_snapshot_every = -1;
+  /// Eagerly rebuild the snapshot's warm plan-cache entries during
+  /// recovery; < 0 resolves MPS_DURABLE_WARM (default 0 = lazy).
+  int durable_warm = -1;
+  /// fsync the WAL after every append; < 0 resolves MPS_DURABLE_FSYNC
+  /// (default 0 — process-death durability needs no fsync).
+  int durable_fsync = -1;
+
   /// Fill zero-valued fields from the environment knobs above.
   static EngineConfig from_env();
 };
@@ -251,6 +272,15 @@ struct EngineStats {
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   PlanCache::Stats plan_cache;
+  /// WAL/snapshot activity; all-zero (enabled == false) when the engine
+  /// runs without a durable directory.
+  struct DurabilityStats {
+    bool enabled = false;
+    long long wal_appends = 0;
+    long long wal_bytes = 0;
+    long long snapshots = 0;
+    durability::RecoveryInfo recovery;
+  } durability;
 };
 
 class Engine {
@@ -262,10 +292,33 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  /// Recover a crash-consistent engine from `dir` (sugar for setting
+  /// cfg.durable_dir + durable_enabled and constructing): loads the
+  /// snapshot, replays the WAL tail, and continues serving — new
+  /// registrations keep appending to the same log.  Raises RecoveryError
+  /// when the directory's state is damaged beyond a torn final record.
+  static std::unique_ptr<Engine> recover(const std::string& dir,
+                                         EngineConfig cfg = EngineConfig::from_env());
+
   /// Register a matrix for serving; see MatrixHandle for keying rules.
   /// The matrix is copied into the engine (requests may outlive the
-  /// caller's storage).
+  /// caller's storage).  With durability enabled the registration is
+  /// appended to the WAL before this returns — an acknowledged handle
+  /// survives any subsequent crash.
   MatrixHandle register_matrix(const sparse::CsrD& a);
+
+  /// True when `h` is registered (recovered or live).
+  bool has_matrix(MatrixHandle h) const;
+  /// Monotone per-handle registration counter (1 on first registration,
+  /// bumped by every re-registration, durable across recovery); 0 for
+  /// unknown handles.  The rails for the ROADMAP's mutable matrices.
+  std::uint64_t matrix_version(MatrixHandle h) const;
+  /// What recovery found at construction (attempted == false without a
+  /// durable dir).
+  const durability::RecoveryInfo& recovery_info() const { return recovery_info_; }
+  /// Ops/test hook: synchronous snapshot + WAL truncation.  No-op
+  /// without durability.
+  void snapshot_now();
 
   /// y = A x.  Blocks for queue space up to opts.admission_timeout, then
   /// throws QueueFullError; throws ShutdownError synchronously once
@@ -380,6 +433,15 @@ class Engine {
 
   std::shared_ptr<const sparse::CsrD> lookup(MatrixHandle h) const;
 
+  /// Consistent capture for the durable snapshotter: registry, versions,
+  /// warm plan-cache metadata, and the WAL sequence they reflect, all
+  /// read under registry_mutex_ (the lock every durable append holds).
+  durability::SnapshotData capture_snapshot() const;
+  /// Applies recovered state to the registry (validating each matrix
+  /// against its recorded handle) and opens the store; optionally
+  /// rebuilds warm plans eagerly.  Construction-time only.
+  void init_durability();
+
   EngineConfig cfg_;
   unsigned num_workers_ = 0;
 
@@ -405,6 +467,14 @@ class Engine {
   mutable std::mutex registry_mutex_;
   std::unordered_map<MatrixHandle, std::shared_ptr<const sparse::CsrD>>
       registry_;
+  /// Per-handle registration counters; guarded by registry_mutex_.
+  std::unordered_map<MatrixHandle, std::uint64_t> versions_;
+
+  /// WAL + snapshotter (null without a durable dir).  Declared after the
+  /// registry: the snapshotter thread reads the registry via
+  /// capture_snapshot, so it must be stopped (store destroyed) first.
+  std::unique_ptr<durability::DurableStore> store_;
+  durability::RecoveryInfo recovery_info_;
 
   // Submission queue + dispatcher state.
   mutable std::mutex queue_mutex_;

@@ -138,6 +138,17 @@ void PlanCache::set_capacity(std::size_t capacity_bytes) {
   }
 }
 
+std::vector<std::pair<std::uint64_t, bool>> PlanCache::warm_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::uint64_t, bool>> out;
+  out.reserve(lru_.size());
+  for (const Entry& e : lru_) {
+    const bool tuned = e.tuned != nullptr;
+    out.emplace_back(tuned ? (e.key ^ kTunedKeyTag) : e.key, tuned);
+  }
+  return out;
+}
+
 PlanCache::Stats PlanCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats s;

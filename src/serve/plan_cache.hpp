@@ -23,6 +23,8 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "autotune/autotune.hpp"
 #include "core/spmv.hpp"
@@ -79,6 +81,13 @@ class PlanCache {
   /// until resident bytes fit.  The engine's degraded mode shrinks the
   /// budget under memory pressure and restores it on recovery.
   void set_capacity(std::size_t capacity_bytes);
+
+  /// Metadata of every resident entry — (untagged key, tuned?) pairs in
+  /// LRU order, most recent first.  The durability snapshot persists
+  /// these so MPS_DURABLE_WARM recovery can rebuild the warm set eagerly
+  /// (plans are deterministic rebuilds; only *which* entries were warm
+  /// is worth writing to disk).
+  std::vector<std::pair<std::uint64_t, bool>> warm_entries() const;
 
   struct Stats {
     long long hits = 0;

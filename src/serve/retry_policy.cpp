@@ -28,15 +28,18 @@ double RetryPolicy::backoff_ms(int retry_index, std::uint64_t salt) const {
 }
 
 RetryPolicy RetryPolicy::resolve(RetryPolicy p) {
+  // Strict parse (the MPS_SERVE_* contract, engine.cpp): garbage or
+  // negative budgets raise InvalidInputError instead of clamping.
   if (p.max_attempts <= 0) {
     const long long retries =
-        std::max(0ll, util::env_int("MPS_SERVE_RETRIES", 1));
+        util::env_int_checked("MPS_SERVE_RETRIES", 1, 0, 1000);
     p.max_attempts = static_cast<int>(retries) + 1;
   }
   if (p.backoff_base_ms < 0.0)
-    p.backoff_base_ms = util::env_double("MPS_SERVE_BACKOFF_MS", 0.5);
+    p.backoff_base_ms = util::env_double_checked("MPS_SERVE_BACKOFF_MS", 0.5);
   if (p.backoff_max_ms < 0.0)
-    p.backoff_max_ms = util::env_double("MPS_SERVE_BACKOFF_MAX_MS", 8.0);
+    p.backoff_max_ms =
+        util::env_double_checked("MPS_SERVE_BACKOFF_MAX_MS", 8.0);
   return p;
 }
 

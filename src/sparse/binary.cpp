@@ -1,0 +1,98 @@
+#include "sparse/binary.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace mps::sparse {
+
+namespace {
+
+template <typename T>
+void put(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+template <typename T>
+T get(const char* data, std::size_t size, std::size_t* pos) {
+  if (size - *pos < sizeof(T)) {
+    throw ParseError("csr binary: truncated buffer (need " +
+                     std::to_string(sizeof(T)) + " bytes at offset " +
+                     std::to_string(*pos) + ", have " +
+                     std::to_string(size - *pos) + ")");
+  }
+  T v;
+  std::memcpy(&v, data + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return v;
+}
+
+template <typename T>
+void get_array(const char* data, std::size_t size, std::size_t* pos,
+               std::vector<T>& out, std::size_t count) {
+  const std::size_t bytes = count * sizeof(T);
+  if (size - *pos < bytes) {
+    throw ParseError("csr binary: truncated buffer (need " +
+                     std::to_string(bytes) + " array bytes at offset " +
+                     std::to_string(*pos) + ", have " +
+                     std::to_string(size - *pos) + ")");
+  }
+  out.resize(count);
+  if (count > 0) std::memcpy(out.data(), data + *pos, bytes);
+  *pos += bytes;
+}
+
+}  // namespace
+
+std::size_t csr_binary_bytes(const CsrD& a) {
+  return sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) +
+         a.row_offsets.size() * sizeof(index_t) +
+         a.col.size() * sizeof(index_t) + a.val.size() * sizeof(double);
+}
+
+void append_csr_binary(std::string& out, const CsrD& a) {
+  if (!a.is_valid()) {
+    throw InvalidInputError("csr binary: refusing to serialize invalid matrix");
+  }
+  out.reserve(out.size() + csr_binary_bytes(a));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(a.num_rows));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(a.num_cols));
+  put<std::uint64_t>(out, static_cast<std::uint64_t>(a.nnz()));
+  for (index_t v : a.row_offsets) put<std::int32_t>(out, v);
+  for (index_t v : a.col) put<std::int32_t>(out, v);
+  for (double v : a.val) put<double>(out, v);
+}
+
+CsrD read_csr_binary(const char* data, std::size_t size, std::size_t* consumed) {
+  std::size_t pos = 0;
+  const auto rows = get<std::uint32_t>(data, size, &pos);
+  const auto cols = get<std::uint32_t>(data, size, &pos);
+  const auto nnz = get<std::uint64_t>(data, size, &pos);
+  const auto max_index = static_cast<std::uint64_t>(std::numeric_limits<index_t>::max());
+  if (rows > max_index || cols > max_index || nnz > max_index) {
+    throw ParseError("csr binary: header dims/nnz exceed 32-bit index range");
+  }
+  CsrD a;
+  a.num_rows = static_cast<index_t>(rows);
+  a.num_cols = static_cast<index_t>(cols);
+  get_array<index_t>(data, size, &pos, a.row_offsets,
+                     static_cast<std::size_t>(rows) + 1);
+  get_array<index_t>(data, size, &pos, a.col, static_cast<std::size_t>(nnz));
+  a.val.clear();
+  {
+    std::vector<double> vals;
+    get_array<double>(data, size, &pos, vals, static_cast<std::size_t>(nnz));
+    a.val = std::move(vals);
+  }
+  if (a.row_offsets.back() != static_cast<index_t>(nnz) || !a.is_valid()) {
+    throw ParseError("csr binary: decoded matrix is structurally invalid");
+  }
+  if (consumed) *consumed = pos;
+  return a;
+}
+
+}  // namespace mps::sparse

@@ -1,0 +1,34 @@
+#pragma once
+// Binary CSR serialization — the on-disk encoding used by the durability
+// subsystem (WAL records and snapshot bodies, src/durability).
+//
+// Layout (little-endian, no padding):
+//   u32 num_rows | u32 num_cols | u64 nnz |
+//   (num_rows + 1) x i32 row_offsets | nnz x i32 col | nnz x f64 val
+//
+// Values are raw IEEE-754 bits, so read-after-write round-trips bitwise.
+// `read_csr_binary` fully validates what it decodes: a buffer that ends
+// early raises ParseError with `truncated` in the message (the durability
+// layer maps that onto torn-tail tolerance); structurally invalid contents
+// (non-monotone offsets, out-of-range columns) raise ParseError too.
+
+#include <cstddef>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace mps::sparse {
+
+/// Appends the binary encoding of `a` to `out`.  Requires a.is_valid().
+void append_csr_binary(std::string& out, const CsrD& a);
+
+/// Size in bytes `append_csr_binary` will produce for `a`.
+std::size_t csr_binary_bytes(const CsrD& a);
+
+/// Decodes one matrix from `data[0..size)`.  On success sets `*consumed`
+/// to the number of bytes read and returns a fully validated matrix.
+/// Raises ParseError on truncation (message contains "truncated") or on
+/// structural corruption.
+CsrD read_csr_binary(const char* data, std::size_t size, std::size_t* consumed);
+
+}  // namespace mps::sparse

@@ -41,10 +41,12 @@
 //                      mini-language; see src/vgpu/chaos.hpp
 //   MPS_CHAOS_SEED   — deterministic pseudo-random schedule (0 = off)
 //
-// Fault/chaos knobs parse STRICTLY via the *_checked variants below:
-// a malformed, overflowing, or out-of-range value throws
-// InvalidInputError naming the variable instead of silently falling
-// back.  Tuning knobs (MPS_SCALE, MPS_SERVE_*, ...) stay lenient.
+// Fault/chaos knobs, the serving-engine knobs (MPS_SERVE_*), and the
+// durability knobs (MPS_DURABLE_*) parse STRICTLY via the *_checked
+// variants below: a malformed, overflowing, or out-of-range value
+// throws InvalidInputError naming the variable instead of silently
+// falling back.  Bench-tuning knobs (MPS_SCALE, MPS_THREADS, ...) stay
+// lenient.
 
 #include <climits>
 #include <string>

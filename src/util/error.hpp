@@ -20,6 +20,11 @@
 //   │                       broken structure in a kernel's output, or a
 //   │                       plan whose internal state no longer matches
 //   │                       its build-time checksum (resilience/)
+//   ├─ RecoveryError      — durable state (WAL / snapshot) cannot be
+//   │                       restored: corruption anywhere other than a
+//   │                       torn final WAL record, a snapshot checksum
+//   │                       mismatch, or a replayed record whose matrix
+//   │                       no longer matches its recorded handle
 //   ├─ vgpu::DeviceOomError (memory_model.hpp) — device capacity
 //   │                       exhausted, real or fault-injected
 //   ├─ vgpu::DeviceLostError (chaos.hpp) — the device is permanently
@@ -93,6 +98,16 @@ class IoError : public Error {
 class IntegrityError : public Error {
  public:
   explicit IntegrityError(const std::string& what) : Error(what) {}
+};
+
+/// Durable state (write-ahead log or snapshot) cannot be restored.  A torn
+/// *final* WAL record is expected after a crash and is tolerated silently;
+/// anything else — mid-log corruption, a snapshot checksum mismatch, a
+/// replayed matrix that no longer fingerprints to its recorded handle —
+/// raises this instead of silently serving wrong state (durability/).
+class RecoveryError : public Error {
+ public:
+  explicit RecoveryError(const std::string& what) : Error(what) {}
 };
 
 }  // namespace mps

@@ -36,6 +36,39 @@
 //                                clean shutdown
 //   --metrics-prom PATH          write Prometheus text exposition
 //
+// Durability / kill-and-recover harness (scripts/crash_matrix.sh drives
+// the full sweep; docs/robustness.md):
+//   --durable-dir PATH           arm the WAL + snapshot layer; on startup
+//                                the engine recovers whatever the
+//                                directory holds and prints a greppable
+//                                "durable recovery:" line
+//   --snapshot-every N           WAL appends between background snapshots
+//                                (0 = shutdown snapshot only)
+//   --durable-warm               eagerly rebuild the snapshot's warm
+//                                plan-cache entries during recovery
+//   --reregister-every K         re-register a tenant (identical values,
+//                                version bump) every K submissions, so
+//                                WAL appends land mid-trace where kills
+//                                can tear them; answers are unchanged
+//   --crash-after N              _exit(43) right after the N-th
+//                                submission — a kill with futures in
+//                                flight
+//   --crash-point P:N            die at the N-th hit of durability crash
+//                                point P (wal-mid, wal-post,
+//                                snapshot-mid, snapshot-post, post-ack);
+//                                same grammar as MPS_DURABLE_CRASH
+//   --durable-manifest PATH      append "handle version" after every
+//                                acknowledged registration (then hit the
+//                                post-ack crash point); on recovery the
+//                                manifest is verified line by line —
+//                                every acked registration must have
+//                                survived with version >= acked
+//   --hash-out PATH              write per-position "index ok hash"
+//                                result fingerprints (crash legs die
+//                                before writing; recovery legs are
+//                                compared bitwise against an
+//                                uninterrupted run's file)
+//
 // MPS_METRICS_DUMP_MS=N additionally dumps the registry as JSON every
 // N ms while the replay runs (to MPS_METRICS_DUMP_PATH or stderr).
 //
@@ -53,7 +86,10 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "baselines/seq.hpp"
+#include "durability/crash.hpp"
 #include "serve/engine.hpp"
 #include "serve/trace.hpp"
 #include "telemetry/metrics.hpp"
@@ -75,7 +111,11 @@ using namespace mps;
                "          [--queue-cap N] [--batch-window N] [--cache-mb N]\n"
                "          [--verify] [--chaos-seed N] [--chaos-script S]\n"
                "          [--trace-out PATH] [--metrics-out PATH]\n"
-               "          [--metrics-prom PATH]\n",
+               "          [--metrics-prom PATH]\n"
+               "          [--durable-dir PATH] [--snapshot-every N]\n"
+               "          [--durable-warm] [--reregister-every K]\n"
+               "          [--crash-after N] [--crash-point P:N]\n"
+               "          [--durable-manifest PATH] [--hash-out PATH]\n",
                argv0);
   std::exit(2);
 }
@@ -97,6 +137,14 @@ struct Options {
   std::string trace_out;      // empty = MPS_TRACE_OUT, else no trace
   std::string metrics_out;    // metrics registry JSON on shutdown
   std::string metrics_prom;   // Prometheus text exposition on shutdown
+  std::string durable_dir;    // empty = durability off for this run
+  long long snapshot_every = -1;   // -1 = MPS_DURABLE_SNAPSHOT_EVERY
+  bool durable_warm = false;       // eager plan rebuild at recovery
+  std::size_t reregister_every = 0;  // re-register a tenant every K submits
+  std::size_t crash_after = 0;     // _exit(43) after the N-th submission
+  std::string crash_point;         // MPS_DURABLE_CRASH grammar
+  std::string manifest;            // acked-registration manifest path
+  std::string hash_out;            // per-position result fingerprints
 };
 
 Options parse(int argc, char** argv) {
@@ -139,6 +187,22 @@ Options parse(int argc, char** argv) {
       o.metrics_out = value();
     } else if (arg == "--metrics-prom") {
       o.metrics_prom = value();
+    } else if (arg == "--durable-dir") {
+      o.durable_dir = value();
+    } else if (arg == "--snapshot-every") {
+      o.snapshot_every = std::stoll(value());
+    } else if (arg == "--durable-warm") {
+      o.durable_warm = true;
+    } else if (arg == "--reregister-every") {
+      o.reregister_every = std::stoull(value());
+    } else if (arg == "--crash-after") {
+      o.crash_after = std::stoull(value());
+    } else if (arg == "--crash-point") {
+      o.crash_point = value();
+    } else if (arg == "--durable-manifest") {
+      o.manifest = value();
+    } else if (arg == "--hash-out") {
+      o.hash_out = value();
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
     } else {
@@ -169,6 +233,59 @@ std::uint64_t fnv1a(const void* data, std::size_t n,
     h *= 1099511628211ull;
   }
   return h;
+}
+
+/// Appends one acknowledged registration to the manifest, flushed before
+/// the post-ack crash point fires: if the process dies at kPostAck, the
+/// line is on disk and the recovery leg will demand the registration back.
+void manifest_append(const std::string& path, serve::MatrixHandle h,
+                     std::uint64_t version) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (!f) {
+    throw mps::IoError("cannot append to manifest " + path);
+  }
+  std::fprintf(f, "%llu %llu\n", static_cast<unsigned long long>(h),
+               static_cast<unsigned long long>(version));
+  std::fflush(f);
+  std::fclose(f);
+  durability::maybe_crash(durability::CrashPoint::kPostAck);
+}
+
+/// Replays the manifest against a freshly recovered engine: every
+/// acknowledged registration must be present with a version at least as
+/// new as the one acknowledged.  Throws RecoveryError on any loss —
+/// that's the headline invariant the kill matrix exists to test.
+void verify_manifest(const serve::Engine& engine, const std::string& path) {
+  std::ifstream in(path);
+  long long total = 0, recovered = 0;
+  if (!in) {
+    // First run, or a crash before the first ack: nothing to verify, but
+    // still print the line so the harness can tell "0 acked" from "forgot
+    // to check".
+    std::printf("manifest: 0/0 acked registrations recovered\n");
+    return;
+  }
+  unsigned long long h = 0, v = 0;
+  while (in >> h >> v) {
+    ++total;
+    if (engine.has_matrix(h) && engine.matrix_version(h) >= v) {
+      ++recovered;
+    } else {
+      std::fprintf(stderr,
+                   "LOST: acked registration handle=%llu version=%llu "
+                   "(recovered version %llu)\n",
+                   h, v,
+                   static_cast<unsigned long long>(engine.matrix_version(h)));
+    }
+  }
+  // crash_matrix.sh greps this exact line — keep the format stable.
+  std::printf("manifest: %lld/%lld acked registrations recovered\n", recovered,
+              total);
+  if (recovered != total) {
+    throw mps::RecoveryError(
+        std::to_string(total - recovered) +
+        " acknowledged registrations were lost across the crash");
+  }
 }
 
 /// One pending request's bookkeeping for the settle/verify pass.
@@ -205,7 +322,28 @@ ReplayOutcome replay(const Options& opt,
   cfg.batch_window = opt.batch_window;
   cfg.plan_cache_bytes = opt.cache_mb << 20;
   cfg.chaos_enabled = chaos_enabled;
+  if (!opt.durable_dir.empty()) {
+    cfg.durable_dir = opt.durable_dir;
+    cfg.durable_enabled = 1;
+    cfg.durable_snapshot_every = opt.snapshot_every;
+    if (opt.durable_warm) cfg.durable_warm = 1;
+  }
   serve::Engine engine(cfg);
+
+  if (!opt.durable_dir.empty()) {
+    // crash_matrix.sh greps this line — keep the format stable.
+    const auto& ri = engine.recovery_info();
+    std::printf(
+        "durable recovery: snapshot=%d snap_matrices=%lld wal_replayed=%lld "
+        "stale=%lld torn=%d last_seq=%llu\n",
+        ri.snapshot_loaded ? 1 : 0, ri.snapshot_matrices,
+        ri.wal_records_replayed, ri.stale_skipped,
+        ri.torn_tail_dropped ? 1 : 0,
+        static_cast<unsigned long long>(ri.last_seq));
+    // Verify BEFORE this run registers anything: the manifest must be
+    // satisfied by recovered state alone.
+    if (!opt.manifest.empty()) verify_manifest(engine, opt.manifest);
+  }
 
   std::vector<serve::MatrixHandle> handles;
   if (print_tenants) {
@@ -213,6 +351,10 @@ ReplayOutcome replay(const Options& opt,
   }
   for (const auto& t : tenants) {
     handles.push_back(engine.register_matrix(t.matrix));
+    if (!opt.manifest.empty()) {
+      manifest_append(opt.manifest, handles.back(),
+                      engine.matrix_version(handles.back()));
+    }
     if (print_tenants) {
       std::printf("  %-10s %7d x %-7d %9lld nnz  handle %016llx\n",
                   t.name.c_str(), t.matrix.num_rows, t.matrix.num_cols,
@@ -224,7 +366,21 @@ ReplayOutcome replay(const Options& opt,
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<Pending> pending;
   pending.reserve(trace.size());
+  std::size_t submitted = 0;
   for (const auto& op : trace) {
+    if (opt.reregister_every > 0 && submitted > 0 &&
+        submitted % opt.reregister_every == 0) {
+      // Mid-trace re-registration with identical values: the WAL append
+      // and version bump land while requests are in flight — exactly
+      // where the kill matrix wants writes to tear — and answers are
+      // unchanged (same matrix, same pattern, plans stay valid).
+      const std::size_t tenant =
+          (submitted / opt.reregister_every - 1) % tenants.size();
+      const auto h = engine.register_matrix(tenants[tenant].matrix);
+      if (!opt.manifest.empty()) {
+        manifest_append(opt.manifest, h, engine.matrix_version(h));
+      }
+    }
     Pending p;
     p.kind = op.kind;
     p.matrix = op.matrix;
@@ -244,6 +400,14 @@ ReplayOutcome replay(const Options& opt,
         break;
     }
     pending.push_back(std::move(p));
+    ++submitted;
+    if (opt.crash_after > 0 && submitted >= opt.crash_after) {
+      // A kill with futures in flight: no drain, no shutdown snapshot,
+      // no destructors — the recovery leg gets whatever the WAL holds.
+      std::fprintf(stderr, "crashing after %zu submissions\n", submitted);
+      std::fflush(nullptr);
+      ::_exit(durability::kCrashExitCode);
+    }
   }
   engine.shutdown(serve::Engine::ShutdownMode::kDrain);
   ReplayOutcome out;
@@ -303,6 +467,12 @@ int run_main(int argc, char** argv) {
   if (opt.trace_out.empty()) {
     opt.trace_out = util::env_string("MPS_TRACE_OUT", "");
   }
+  // Crash-point injection: the flag publishes through the same knob the
+  // env path uses, so either spelling arms the same machinery.
+  if (!opt.crash_point.empty()) {
+    ::setenv("MPS_DURABLE_CRASH", opt.crash_point.c_str(), 1);
+  }
+  durability::arm_crash_from_env();
 
   // The tracer must be live BEFORE any request is admitted so that the
   // serve.request spans, the host phase spans underneath them, and the
@@ -408,6 +578,15 @@ int run_main(int argc, char** argv) {
                         std::to_string(s.plan_cache.evictions) + " evictions");
   add("plan cache bytes", std::to_string(s.plan_cache.bytes_in_use) + " / " +
                               std::to_string(s.plan_cache.capacity_bytes));
+  if (s.durability.enabled) {
+    add("wal appends", std::to_string(s.durability.wal_appends) + " (" +
+                           std::to_string(s.durability.wal_bytes) + " bytes)");
+    add("snapshots", std::to_string(s.durability.snapshots));
+    add("recovered", std::to_string(s.durability.recovery.snapshot_matrices) +
+                         " snap + " +
+                         std::to_string(s.durability.recovery.wal_records_replayed) +
+                         " wal replayed");
+  }
   if (opt.verify) {
     add("verified", std::to_string(out.verified) + " (" +
                         std::to_string(out.mismatched) + " mismatched)");
@@ -437,6 +616,20 @@ int run_main(int argc, char** argv) {
     }
     telemetry::metrics().write_json(fout);
     std::printf("(metrics json written to %s)\n", opt.metrics_out.c_str());
+  }
+  if (!opt.hash_out.empty()) {
+    // Per-position result fingerprints: the kill matrix compares a
+    // recovery run's file bitwise (cmp) against an uninterrupted run's.
+    std::ofstream fout(opt.hash_out);
+    if (!fout) {
+      std::fprintf(stderr, "FAILED: cannot write hashes to %s\n",
+                   opt.hash_out.c_str());
+      return 1;
+    }
+    for (std::size_t i = 0; i < out.ok.size(); ++i) {
+      fout << i << ' ' << (out.ok[i] ? 1 : 0) << ' ' << out.hash[i] << '\n';
+    }
+    std::printf("(result hashes written to %s)\n", opt.hash_out.c_str());
   }
   if (!opt.metrics_prom.empty()) {
     std::ofstream fout(opt.metrics_prom);
