@@ -45,6 +45,14 @@ target_link_libraries(serve_throughput PRIVATE
 set_target_properties(serve_throughput PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
+# Multi-device shard scaling: serving engine at fleet sizes 1/2/4/8 plus
+# a heterogeneous weighted-vs-uniform placement leg (docs/sharding.md).
+add_executable(shard_scaling ${CMAKE_SOURCE_DIR}/bench/shard_scaling.cpp)
+target_link_libraries(shard_scaling PRIVATE
+  mps_serve mps_analysis mps_sparse mps_vgpu mps_util mps_warnings)
+set_target_properties(shard_scaling PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
 add_executable(micro_primitives ${CMAKE_SOURCE_DIR}/bench/micro_primitives.cpp)
 target_link_libraries(micro_primitives PRIVATE
   mps_primitives mps_vgpu mps_util benchmark::benchmark mps_warnings)

@@ -51,6 +51,8 @@ RecoveredState recover_dir(const std::string& dir) {
       state.info.snapshot_matrices = static_cast<long long>(snap->matrices.size());
       state.matrices = std::move(snap->matrices);
       state.warm = std::move(snap->warm);
+      state.shard_layouts = std::move(snap->shard_layouts);
+      state.fleet_devices = snap->fleet_devices;
       covered = snap->last_seq;
       state.info.last_seq = snap->last_seq;
     }

@@ -60,6 +60,11 @@ struct RecoveredState {
   /// Replay result, one entry per handle (latest version wins).
   std::vector<MatrixRecord> matrices;
   std::vector<WarmEntry> warm;
+  /// Shard placements the snapshot recorded (snapshot.hpp; the engine
+  /// re-shards deterministically and cross-checks against these when
+  /// the recovered fleet shape matches fleet_devices).
+  std::vector<ShardLayoutRecord> shard_layouts;
+  std::uint32_t fleet_devices = 0;
   RecoveryInfo info;
   std::size_t wal_valid_bytes = 0;
 };

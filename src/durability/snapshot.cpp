@@ -17,7 +17,8 @@ namespace mps::durability {
 
 namespace {
 
-constexpr char kSnapMagic[8] = {'M', 'P', 'S', 'S', 'N', 'A', 'P', '1'};
+constexpr char kSnapMagicV1[8] = {'M', 'P', 'S', 'S', 'N', 'A', 'P', '1'};
+constexpr char kSnapMagic[8] = {'M', 'P', 'S', 'S', 'N', 'A', 'P', '2'};
 
 template <typename T>
 void put(std::string& out, T v) {
@@ -68,6 +69,18 @@ void write_snapshot(const std::string& dir, const SnapshotData& data) {
     put<std::uint64_t>(body, w.handle);
     body.push_back(w.tuned ? 1 : 0);
   }
+  put<std::uint32_t>(body, data.fleet_devices);
+  put<std::uint32_t>(body, static_cast<std::uint32_t>(data.shard_layouts.size()));
+  for (const ShardLayoutRecord& l : data.shard_layouts) {
+    put<std::uint64_t>(body, l.handle);
+    body.push_back(l.replica ? 1 : 0);
+    put<std::uint32_t>(body, static_cast<std::uint32_t>(l.blocks.size()));
+    for (const ShardLayoutRecord::Block& b : l.blocks) {
+      put<std::int32_t>(body, b.row_begin);
+      put<std::int32_t>(body, b.row_end);
+      put<std::int32_t>(body, b.device);
+    }
+  }
   put<std::uint64_t>(body, resilience::checksum_bytes(body.data(), body.size()));
 
   const std::string final_path = dir + "/" + kSnapshotFileName;
@@ -103,8 +116,12 @@ std::optional<SnapshotData> read_snapshot(const std::string& path) {
                    std::istreambuf_iterator<char>());
   in.close();
 
-  if (data.size() < sizeof(kSnapMagic) + sizeof(std::uint64_t) ||
-      std::memcmp(data.data(), kSnapMagic, sizeof(kSnapMagic)) != 0) {
+  if (data.size() < sizeof(kSnapMagic) + sizeof(std::uint64_t)) {
+    throw RecoveryError("snapshot: '" + path +
+                        "' is missing the snapshot magic (corrupt or foreign file)");
+  }
+  const bool v1 = std::memcmp(data.data(), kSnapMagicV1, sizeof(kSnapMagicV1)) == 0;
+  if (!v1 && std::memcmp(data.data(), kSnapMagic, sizeof(kSnapMagic)) != 0) {
     throw RecoveryError("snapshot: '" + path +
                         "' is missing the snapshot magic (corrupt or foreign file)");
   }
@@ -142,6 +159,26 @@ std::optional<SnapshotData> read_snapshot(const std::string& path) {
     w.handle = get<std::uint64_t>(data, &pos, path);
     w.tuned = get<std::uint8_t>(data, &pos, path) != 0;
     snap.warm.push_back(w);
+  }
+  if (!v1) {
+    snap.fleet_devices = get<std::uint32_t>(data, &pos, path);
+    const auto n_layouts = get<std::uint32_t>(data, &pos, path);
+    snap.shard_layouts.reserve(n_layouts);
+    for (std::uint32_t i = 0; i < n_layouts; ++i) {
+      ShardLayoutRecord l;
+      l.handle = get<std::uint64_t>(data, &pos, path);
+      l.replica = get<std::uint8_t>(data, &pos, path) != 0;
+      const auto n_blocks = get<std::uint32_t>(data, &pos, path);
+      l.blocks.reserve(n_blocks);
+      for (std::uint32_t k = 0; k < n_blocks; ++k) {
+        ShardLayoutRecord::Block b;
+        b.row_begin = get<std::int32_t>(data, &pos, path);
+        b.row_end = get<std::int32_t>(data, &pos, path);
+        b.device = get<std::int32_t>(data, &pos, path);
+        l.blocks.push_back(b);
+      }
+      snap.shard_layouts.push_back(std::move(l));
+    }
   }
   if (pos != body_bytes) {
     throw RecoveryError("snapshot: trailing bytes inside checksummed body of '" +

@@ -7,10 +7,18 @@
 // deterministic rebuilds, so only the fact that they were warm is worth
 // persisting).  Layout:
 //
-//   "MPSSNAP1" | u64 last_seq | u32 n_matrices |
+//   "MPSSNAP2" | u64 last_seq | u32 n_matrices |
 //     { u64 handle | u64 version | csr binary } x n_matrices |
 //   u32 n_warm | { u64 handle | u8 tuned } x n_warm |
+//   u32 fleet_devices | u32 n_layouts |
+//     { u64 handle | u8 replica | u32 n_blocks |
+//       { i32 row_begin | i32 row_end | i32 device } x n_blocks
+//     } x n_layouts |
 //   u64 fnv1a(everything above)
+//
+// Version-1 snapshots ("MPSSNAP1", no shard section) still load —
+// recovery re-shards deterministically, so the layout records are a
+// cross-check against placement drift, not required state.
 //
 // The file is written to `snapshot.bin.tmp` and atomically renamed over
 // `snapshot.bin`: a reader sees either the old complete snapshot or the
@@ -47,9 +55,31 @@ struct WarmEntry {
   bool tuned = false;
 };
 
+/// One placement's persisted shard layout: which row block of a sharded
+/// handle lives on which fleet slot.  Recovery re-shards
+/// deterministically from the matrix + fleet shape; when the recovered
+/// fleet matches `SnapshotData::fleet_devices`, the rebuilt layout must
+/// equal the recorded one (RecoveryError otherwise — placement drift
+/// would silently re-route bitwise-pinned work).
+struct ShardLayoutRecord {
+  std::uint64_t handle = 0;
+  bool replica = false;
+  struct Block {
+    std::int32_t row_begin = 0;
+    std::int32_t row_end = 0;
+    std::int32_t device = -1;
+  };
+  std::vector<Block> blocks;
+};
+
 struct SnapshotData {
   std::vector<MatrixRecord> matrices;
   std::vector<WarmEntry> warm;
+  /// Shard placements at capture time (empty in legacy single-device
+  /// mode or for a v1 snapshot).
+  std::vector<ShardLayoutRecord> shard_layouts;
+  /// Fleet size the layouts were placed on (0 = legacy mode or v1).
+  std::uint32_t fleet_devices = 0;
   /// WAL sequence number the capture covered: every record with
   /// seq <= last_seq is reflected in `matrices`.
   std::uint64_t last_seq = 0;

@@ -6,6 +6,7 @@
 #include "core/spadd.hpp"
 #include "core/spgemm.hpp"
 #include "core/spmm.hpp"
+#include "shard/exec.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/env.hpp"
 #include "vgpu/trace.hpp"
@@ -108,12 +109,51 @@ EngineConfig resolve_config(EngineConfig cfg) {
     cfg.durable_fsync =
         static_cast<int>(util::env_int_checked("MPS_DURABLE_FSYNC", 0, 0, 1));
   }
-  // Chaos resolves AFTER threads: the seeded generator spreads events
-  // over the worker-device ordinals.  chaos_enabled == 0 is the chaos
-  // harness's fault-free reference run — the env knobs are ignored so
-  // the same process can run both legs.
+  // Sharded serving fleet (docs/sharding.md).  Same strict-parse rule as
+  // every other knob.
+  if (cfg.devices < 0) {
+    cfg.devices =
+        static_cast<int>(util::env_int_checked("MPS_SERVE_DEVICES", 0, 0, 256));
+  }
+  if (cfg.device_spec.empty()) {
+    cfg.device_spec = util::env_string("MPS_SERVE_DEVICE_SPEC", "");
+  }
+  if (cfg.shard_max <= 0) {
+    cfg.shard_max =
+        static_cast<int>(util::env_int_checked("MPS_SHARD_MAX", 8, 1, 256));
+  }
+  if (cfg.shard_min_nnz <= 0) {
+    cfg.shard_min_nnz =
+        util::env_int_checked("MPS_SHARD_MIN_NNZ", 2048, 1, 1ll << 40);
+  }
+  if (cfg.shard_placement.empty()) {
+    cfg.shard_placement = util::env_string("MPS_SHARD_PLACEMENT", "weighted");
+  }
+  if (cfg.shard_placement != "weighted" && cfg.shard_placement != "uniform") {
+    throw InvalidInputError(
+        "MPS_SHARD_PLACEMENT: expected 'weighted' or 'uniform', got '" +
+        cfg.shard_placement + "'");
+  }
+  if (cfg.shard_replicate_hot < 0.0) {
+    cfg.shard_replicate_hot =
+        util::env_double_checked("MPS_SHARD_REPLICATE_HOT", 0.5);
+  }
+  if (cfg.shard_replicate_hot > 1.0) {
+    throw InvalidInputError(
+        "MPS_SHARD_REPLICATE_HOT: traffic share must be in [0, 1], got " +
+        std::to_string(cfg.shard_replicate_hot));
+  }
+  if (cfg.shard_2d_nnz < 0) {
+    cfg.shard_2d_nnz = util::env_int_checked("MPS_SHARD_2D_NNZ", 0, 0, 1ll << 40);
+  }
+  // Chaos resolves AFTER threads and the fleet size: the seeded
+  // generator spreads events over the fleet's slot ordinals (the worker
+  // count in legacy mode).  chaos_enabled == 0 is the chaos harness's
+  // fault-free reference run — the env knobs are ignored so the same
+  // process can run both legs.
   if (cfg.chaos_enabled != 0 && cfg.chaos.empty()) {
-    cfg.chaos = vgpu::ChaosSchedule::from_env(static_cast<int>(cfg.threads));
+    cfg.chaos = vgpu::ChaosSchedule::from_env(
+        cfg.devices > 0 ? cfg.devices : static_cast<int>(cfg.threads));
   }
   if (cfg.chaos_enabled < 0) cfg.chaos_enabled = cfg.chaos.empty() ? 0 : 1;
   return cfg;
@@ -160,6 +200,18 @@ struct ServeMetrics {
 ServeMetrics& serve_metrics() {
   static ServeMetrics m;
   return m;
+}
+
+/// Per-fleet-slot registry handles ("serve.device.N.*") — exported like
+/// every other registry metric through --metrics-out / Prometheus.
+telemetry::Gauge& device_gauge(std::size_t ordinal, const char* what) {
+  return telemetry::metrics().gauge("serve.device." + std::to_string(ordinal) +
+                                    "." + what);
+}
+
+telemetry::Counter& device_counter(std::size_t ordinal, const char* what) {
+  return telemetry::metrics().counter("serve.device." +
+                                      std::to_string(ordinal) + "." + what);
 }
 
 }  // namespace
@@ -248,6 +300,13 @@ struct Engine::Batch {
 Engine::Engine(EngineConfig cfg)
     : cfg_(resolve_config(cfg)),
       num_workers_(cfg_.threads),
+      // Legacy mode (devices == 0) builds one titan slot per worker —
+      // the exact pre-shard fleet.  Sharded mode sizes the fleet from
+      // MPS_SERVE_DEVICES and shapes it from MPS_SERVE_DEVICE_SPEC.
+      fleet_(vgpu::parse_device_spec(
+          cfg_.device_spec,
+          cfg_.devices > 0 ? cfg_.devices : static_cast<int>(cfg_.threads),
+          "MPS_SERVE_DEVICE_SPEC")),
       plan_cache_(cfg_.plan_cache_bytes),
       breaker_(cfg_.breaker),
       paused_(cfg_.start_paused),
@@ -260,15 +319,12 @@ Engine::Engine(EngineConfig cfg)
         1, static_cast<std::size_t>(cfg_.shed_watermark *
                                     static_cast<double>(cfg_.queue_capacity)));
   }
-  devices_.reserve(num_workers_);
-  free_devices_.reserve(num_workers_);
-  for (unsigned i = 0; i < num_workers_; ++i) {
-    devices_.push_back(std::make_unique<vgpu::Device>());
-    if (cfg_.chaos_enabled > 0) {
-      devices_.back()->fault_injector().arm_chaos(cfg_.chaos,
+  slots_.resize(fleet_.size());
+  if (cfg_.chaos_enabled > 0) {
+    for (std::size_t i = 0; i < fleet_.size(); ++i) {
+      fleet_.device(i).fault_injector().arm_chaos(cfg_.chaos,
                                                   static_cast<int>(i));
     }
-    free_devices_.push_back(i);
   }
   // Recovery runs before the dispatcher exists: the registry fills (and
   // warm plans rebuild) while construction is still single-threaded, so
@@ -300,13 +356,13 @@ void Engine::init_durability() {
     versions_[m.handle] = m.version;
   }
   recovery_info_ = recovered.info;
-  if (cfg_.durable_warm > 0 && !devices_.empty()) {
+  if (cfg_.durable_warm > 0 && fleet_.size() > 0) {
     // Eager warm-up: rebuild the snapshot's warm plan set on worker 0 so
     // the first post-restart request pays no partition (or autotune
     // trial) cost.  Plans are deterministic rebuilds — results are
     // bitwise-identical either way; only the modeled cost of the first
     // touch moves.
-    vgpu::Device& device = *devices_.front();
+    vgpu::Device& device = fleet_.device(0);
     for (const auto& w : recovered.warm) {
       auto it = registry_.find(w.handle);
       if (it == registry_.end()) continue;
@@ -316,6 +372,38 @@ void Engine::init_durability() {
         }
       } else {
         plan_cache_.get_or_build(device, *it->second, w.handle);
+      }
+    }
+  }
+  if (cfg_.devices > 0) {
+    // Shard layouts are a deterministic function of (matrix, fleet,
+    // knobs): recovery re-derives them rather than trusting bytes on
+    // disk.  When the snapshot's fleet shape matches the current one,
+    // the recorded primary layouts double as an integrity cross-check.
+    for (const auto& entry : registry_) build_sharding(entry.first, *entry.second);
+    if (recovered.fleet_devices == static_cast<std::uint32_t>(fleet_.size())) {
+      std::lock_guard<std::mutex> slock(shard_mutex_);
+      for (const auto& rec : recovered.shard_layouts) {
+        if (rec.replica) continue;  // traffic-derived; rebuilt lazily
+        const auto mismatch = [&rec](const std::string& why) {
+          throw RecoveryError("serve: recovered shard layout for handle " +
+                              std::to_string(rec.handle) +
+                              " does not match the deterministic re-shard "
+                              "(" + why + ")");
+        };
+        const auto it = shardings_.find(rec.handle);
+        if (it == shardings_.end() || !it->second.primary) {
+          mismatch("matrix no longer shards");
+        }
+        const auto& shards = it->second.primary->shards();
+        if (shards.size() != rec.blocks.size()) mismatch("shard count");
+        for (std::size_t k = 0; k < shards.size(); ++k) {
+          if (shards[k].row_begin != rec.blocks[k].row_begin ||
+              shards[k].row_end != rec.blocks[k].row_end ||
+              shards[k].device != rec.blocks[k].device) {
+            mismatch("block " + std::to_string(k));
+          }
+        }
       }
     }
   }
@@ -344,6 +432,30 @@ durability::SnapshotData Engine::capture_snapshot() const {
     // Warm metadata only for handles that are still registered: a plan
     // can outlive its registration in the LRU.
     if (registry_.count(key) != 0) data.warm.push_back({key, tuned});
+  }
+  // Shard placements (inner lock: the order everywhere is registry
+  // before shard).  fleet_devices == 0 marks a legacy-mode snapshot.
+  data.fleet_devices =
+      cfg_.devices > 0 ? static_cast<std::uint32_t>(fleet_.size()) : 0;
+  {
+    std::lock_guard<std::mutex> slock(shard_mutex_);
+    for (const auto& entry : shardings_) {
+      if (registry_.count(entry.first) == 0) continue;
+      const auto record = [&](const shard::ShardedMatrix& sm, bool replica) {
+        durability::ShardLayoutRecord rec;
+        rec.handle = entry.first;
+        rec.replica = replica;
+        rec.blocks.reserve(sm.shards().size());
+        for (const auto& sh : sm.shards()) {
+          rec.blocks.push_back({static_cast<std::int32_t>(sh.row_begin),
+                                static_cast<std::int32_t>(sh.row_end),
+                                static_cast<std::int32_t>(sh.device)});
+        }
+        data.shard_layouts.push_back(std::move(rec));
+      };
+      if (entry.second.primary) record(*entry.second.primary, false);
+      if (entry.second.replica) record(*entry.second.replica, true);
+    }
   }
   return data;
 }
@@ -429,7 +541,94 @@ MatrixHandle Engine::register_matrix(const sparse::CsrD& a) {
   // registration's value buffer; re-registration (even with an identical
   // pattern) must drop it.  Merge plans are value-free and stay valid.
   plan_cache_.invalidate_tuned(h);
+  // Sharded mode: drop the handle's per-shard plans (tuned shard entries
+  // have the same stale-value hazard) and rebuild the layout — identical
+  // structure re-shards identically, but the shard-local value buffers
+  // must refresh.
+  invalidate_shard_plans(h);
+  build_sharding(h, a);
   return h;
+}
+
+// ---------------------------------------------------------------------------
+// Sharding
+
+std::vector<double> Engine::placement_weights(
+    const std::vector<int>& ordinals) const {
+  std::vector<double> w(ordinals.size(), 1.0);
+  if (cfg_.shard_placement == "weighted") {
+    for (std::size_t i = 0; i < ordinals.size(); ++i) {
+      w[i] = fleet_.weight(static_cast<std::size_t>(ordinals[i]));
+    }
+  }
+  return w;
+}
+
+void Engine::build_sharding(MatrixHandle h, const sparse::CsrD& a) {
+  if (cfg_.devices <= 0) return;
+  const int fleet = static_cast<int>(fleet_.size());
+  // Width: enough shards to give each one >= shard_min_nnz work, capped
+  // by the fleet, the knob, and the row count (a shard must own rows).
+  long long width64 = std::max<long long>(1, a.nnz() / cfg_.shard_min_nnz);
+  width64 = std::min<long long>(width64, std::min(fleet, cfg_.shard_max));
+  width64 = std::min<long long>(width64, std::max<index_t>(1, a.num_rows));
+  const int width = static_cast<int>(width64);
+  if (width <= 1) {
+    std::lock_guard<std::mutex> lock(shard_mutex_);
+    shardings_.erase(h);
+    return;
+  }
+  // Deterministic placement: consecutive ordinals starting at h % fleet,
+  // so independent tenants' primaries spread over the fleet instead of
+  // all stacking on slot 0.
+  const int start = static_cast<int>(h % static_cast<std::uint64_t>(fleet));
+  std::vector<int> ordinals(static_cast<std::size_t>(width));
+  for (int k = 0; k < width; ++k) {
+    ordinals[static_cast<std::size_t>(k)] = (start + k) % fleet;
+  }
+  auto weights = placement_weights(ordinals);
+  shard::ShardOptions opt;
+  opt.split_2d_nnz = cfg_.shard_2d_nnz;
+  auto sm =
+      std::make_shared<const shard::ShardedMatrix>(a, ordinals, weights, opt);
+  std::lock_guard<std::mutex> lock(shard_mutex_);
+  Sharding& s = shardings_[h];
+  s.primary = std::move(sm);
+  s.primary_ordinals = std::move(ordinals);
+  // Hotness-derived state resets with the registration; the request
+  // counter survives (the handle's traffic history is still real).
+  s.replica.reset();
+  s.replica_ordinals.clear();
+}
+
+bool Engine::note_sharded_request(MatrixHandle, Sharding& s) {
+  ++sharded_requests_total_;
+  ++s.requests;
+  if (s.replica || cfg_.shard_replicate_hot <= 0.0) return false;
+  // A replica needs a disjoint second placement of the same width.
+  if (2 * s.primary_ordinals.size() > fleet_.size()) return false;
+  // Warm-up floor: one early request is 100% of nothing.
+  if (sharded_requests_total_ < 8) return false;
+  return static_cast<double>(s.requests) >=
+         cfg_.shard_replicate_hot * static_cast<double>(sharded_requests_total_);
+}
+
+void Engine::invalidate_shard_plans(MatrixHandle h) {
+  std::size_t primary = 0;
+  std::size_t replica = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard_mutex_);
+    const auto it = shardings_.find(h);
+    if (it == shardings_.end()) return;
+    if (it->second.primary) primary = it->second.primary->shards().size();
+    if (it->second.replica) replica = it->second.replica->shards().size();
+  }
+  for (std::size_t i = 0; i < primary; ++i) {
+    plan_cache_.invalidate(shard_plan_key(h, i, false));
+  }
+  for (std::size_t i = 0; i < replica; ++i) {
+    plan_cache_.invalidate(shard_plan_key(h, i, true));
+  }
 }
 
 std::shared_ptr<const sparse::CsrD> Engine::lookup(MatrixHandle h) const {
@@ -899,23 +1098,24 @@ void Engine::note_memory_pressure() {
 void Engine::execute_with_failover(Batch& batch) {
   int failovers = 0;
   for (;;) {
-    std::size_t idx = 0;
-    vgpu::Device* device = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(devices_mutex_);
-      devices_cv_.wait(lock, [&] { return !free_devices_.empty(); });
-      idx = free_devices_.back();
-      free_devices_.pop_back();
-      device = devices_[idx].get();
-    }
+    Lease lease = acquire_lease(batch);
     try {
-      execute_batch(batch, *device);
-    } catch (const vgpu::DeviceLostError&) {
-      // The worker's device is gone.  Quarantine it, provision a fresh
-      // one in its slot, and requeue the batch — structurally nothing in
-      // it has settled yet (losses fire from launches/reserves, which
-      // all precede the first promise settle).
-      handle_device_loss(idx);
+      execute_batch(batch, lease);
+    } catch (const vgpu::DeviceLostError& e) {
+      // A leased device is gone.  Quarantine it and provision a fresh
+      // one in its slot BEFORE releasing the lease: the slot is still
+      // marked busy, so no other batch can lease the dead device in the
+      // window.  The batch requeues — structurally nothing in it has
+      // settled yet (losses fire from launches/reserves, which all
+      // precede the first promise settle).
+      std::size_t lost = static_cast<std::size_t>(lease.ordinals.front());
+      if (const auto* se = dynamic_cast<const shard::ShardLostError*>(&e)) {
+        // Sharded execution names the shard's slot — only that slot is
+        // quarantined, the rest of the placement survives untouched.
+        lost = static_cast<std::size_t>(se->device_ordinal());
+      }
+      handle_device_loss(lost);
+      release_lease(lease);
       ++failovers;
       if (failovers > cfg_.max_failovers) {
         const auto error = std::current_exception();
@@ -924,31 +1124,154 @@ void Engine::execute_with_failover(Batch& batch) {
         for (auto& r : batch.reqs) fail_request(*r, error);
         return;
       }
-      continue;  // retry on whichever worker frees up next
+      continue;  // retry on the repaired fleet
     }
-    {
-      std::lock_guard<std::mutex> lock(devices_mutex_);
-      free_devices_.push_back(idx);
-    }
-    devices_cv_.notify_one();
+    release_lease(lease);
     return;
+  }
+}
+
+Engine::Lease Engine::acquire_lease(Batch& batch) {
+  Lease lease;
+  Request& head = *batch.reqs.front();
+  const bool sharded_mode = cfg_.devices > 0;
+
+  if (sharded_mode && head.kind == Request::Kind::kSpmv) {
+    bool build_replica = false;
+    std::vector<int> primary_ordinals;
+    {
+      std::lock_guard<std::mutex> lock(shard_mutex_);
+      const auto it = shardings_.find(head.handle_a);
+      if (it != shardings_.end() && it->second.primary) {
+        Sharding& s = it->second;
+        build_replica = note_sharded_request(head.handle_a, s);
+        primary_ordinals = s.primary_ordinals;
+        // Route across the two placements by salt parity: deterministic
+        // per request, roughly half the traffic each.
+        if (s.replica && (head.salt & 1u) != 0) {
+          lease.sharded = s.replica;
+          lease.ordinals = s.replica_ordinals;
+          lease.replica = true;
+        } else {
+          lease.sharded = s.primary;
+          lease.ordinals = s.primary_ordinals;
+        }
+      }
+    }
+    if (build_replica) {
+      // Built OUTSIDE shard_mutex_: lookup takes registry_mutex_, and
+      // the lock order everywhere is registry before shard.  Losing an
+      // install race is harmless — the first install wins.
+      const auto a = lookup(head.handle_a);
+      const int width = static_cast<int>(primary_ordinals.size());
+      const int fleet = static_cast<int>(fleet_.size());
+      std::vector<int> ordinals(static_cast<std::size_t>(width));
+      for (int k = 0; k < width; ++k) {
+        ordinals[static_cast<std::size_t>(k)] =
+            (primary_ordinals.front() + width + k) % fleet;
+      }
+      const auto weights = placement_weights(ordinals);
+      shard::ShardOptions opt;
+      opt.split_2d_nnz = cfg_.shard_2d_nnz;
+      auto replica = std::make_shared<const shard::ShardedMatrix>(
+          *a, ordinals, weights, opt);
+      std::lock_guard<std::mutex> lock(shard_mutex_);
+      const auto it = shardings_.find(head.handle_a);
+      if (it != shardings_.end() && it->second.primary && !it->second.replica) {
+        it->second.replica = std::move(replica);
+        it->second.replica_ordinals = std::move(ordinals);
+      }
+    }
+  } else if (sharded_mode && head.kind != Request::Kind::kSpmv) {
+    // Matrix ops span the whole fleet: shard::spadd/spgemm partition the
+    // output rows across every slot by placement weight.
+    lease.ordinals.resize(fleet_.size());
+    for (std::size_t i = 0; i < fleet_.size(); ++i) {
+      lease.ordinals[i] = static_cast<int>(i);
+    }
+    lease.weights = placement_weights(lease.ordinals);
+  }
+
+  const std::size_t n_req = batch.reqs.size();
+  {
+    std::unique_lock<std::mutex> lock(devices_mutex_);
+    if (lease.ordinals.empty()) {
+      // Unsharded work (legacy mode, or a matrix below the shard
+      // threshold): any one free slot.
+      devices_cv_.wait(lock, [&] {
+        for (const SlotState& slot : slots_) {
+          if (!slot.busy) return true;
+        }
+        return false;
+      });
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (!slots_[i].busy) {
+          lease.ordinals.push_back(static_cast<int>(i));
+          break;
+        }
+      }
+    } else {
+      // All-or-nothing claim: wait until EVERY required ordinal is free,
+      // then take them together.  No partial holds means overlapping
+      // ordinal sets cannot deadlock against each other.
+      devices_cv_.wait(lock, [&] {
+        for (const int o : lease.ordinals) {
+          if (slots_[static_cast<std::size_t>(o)].busy) return false;
+        }
+        return true;
+      });
+    }
+    for (const int o : lease.ordinals) {
+      SlotState& slot = slots_[static_cast<std::size_t>(o)];
+      slot.busy = true;
+      slot.in_flight = n_req;
+      ++slot.dispatched;
+    }
+    lease.devices.assign(fleet_.size(), nullptr);
+    for (const int o : lease.ordinals) {
+      lease.devices[static_cast<std::size_t>(o)] =
+          &fleet_.device(static_cast<std::size_t>(o));
+    }
+  }
+  for (const int o : lease.ordinals) {
+    device_gauge(static_cast<std::size_t>(o), "in_flight")
+        .set(static_cast<double>(n_req));
+    device_counter(static_cast<std::size_t>(o), "dispatched").add();
+  }
+  return lease;
+}
+
+void Engine::release_lease(const Lease& lease) {
+  {
+    std::lock_guard<std::mutex> lock(devices_mutex_);
+    for (const int o : lease.ordinals) {
+      SlotState& slot = slots_[static_cast<std::size_t>(o)];
+      slot.busy = false;
+      slot.in_flight = 0;
+    }
+  }
+  devices_cv_.notify_all();
+  for (const int o : lease.ordinals) {
+    device_gauge(static_cast<std::size_t>(o), "in_flight").set(0.0);
   }
 }
 
 void Engine::handle_device_loss(std::size_t device_index) {
   telemetry::ScopedSpan span("serve.failover");
-  // Fresh hardware, fresh luck: the replacement is NOT re-armed with the
-  // chaos schedule (re-arming would lose it at the same ordinal forever
-  // — a livelock, not a model of anything).  MPS_FAULT_* env knobs still
-  // apply through the Device constructor, as for the original fleet.
-  auto fresh = std::make_unique<vgpu::Device>();
   {
     std::lock_guard<std::mutex> lock(devices_mutex_);
-    quarantined_.push_back(std::move(devices_[device_index]));
-    devices_[device_index] = std::move(fresh);
-    free_devices_.push_back(device_index);
+    // DeviceSet::replace provisions the fresh device with the SLOT'S OWN
+    // properties, so shard layouts keyed on slot ordinals stay valid —
+    // device loss re-places nothing.  Fresh hardware, fresh luck: the
+    // replacement is NOT re-armed with the chaos schedule (re-arming
+    // would lose it at the same ordinal forever — a livelock, not a
+    // model of anything).  MPS_FAULT_* env knobs still apply through the
+    // Device constructor, as for the original fleet.
+    quarantined_.push_back(fleet_.replace(device_index));
+    ++slots_[device_index].lost;
   }
   devices_cv_.notify_all();
+  device_counter(device_index, "lost").add();
   // Cached plans may hold allocations accounted against the lost device;
   // drop them all and let the survivors rebuild lazily (re-residenting
   // registered matrices costs one plan build per matrix, amortized).
@@ -984,7 +1307,7 @@ void Engine::settle_metrics(double latency_ms, bool ok) {
   }
 }
 
-void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
+void Engine::execute_batch(Batch& batch, Lease& lease) {
   // Deadlines are re-checked at the last moment before execution: a
   // request can expire between dispatch and here, and the contract is
   // that an expired request never runs.
@@ -1005,9 +1328,13 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
   if (batch.reqs.empty()) return;
 
   if (batch.reqs.front()->kind != Request::Kind::kSpmv) {
-    execute_matrix_op(*batch.reqs.front(), device);
+    execute_matrix_op(*batch.reqs.front(), lease);
     return;
   }
+  // Unsharded dispatch runs on the lease's single slot; sharded dispatch
+  // (lease.sharded != null) fans out in src/shard/exec.cpp.
+  vgpu::Device& device =
+      *lease.devices[static_cast<std::size_t>(lease.ordinals.front())];
   // Run the batch under the head request's span: nested host-phase spans
   // and every kernel this worker launches inherit its trace id (the
   // correlation the Perfetto export surfaces).  The context is copied up
@@ -1038,7 +1365,65 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
       telemetry::ScopedSpan exec_span("serve.execute");
       for (int attempt = 0;; ++attempt) {
         try {
-          if (degraded_.load(std::memory_order_relaxed)) {
+          if (lease.sharded) {
+            // Sharded dispatch: per-shard plans under shard_plan_key
+            // share the one LRU budget; the request counts as a cache
+            // hit only when EVERY shard hit.  Results are
+            // bitwise-identical to the single-device paths below
+            // (docs/sharding.md; tests/shard_test.cpp).
+            const shard::ShardedMatrix& sm = *lease.sharded;
+            const std::size_t width = sm.shards().size();
+            if (degraded_.load(std::memory_order_relaxed)) {
+              modeled = shard::spmv(sm, lease.devices, head.x, y).modeled_ms;
+              hit = false;
+            } else if (cfg_.autotune > 0) {
+              std::vector<std::shared_ptr<const autotune::TunedPlan>> tuned(
+                  width);
+              bool all_hit = true;
+              for (std::size_t i = 0; i < width; ++i) {
+                const shard::Shard& sh = sm.shards()[i];
+                if (sh.row_end <= sh.row_begin || sh.local.nnz() == 0) continue;
+                bool shard_hit = false;
+                try {
+                  tuned[i] = plan_cache_.get_or_build_tuned(
+                      *lease.devices[static_cast<std::size_t>(sh.device)],
+                      sh.local, shard_plan_key(handle, i, lease.replica),
+                      &shard_hit);
+                } catch (const vgpu::DeviceLostError& e) {
+                  // Attribute plan-build losses to the shard's slot so
+                  // failover quarantines the device that actually died.
+                  throw shard::ShardLostError(e.what(), sh.device);
+                }
+                all_hit = all_hit && shard_hit;
+              }
+              hit = all_hit;
+              modeled =
+                  shard::spmv_tuned(sm, lease.devices, tuned, head.x, y)
+                      .modeled_ms;
+            } else {
+              std::vector<std::shared_ptr<const core::merge::SpmvPlan>> plans(
+                  width);
+              bool all_hit = true;
+              for (std::size_t i = 0; i < width; ++i) {
+                const shard::Shard& sh = sm.shards()[i];
+                if (sh.row_end <= sh.row_begin || sh.local.nnz() == 0) continue;
+                bool shard_hit = false;
+                try {
+                  plans[i] = plan_cache_.get_or_build(
+                      *lease.devices[static_cast<std::size_t>(sh.device)],
+                      sh.local, shard_plan_key(handle, i, lease.replica),
+                      &shard_hit);
+                } catch (const vgpu::DeviceLostError& e) {
+                  throw shard::ShardLostError(e.what(), sh.device);
+                }
+                all_hit = all_hit && shard_hit;
+              }
+              hit = all_hit;
+              modeled =
+                  shard::spmv_execute(sm, lease.devices, plans, head.x, y)
+                      .modeled_ms;
+            }
+          } else if (degraded_.load(std::memory_order_relaxed)) {
             modeled = core::merge::spmv(device, a, head.x, y).modeled_ms();
             hit = false;
           } else if (cfg_.autotune > 0) {
@@ -1052,12 +1437,22 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
           }
           break;
         } catch (const IntegrityError&) {
-          plan_cache_.invalidate(handle);  // rebuild from clean state
+          // Rebuild from clean state (every placement's keys in the
+          // sharded case — which shard tripped is not recorded).
+          if (lease.sharded) {
+            invalidate_shard_plans(handle);
+          } else {
+            plan_cache_.invalidate(handle);
+          }
           backoff_ms += prepare_retry(head, attempt);
         } catch (const PlanMismatchError&) {
           // A stale tuned entry (e.g. values re-registered between
           // lookup and execute) — drop it and re-tune.
-          plan_cache_.invalidate_tuned(handle);
+          if (lease.sharded) {
+            invalidate_shard_plans(handle);
+          } else {
+            plan_cache_.invalidate_tuned(handle);
+          }
           backoff_ms += prepare_retry(head, attempt);
         } catch (const vgpu::DeviceOomError&) {
           note_memory_pressure();
@@ -1104,9 +1499,17 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
       y_block.assign(rows * n, 0.0);
       telemetry::ScopedSpan exec_span("serve.execute");
       try {
-        modeled = core::merge::spmm(device, a, x_block,
-                                    static_cast<index_t>(n), y_block)
-                      .modeled_ms;
+        if (lease.sharded) {
+          // Sharded spmm: same column-j == spmv-of-request-j bitwise
+          // contract — each shard runs the spmm kernel on its local rows.
+          modeled = shard::spmm(*lease.sharded, lease.devices, x_block,
+                                static_cast<index_t>(n), y_block)
+                        .modeled_ms;
+        } else {
+          modeled = core::merge::spmm(device, a, x_block,
+                                      static_cast<index_t>(n), y_block)
+                        .modeled_ms;
+        }
         exec_span.end();
         break;
       } catch (const vgpu::DeviceOomError&) {
@@ -1154,7 +1557,7 @@ void Engine::execute_batch(Batch& batch, vgpu::Device& device) {
   }
 }
 
-void Engine::execute_matrix_op(Request& req, vgpu::Device& device) {
+void Engine::execute_matrix_op(Request& req, Lease& lease) {
   telemetry::ContextScope trace_scope(req.span_ctx);
   try {
     MatrixResult result;
@@ -1162,12 +1565,32 @@ void Engine::execute_matrix_op(Request& req, vgpu::Device& device) {
     telemetry::ScopedSpan exec_span("serve.execute");
     for (int attempt = 0;; ++attempt) {
       try {
-        if (req.kind == Request::Kind::kSpadd) {
-          result.modeled_ms =
-              core::merge::spadd_csr(device, *req.a, *req.b, result.c).modeled_ms;
+        result.c = sparse::CsrD{};  // a failed attempt may leave partial rows
+        if (lease.ordinals.size() > 1) {
+          // Sharded mode: the op's output rows are partitioned across the
+          // whole fleet by placement weight (src/shard/exec.cpp), results
+          // bitwise-identical to the single-device kernels below.
+          shard::ExecStats st;
+          if (req.kind == Request::Kind::kSpadd) {
+            st = shard::spadd(*req.a, *req.b, lease.devices, lease.ordinals,
+                              lease.weights, result.c);
+          } else {
+            st = shard::spgemm(*req.a, *req.b, lease.devices, lease.ordinals,
+                               lease.weights, result.c);
+          }
+          result.modeled_ms = st.modeled_ms;
         } else {
-          result.modeled_ms =
-              core::merge::spgemm(device, *req.a, *req.b, result.c).modeled_ms();
+          vgpu::Device& device =
+              *lease.devices[static_cast<std::size_t>(lease.ordinals.front())];
+          if (req.kind == Request::Kind::kSpadd) {
+            result.modeled_ms =
+                core::merge::spadd_csr(device, *req.a, *req.b, result.c)
+                    .modeled_ms;
+          } else {
+            result.modeled_ms =
+                core::merge::spgemm(device, *req.a, *req.b, result.c)
+                    .modeled_ms();
+          }
         }
         break;
       } catch (const vgpu::DeviceOomError&) {
@@ -1229,6 +1652,36 @@ EngineStats Engine::stats() const {
   s.degraded = degraded_.load(std::memory_order_relaxed);
   s.breaker = breaker_.stats();
   s.plan_cache = plan_cache_.stats();
+  {
+    std::lock_guard<std::mutex> lock(devices_mutex_);
+    s.devices.resize(fleet_.size());
+    for (std::size_t i = 0; i < fleet_.size(); ++i) {
+      EngineStats::DeviceStats& d = s.devices[i];
+      d.profile = fleet_.profile(i);
+      d.weight = fleet_.weight(i);
+      d.busy = slots_[i].busy;
+      d.in_flight = slots_[i].in_flight;
+      d.dispatched = slots_[i].dispatched;
+      d.lost = slots_[i].lost;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard_mutex_);
+    for (const auto& entry : shardings_) {
+      if (!entry.second.primary) continue;
+      ++s.sharded_matrices;
+      if (entry.second.replica) ++s.replicated_matrices;
+      const auto count = [&s](const shard::ShardedMatrix& sm) {
+        for (const shard::Shard& b : sm.shards()) {
+          if (b.row_end > b.row_begin) {
+            ++s.devices[static_cast<std::size_t>(b.device)].shards_hosted;
+          }
+        }
+      };
+      count(*entry.second.primary);
+      if (entry.second.replica) count(*entry.second.replica);
+    }
+  }
   if (store_) {
     const auto d = store_->stats();
     s.durability.enabled = true;
@@ -1243,10 +1696,10 @@ EngineStats Engine::stats() const {
 void Engine::write_trace(std::ostream& out) const {
   std::vector<vgpu::TraceTrack> tracks;
   std::lock_guard<std::mutex> lock(devices_mutex_);
-  tracks.reserve(devices_.size() + quarantined_.size());
-  for (std::size_t i = 0; i < devices_.size(); ++i) {
+  tracks.reserve(fleet_.size() + quarantined_.size());
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
     tracks.push_back(vgpu::TraceTrack{"vgpu worker " + std::to_string(i),
-                                      devices_[i].get()});
+                                      &fleet_.device(i)});
   }
   // Lost devices keep their kernel history: the timeline shows work up
   // to the loss point, then the failover replacement takes over the

@@ -57,14 +57,31 @@
 //   * graceful shutdown — shutdown(kDrain) completes everything already
 //     admitted; shutdown(kReject) fails queued-but-unstarted requests
 //     with ShutdownError.  Either way every admitted request's future is
-//     settled — value or typed error, never abandoned.
+//     settled — value or typed error, never abandoned;
+//   * multi-device sharding — with MPS_SERVE_DEVICES > 0 the engine
+//     runs a vgpu::DeviceSet fleet (possibly heterogeneous,
+//     MPS_SERVE_DEVICE_SPEC) instead of one device per worker.  Each
+//     registered matrix large enough to shard (MPS_SHARD_MIN_NNZ) is
+//     partitioned into nnz-balanced row blocks on the merge-path
+//     staircase, placed on consecutive fleet ordinals starting at
+//     handle % fleet_size, and executed shard-per-device with a modeled
+//     halo exchange (src/shard, docs/sharding.md).  Results stay
+//     bitwise-identical to single-device execution; a handle that draws
+//     more than MPS_SHARD_REPLICATE_HOT of the sharded traffic gets a
+//     second replica placement and requests route across the two by
+//     salt parity.  Device loss quarantines only the lost slot — the
+//     DeviceSet re-provisions it with identical properties, so the
+//     shard layout keyed on slot ordinals stays valid.
 //
-// Execution runs on a private vgpu::ThreadPool (task mode, try_post)
-// with one virtual Device per worker; the dispatcher is a dedicated
-// thread.  Results are deterministic per request regardless of thread
-// count, batching, or arrival order, because each request's arithmetic
-// is fixed by the kernel geometry — the differential tests assert
-// bitwise equality against direct kernel calls under every regime.
+// Execution runs on a private vgpu::ThreadPool (task mode, try_post);
+// the dispatcher is a dedicated thread.  Workers lease devices from the
+// fleet (all-or-nothing for a sharded matrix's ordinal set, which is
+// also the per-shard in-flight gate: a device hosting a shard runs one
+// shard kernel at a time).  Results are deterministic per request
+// regardless of thread count, batching, or arrival order, because each
+// request's arithmetic is fixed by the kernel geometry — the
+// differential tests assert bitwise equality against direct kernel
+// calls under every regime.
 
 #include <atomic>
 #include <chrono>
@@ -84,12 +101,14 @@
 #include "serve/circuit_breaker.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/retry_policy.hpp"
+#include "shard/sharded_matrix.hpp"
 #include "vgpu/chaos.hpp"
 #include "sparse/csr.hpp"
 #include "telemetry/span.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 #include "vgpu/device.hpp"
+#include "vgpu/device_set.hpp"
 #include "vgpu/thread_pool.hpp"
 
 namespace mps::serve {
@@ -203,6 +222,33 @@ struct EngineConfig {
   /// (default 0 — process-death durability needs no fsync).
   int durable_fsync = -1;
 
+  /// Multi-device sharding (docs/sharding.md).  All knobs parse
+  /// strictly — garbage raises InvalidInputError naming the variable.
+  /// Fleet size; < 0 resolves MPS_SERVE_DEVICES (default 0 = legacy
+  /// single-device-per-worker mode, byte-identical to pre-shard
+  /// behavior).
+  int devices = -1;
+  /// Fleet heterogeneity spec ("fast*2,slow*2"); empty resolves
+  /// MPS_SERVE_DEVICE_SPEC (default empty = all titan).
+  std::string device_spec;
+  /// Max shards per matrix; <= 0 resolves MPS_SHARD_MAX (default 8).
+  int shard_max = 0;
+  /// Min nnz per shard — smaller matrices serve unsharded; <= 0
+  /// resolves MPS_SHARD_MIN_NNZ (default 2048).
+  long long shard_min_nnz = 0;
+  /// Placement policy: "weighted" (diagonal spans proportional to each
+  /// device's modeled bandwidth) or "uniform"; empty resolves
+  /// MPS_SHARD_PLACEMENT (default "weighted").
+  std::string shard_placement;
+  /// Traffic share past which a sharded handle gets a second replica
+  /// placement; < 0 resolves MPS_SHARD_REPLICATE_HOT (default 0.5),
+  /// 0 disables replication.
+  double shard_replicate_hot = -1.0;
+  /// Rows with >= this many nonzeros split 2D across the fleet;
+  /// < 0 resolves MPS_SHARD_2D_NNZ (default 0 = off — 2D partials are
+  /// deterministic but not bitwise, see docs/sharding.md).
+  long long shard_2d_nnz = -1;
+
   /// Fill zero-valued fields from the environment knobs above.
   static EngineConfig from_env();
 };
@@ -272,6 +318,23 @@ struct EngineStats {
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   PlanCache::Stats plan_cache;
+  /// Per-fleet-slot execution state — queue depth and in-flight are
+  /// reported per device, not as one aggregate (the aggregates above
+  /// remain for the whole engine).  One entry per fleet ordinal, in
+  /// legacy mode one per worker.
+  struct DeviceStats {
+    std::string profile;     ///< spec profile name ("titan", "fast", ...)
+    double weight = 0.0;     ///< placement weight (modeled bytes/ns)
+    bool busy = false;       ///< currently leased to an executing batch
+    std::size_t in_flight = 0;  ///< requests executing on this device now
+    long long dispatched = 0;   ///< batches this slot has executed
+    long long lost = 0;         ///< chaos losses (quarantine + replace)
+    long long shards_hosted = 0;  ///< shard placements currently on slot
+  };
+  std::vector<DeviceStats> devices;
+  /// Registered matrices currently sharded / hot-replicated.
+  long long sharded_matrices = 0;
+  long long replicated_matrices = 0;
   /// WAL/snapshot activity; all-zero (enabled == false) when the engine
   /// runs without a durable directory.
   struct DurabilityStats {
@@ -376,19 +439,56 @@ class Engine {
   struct Request;
   struct Batch;
 
+  /// One registered matrix's shard state (guarded by shard_mutex_).
+  struct Sharding {
+    std::shared_ptr<const shard::ShardedMatrix> primary;
+    std::vector<int> primary_ordinals;
+    std::shared_ptr<const shard::ShardedMatrix> replica;  ///< null until hot
+    std::vector<int> replica_ordinals;
+    long long requests = 0;  ///< sharded SpMV traffic against this handle
+  };
+
+  /// The device set a batch executes on: fleet ordinals held
+  /// all-or-nothing, plus the shard layout (null for unsharded work).
+  struct Lease {
+    std::vector<int> ordinals;
+    std::vector<vgpu::Device*> devices;  ///< indexed by fleet ordinal
+    std::shared_ptr<const shard::ShardedMatrix> sharded;  ///< null = unsharded
+    bool replica = false;  ///< which placement the plan keys name
+    std::vector<double> weights;  ///< placement weights (matrix ops)
+  };
+
   void dispatcher_loop();
   void dispatch_batch(std::shared_ptr<Batch> batch);
-  /// Lease a device, run the batch, and on DeviceLostError quarantine +
-  /// re-provision the worker and requeue the batch on the survivors (up
-  /// to cfg_.max_failovers, then settle the batch with the loss error).
+  /// Lease the batch's device set, run it, and on DeviceLostError /
+  /// ShardLostError quarantine + re-provision the lost slot and requeue
+  /// the batch (up to cfg_.max_failovers, then settle with the loss
+  /// error).
   void execute_with_failover(Batch& batch);
-  /// Runs the batch on `device`; DeviceLostError propagates to the
-  /// failover loop (structurally, a loss can only fire before any
+  /// Resolve the batch's sharding (routing hot replicas by salt parity)
+  /// and block until every required fleet ordinal is free, claiming them
+  /// atomically — all-or-nothing, so overlapping leases cannot deadlock.
+  Lease acquire_lease(Batch& batch);
+  void release_lease(const Lease& lease);
+  /// Runs the batch on the leased devices; DeviceLostError propagates to
+  /// the failover loop (structurally, a loss can only fire before any
   /// request of the batch has settled — launches and reserves all
   /// precede the first set_value).
-  void execute_batch(Batch& batch, vgpu::Device& device);
-  void execute_matrix_op(Request& req, vgpu::Device& device);
+  void execute_batch(Batch& batch, Lease& lease);
+  void execute_matrix_op(Request& req, Lease& lease);
   void handle_device_loss(std::size_t device_index);
+  /// Shard + place a registered matrix (no-op when the fleet or matrix
+  /// is too small); rebuilds deterministically on re-registration.
+  void build_sharding(MatrixHandle h, const sparse::CsrD& a);
+  /// Placement weights for `ordinals` under cfg_.shard_placement.
+  std::vector<double> placement_weights(const std::vector<int>& ordinals) const;
+  /// Hot-handle accounting (call with shard_mutex_ held): bump the
+  /// handle's sharded-request counter and report whether it just crossed
+  /// the replication threshold — the caller builds the replica OUTSIDE
+  /// the lock (lock order is registry before shard).
+  bool note_sharded_request(MatrixHandle h, Sharding& s);
+  /// Drop a handle's per-shard plan-cache entries (both placements).
+  void invalidate_shard_plans(MatrixHandle h);
   void settle_metrics(double latency_ms, bool ok);
   /// Called from a retry catch handler after `attempt` (0-based) failed:
   /// rethrows when the budget is spent, settles the deadline re-check
@@ -445,16 +545,31 @@ class Engine {
   EngineConfig cfg_;
   unsigned num_workers_ = 0;
 
-  // Devices outlive the plan cache (declared first => destroyed last):
-  // evicted plans release their accounted device memory on destruction.
-  std::vector<std::unique_ptr<vgpu::Device>> devices_;
+  // The fleet outlives the plan cache (declared first => destroyed
+  // last): evicted plans release their accounted device memory on
+  // destruction.  Legacy mode (cfg_.devices == 0) builds one titan slot
+  // per worker — the exact pre-shard fleet.
+  vgpu::DeviceSet fleet_;
   mutable std::mutex devices_mutex_;
   std::condition_variable devices_cv_;
-  std::vector<std::size_t> free_devices_;
+  /// Per-slot lease + lifetime counters (guarded by devices_mutex_).
+  struct SlotState {
+    bool busy = false;
+    std::size_t in_flight = 0;  ///< requests of the leasing batch
+    long long dispatched = 0;
+    long long lost = 0;
+  };
+  std::vector<SlotState> slots_;
   /// Devices lost to chaos and replaced by failover.  Kept alive (and
   /// declared before plan_cache_) because cached plans built on them
   /// release their accounted memory on destruction.
   std::vector<std::unique_ptr<vgpu::Device>> quarantined_;
+
+  /// Shard layouts per registered handle (guarded by shard_mutex_;
+  /// empty in legacy mode and for matrices below shard_min_nnz).
+  mutable std::mutex shard_mutex_;
+  std::unordered_map<MatrixHandle, Sharding> shardings_;
+  long long sharded_requests_total_ = 0;  ///< guarded by shard_mutex_
 
   PlanCache plan_cache_;
   CircuitBreaker breaker_;

@@ -24,6 +24,16 @@ CacheMetrics& cache_metrics() {
 
 }  // namespace
 
+std::uint64_t shard_plan_key(std::uint64_t handle, std::size_t shard,
+                             bool replica) {
+  // splitmix64 finalizer over the composite — full avalanche, so shard 0
+  // of handle h never collides with the unsharded key h itself.
+  std::uint64_t z = handle + 0x9e3779b97f4a7c15ull * (2 * shard + (replica ? 1 : 0) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 std::shared_ptr<const core::merge::SpmvPlan> PlanCache::get_or_build(
     vgpu::Device& device, const sparse::CsrD& a, std::uint64_t key,
     bool* was_hit) {

@@ -33,6 +33,15 @@
 
 namespace mps::serve {
 
+/// Cache key for one shard of a sharded matrix (docs/sharding.md): the
+/// handle mixed with the shard index and the placement (primary vs hot
+/// replica) through a splitmix64-style finalizer.  Distinct from every
+/// unsharded handle key with overwhelming probability, so per-shard
+/// merge plans and tuned plans share the engine's one LRU budget with
+/// whole-matrix entries.
+std::uint64_t shard_plan_key(std::uint64_t handle, std::size_t shard,
+                             bool replica);
+
 // The cache holds two entry kinds in ONE LRU under one byte budget:
 // merge SpmvPlans (pattern-only, value-free) and autotune TunedPlans
 // (winning candidate + its resident storage, charged by

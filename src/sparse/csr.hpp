@@ -70,4 +70,27 @@ struct CsrMatrix {
 
 using CsrD = CsrMatrix<double>;
 
+/// The row slice [row_begin, row_end) of `a` as a standalone CSR with
+/// rebased offsets and ORIGINAL column ids (num_cols is preserved).
+/// The building block of chunked/sharded matrix ops (core/spgemm_chunked,
+/// src/shard): per-slice kernel output stitches back into the full
+/// result because columns keep their global meaning.
+template <typename V>
+CsrMatrix<V> row_slice(const CsrMatrix<V>& a, index_t row_begin,
+                       index_t row_end) {
+  CsrMatrix<V> sub;
+  sub.num_rows = row_end - row_begin;
+  sub.num_cols = a.num_cols;
+  const index_t k0 = a.row_offsets[static_cast<std::size_t>(row_begin)];
+  const index_t k1 = a.row_offsets[static_cast<std::size_t>(row_end)];
+  sub.row_offsets.resize(static_cast<std::size_t>(sub.num_rows) + 1);
+  for (index_t r = row_begin; r <= row_end; ++r) {
+    sub.row_offsets[static_cast<std::size_t>(r - row_begin)] =
+        a.row_offsets[static_cast<std::size_t>(r)] - k0;
+  }
+  sub.col.assign(a.col.begin() + k0, a.col.begin() + k1);
+  sub.val.assign(a.val.begin() + k0, a.val.begin() + k1);
+  return sub;
+}
+
 }  // namespace mps::sparse

@@ -57,9 +57,41 @@ struct DeviceProperties {
   double kernel_launch_cycles = 4400.0;
 
   double cycles_to_ms(double cycles) const { return cycles / (clock_ghz * 1e6); }
+
+  /// Whole-device global-memory bandwidth in bytes per modeled
+  /// nanosecond (num_sms x per-SM bytes/cycle x clock).  The memory-bound
+  /// SpMV throughput proxy the shard placement policy weights device
+  /// shares by (src/shard/partition.hpp, docs/sharding.md).
+  double global_bytes_per_ns() const {
+    return static_cast<double>(num_sms) * global_bytes_per_cycle_per_sm *
+           clock_ghz;
+  }
 };
 
 /// The paper's Table I device (defaults above).
 inline DeviceProperties gtx_titan() { return DeviceProperties{}; }
+
+// Heterogeneous-fleet profiles for DeviceSet specs (vgpu/device_set.hpp).
+// Per-SM cost constants stay the Titan's, so per-byte kernel costs scale
+// purely with SM count x clock — the same-model-everywhere property that
+// makes cross-device ratios meaningful.
+
+/// A wider, higher-clocked part: ~2.35x the Titan's modeled bandwidth.
+inline DeviceProperties fast_profile() {
+  DeviceProperties p;
+  p.num_sms = 24;
+  p.clock_ghz = 1.2;
+  p.global_mem_bytes = 12ull << 30;
+  return p;
+}
+
+/// A laptop-class part: ~0.39x the Titan's modeled bandwidth.
+inline DeviceProperties slow_profile() {
+  DeviceProperties p;
+  p.num_sms = 8;
+  p.clock_ghz = 0.6;
+  p.global_mem_bytes = 4ull << 30;
+  return p;
+}
 
 }  // namespace mps::vgpu

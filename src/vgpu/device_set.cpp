@@ -1,0 +1,105 @@
+#include "vgpu/device_set.hpp"
+
+#include <cstdlib>
+
+namespace mps::vgpu {
+
+DeviceProperties device_profile(const std::string& name,
+                                const std::string& source) {
+  if (name == "titan") return gtx_titan();
+  if (name == "fast") return fast_profile();
+  if (name == "slow") return slow_profile();
+  throw InvalidInputError(source + ": unknown device profile '" + name +
+                          "' (expected titan, fast, or slow)");
+}
+
+double throughput_weight(const DeviceProperties& p) {
+  return p.global_bytes_per_ns();
+}
+
+std::vector<DeviceSpecEntry> parse_device_spec(const std::string& spec,
+                                               int num_devices,
+                                               const std::string& source) {
+  if (num_devices < 1) {
+    throw InvalidInputError(source + ": device count must be >= 1, got " +
+                            std::to_string(num_devices));
+  }
+  std::vector<DeviceSpecEntry> out;
+  if (spec.empty()) {
+    out.assign(static_cast<std::size_t>(num_devices),
+               DeviceSpecEntry{"titan", gtx_titan()});
+    return out;
+  }
+  std::size_t entries = 0;  ///< comma-separated entries seen
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string entry =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    ++entries;
+    std::string profile = entry;
+    long long count = 1;
+    if (const std::size_t star = entry.find('*'); star != std::string::npos) {
+      profile = entry.substr(0, star);
+      const std::string count_str = entry.substr(star + 1);
+      char* end = nullptr;
+      errno = 0;
+      count = std::strtoll(count_str.c_str(), &end, 10);
+      if (count_str.empty() || end == nullptr || *end != '\0' || errno != 0 ||
+          count < 1 || count > 4096) {
+        throw InvalidInputError(source + ": malformed device count '" +
+                                count_str + "' in entry '" + entry + "'");
+      }
+    }
+    if (profile.empty()) {
+      throw InvalidInputError(source + ": empty profile in entry '" + entry +
+                              "'");
+    }
+    const DeviceProperties props = device_profile(profile, source);
+    for (long long i = 0; i < count; ++i) {
+      out.push_back(DeviceSpecEntry{profile, props});
+    }
+  }
+  // A single bare profile ("fast") broadcasts to the fleet size; any
+  // explicit count must add up exactly — a spec that silently over- or
+  // under-provisions is a deploy bug.
+  if (entries == 1 && spec.find('*') == std::string::npos &&
+      out.size() == 1 && num_devices > 1) {
+    out.assign(static_cast<std::size_t>(num_devices), out.front());
+  }
+  if (out.size() != static_cast<std::size_t>(num_devices)) {
+    throw InvalidInputError(
+        source + ": spec '" + spec + "' expands to " +
+        std::to_string(out.size()) + " devices, but " +
+        std::to_string(num_devices) + " were requested");
+  }
+  return out;
+}
+
+DeviceSet::DeviceSet(std::vector<DeviceSpecEntry> spec) {
+  slots_.reserve(spec.size());
+  for (auto& e : spec) {
+    Slot s;
+    s.profile = std::move(e.profile);
+    s.props = e.props;
+    s.weight = throughput_weight(e.props);
+    s.device = std::make_unique<Device>(e.props);
+    slots_.push_back(std::move(s));
+  }
+}
+
+double DeviceSet::total_weight() const {
+  double total = 0.0;
+  for (const Slot& s : slots_) total += s.weight;
+  return total;
+}
+
+std::unique_ptr<Device> DeviceSet::replace(std::size_t i) {
+  auto fresh = std::make_unique<Device>(slots_[i].props);
+  std::unique_ptr<Device> old = std::move(slots_[i].device);
+  slots_[i].device = std::move(fresh);
+  return old;
+}
+
+}  // namespace mps::vgpu

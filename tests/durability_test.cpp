@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -20,6 +21,7 @@
 #include "durability/durable_store.hpp"
 #include "durability/snapshot.hpp"
 #include "durability/wal.hpp"
+#include "resilience/integrity.hpp"
 #include "sparse/binary.hpp"
 #include "sparse/convert.hpp"
 #include "test_matrices.hpp"
@@ -346,6 +348,74 @@ TEST(Snapshot, RoundTripsMatricesVersionsAndWarmSet) {
   EXPECT_TRUE(back->warm[1].tuned);
   // No stray tmp file after the atomic rename.
   EXPECT_FALSE(std::filesystem::exists(dir.file("snapshot.bin.tmp")));
+}
+
+TEST(Snapshot, RoundTripsShardLayoutsAndFleetShape) {
+  TempDir dir;
+  auto d = make_snapshot_data();
+  d.fleet_devices = 4;
+  ShardLayoutRecord primary;
+  primary.handle = 20;
+  primary.replica = false;
+  primary.blocks.push_back({0, 31, 0});
+  primary.blocks.push_back({31, 60, 3});
+  ShardLayoutRecord replica = primary;
+  replica.replica = true;
+  replica.blocks[0].device = 1;
+  replica.blocks[1].device = 2;
+  d.shard_layouts.push_back(primary);
+  d.shard_layouts.push_back(replica);
+  write_snapshot(dir.path(), d);
+  const auto back = read_snapshot(dir.file(kSnapshotFileName));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->fleet_devices, 4u);
+  ASSERT_EQ(back->shard_layouts.size(), 2u);
+  EXPECT_FALSE(back->shard_layouts[0].replica);
+  EXPECT_TRUE(back->shard_layouts[1].replica);
+  ASSERT_EQ(back->shard_layouts[0].blocks.size(), 2u);
+  EXPECT_EQ(back->shard_layouts[0].blocks[1].row_begin, 31);
+  EXPECT_EQ(back->shard_layouts[0].blocks[1].row_end, 60);
+  EXPECT_EQ(back->shard_layouts[0].blocks[1].device, 3);
+  EXPECT_EQ(back->shard_layouts[1].blocks[0].device, 1);
+}
+
+template <typename T>
+void put_bytes(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+TEST(Snapshot, ReadsLegacyV1FilesWithoutShardSection) {
+  // A pre-sharding snapshot (MPSSNAP1) has no fleet/layout section;
+  // recovery must accept it and report an empty shard state rather than
+  // demand a re-snapshot on upgrade.
+  TempDir dir;
+  const CsrD m = make_matrix(33);
+  std::string body;
+  body.append("MPSSNAP1", 8);
+  put_bytes<std::uint64_t>(body, 9);  // last_seq
+  put_bytes<std::uint32_t>(body, 1);  // one matrix
+  put_bytes<std::uint64_t>(body, 77);  // handle
+  put_bytes<std::uint64_t>(body, 3);   // version
+  sparse::append_csr_binary(body, m);
+  put_bytes<std::uint32_t>(body, 1);  // one warm entry
+  put_bytes<std::uint64_t>(body, 77);
+  body.push_back(1);  // tuned
+  put_bytes<std::uint64_t>(body,
+                           resilience::checksum_bytes(body.data(), body.size()));
+  dump(dir.file(kSnapshotFileName), body);
+
+  const auto back = read_snapshot(dir.file(kSnapshotFileName));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->last_seq, 9u);
+  ASSERT_EQ(back->matrices.size(), 1u);
+  EXPECT_EQ(back->matrices[0].handle, 77u);
+  EXPECT_TRUE(same_matrix(*back->matrices[0].matrix, m));
+  ASSERT_EQ(back->warm.size(), 1u);
+  EXPECT_TRUE(back->warm[0].tuned);
+  EXPECT_EQ(back->fleet_devices, 0u);
+  EXPECT_TRUE(back->shard_layouts.empty());
 }
 
 TEST(Snapshot, MissingFileIsNullopt) {

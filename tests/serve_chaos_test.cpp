@@ -81,6 +81,10 @@ class CleanFaultEnv {
         "MPS_SERVE_BREAKER_COOLDOWN_MS", "MPS_SERVE_SHED_WATERMARK",
         "MPS_SERVE_MAX_FAILOVERS", "MPS_SERVE_DEGRADE_CACHE_FRAC",
         "MPS_SERVE_DEGRADE_RECOVERY", "MPS_AUTOTUNE",
+        "MPS_SERVE_DEVICES",       "MPS_SERVE_DEVICE_SPEC",
+        "MPS_SHARD_MAX",           "MPS_SHARD_MIN_NNZ",
+        "MPS_SHARD_PLACEMENT",     "MPS_SHARD_REPLICATE_HOT",
+        "MPS_SHARD_2D_NNZ",
     };
     for (const char* v : kVars) {
       guards_.push_back(std::make_unique<EnvVarGuard>(v, nullptr));
@@ -198,6 +202,55 @@ TEST(ServeChaos, FailoverBudgetExhaustionSettlesTheBatchAndRecovers) {
   EXPECT_EQ(s.failed, 1);
   EXPECT_EQ(s.completed, 1);
   EXPECT_EQ(s.failovers, 1);
+}
+
+TEST(ServeChaos, ShardedFleetSurvivesPermanentDeviceLoss) {
+  // 4-device fleet, every device armed to die permanently at its 4th
+  // kernel launch.  Shards are re-placed by slot replacement, so every
+  // admitted request must still settle with the bitwise fault-free
+  // answer and zero drops — the chaos harness invariant, now across a
+  // fleet instead of one worker pool.
+  CleanFaultEnv env;
+  const auto a = make_matrix(21);
+  const auto b = make_matrix(22);
+  auto cfg = test_config(2, 1);
+  cfg.devices = 4;
+  cfg.shard_min_nnz = 1024;  // 4800 nnz shards 2-wide
+  cfg.max_failovers = 8;
+  cfg.chaos = vgpu::ChaosSchedule::parse("lose@launch=4");
+  cfg.chaos_enabled = 1;
+  Engine engine(cfg);
+  const MatrixHandle ha = engine.register_matrix(a);
+  const MatrixHandle hb = engine.register_matrix(b);
+  {
+    const auto s = engine.stats();
+    ASSERT_EQ(s.devices.size(), 4u);
+    EXPECT_EQ(s.sharded_matrices, 2);
+  }
+
+  constexpr std::size_t kRequests = 24;
+  std::vector<std::future<SpmvResult>> futures;
+  for (std::size_t j = 0; j < kRequests; ++j) {
+    const bool first = (j % 2 == 0);
+    futures.push_back(engine.submit_spmv(first ? ha : hb,
+                                         random_x(first ? a : b, 300 + j)));
+  }
+  for (std::size_t j = 0; j < kRequests; ++j) {
+    const bool first = (j % 2 == 0);
+    const SpmvResult r = futures[j].get();  // failover must cover the loss
+    EXPECT_EQ(r.y, direct_spmv(first ? a : b, random_x(first ? a : b, 300 + j)))
+        << "request " << j << " diverged after sharded failover";
+  }
+  engine.shutdown();
+
+  const auto s = engine.stats();
+  EXPECT_EQ(s.completed, static_cast<long long>(kRequests));
+  EXPECT_EQ(s.failed, 0) << "every admitted request settles with a value";
+  EXPECT_GE(s.failovers, 1) << "the armed losses must actually fire";
+  EXPECT_LE(s.failovers, 8);
+  long long lost = 0;
+  for (const auto& d : s.devices) lost += d.lost;
+  EXPECT_EQ(lost, s.failovers) << "per-device loss counters track failovers";
 }
 
 // ---------------------------------------------------------------------------

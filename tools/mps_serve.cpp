@@ -16,6 +16,12 @@
 //   --queue-cap N                queue capacity (0 = MPS_SERVE_QUEUE_CAP)
 //   --batch-window N             coalescing window (0 = MPS_SERVE_BATCH_WINDOW)
 //   --cache-mb N                 plan-cache MiB (0 = MPS_SERVE_PLAN_CACHE_MB)
+//   --devices N                  sharded serving on an N-device fleet
+//                                (default: MPS_SERVE_DEVICES; 0 = legacy
+//                                one-device-per-worker mode)
+//   --device-spec S              fleet heterogeneity, e.g. "fast*2,slow*2"
+//                                (default: MPS_SERVE_DEVICE_SPEC; see
+//                                docs/sharding.md for the grammar)
 //   --verify                     check every SpMV answer against the
 //                                sequential reference
 //   --chaos-seed N               arm a seeded fault schedule (device loss,
@@ -109,6 +115,7 @@ using namespace mps;
                "usage: %s [--trace synthetic] [--requests N] [--tenants M]\n"
                "          [--scale S] [--zipf S] [--seed N] [--threads N]\n"
                "          [--queue-cap N] [--batch-window N] [--cache-mb N]\n"
+               "          [--devices N] [--device-spec S]\n"
                "          [--verify] [--chaos-seed N] [--chaos-script S]\n"
                "          [--trace-out PATH] [--metrics-out PATH]\n"
                "          [--metrics-prom PATH]\n"
@@ -131,6 +138,8 @@ struct Options {
   std::size_t queue_cap = 0;  // 0 = env default
   int batch_window = 0;       // 0 = env default
   std::size_t cache_mb = 0;   // 0 = env default
+  int devices = -1;           // -1 = env default; 0 = legacy mode
+  std::string device_spec;    // empty = env default
   bool verify = false;
   std::uint64_t chaos_seed = 0;  // > 0 = chaos harness, seeded schedule
   std::string chaos_script;      // chaos harness, explicit schedule
@@ -175,6 +184,10 @@ Options parse(int argc, char** argv) {
       o.batch_window = std::stoi(value());
     } else if (arg == "--cache-mb") {
       o.cache_mb = std::stoull(value());
+    } else if (arg == "--devices") {
+      o.devices = std::stoi(value());
+    } else if (arg == "--device-spec") {
+      o.device_spec = value();
     } else if (arg == "--verify") {
       o.verify = true;
     } else if (arg == "--chaos-seed") {
@@ -321,6 +334,8 @@ ReplayOutcome replay(const Options& opt,
   cfg.queue_capacity = opt.queue_cap;
   cfg.batch_window = opt.batch_window;
   cfg.plan_cache_bytes = opt.cache_mb << 20;
+  if (opt.devices >= 0) cfg.devices = opt.devices;
+  if (!opt.device_spec.empty()) cfg.device_spec = opt.device_spec;
   cfg.chaos_enabled = chaos_enabled;
   if (!opt.durable_dir.empty()) {
     cfg.durable_dir = opt.durable_dir;
@@ -578,6 +593,18 @@ int run_main(int argc, char** argv) {
                         std::to_string(s.plan_cache.evictions) + " evictions");
   add("plan cache bytes", std::to_string(s.plan_cache.bytes_in_use) + " / " +
                               std::to_string(s.plan_cache.capacity_bytes));
+  if (opt.devices > 0) {
+    add("sharded matrices", std::to_string(s.sharded_matrices) + " (" +
+                                std::to_string(s.replicated_matrices) +
+                                " hot-replicated)");
+    for (std::size_t i = 0; i < s.devices.size(); ++i) {
+      const auto& d = s.devices[i];
+      add("device " + std::to_string(i) + " (" + d.profile + ")",
+          std::to_string(d.dispatched) + " dispatched / " +
+              std::to_string(d.shards_hosted) + " shards / " +
+              std::to_string(d.lost) + " lost / w=" + util::fmt(d.weight, 0));
+    }
+  }
   if (s.durability.enabled) {
     add("wal appends", std::to_string(s.durability.wal_appends) + " (" +
                            std::to_string(s.durability.wal_bytes) + " bytes)");
