@@ -17,6 +17,7 @@
 #include "baselines/seq.hpp"
 #include "core/spmv.hpp"
 #include "resilience/integrity.hpp"
+#include "telemetry/profile.hpp"
 #include "telemetry/span.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -90,6 +91,25 @@ int main() {
               "tracer enabled but no spans recorded");
       telemetry::tracer().clear();
     }
+    // And for the roofline profiler: attribution reads kernel counters
+    // the launch already produced, so modeled time and results must be
+    // bit-identical with it on, and nothing may be recorded while off.
+    {
+      require(telemetry::profiler().report().by_op.empty(),
+              "profiler recorded launches while disabled");
+      telemetry::profiler().enable();
+      std::vector<double> y_prof(y.size());
+      const double prof_ms =
+          core::merge::spmv_execute(dev, a, x, y_prof, plan).modeled_ms();
+      telemetry::profiler().disable();
+      require(prof_ms == exec_ms,
+              "enabling the profiler changed modeled kernel time");
+      require(y_prof == y_exec, "profiling changed spmv results");
+      const auto prof_report = telemetry::profiler().report();
+      require(!prof_report.by_op.empty(),
+              "profiler enabled but no launches attributed");
+      telemetry::profiler().clear();
+    }
 
     // Modeled time is deterministic, so the amortization curve is exact
     // arithmetic — no need to actually run n applications.
@@ -120,7 +140,7 @@ int main() {
   std::puts("\nExpected shape: n=1 matches one-shot (the plan IS the setup);"
             " by n=10 the per-iteration cost is strictly below one-shot and"
             " converges to the execute-only steady state.");
-  std::puts("telemetry zero-overhead contract: PASS (tracer on/off modeled"
-            " deltas all zero)");
+  std::puts("telemetry zero-overhead contract: PASS (tracer and profiler"
+            " on/off modeled deltas all zero)");
   return 0;
 }

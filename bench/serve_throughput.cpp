@@ -20,6 +20,8 @@
 #include "analysis/experiment.hpp"
 #include "serve/engine.hpp"
 #include "serve/trace.hpp"
+#include "telemetry/profile.hpp"
+#include "telemetry/span.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "workloads/suite.hpp"
@@ -276,6 +278,67 @@ int main() {
   require(durable_hashes[0] == reference_hashes,
           "durability check diverged from the sweep's answers");
   report.add_stat("durable_zero_overhead_ok", 1.0);
+
+  // Same contract for the observability stack as a whole: the tracer,
+  // the roofline profiler, and the per-tenant SLO engine all read what
+  // the hot path already produced (span timestamps on the host clock,
+  // kernel counters the launch computed anyway, settle-time latency).
+  // Turning ALL of them on must leave summed modeled time and every
+  // answer bit-identical to running with all of them off.
+  double observed_modeled[2] = {0.0, 0.0};
+  std::vector<std::uint64_t> observed_hashes[2];
+  for (const int observed : {0, 1}) {
+    if (observed) {
+      telemetry::tracer().enable();
+      telemetry::profiler().enable();
+    }
+    serve::EngineConfig ecfg;
+    ecfg.threads = 1;
+    ecfg.batch_window = 1;
+    ecfg.queue_capacity = 2048;
+    ecfg.plan_cache_bytes = 64u << 20;
+    ecfg.slo_enabled = observed;
+    serve::Engine engine(ecfg);
+    std::vector<serve::MatrixHandle> handles;
+    for (const auto& a : tenants) handles.push_back(engine.register_matrix(a));
+    std::vector<std::future<serve::SpmvResult>> futures;
+    futures.reserve(trace.size());
+    for (const auto& op : trace) {
+      futures.push_back(engine.submit_spmv(
+          handles[op.matrix], make_x(tenants[op.matrix], op.x_seed)));
+    }
+    for (auto& f : futures) {
+      serve::SpmvResult r = f.get();
+      observed_modeled[observed] += r.modeled_ms;
+      observed_hashes[observed].push_back(hash_bits(r.y));
+    }
+    engine.shutdown();
+    if (observed) {
+      require(telemetry::tracer().size() > 0,
+              "tracer enabled but recorded nothing");
+      require(!telemetry::profiler().report().by_op.empty(),
+              "profiler enabled but attributed nothing");
+      require(!engine.stats().slo.tenants.empty(),
+              "SLO engine enabled but tracked no tenants");
+      telemetry::tracer().disable();
+      telemetry::tracer().clear();
+      telemetry::profiler().disable();
+      telemetry::profiler().clear();
+    } else {
+      require(telemetry::profiler().report().by_op.empty(),
+              "profiler attributed launches while disabled");
+      require(engine.stats().slo.tenants.empty(),
+              "SLO engine tracked tenants while disabled");
+    }
+  }
+  require(std::memcmp(&observed_modeled[0], &observed_modeled[1],
+                      sizeof(observed_modeled[0])) == 0,
+          "enabling tracer+profiler+SLO changed modeled time");
+  require(observed_hashes[0] == observed_hashes[1],
+          "enabling tracer+profiler+SLO changed answers");
+  require(observed_hashes[0] == reference_hashes,
+          "observability check diverged from the sweep's answers");
+  report.add_stat("observability_zero_overhead_ok", 1.0);
 
   analysis::emit(t, "serve_throughput");
   report.write();

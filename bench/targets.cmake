@@ -32,6 +32,7 @@ mps_add_bench(fig11_spgemm_breakdown)
 mps_add_bench(ablation_spgemm)
 mps_add_bench(ablation_spmv)
 mps_add_bench(plan_reuse_spmv)
+mps_add_bench(roofline_spmv)
 mps_add_bench(ablation_formats)
 mps_add_bench(sensitivity)
 mps_add_bench(extended_suite)

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Report-only delta table between BENCH_*.json runs and a committed baseline.
+"""Report-only delta table between BENCH_*.json runs and committed baselines.
 
 The modeled timeline is deterministic, so any delta in a *_ms metric at the
 same scale is a real change in the cost model or the kernels, not noise.
@@ -10,15 +10,21 @@ malformed run file exits 1, so CI can't silently "pass" a bench step whose
 output was never produced.
 
 Usage:
-    bench_delta.py --baseline BENCH_seed.json --dir <dir with BENCH_*.json>
+    bench_delta.py --dir <dir with BENCH_*.json runs>
+    bench_delta.py --baseline BENCH_seed.json --dir <dir>
 
-Baseline format (committed as BENCH_seed.json at the repo root):
+With no --baseline, EVERY BENCH_*.json committed at the repo root (or
+--baseline-dir) is loaded, so adding a baseline file is all it takes to
+put a bench under delta coverage — no script change, no hardcoded list.
+Two baseline formats are accepted and merged:
+
+  seed format (BENCH_seed.json):
     {"schema": 1, "scale": 0.05,
-     "benches": {"fig5_spmv": {"Dense": {"merge_ms": 0.016, ...}, ...}, ...}}
+     "benches": {"fig5_spmv": {"Dense": {"merge_ms": 0.016, ...}, ...}}}
 
-Run files are what analysis::BenchJson writes:
-    {"bench": "fig5_spmv", "schema": 1,
-     "cases": [{"name": "Dense", "metrics": {...}}, ...], "stats": {...}}
+  raw run format (what analysis::BenchJson writes, committed as-is):
+    {"bench": "serve_throughput", "schema": 1,
+     "cases": [{"name": "t1_w1", "metrics": {...}}, ...], "stats": {...}}
 """
 
 import argparse
@@ -33,6 +39,28 @@ def load_run(path):
         doc = json.load(f)
     cases = {c["name"]: c.get("metrics", {}) for c in doc.get("cases", [])}
     return doc.get("bench", os.path.basename(path)), cases
+
+
+def load_baselines(paths):
+    """Merge any mix of seed-format and raw-run-format baseline files into
+    one {bench: {case: {metric: value}}} table.  Raises on unreadable or
+    malformed input (the caller turns that into exit 1)."""
+    merged = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        if "benches" in doc:  # seed format: a table of benches
+            table = doc["benches"]
+            if not isinstance(table, dict):
+                raise ValueError(f"{path}: 'benches' is not a table")
+            for bench, cases in table.items():
+                merged.setdefault(bench, {}).update(cases)
+        elif "bench" in doc:  # raw BenchJson run committed as baseline
+            bench, cases = load_run(path)
+            merged.setdefault(bench, {}).update(cases)
+        else:
+            raise ValueError(f"{path}: neither seed nor run format")
+    return merged
 
 
 def fmt_delta(base, cur):
@@ -50,8 +78,15 @@ def fmt_delta(base, cur):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", required=True, help="committed BENCH_seed.json")
-    ap.add_argument("--dir", required=True, help="directory with BENCH_*.json runs")
+    ap.add_argument("--baseline", default=None,
+                    help="one baseline file (default: every BENCH_*.json "
+                         "in --baseline-dir)")
+    ap.add_argument("--baseline-dir",
+                    default=os.path.dirname(os.path.dirname(
+                        os.path.abspath(__file__))),
+                    help="where committed baselines live (default: repo root)")
+    ap.add_argument("--dir", required=True,
+                    help="directory with BENCH_*.json runs")
     ap.add_argument(
         "--metric-suffix",
         default="_ms",
@@ -59,16 +94,22 @@ def main():
     )
     args = ap.parse_args()
 
+    if args.baseline:
+        baseline_paths = [args.baseline]
+        label = args.baseline
+    else:
+        baseline_paths = sorted(
+            glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json")))
+        label = f"{len(baseline_paths)} committed baseline(s)"
     try:
-        with open(args.baseline) as f:
-            seed = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
+        baselines = load_baselines(baseline_paths)
+    except (OSError, json.JSONDecodeError, ValueError, TypeError,
+            AttributeError) as e:
         print(f"bench_delta: ERROR: cannot read baseline: {e}", file=sys.stderr)
         return 1
-    baselines = seed.get("benches", {})
-    if not isinstance(baselines, dict) or not baselines:
-        print(f"bench_delta: ERROR: baseline {args.baseline} has no 'benches' "
-              "table", file=sys.stderr)
+    if not baselines:
+        print("bench_delta: ERROR: no baselines found "
+              f"({label}; looked in {args.baseline_dir})", file=sys.stderr)
         return 1
 
     runs = sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json")))
@@ -77,8 +118,8 @@ def main():
               "did the bench step run?", file=sys.stderr)
         return 1
 
-    print(f"bench delta vs {args.baseline} (scale {seed.get('scale', '?')}; "
-          "deltas are report-only — only broken inputs fail the build)")
+    print(f"bench delta vs {label} "
+          "(deltas are report-only — only broken inputs fail the build)")
     print(f"{'bench':<18} {'case':<14} {'metric':<14} "
           f"{'baseline':>14} {'current':>14} {'delta':>12}")
     exact, changed, uncovered, malformed = 0, 0, 0, 0

@@ -11,7 +11,10 @@
 #       the post-ack crash hook fires, so an acked-but-lost registration
 #       is detectable), and
 #   (c) the recovered run's per-request result hashes are bitwise
-#       identical to an uninterrupted reference run (cmp on --hash-out).
+#       identical to an uninterrupted reference run (cmp on --hash-out),
+#   (d) the injected crash left a flight-recorder debug bundle behind
+#       (the crash hook dumps before _exit when MPS_FLIGHT_DIR is set),
+#       proving the always-on recorder is live on the dying path.
 #
 # --sigkill adds an external sweep: background runs killed with SIGKILL at
 # staggered delays, then recovered and verified the same way (hash compare
@@ -65,12 +68,41 @@ fail() {
   FAILURES=$((FAILURES + 1))
 }
 
-# run_leg <logfile> <extra args...> — returns the leg's exit code.
+# run_leg <logfile> <extra args...> — returns the leg's exit code.  When
+# FLIGHT_DIR is set, the flight recorder's last-gasp bundle dump is armed
+# for the leg (the injected-crash hook writes flight_bundle_*.json there
+# before _exit); it must stay UNSET otherwise — a set-but-empty
+# MPS_FLIGHT_DIR is a strict-parse error in the binary.
 run_leg() {
   local log=$1
   shift
-  # shellcheck disable=SC2086
-  "$BIN" $ARGS "$@" >"$log" 2>&1
+  if [ -n "${FLIGHT_DIR:-}" ]; then
+    # shellcheck disable=SC2086
+    MPS_FLIGHT_DIR="$FLIGHT_DIR" "$BIN" $ARGS "$@" >"$log" 2>&1
+  else
+    # shellcheck disable=SC2086
+    "$BIN" $ARGS "$@" >"$log" 2>&1
+  fi
+}
+
+# verify_bundle <name> <dir> — every injected kill point must leave a
+# debug bundle behind: the crash hook dumps the flight recorder before
+# _exit, so a missing or field-less bundle means the always-on recorder
+# was not live on the dying path.
+verify_bundle() {
+  local name=$1 dir=$2 bundle
+  bundle=$(ls "$dir"/flight_bundle_*.json 2>/dev/null | head -1)
+  if [ -z "$bundle" ]; then
+    fail "$name: no flight bundle in $dir after injected crash"
+    return 1
+  fi
+  if ! grep -q '"bundle":"mps-flight"' "$bundle" \
+     || ! grep -q '"reason"' "$bundle" \
+     || ! grep -q '"events"' "$bundle"; then
+    fail "$name: flight bundle $bundle missing bundle/reason/events fields"
+    return 1
+  fi
+  return 0
 }
 
 # verify_recovery <name> <dir> <log> — checks (a)(b)(c) after a restart.
@@ -136,14 +168,17 @@ for kp in $KILL_POINTS; do
   mkdir -p "$dir"
   POINTS_RUN=$((POINTS_RUN + 1))
 
+  FLIGHT_DIR="$dir"
   run_leg "$dir/crash.log" --durable-dir "$dir" \
     --durable-manifest "$dir/manifest.txt" --crash-point "$kp"
   rc=$?
+  FLIGHT_DIR=""
   if [ $rc -ne $CRASH_EXIT ]; then
     fail "$kp: crash leg exited $rc, expected $CRASH_EXIT (injection never fired?)"
     record_metrics "$kp" "crash-leg-failed" "$dir/crash.log"
     continue
   fi
+  verify_bundle "$kp" "$dir" || true
 
   if ! run_leg "$dir/recover.log" --durable-dir "$dir" \
        --durable-manifest "$dir/manifest.txt" --hash-out "$dir/rec.hash" \

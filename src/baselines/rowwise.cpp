@@ -58,6 +58,7 @@ OpStats spmv(vgpu::Device& device, const CsrD& a, std::span<const double> x,
       }
       y[static_cast<std::size_t>(r)] = acc;
       const std::size_t len = static_cast<std::size_t>(hi - lo);
+      cta.charge_flops(2 * len);  // one multiply-add per nonzero
       // One entry per *lane group*; expand to lanes for the divergence
       // model (width lanes share the same trip count).
       const auto trips = static_cast<std::uint32_t>(

@@ -93,6 +93,7 @@ SpmmStats spmm_impl(vgpu::Device& device, const sparse::CsrMatrix<V>& a,
     cta.charge_global(count * (nv - 1) * sizeof(V));
     cta.charge_shared_elems(3 * count * nv);
     cta.charge_alu_uniform(2 * count * nv);
+    cta.charge_flops(2 * count * nv);  // one multiply-add per nnz per vector
     cta.charge_sync();
     cta.charge_sync();
   });
@@ -121,6 +122,11 @@ SpmmStats spmm_impl(vgpu::Device& device, const sparse::CsrMatrix<V>& a,
       for (std::size_t j = 0; j < nv; ++j) {
         y[static_cast<std::size_t>(r) * nv + j] = acc[j];
       }
+      cta.charge_flops(
+          2 *
+          static_cast<std::size_t>(offsets[static_cast<std::size_t>(r) + 1] -
+                                   offsets[static_cast<std::size_t>(r)]) *
+          nv);
     }
     cta.charge_global(static_cast<std::size_t>(num_ctas) *
                       (sizeof(index_t) + nv * sizeof(V)));

@@ -259,6 +259,7 @@ struct SpmvPlanAccess {
             cta.charge_gather(p_hi - p_lo);
             cta.charge_shared_elems(3 * (p_hi - p_lo));
             cta.charge_alu_uniform(2 * (p_hi - p_lo));
+            cta.charge_flops(2 * (p_hi - p_lo));  // one multiply-add per nnz
             cta.charge_sync();
             cta.charge_sync();
 
@@ -319,6 +320,8 @@ struct SpmvPlanAccess {
                        x[static_cast<std::size_t>(
                            a.col[static_cast<std::size_t>(k)])];
               }
+              cta.charge_flops(2 * static_cast<std::size_t>(
+                                       a.row_length(r)));
               y[static_cast<std::size_t>(r)] = acc;
             }
             cta.charge_global(static_cast<std::size_t>(num_ctas) *

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "telemetry/flight.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
 
@@ -42,6 +43,11 @@ void crash_hit(CrashPoint point) {
         // and must not confuse the death notice with engine output.
         std::fprintf(stderr, "durable crash injected at %s\n", point_name(point));
         std::fflush(stderr);
+        // Last-gasp debug bundle (no-op unless MPS_FLIGHT_DIR is set).
+        // crash_hit runs in ordinary thread context — not a signal
+        // handler — so regular file IO is safe before _exit.
+        telemetry::flight().dump_bundle(std::string("crash-") +
+                                        point_name(point));
         ::_exit(kCrashExitCode);
       }
       return;

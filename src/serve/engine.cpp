@@ -7,7 +7,9 @@
 #include "core/spgemm.hpp"
 #include "core/spmm.hpp"
 #include "shard/exec.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profile.hpp"
 #include "util/env.hpp"
 #include "vgpu/trace.hpp"
 
@@ -146,6 +148,10 @@ EngineConfig resolve_config(EngineConfig cfg) {
   if (cfg.shard_2d_nnz < 0) {
     cfg.shard_2d_nnz = util::env_int_checked("MPS_SHARD_2D_NNZ", 0, 0, 1ll << 40);
   }
+  if (cfg.slo_enabled < 0) {
+    cfg.slo_enabled =
+        static_cast<int>(util::env_int_checked("MPS_SLO", 0, 0, 1));
+  }
   // Chaos resolves AFTER threads and the fleet size: the seeded
   // generator spreads events over the fleet's slot ordinals (the worker
   // count in legacy mode).  chaos_enabled == 0 is the chaos harness's
@@ -191,6 +197,8 @@ struct ServeMetrics {
   telemetry::Counter& degraded_entered =
       telemetry::metrics().counter("serve.degraded.entered");
   telemetry::Gauge& degraded = telemetry::metrics().gauge("serve.degraded");
+  telemetry::Counter& slo_alerts =
+      telemetry::metrics().counter("serve.slo.alerts");
   telemetry::Gauge& peak_queue =
       telemetry::metrics().gauge("serve.queue.peak_depth");
   telemetry::Histogram& latency_ms = telemetry::metrics().histogram(
@@ -212,6 +220,13 @@ telemetry::Gauge& device_gauge(std::size_t ordinal, const char* what) {
 telemetry::Counter& device_counter(std::size_t ordinal, const char* what) {
   return telemetry::metrics().counter("serve.device." +
                                       std::to_string(ordinal) + "." + what);
+}
+
+/// Per-tenant SLO registry handles ("serve.slo.tenant.<handle>.*") —
+/// exported like every other registry metric (Prometheus / --metrics-out).
+telemetry::Gauge& slo_gauge(std::uint64_t tenant, const char* what) {
+  return telemetry::metrics().gauge("serve.slo.tenant." +
+                                    std::to_string(tenant) + "." + what);
 }
 
 }  // namespace
@@ -326,10 +341,26 @@ Engine::Engine(EngineConfig cfg)
                                                   static_cast<int>(i));
     }
   }
+  if (cfg_.slo_enabled > 0) {
+    slo_ = std::make_unique<SloTracker>(SloConfig::from_env());
+  }
   // Recovery runs before the dispatcher exists: the registry fills (and
   // warm plans rebuild) while construction is still single-threaded, so
   // the first request after a restart sees the full pre-crash state.
-  if (cfg_.durable_enabled > 0) init_durability();
+  if (cfg_.durable_enabled > 0) {
+    try {
+      init_durability();
+    } catch (const RecoveryError& e) {
+      // Damaged durable state is exactly when an operator needs the
+      // bundle: recent events plus whatever state assembled before the
+      // failure (no-op unless MPS_FLIGHT_DIR is set).
+      telemetry::flight().note("fault", "recovery", e.what());
+      telemetry::flight().dump_bundle("recovery");
+      throw;
+    }
+  }
+  flight_state_id_ = telemetry::flight().register_state_provider(
+      "serve.engine", [this](std::ostream& out) { write_bundle_state(out); });
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -464,7 +495,12 @@ void Engine::snapshot_now() {
   if (store_) store_->snapshot_now();
 }
 
-Engine::~Engine() { shutdown(ShutdownMode::kDrain); }
+Engine::~Engine() {
+  shutdown(ShutdownMode::kDrain);
+  if (flight_state_id_ >= 0) {
+    telemetry::flight().unregister_state_provider(flight_state_id_);
+  }
+}
 
 void Engine::shutdown(ShutdownMode mode) {
   {
@@ -1024,10 +1060,13 @@ double Engine::prepare_batch_retry(Batch& batch, int attempt) {
 
 void Engine::fail_request(Request& r, const std::exception_ptr& e) {
   bool timeout = false;
+  bool integrity = false;
   try {
     std::rethrow_exception(e);
   } catch (const RequestTimeoutError&) {
     timeout = true;
+  } catch (const IntegrityError&) {
+    integrity = true;
   } catch (...) {
   }
   if (timeout) {
@@ -1038,7 +1077,15 @@ void Engine::fail_request(Request& r, const std::exception_ptr& e) {
     serve_metrics().timed_out.add();
     r.finish_span("timeout");  // first status wins; fail()'s "error" won't
   } else {
-    settle_metrics(0.0, false);
+    if (integrity) {
+      // A terminal integrity failure (the retry budget is already spent
+      // by the time a request fails with it) is a data-corruption signal
+      // — capture the ring before the evidence scrolls away.
+      telemetry::flight().note("fault", "integrity",
+                               "handle " + std::to_string(r.handle_a));
+      telemetry::flight().dump_bundle("integrity");
+    }
+    settle_metrics(r.handle_a, 0.0, false);
   }
   r.fail(e);
 }
@@ -1272,6 +1319,9 @@ void Engine::handle_device_loss(std::size_t device_index) {
   }
   devices_cv_.notify_all();
   device_counter(device_index, "lost").add();
+  telemetry::flight().note("fault", "device-lost",
+                           "slot " + std::to_string(device_index));
+  telemetry::flight().dump_bundle("device-lost");
   // Cached plans may hold allocations accounted against the lost device;
   // drop them all and let the survivors rebuild lazily (re-residenting
   // registered matrices costs one plan build per matrix, amortized).
@@ -1283,12 +1333,28 @@ void Engine::handle_device_loss(std::size_t device_index) {
   }
 }
 
-void Engine::settle_metrics(double latency_ms, bool ok) {
+void Engine::settle_metrics(MatrixHandle h, double latency_ms, bool ok) {
   if (ok) {
     serve_metrics().completed.add();
     serve_metrics().latency_ms.observe(latency_ms);
   } else {
     serve_metrics().failed.add();
+  }
+  if (slo_) {
+    TenantSlo t;
+    const bool entered_alert = slo_->observe(h, latency_ms, ok, &t);
+    slo_gauge(h, "burn_short").set(t.burn_short);
+    slo_gauge(h, "burn_long").set(t.burn_long);
+    slo_gauge(h, "budget_remaining").set(t.budget_remaining);
+    slo_gauge(h, "alerting").set(t.alerting ? 1.0 : 0.0);
+    if (entered_alert) {
+      serve_metrics().slo_alerts.add();
+      telemetry::flight().note(
+          "slo", "alert",
+          "tenant " + std::to_string(h) + " burn_short=" +
+              std::to_string(t.burn_short) + " burn_long=" +
+              std::to_string(t.burn_long));
+    }
   }
   std::lock_guard<std::mutex> lock(stats_mutex_);
   if (ok) {
@@ -1341,6 +1407,16 @@ void Engine::execute_batch(Batch& batch, Lease& lease) {
   // front — retries may prune the head request itself.
   telemetry::ContextScope trace_scope(batch.reqs.front()->span_ctx);
   const MatrixHandle handle = batch.reqs.front()->handle_a;
+  // Roofline attribution: kernels launched below are billed to this
+  // tenant/phase (shard exec refines shard + device).  Guarded so the
+  // profiler-off path stays one relaxed atomic load.
+  std::optional<telemetry::ProfAttrScope> prof_scope;
+  if (telemetry::profiler().enabled()) {
+    telemetry::ProfAttr attr;
+    attr.tenant = handle;
+    attr.phase = "serve.spmv";
+    prof_scope.emplace(attr);
+  }
   const std::shared_ptr<const sparse::CsrD> a_ref = batch.reqs.front()->a;
   const sparse::CsrD& a = *a_ref;
   const auto rows = static_cast<std::size_t>(a.num_rows);
@@ -1470,6 +1546,7 @@ void Engine::execute_batch(Batch& batch, Lease& lease) {
       result.plan_cache_hit = hit;
       note_success(handle);
       settle_metrics(
+          handle,
           std::chrono::duration<double, std::milli>(clock::now() - head.submitted)
               .count(),
           true);
@@ -1534,6 +1611,7 @@ void Engine::execute_batch(Batch& batch, Lease& lease) {
       result.modeled_ms = (modeled + backoff_ms) / static_cast<double>(n);
       result.batch_size = static_cast<int>(n);
       settle_metrics(
+          handle,
           std::chrono::duration<double, std::milli>(now - r.submitted).count(),
           true);
       r.finish_span("ok");
@@ -1559,6 +1637,14 @@ void Engine::execute_batch(Batch& batch, Lease& lease) {
 
 void Engine::execute_matrix_op(Request& req, Lease& lease) {
   telemetry::ContextScope trace_scope(req.span_ctx);
+  std::optional<telemetry::ProfAttrScope> prof_scope;
+  if (telemetry::profiler().enabled()) {
+    telemetry::ProfAttr attr;
+    attr.tenant = req.handle_a;
+    attr.phase =
+        req.kind == Request::Kind::kSpadd ? "serve.spadd" : "serve.spgemm";
+    prof_scope.emplace(attr);
+  }
   try {
     MatrixResult result;
     double backoff_ms = 0.0;
@@ -1605,6 +1691,7 @@ void Engine::execute_matrix_op(Request& req, Lease& lease) {
     charge_modeled(result.modeled_ms);
     note_success(req.handle_a);
     settle_metrics(
+        req.handle_a,
         std::chrono::duration<double, std::milli>(clock::now() - req.submitted)
             .count(),
         true);
@@ -1690,7 +1777,151 @@ EngineStats Engine::stats() const {
     s.durability.snapshots = d.snapshots;
     s.durability.recovery = d.recovery;
   }
+  if (slo_) {
+    const SloConfig& c = slo_->config();
+    s.slo.enabled = true;
+    s.slo.latency_ms = c.latency_ms;
+    s.slo.objective = c.objective;
+    s.slo.burn_alert = c.burn_alert;
+    s.slo.short_window = c.short_window;
+    s.slo.long_window = c.long_window;
+    s.slo.tenants = slo_->report();
+    for (const TenantSlo& t : s.slo.tenants) {
+      if (t.alerting) ++s.slo.alerting_now;
+    }
+  }
   return s;
+}
+
+PlanExplain Engine::explain(MatrixHandle h) const {
+  PlanExplain ex;
+  ex.handle = h;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    ex.registered = registry_.count(h) != 0;
+  }
+  // Unsharded entries first: peek never touches LRU order or counters,
+  // so explain() can run from ops tooling without perturbing the cache.
+  if (auto plan = plan_cache_.peek(h)) {
+    ex.plan_resident = true;
+    ex.plan_bytes = plan->bytes();
+  }
+  if (auto tuned = plan_cache_.peek_tuned(h)) {
+    ex.tuned_resident = true;
+    ex.choice = tuned->choice().name;
+    ex.tune_ms = tuned->tune_ms();
+    ex.steady_ms = tuned->steady_ms();
+    ex.plan_bytes = tuned->bytes();
+    ex.features = tuned->features();
+    ex.trials = tuned->trials();
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard_mutex_);
+    const auto it = shardings_.find(h);
+    if (it != shardings_.end() && it->second.primary) {
+      ex.sharded = true;
+      ex.replicated = it->second.replica != nullptr;
+      const auto& shards = it->second.primary->shards();
+      ex.shards = static_cast<int>(shards.size());
+      for (const shard::Shard& sh : shards) ex.shard_devices.push_back(sh.device);
+    }
+  }
+  if (ex.sharded) {
+    for (int i = 0; i < ex.shards; ++i) {
+      const std::uint64_t key = shard_plan_key(h, static_cast<std::size_t>(i),
+                                               /*replica=*/false);
+      if (auto tuned = plan_cache_.peek_tuned(key)) {
+        ex.shard_plans.push_back(std::string("tuned:") + tuned->choice().name);
+        // Surface the first resident shard's decision record when the
+        // unsharded keys are cold (sharded handles never populate them).
+        if (!ex.tuned_resident) {
+          ex.tuned_resident = true;
+          ex.choice = tuned->choice().name;
+          ex.tune_ms = tuned->tune_ms();
+          ex.steady_ms = tuned->steady_ms();
+          ex.features = tuned->features();
+          ex.trials = tuned->trials();
+        }
+      } else if (plan_cache_.peek(key)) {
+        ex.shard_plans.push_back("merge");
+      } else {
+        ex.shard_plans.push_back("cold");
+      }
+    }
+  }
+  return ex;
+}
+
+void Engine::write_bundle_state(std::ostream& out) const {
+  // Deliberately limited to locks a crashing thread cannot hold at a
+  // durable-crash point (registry_mutex_ and shard_mutex_ are both held
+  // across WAL appends / snapshot captures — try_lock on a mutex the
+  // calling thread owns is undefined, so they are never touched here).
+  out << "{\"config\":{\"workers\":" << num_workers_
+      << ",\"devices\":" << fleet_.size()
+      << ",\"queue_capacity\":" << cfg_.queue_capacity
+      << ",\"batch_window\":" << cfg_.batch_window
+      << ",\"autotune\":" << cfg_.autotune
+      << ",\"slo\":" << (slo_ ? 1 : 0)
+      << ",\"durable\":" << (cfg_.durable_enabled > 0 ? 1 : 0) << "}";
+  out << ",\"degraded\":" << (degraded_.load(std::memory_order_relaxed) ? 1 : 0);
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_, std::try_to_lock);
+    if (lock.owns_lock()) {
+      out << ",\"queue_depth\":" << queue_.size()
+          << ",\"in_flight\":" << in_flight_;
+    } else {
+      out << ",\"queue\":\"unavailable\"";
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(stats_mutex_, std::try_to_lock);
+    if (lock.owns_lock()) {
+      out << ",\"accepted\":" << accepted_ << ",\"completed\":" << completed_
+          << ",\"failed\":" << failed_ << ",\"timed_out\":" << timed_out_
+          << ",\"retries\":" << retries_ << ",\"failovers\":" << failovers_;
+    } else {
+      out << ",\"counters\":\"unavailable\"";
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(devices_mutex_, std::try_to_lock);
+    if (lock.owns_lock()) {
+      out << ",\"slots\":[";
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (i) out << ",";
+        out << "{\"ordinal\":" << i << ",\"profile\":\"" << fleet_.profile(i)
+            << "\",\"busy\":" << (slots_[i].busy ? 1 : 0)
+            << ",\"dispatched\":" << slots_[i].dispatched
+            << ",\"lost\":" << slots_[i].lost << "}";
+      }
+      out << "]";
+    } else {
+      out << ",\"slots\":\"unavailable\"";
+    }
+  }
+  {
+    const PlanCache::Stats pc = plan_cache_.stats();
+    out << ",\"plan_cache\":{\"entries\":" << pc.entries
+        << ",\"bytes\":" << pc.bytes_in_use << ",\"hits\":" << pc.hits
+        << ",\"misses\":" << pc.misses << ",\"evictions\":" << pc.evictions
+        << "}";
+  }
+  if (slo_) {
+    out << ",\"slo\":[";
+    const auto tenants = slo_->report();
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      const TenantSlo& t = tenants[i];
+      if (i) out << ",";
+      out << "{\"tenant\":" << t.tenant << ",\"total\":" << t.total
+          << ",\"bad\":" << t.bad << ",\"burn_short\":" << t.burn_short
+          << ",\"burn_long\":" << t.burn_long
+          << ",\"alerting\":" << (t.alerting ? 1 : 0)
+          << ",\"alerts\":" << t.alerts << "}";
+    }
+    out << "]";
+  }
+  out << "}";
 }
 
 void Engine::write_trace(std::ostream& out) const {

@@ -101,6 +101,7 @@
 #include "serve/circuit_breaker.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/retry_policy.hpp"
+#include "serve/slo.hpp"
 #include "shard/sharded_matrix.hpp"
 #include "vgpu/chaos.hpp"
 #include "sparse/csr.hpp"
@@ -248,6 +249,11 @@ struct EngineConfig {
   /// < 0 resolves MPS_SHARD_2D_NNZ (default 0 = off — 2D partials are
   /// deterministic but not bitwise, see docs/sharding.md).
   long long shard_2d_nnz = -1;
+  /// Per-tenant SLO tracking (docs/observability.md): every settled
+  /// request is scored against the MPS_SLO_* objectives and burn rates
+  /// are accounted per handle.  < 0 resolves MPS_SLO (default 0 = off —
+  /// settle paths pay nothing).
+  int slo_enabled = -1;
 
   /// Fill zero-valued fields from the environment knobs above.
   static EngineConfig from_env();
@@ -344,6 +350,46 @@ struct EngineStats {
     long long snapshots = 0;
     durability::RecoveryInfo recovery;
   } durability;
+  /// Per-tenant SLO state (empty / enabled == false without MPS_SLO).
+  struct SloStats {
+    bool enabled = false;
+    double latency_ms = 0.0;   ///< good/bad threshold
+    double objective = 0.0;
+    double burn_alert = 0.0;
+    int short_window = 0;
+    int long_window = 0;
+    long long alerting_now = 0;  ///< tenants currently in alert
+    std::vector<TenantSlo> tenants;
+  } slo;
+};
+
+/// Why a handle dispatches the way it does (Engine::explain): which plan
+/// entries are resident, what the autotuner saw and chose, and how the
+/// matrix is sharded.  A pure read — no LRU touch, no metric bump, no
+/// plan build.
+struct PlanExplain {
+  MatrixHandle handle = 0;
+  bool registered = false;
+  bool plan_resident = false;   ///< merge SpmvPlan cached (unsharded key)
+  bool tuned_resident = false;  ///< TunedPlan cached (unsharded key)
+  /// Winning candidate name when tuned_resident ("merge-path(...)",
+  /// "ell", ...); empty otherwise.
+  std::string choice;
+  double tune_ms = 0.0;    ///< one-time trial cost (tuned only)
+  double steady_ms = 0.0;  ///< winner's modeled per-apply cost
+  std::size_t plan_bytes = 0;  ///< resident footprint of the entry
+  /// The feature vector the autotuner extracted (tuned only).
+  autotune::Features features;
+  /// Every candidate trialed, with its modeled time (tuned only) — the
+  /// full decision record, also logged as "autotune.trial" spans.
+  std::vector<autotune::Trial> trials;
+  bool sharded = false;
+  bool replicated = false;
+  int shards = 0;
+  std::vector<int> shard_devices;  ///< primary placement ordinals
+  /// Resident per-shard plan state, one entry per primary shard:
+  /// "tuned:<choice>", "merge", or "cold".
+  std::vector<std::string> shard_plans;
 };
 
 class Engine {
@@ -424,6 +470,12 @@ class Engine {
   EngineStats stats() const;
   unsigned num_workers() const { return num_workers_; }
 
+  /// Plan-decision explainability for one handle (docs/observability.md):
+  /// resident plan entries, the autotuner's features + per-candidate
+  /// trial record, and the shard layout.  Read-only — never builds a
+  /// plan, never touches LRU order or hit/miss counters.
+  PlanExplain explain(MatrixHandle h) const;
+
   /// Export the correlated Perfetto timeline: every request span recorded
   /// by the telemetry tracer (track "serve"), host phase spans, and each
   /// worker device's kernel log as its own track.  Call only while the
@@ -489,7 +541,16 @@ class Engine {
   bool note_sharded_request(MatrixHandle h, Sharding& s);
   /// Drop a handle's per-shard plan-cache entries (both placements).
   void invalidate_shard_plans(MatrixHandle h);
-  void settle_metrics(double latency_ms, bool ok);
+  /// Settle-time bookkeeping: engine counters, latency reservoir, and —
+  /// when the SLO tracker is on — the tenant's burn-rate accounting
+  /// (an alert edge notes the flight recorder and dumps a bundle).
+  void settle_metrics(MatrixHandle h, double latency_ms, bool ok);
+  /// Flight-recorder state provider: one JSON object of live engine
+  /// state.  Best-effort and deadlock-free — every lock is try_lock
+  /// (bundles dump from failure paths that may hold engine locks), and
+  /// registry_mutex_/shard_mutex_ are never touched (the durable-crash
+  /// points fire while the crashing thread holds them).
+  void write_bundle_state(std::ostream& out) const;
   /// Called from a retry catch handler after `attempt` (0-based) failed:
   /// rethrows when the budget is spent, settles the deadline re-check
   /// (RequestTimeoutError), counts the retry, and returns the modeled
@@ -573,6 +634,10 @@ class Engine {
 
   PlanCache plan_cache_;
   CircuitBreaker breaker_;
+  /// Per-tenant SLO burn-rate accountant (null unless slo_enabled).
+  std::unique_ptr<SloTracker> slo_;
+  /// Flight-recorder state-provider registration (-1 = none).
+  int flight_state_id_ = -1;
   std::size_t shed_threshold_ = 0;  ///< queue depth; 0 = shedding off
   std::atomic<bool> degraded_{false};
   std::atomic<int> degrade_successes_{0};

@@ -89,6 +89,40 @@ std::shared_ptr<const autotune::TunedPlan> PlanCache::get_or_build_tuned(
   telemetry::ScopedSpan build_span("serve.tuned_plan_build");
   auto tuned =
       std::make_shared<const autotune::TunedPlan>(autotune::tune(device, a));
+  // Plan-decision explainability: with the tracer on, the features the
+  // autotuner extracted and every candidate's modeled time land in the
+  // trace as children of the build span — the same record explain()
+  // serves queryably from the cached entry.
+  if (telemetry::tracer().enabled()) {
+    auto& tr = telemetry::tracer();
+    const telemetry::SpanContext parent = build_span.context();
+    const double now = tr.now_us();
+    const auto instant = [&](std::string name, std::string status) {
+      telemetry::SpanRecord rec;
+      rec.trace_id = parent.trace_id;
+      rec.parent_id = parent.span_id;
+      rec.span_id = tr.next_span_id();
+      rec.name = std::move(name);
+      rec.track = "autotune";
+      rec.status = std::move(status);
+      rec.start_us = now;
+      rec.dur_us = 0.0;
+      rec.tid = telemetry::current_tid();
+      tr.record(std::move(rec));
+    };
+    const autotune::Features& f = tuned->features();
+    instant("autotune.features",
+            "rows=" + std::to_string(f.rows) + " nnz=" + std::to_string(f.nnz) +
+                " avg_row=" + std::to_string(f.avg_row) +
+                " cv_row=" + std::to_string(f.cv_row) +
+                " empty_frac=" + std::to_string(f.empty_frac));
+    for (const autotune::Trial& t : tuned->trials()) {
+      instant(std::string("autotune.trial:") + t.name,
+              std::to_string(t.modeled_ms) + " ms" +
+                  (std::string(t.name) == tuned->choice().name ? " (chosen)"
+                                                               : ""));
+    }
+  }
   build_span.end(tuned->choice().name);
   const std::size_t bytes = tuned->bytes();
   if (bytes > capacity_bytes_) {
@@ -107,6 +141,20 @@ std::shared_ptr<const autotune::TunedPlan> PlanCache::get_or_build_tuned(
   index_[tagged] = lru_.begin();
   bytes_in_use_ += bytes;
   return tuned;
+}
+
+std::shared_ptr<const core::merge::SpmvPlan> PlanCache::peek(
+    std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : it->second->plan;
+}
+
+std::shared_ptr<const autotune::TunedPlan> PlanCache::peek_tuned(
+    std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key ^ kTunedKeyTag);
+  return it == index_.end() ? nullptr : it->second->tuned;
 }
 
 void PlanCache::erase_locked(std::uint64_t tagged_key) {

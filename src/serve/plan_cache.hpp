@@ -73,6 +73,14 @@ class PlanCache {
       vgpu::Device& device, const sparse::CsrD& a, std::uint64_t key,
       bool* was_hit = nullptr);
 
+  /// Read-only probes for explainability (Engine::explain): the resident
+  /// entry for `key`, or null.  Never builds, never touches LRU order,
+  /// never bumps hit/miss counters — explain() must not perturb what it
+  /// observes.
+  std::shared_ptr<const core::merge::SpmvPlan> peek(std::uint64_t key) const;
+  std::shared_ptr<const autotune::TunedPlan> peek_tuned(
+      std::uint64_t key) const;
+
   /// Drop both entry kinds for `key` if resident (the engine invalidates
   /// a plan whose integrity checksum failed before rebuilding it).
   void invalidate(std::uint64_t key);

@@ -7,6 +7,7 @@
 #include "core/spadd.hpp"
 #include "core/spgemm.hpp"
 #include "core/spmm.hpp"
+#include "telemetry/profile.hpp"
 #include "telemetry/span.hpp"
 #include "util/common.hpp"
 
@@ -61,6 +62,11 @@ ExecStats run_rowwise(const ShardedMatrix& sm,
   std::vector<double> busy(devices.size(), 0.0);
   double halo_ms = 0.0;
   double sum_ms = 0.0;
+  // Roofline attribution: per-shard samples feed the imbalance detector
+  // after the loop.  Everything profiler-related is guarded on enabled()
+  // so the disabled path stays one relaxed atomic load.
+  const bool prof = telemetry::profiler().enabled();
+  std::vector<telemetry::ShardSample> samples;
   std::vector<double> sub_x;
   for (std::size_t i = 0; i < sm.shards().size(); ++i) {
     const Shard& s = sm.shards()[i];
@@ -94,13 +100,27 @@ ExecStats run_rowwise(const ShardedMatrix& sm,
     double kernel_ms = 0.0;
     try {
       telemetry::ScopedSpan span("shard.spmv");
-      kernel_ms = kernel(i, dev, s, std::span<const double>(sub_x), y_sub);
+      if (prof) {
+        telemetry::ProfAttr attr = telemetry::current_prof_attr();
+        attr.shard = static_cast<int>(i);
+        attr.device = s.device;
+        attr.phase = "shard.spmv";
+        telemetry::ProfAttrScope scope(attr);
+        kernel_ms = kernel(i, dev, s, std::span<const double>(sub_x), y_sub);
+      } else {
+        kernel_ms = kernel(i, dev, s, std::span<const double>(sub_x), y_sub);
+      }
     } catch (const vgpu::DeviceLostError& e) {
       rethrow_as_shard_loss(e, s.device);
     }
     busy[static_cast<std::size_t>(s.device)] += h + kernel_ms;
     halo_ms += h;
     sum_ms += kernel_ms;
+    if (prof) samples.push_back({i, s.device, h + kernel_ms});
+  }
+  if (prof && !samples.empty()) {
+    telemetry::profiler().note_shard_batch(
+        telemetry::current_prof_attr().tenant, samples);
   }
   // 2D-split dense rows: per-segment partials on each segment's device,
   // reduced in fixed segment order (deterministic, not bitwise).
@@ -227,6 +247,8 @@ ExecStats spadd(const sparse::CsrD& a, const sparse::CsrD& b,
   sparse::CsrD out(0, a.num_cols);
   std::vector<double> busy(devices.size(), 0.0);
   double sum_ms = 0.0;
+  const bool prof = telemetry::profiler().enabled();
+  std::vector<telemetry::ShardSample> samples;
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     const RowBlock& blk = blocks[i];
     if (blk.row_end == blk.row_begin) {
@@ -239,13 +261,27 @@ ExecStats spadd(const sparse::CsrD& a, const sparse::CsrD& b,
     double ms = 0.0;
     try {
       telemetry::ScopedSpan span("shard.spadd");
-      ms = core::merge::spadd_csr(dev, sub_a, sub_b, sub_c).modeled_ms;
+      if (prof) {
+        telemetry::ProfAttr attr = telemetry::current_prof_attr();
+        attr.shard = static_cast<int>(i);
+        attr.device = ordinals[i];
+        attr.phase = "shard.spadd";
+        telemetry::ProfAttrScope scope(attr);
+        ms = core::merge::spadd_csr(dev, sub_a, sub_b, sub_c).modeled_ms;
+      } else {
+        ms = core::merge::spadd_csr(dev, sub_a, sub_b, sub_c).modeled_ms;
+      }
     } catch (const vgpu::DeviceLostError& e) {
       rethrow_as_shard_loss(e, ordinals[i]);
     }
     append_rows(out, sub_c);
     busy[static_cast<std::size_t>(ordinals[i])] += ms;
     sum_ms += ms;
+    if (prof) samples.push_back({i, ordinals[i], ms});
+  }
+  if (prof && !samples.empty()) {
+    telemetry::profiler().note_shard_batch(
+        telemetry::current_prof_attr().tenant, samples);
   }
   // Pad trailing empty blocks' rows (blocks cover all rows by
   // construction, so out.num_rows == a.num_rows already unless the
@@ -288,6 +324,8 @@ ExecStats spgemm(const sparse::CsrD& a, const sparse::CsrD& b,
   std::vector<double> busy(devices.size(), 0.0);
   double halo_ms = 0.0;
   double sum_ms = 0.0;
+  const bool prof = telemetry::profiler().enabled();
+  std::vector<telemetry::ShardSample> samples;
   bool first_active = true;
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     const RowBlock& blk = blocks[i];
@@ -297,11 +335,13 @@ ExecStats spgemm(const sparse::CsrD& a, const sparse::CsrD& b,
     vgpu::Device& dev = device_for(devices, ordinals[i]);
     // Every shard past the first needs its own replica of B — the
     // dominant halo cost of sharded SpGEMM.
+    double shard_halo = 0.0;
     if (!first_active) {
       const double h =
           transfer_ms(dev.props(), static_cast<double>(b.device_bytes()));
       busy[static_cast<std::size_t>(ordinals[i])] += h;
       halo_ms += h;
+      shard_halo = h;
     }
     first_active = false;
     const sparse::CsrD sub_a = sparse::row_slice(a, blk.row_begin, blk.row_end);
@@ -312,13 +352,27 @@ ExecStats spgemm(const sparse::CsrD& a, const sparse::CsrD& b,
     double ms = 0.0;
     try {
       telemetry::ScopedSpan span("shard.spgemm");
-      ms = core::merge::spgemm(dev, sub_a, b, sub_c, cfg).modeled_ms();
+      if (prof) {
+        telemetry::ProfAttr attr = telemetry::current_prof_attr();
+        attr.shard = static_cast<int>(i);
+        attr.device = ordinals[i];
+        attr.phase = "shard.spgemm";
+        telemetry::ProfAttrScope scope(attr);
+        ms = core::merge::spgemm(dev, sub_a, b, sub_c, cfg).modeled_ms();
+      } else {
+        ms = core::merge::spgemm(dev, sub_a, b, sub_c, cfg).modeled_ms();
+      }
     } catch (const vgpu::DeviceLostError& e) {
       rethrow_as_shard_loss(e, ordinals[i]);
     }
     append_rows(out, sub_c);
     busy[static_cast<std::size_t>(ordinals[i])] += ms;
     sum_ms += ms;
+    if (prof) samples.push_back({i, ordinals[i], shard_halo + ms});
+  }
+  if (prof && !samples.empty()) {
+    telemetry::profiler().note_shard_batch(
+        telemetry::current_prof_attr().tenant, samples);
   }
   while (out.num_rows < a.num_rows) {
     out.row_offsets.push_back(out.nnz());

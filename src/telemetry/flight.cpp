@@ -1,0 +1,217 @@
+#include "telemetry/flight.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/profile.hpp"
+#include "telemetry/span.hpp"
+#include "util/env.hpp"
+
+namespace mps::telemetry {
+
+namespace {
+
+std::atomic<std::uint64_t> g_seq{1};
+
+const std::chrono::steady_clock::time_point g_epoch =
+    std::chrono::steady_clock::now();
+
+double wall_ms_now() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - g_epoch)
+      .count();
+}
+
+void write_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (c < 0x20 || c >= 0x7f) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+/// Fixed-capacity per-thread event ring.  The ring's mutex is
+/// uncontended in steady state (only snapshot/clear from other threads
+/// touch it).
+struct FlightRecorder::Ring {
+  explicit Ring(std::size_t capacity) { events.resize(capacity); }
+  std::mutex mutex;
+  std::vector<FlightEvent> events;
+  std::size_t next = 0;
+  std::size_t count = 0;
+};
+
+FlightRecorder::FlightRecorder() {
+  ring_capacity_ = static_cast<std::size_t>(
+      util::env_int_checked("MPS_FLIGHT_RING", 256, 16, 1 << 20));
+  dump_dir_ = util::env_path_checked("MPS_FLIGHT_DIR");
+}
+
+FlightRecorder& flight() {
+  static FlightRecorder f;
+  return f;
+}
+
+FlightRecorder::Ring& FlightRecorder::thread_ring() {
+  thread_local std::shared_ptr<Ring> ring;
+  if (!ring) {
+    ring = std::make_shared<Ring>(ring_capacity_);
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    rings_.push_back(ring);
+  }
+  return *ring;
+}
+
+void FlightRecorder::note(const char* kind, std::string name,
+                          std::string detail) {
+  FlightEvent ev;
+  ev.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  ev.wall_ms = wall_ms_now();
+  ev.tid = current_tid();
+  ev.kind = kind;
+  ev.name = std::move(name);
+  ev.detail = std::move(detail);
+  Ring& ring = thread_ring();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  ring.events[ring.next] = std::move(ev);
+  ring.next = (ring.next + 1) % ring.events.size();
+  if (ring.count < ring.events.size()) ++ring.count;
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    rings = rings_;
+  }
+  std::vector<FlightEvent> out;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    for (std::size_t i = 0; i < ring->count; ++i) {
+      out.push_back(ring->events[i]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void FlightRecorder::clear() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    rings = rings_;
+  }
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    ring->next = 0;
+    ring->count = 0;
+  }
+}
+
+int FlightRecorder::register_state_provider(std::string name,
+                                            StateProvider provider) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const int id = next_provider_id_++;
+  providers_.push_back({id, std::move(name), std::move(provider)});
+  return id;
+}
+
+void FlightRecorder::unregister_state_provider(int id) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  providers_.erase(std::remove_if(providers_.begin(), providers_.end(),
+                                  [id](const NamedProvider& p) {
+                                    return p.id == id;
+                                  }),
+                   providers_.end());
+}
+
+void FlightRecorder::write_bundle(std::ostream& out,
+                                  const std::string& reason) const {
+  out << "{\"bundle\":\"mps-flight\",\"schema\":1,\"reason\":";
+  write_escaped(out, reason);
+  out << ",\"wall_ms\":" << wall_ms_now()
+      << ",\"ring_capacity\":" << ring_capacity_ << ",\"events\":[";
+  bool first = true;
+  for (const FlightEvent& ev : snapshot()) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"seq\":" << ev.seq << ",\"wall_ms\":" << ev.wall_ms
+        << ",\"tid\":" << ev.tid << ",\"kind\":";
+    write_escaped(out, ev.kind);
+    out << ",\"name\":";
+    write_escaped(out, ev.name);
+    out << ",\"detail\":";
+    write_escaped(out, ev.detail);
+    out << '}';
+  }
+  out << "],\"metrics\":";
+  metrics().write_json(out);
+  out << ",\"profile\":";
+  profiler().write_json(out);
+  out << ",\"state\":{";
+  std::vector<NamedProvider> providers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    providers = providers_;
+  }
+  first = true;
+  for (const NamedProvider& p : providers) {
+    if (!first) out << ',';
+    first = false;
+    write_escaped(out, p.name);
+    out << ':';
+    // Providers are best-effort: a throwing provider must not lose the
+    // bundle, and a half-written value must not corrupt the JSON.
+    std::ostringstream value;
+    try {
+      p.fn(value);
+      out << (value.str().empty() ? "null" : value.str());
+    } catch (...) {
+      out << "null";
+    }
+  }
+  out << "}}";
+}
+
+std::string FlightRecorder::dump_bundle(const std::string& reason) const {
+  if (dump_dir_.empty()) return "";
+  std::string slug;
+  for (char c : reason) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    slug += ok ? c : '-';
+  }
+  const std::string path = dump_dir_ + "/flight_bundle_" + slug + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return "";
+  write_bundle(out, reason);
+  out << '\n';
+  return out ? path : "";
+}
+
+}  // namespace mps::telemetry

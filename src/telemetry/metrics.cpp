@@ -183,7 +183,10 @@ void MetricsRegistry::write_prometheus(std::ostream& out) const {
 // Periodic dumper
 
 PeriodicDumper::PeriodicDumper() {
-  const long long interval_ms = util::env_int("MPS_METRICS_DUMP_MS", 0);
+  // Strict parse: a typo'd dump interval must fail loudly, not silently
+  // run without periodic dumps (the MPS_SERVE_*/MPS_DURABLE_* rule).
+  const long long interval_ms =
+      util::env_int_checked("MPS_METRICS_DUMP_MS", 0);
   if (interval_ms <= 0) return;
   const std::string path = util::env_string("MPS_METRICS_DUMP_PATH", "");
   thread_ = std::thread([this, interval_ms, path] {

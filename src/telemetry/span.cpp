@@ -1,5 +1,7 @@
 #include "telemetry/span.hpp"
 
+#include "telemetry/flight.hpp"
+
 namespace mps::telemetry {
 
 namespace {
@@ -49,6 +51,10 @@ double Tracer::now_us() const {
 
 void Tracer::record(SpanRecord rec) {
   if (!enabled()) return;
+  // Mirror finished spans into the flight recorder's bounded ring so a
+  // debug bundle holds the recent spans even after the tracer's own
+  // (unbounded) log has grown past usefulness.
+  flight().note("span", rec.name, rec.status);
   std::lock_guard<std::mutex> lock(mutex_);
   spans_.push_back(std::move(rec));
 }

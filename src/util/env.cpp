@@ -88,4 +88,11 @@ double env_double_checked(const char* name, double fallback, double min) {
   return parsed;
 }
 
+std::string env_path_checked(const char* name) {
+  const char* v = std::getenv(name);
+  if (!v) return "";
+  if (!*v) throw_env(name, v, "set but empty (unset it to disable)");
+  return std::string(v);
+}
+
 }  // namespace mps::util

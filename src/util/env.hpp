@@ -71,5 +71,10 @@ long long env_int_checked(const char* name, long long fallback,
 long long env_int_auto_checked(const char* name, long long fallback,
                                long long min = 0, long long max = LLONG_MAX);
 double env_double_checked(const char* name, double fallback, double min = 0.0);
+/// Strict path knob: unset returns "", but SET-and-empty (e.g.
+/// `MPS_TRACE_OUT= mps_serve ...`) throws InvalidInputError — an empty
+/// output path is always a shell quoting accident, and silently
+/// disabling the artifact the caller asked for is the worst response.
+std::string env_path_checked(const char* name);
 
 }  // namespace mps::util

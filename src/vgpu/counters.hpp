@@ -18,6 +18,11 @@ struct CtaCounters {
   std::uint64_t shared_ops = 0;      ///< warp-wide shared memory accesses
   std::uint64_t warp_iters = 0;      ///< warp-lockstep ALU iterations
   std::uint64_t syncs = 0;           ///< CTA barriers
+  /// Useful floating-point operations (multiply-adds count 2).  Purely
+  /// observational — roofline attribution (telemetry/profile.hpp) reads
+  /// it; cycles() below never does, so charging flops cannot perturb
+  /// modeled time (ALU cost already rides warp_iters).
+  std::uint64_t flops = 0;
 
   CtaCounters& operator+=(const CtaCounters& o) {
     global_bytes += o.global_bytes;
@@ -25,6 +30,7 @@ struct CtaCounters {
     shared_ops += o.shared_ops;
     warp_iters += o.warp_iters;
     syncs += o.syncs;
+    flops += o.flops;
     return *this;
   }
 

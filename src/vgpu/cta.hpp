@@ -110,6 +110,12 @@ class Cta {
   /// CTA-wide barrier.
   void charge_sync() { counters_.syncs += 1; }
 
+  /// Useful floating-point work (a multiply-add is 2).  Observational
+  /// only: feeds roofline attribution, never the cycle model — the ALU
+  /// cost of these operations is already charged through the warp-iter
+  /// helpers above.
+  void charge_flops(std::size_t n) { counters_.flops += n; }
+
   /// One binary search of `n` elements in global memory: log2 sector
   /// gathers plus the compare ALU work, executed by a single lane.
   void charge_binary_search(std::size_t n) {

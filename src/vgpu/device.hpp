@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/profile.hpp"
 #include "telemetry/span.hpp"
 #include "util/timer.hpp"
 #include "vgpu/counters.hpp"
@@ -99,6 +100,19 @@ class Device {
     stats.trace_id = span_ctx.trace_id;
     stats.span_id = span_ctx.span_id;
     stats.start_us = start_us;
+    // Roofline attribution: bytes moved, flops, and this device's peak
+    // bandwidth, attributed along the thread's ProfAttr axes.  One
+    // relaxed atomic load when the profiler is disabled; reads stats
+    // after the cost model is final, so modeled time is bit-identical
+    // either way (asserted by bench/plan_reuse_spmv).
+    if (telemetry::profiler().enabled()) {
+      telemetry::profiler().record_kernel(
+          name,
+          static_cast<double>(stats.totals.global_bytes +
+                              stats.totals.gather_bytes),
+          static_cast<double>(stats.totals.flops), stats.modeled_ms,
+          props_.global_bytes_per_ns());
+    }
     log_.push_back(stats);
     return stats;
   }

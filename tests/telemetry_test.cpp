@@ -197,6 +197,90 @@ TEST(Metrics, JsonAndPrometheusExports) {
   EXPECT_NE(p.find("mps_export_lat_ms_count 1"), std::string::npos);
 }
 
+TEST(Metrics, HistogramExportEdgeCases) {
+  TelemetryReset guard;
+  // Empty histogram: zero counts everywhere, including +Inf, and a
+  // well-formed exposition (Prometheus requires the series even at 0).
+  telemetry::metrics().histogram("edge.empty_ms", {1.0, 10.0});
+  // Boundary sample: le semantics put a value exactly AT a bound in that
+  // bound's bucket, not the next one.
+  auto& at_bound = telemetry::metrics().histogram("edge.bound_ms", {1.0, 10.0});
+  at_bound.observe(1.0);
+  // Out-of-range samples: below every bound lands in the first bucket,
+  // above every bound in the implicit +Inf overflow bucket.
+  auto& overflow = telemetry::metrics().histogram("edge.over_ms", {1.0});
+  overflow.observe(-5.0);
+  overflow.observe(1e300);
+
+  const auto empty_counts =
+      telemetry::metrics().histogram("edge.empty_ms", {}).bucket_counts();
+  ASSERT_EQ(empty_counts.size(), 3u);
+  EXPECT_EQ(empty_counts[0] + empty_counts[1] + empty_counts[2], 0);
+  const auto bound_counts = at_bound.bucket_counts();
+  EXPECT_EQ(bound_counts[0], 1);  // 1.0 <= le="1"
+  EXPECT_EQ(bound_counts[1], 0);
+  const auto over_counts = overflow.bucket_counts();
+  EXPECT_EQ(over_counts[0], 1);  // -5 in the first finite bucket
+  EXPECT_EQ(over_counts[1], 1);  // 1e300 only in +Inf
+
+  std::ostringstream prom;
+  telemetry::metrics().write_prometheus(prom);
+  const std::string p = prom.str();
+  EXPECT_NE(p.find("mps_edge_empty_ms_bucket{le=\"+Inf\"} 0"),
+            std::string::npos);
+  EXPECT_NE(p.find("mps_edge_empty_ms_count 0"), std::string::npos);
+  EXPECT_NE(p.find("mps_edge_bound_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  // Cumulative exposition: the +Inf bucket always equals the count.
+  EXPECT_NE(p.find("mps_edge_over_ms_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(p.find("mps_edge_over_ms_count 2"), std::string::npos);
+}
+
+TEST(Metrics, ConcurrentUpdatesAndExports) {
+  // The registry's contract under the TSan leg: concurrent registration,
+  // counter adds, gauge high-water updates, histogram observes, and
+  // exporter snapshots race without data races or lost updates.
+  TelemetryReset guard;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  auto& total = telemetry::metrics().counter("conc.total");
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &total] {
+      // Per-thread registration of the SAME names exercises the
+      // registry lock; the returned references must all alias.
+      auto& c = telemetry::metrics().counter("conc.total");
+      auto& g = telemetry::metrics().gauge("conc.peak");
+      auto& h = telemetry::metrics().histogram("conc.lat_ms", {1.0, 10.0});
+      EXPECT_EQ(&c, &total);
+      for (int i = 0; i < kIters; ++i) {
+        c.add();
+        g.update_max(static_cast<double>(t * kIters + i));
+        h.observe(static_cast<double>(i % 20));
+      }
+    });
+  }
+  // Exporters snapshot concurrently with the writers.
+  for (int round = 0; round < 20; ++round) {
+    std::ostringstream js, prom;
+    telemetry::metrics().write_json(js);
+    telemetry::metrics().write_prometheus(prom);
+    EXPECT_FALSE(js.str().empty());
+    EXPECT_FALSE(prom.str().empty());
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(total.value(), static_cast<long long>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(telemetry::metrics().gauge("conc.peak").value(),
+                   static_cast<double>(kThreads * kIters - 1));
+  auto& h = telemetry::metrics().histogram("conc.lat_ms", {});
+  EXPECT_EQ(h.count(), static_cast<long long>(kThreads) * kIters);
+  long long bucket_sum = 0;
+  for (const long long b : h.bucket_counts()) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, h.count());  // no sample lost between buckets
+}
+
 TEST(Metrics, PeriodicDumperInertWithoutKnob) {
   TelemetryReset guard;
   ::unsetenv("MPS_METRICS_DUMP_MS");

@@ -41,6 +41,18 @@
 //   --metrics-out PATH           write the metrics registry as JSON on
 //                                clean shutdown
 //   --metrics-prom PATH          write Prometheus text exposition
+//   --dump-bundle PATH           write the flight-recorder debug bundle
+//                                (recent events + metrics + profile +
+//                                engine state) on clean shutdown; "-"
+//                                writes to stdout.  Independent of
+//                                MPS_FLIGHT_DIR, which additionally arms
+//                                automatic dumps on faults and crashes
+//   --slo                        enable the per-tenant SLO engine
+//                                (MPS_SLO=1 sets the same thing; tune
+//                                with MPS_SLO_LATENCY_MS, _OBJECTIVE,
+//                                _SHORT_WINDOW, _LONG_WINDOW,
+//                                _BURN_ALERT) and print the burn-rate
+//                                report table after the replay
 //
 // Durability / kill-and-recover harness (scripts/crash_matrix.sh drives
 // the full sweep; docs/robustness.md):
@@ -98,7 +110,9 @@
 #include "durability/crash.hpp"
 #include "serve/engine.hpp"
 #include "serve/trace.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profile.hpp"
 #include "telemetry/span.hpp"
 #include "util/env.hpp"
 #include "util/main_guard.hpp"
@@ -118,7 +132,7 @@ using namespace mps;
                "          [--devices N] [--device-spec S]\n"
                "          [--verify] [--chaos-seed N] [--chaos-script S]\n"
                "          [--trace-out PATH] [--metrics-out PATH]\n"
-               "          [--metrics-prom PATH]\n"
+               "          [--metrics-prom PATH] [--dump-bundle PATH] [--slo]\n"
                "          [--durable-dir PATH] [--snapshot-every N]\n"
                "          [--durable-warm] [--reregister-every K]\n"
                "          [--crash-after N] [--crash-point P:N]\n"
@@ -146,6 +160,8 @@ struct Options {
   std::string trace_out;      // empty = MPS_TRACE_OUT, else no trace
   std::string metrics_out;    // metrics registry JSON on shutdown
   std::string metrics_prom;   // Prometheus text exposition on shutdown
+  std::string dump_bundle;    // flight-recorder debug bundle ("-" = stdout)
+  bool slo = false;           // per-tenant SLO engine + report table
   std::string durable_dir;    // empty = durability off for this run
   long long snapshot_every = -1;   // -1 = MPS_DURABLE_SNAPSHOT_EVERY
   bool durable_warm = false;       // eager plan rebuild at recovery
@@ -200,6 +216,10 @@ Options parse(int argc, char** argv) {
       o.metrics_out = value();
     } else if (arg == "--metrics-prom") {
       o.metrics_prom = value();
+    } else if (arg == "--dump-bundle") {
+      o.dump_bundle = value();
+    } else if (arg == "--slo") {
+      o.slo = true;
     } else if (arg == "--durable-dir") {
       o.durable_dir = value();
     } else if (arg == "--snapshot-every") {
@@ -322,13 +342,14 @@ struct ReplayOutcome {
   double wall_s = 0.0;
   serve::EngineStats stats;
   std::string perfetto;  ///< non-empty when a trace dump was requested
+  std::string bundle;    ///< non-empty when a debug bundle was requested
 };
 
 ReplayOutcome replay(const Options& opt,
                      const std::vector<workloads::SuiteEntry>& tenants,
                      const std::vector<serve::TraceOp>& trace,
                      int chaos_enabled, bool print_tenants,
-                     bool want_perfetto) {
+                     bool want_perfetto, bool want_bundle) {
   serve::EngineConfig cfg;
   cfg.threads = opt.threads;
   cfg.queue_capacity = opt.queue_cap;
@@ -337,6 +358,7 @@ ReplayOutcome replay(const Options& opt,
   if (opt.devices >= 0) cfg.devices = opt.devices;
   if (!opt.device_spec.empty()) cfg.device_spec = opt.device_spec;
   cfg.chaos_enabled = chaos_enabled;
+  if (opt.slo) cfg.slo_enabled = 1;
   if (!opt.durable_dir.empty()) {
     cfg.durable_dir = opt.durable_dir;
     cfg.durable_enabled = 1;
@@ -474,13 +496,23 @@ ReplayOutcome replay(const Options& opt,
     engine.write_trace(trace_stream);
     out.perfetto = trace_stream.str();
   }
+  if (want_bundle) {
+    // Captured while the engine is alive so its registered state
+    // provider (config, queue, workers, devices, plan cache, SLO) is
+    // still part of the bundle.
+    std::ostringstream bundle_stream;
+    telemetry::flight().write_bundle(bundle_stream, "mps_serve --dump-bundle");
+    out.bundle = bundle_stream.str();
+  }
   return out;
 }
 
 int run_main(int argc, char** argv) {
   Options opt = parse(argc, argv);
   if (opt.trace_out.empty()) {
-    opt.trace_out = util::env_string("MPS_TRACE_OUT", "");
+    // Strict: MPS_TRACE_OUT set-but-empty is a quoting accident, not a
+    // request for no trace — env_path_checked throws InvalidInputError.
+    opt.trace_out = util::env_path_checked("MPS_TRACE_OUT");
   }
   // Crash-point injection: the flag publishes through the same knob the
   // env path uses, so either spelling arms the same machinery.
@@ -493,6 +525,9 @@ int run_main(int argc, char** argv) {
   // serve.request spans, the host phase spans underneath them, and the
   // kernel launches they trigger all carry correlated trace ids.
   if (!opt.trace_out.empty()) telemetry::tracer().enable();
+  // Same for the roofline profiler: MPS_PROFILE=1 must arm it before the
+  // first launch or the early kernels are missing from the attribution.
+  telemetry::profiler().configure_from_env();
   // Honors MPS_METRICS_DUMP_MS; inert (no thread) when the knob is unset.
   telemetry::PeriodicDumper dumper;
 
@@ -542,12 +577,15 @@ int run_main(int argc, char** argv) {
     // Reference leg: same trace, same engine configuration, chaos forced
     // off.  Every success in the chaos leg must reproduce these bits.
     ref = replay(opt, tenants, trace, /*chaos_enabled=*/0,
-                 /*print_tenants=*/true, /*want_perfetto=*/false);
+                 /*print_tenants=*/true, /*want_perfetto=*/false,
+                 /*want_bundle=*/false);
     out = replay(opt, tenants, trace, /*chaos_enabled=*/1,
-                 /*print_tenants=*/false, !opt.trace_out.empty());
+                 /*print_tenants=*/false, !opt.trace_out.empty(),
+                 !opt.dump_bundle.empty());
   } else {
     out = replay(opt, tenants, trace, /*chaos_enabled=*/-1,
-                 /*print_tenants=*/true, !opt.trace_out.empty());
+                 /*print_tenants=*/true, !opt.trace_out.empty(),
+                 !opt.dump_bundle.empty());
   }
   const serve::EngineStats& s = out.stats;
 
@@ -620,8 +658,37 @@ int run_main(int argc, char** argv) {
   }
   std::fputs(t.render().c_str(), stdout);
 
-  // Observability artifacts: the correlated Perfetto timeline and the
-  // final metrics-registry snapshot (JSON and/or Prometheus text).
+  if (opt.slo && s.slo.enabled) {
+    // Per-tenant burn-rate report: burn 1.0 = spending the error budget
+    // exactly at the objective's sustainable rate; an alert requires
+    // BOTH windows above the threshold (docs/observability.md).
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "SLO report (latency %.3g ms, objective %.6g, alert at "
+                  "burn > %.3g)",
+                  s.slo.latency_ms, s.slo.objective, s.slo.burn_alert);
+    util::Table slo_t(title);
+    slo_t.set_header({"tenant", "requests", "bad", "burn short", "burn long",
+                      "budget left", "state", "alerts"});
+    for (const auto& ts : s.slo.tenants) {
+      char handle_hex[32];
+      std::snprintf(handle_hex, sizeof(handle_hex), "%016llx",
+                    static_cast<unsigned long long>(ts.tenant));
+      slo_t.add_row({handle_hex, std::to_string(ts.total),
+                     std::to_string(ts.bad), util::fmt(ts.burn_short, 2),
+                     util::fmt(ts.burn_long, 2),
+                     util::fmt(ts.budget_remaining, 2),
+                     ts.alerting ? "ALERTING" : "ok",
+                     std::to_string(ts.alerts)});
+    }
+    std::fputs(slo_t.render().c_str(), stdout);
+    // CI greps this line — keep the format stable.
+    std::printf("slo: %lld tenants alerting\n", s.slo.alerting_now);
+  }
+
+  // Observability artifacts: the correlated Perfetto timeline, the
+  // flight-recorder debug bundle, and the final metrics-registry
+  // snapshot (JSON and/or Prometheus text).
   if (!opt.trace_out.empty()) {
     std::ofstream fout(opt.trace_out);
     if (!fout) {
@@ -633,6 +700,21 @@ int run_main(int argc, char** argv) {
     std::printf("(perfetto trace written to %s: %zu spans)\n",
                 opt.trace_out.c_str(), telemetry::tracer().size());
     telemetry::tracer().disable();
+  }
+  if (!opt.dump_bundle.empty()) {
+    if (opt.dump_bundle == "-") {
+      std::fputs(out.bundle.c_str(), stdout);
+    } else {
+      std::ofstream fout(opt.dump_bundle);
+      if (!fout) {
+        std::fprintf(stderr, "FAILED: cannot write bundle to %s\n",
+                     opt.dump_bundle.c_str());
+        return 1;
+      }
+      fout << out.bundle;
+      std::printf("(debug bundle written to %s: %zu bytes)\n",
+                  opt.dump_bundle.c_str(), out.bundle.size());
+    }
   }
   if (!opt.metrics_out.empty()) {
     std::ofstream fout(opt.metrics_out);
